@@ -1,0 +1,239 @@
+//! Criterion smoke benchmarks, one per paper table/figure: each runs the
+//! corresponding experiment at miniature scale so `cargo bench` exercises
+//! every code path the `figures` binary uses. For real figure regeneration
+//! (the shapes recorded in EXPERIMENTS.md) run:
+//!
+//! ```text
+//! cargo run -p spindle-bench --release --bin figures -- all
+//! ```
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spindle_bench::{overlapping_subgroups, single_subgroup, Pattern};
+use spindle_core::{CostModel, SenderActivity, SimCluster, SpindleConfig, Workload};
+use spindle_dds::{DdsExperiment, QosLevel};
+
+const MSG: usize = 10 * 1024;
+const W: usize = 16;
+
+fn run(view: spindle_membership::View, cfg: SpindleConfig, wl: Workload) -> f64 {
+    SimCluster::new(view, cfg, wl).run().bandwidth_gbps()
+}
+
+fn figure_smokes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("fig1_latency_curve", |b| {
+        let net = CostModel::default().net;
+        b.iter(|| {
+            let mut total = Duration::ZERO;
+            for p in 0..=20 {
+                total += net.write_latency(black_box(1usize << p));
+            }
+            total
+        })
+    });
+
+    g.bench_function("fig3_batching_all_senders", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::batching_only(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig4_delivery_rate_1KB", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, 1024),
+                SpindleConfig::batching_only(),
+                Workload::new(200, 1024),
+            )
+        })
+    });
+
+    g.bench_function("fig5_delivery_batching_stage", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::baseline().with_delivery_batching(),
+                Workload::new(120, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig6_window_5", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, 5, MSG),
+                SpindleConfig::batching_only(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig7_batch_histograms", |b| {
+        b.iter(|| {
+            let r = SimCluster::new(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::batching_only(),
+                Workload::new(200, MSG),
+            )
+            .run();
+            black_box(r.batch_histograms())
+        })
+    });
+
+    g.bench_function("fig8_baseline_inactive_subgroups", |b| {
+        b.iter(|| {
+            let mut wl = Workload::new(80, MSG);
+            for sg in 1..5 {
+                for rank in 0..3 {
+                    wl = wl.with_activity(sg, rank, SenderActivity::Inactive);
+                }
+            }
+            run(overlapping_subgroups(3, 5, W, MSG), SpindleConfig::baseline(), wl)
+        })
+    });
+
+    g.bench_function("fig9_batched_inactive_subgroups", |b| {
+        b.iter(|| {
+            let mut wl = Workload::new(200, MSG);
+            for sg in 1..5 {
+                for rank in 0..3 {
+                    wl = wl.with_activity(sg, rank, SenderActivity::Inactive);
+                }
+            }
+            run(
+                overlapping_subgroups(3, 5, W, MSG),
+                SpindleConfig::batching_only(),
+                wl,
+            )
+        })
+    });
+
+    g.bench_function("fig10_null_sends_delayed", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::optimized(),
+                Workload::new(150, MSG)
+                    .with_activity(0, 1, SenderActivity::DelayEach(Duration::from_micros(100))),
+            )
+        })
+    });
+
+    g.bench_function("fig11_null_overhead_continuous", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::batching_only().with_null_sends(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig12_early_lock_release", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::optimized(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig13_multiple_active_subgroups", |b| {
+        b.iter(|| {
+            run(
+                overlapping_subgroups(3, 3, W, MSG),
+                SpindleConfig::optimized(),
+                Workload::new(100, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig14_memcpy_curve", |b| {
+        let m = CostModel::default().memcpy;
+        b.iter(|| {
+            let mut total = Duration::ZERO;
+            for p in 2..=20 {
+                total += m.copy_time(black_box(1usize << p));
+            }
+            total
+        })
+    });
+
+    g.bench_function("fig15_memcpy_delivery", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::optimized().with_memcpy(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig16_final_optimized", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(4, Pattern::Half, W, MSG),
+                SpindleConfig::optimized(),
+                Workload::new(200, MSG),
+            )
+        })
+    });
+
+    g.bench_function("fig17_final_latency", |b| {
+        b.iter(|| {
+            SimCluster::new(
+                single_subgroup(4, Pattern::All, W, MSG),
+                SpindleConfig::optimized(),
+                Workload::new(200, MSG),
+            )
+            .run()
+            .mean_latency_ms()
+        })
+    });
+
+    g.bench_function("fig18_dds_atomic_qos", |b| {
+        b.iter(|| {
+            let r = DdsExperiment::new(3, QosLevel::AtomicMulticast, true)
+                .with_samples(200)
+                .run();
+            DdsExperiment::subscriber_bandwidth_mbs(&r)
+        })
+    });
+
+    g.bench_function("table1_baseline_reference", |b| {
+        b.iter(|| {
+            run(
+                single_subgroup(3, Pattern::All, W, MSG),
+                SpindleConfig::baseline(),
+                Workload::new(80, MSG),
+            )
+        })
+    });
+
+    g.bench_function("rdmc_crossover_point", |b| {
+        use spindle_rdmc::{Rdmc, ScheduleKind};
+        let net = CostModel::default().net;
+        b.iter(|| {
+            let r = Rdmc::new(black_box(16), 1 << 20, 64 << 10).unwrap();
+            let pipe = r.bandwidth(&r.schedule(ScheduleKind::BinomialPipeline), &net);
+            let seq = r.bandwidth(&r.schedule(ScheduleKind::SequentialSend), &net);
+            (pipe, seq)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, figure_smokes);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks for the substrate hot paths: the operations
+//! whose costs the Spindle paper's optimizations target (SST counter
+//! pushes, slot writes, receive scans, sequence math, fabric posts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use spindle_fabric::{MemFabric, NodeId, Region, WriteOp};
+use spindle_membership::{nulls_owed, MsgId, SeqSpace};
+use spindle_smc::{scan_new, Ring};
+use spindle_sst::{LayoutBuilder, Sst};
+
+fn sst_setup(window: usize, max_msg: usize) -> (Sst, spindle_sst::CounterCol, spindle_sst::SlotsCol) {
+    let mut b = LayoutBuilder::new();
+    let c = b.add_counter("received_num", -1);
+    let s = b.add_slots("smc", window, max_msg);
+    let layout = Arc::new(b.finish(16));
+    let region = Arc::new(Region::new(layout.region_words()));
+    let sst = Sst::new(layout, region, 0);
+    sst.init();
+    (sst, c, s)
+}
+
+fn bench_sst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sst");
+    let (sst, ctr, slots) = sst_setup(100, 10 * 1024);
+    let mut v = 0i64;
+    g.bench_function("set_counter", |b| {
+        b.iter(|| {
+            v += 1;
+            black_box(sst.set_counter(ctr, v));
+        })
+    });
+    let payload = vec![0xABu8; 10 * 1024];
+    let mut gen = 0u32;
+    g.bench_function("write_slot_10KB", |b| {
+        b.iter(|| {
+            gen += 1;
+            black_box(sst.write_slot(slots, (gen as usize) % 100, gen, 7, &payload));
+        })
+    });
+    g.bench_function("write_slot_meta", |b| {
+        b.iter(|| {
+            gen += 1;
+            black_box(sst.write_slot_meta(slots, (gen as usize) % 100, gen, 10240, 7));
+        })
+    });
+    g.bench_function("slot_header_probe", |b| {
+        b.iter(|| black_box(sst.slot_header(slots, 0, 3)))
+    });
+    g.finish();
+}
+
+fn bench_smc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smc");
+    let (sst, _, slots) = sst_setup(100, 64);
+    let ring = Ring::new(100);
+    // Fill 32 consecutive messages.
+    for k in 0..32u64 {
+        sst.write_slot(slots, ring.slot_of(k), ring.gen_of(k), k, b"x");
+    }
+    g.bench_function("scan_32_new", |b| {
+        b.iter(|| black_box(scan_new(&sst, slots, ring, 0, 0, 100)))
+    });
+    g.bench_function("scan_empty", |b| {
+        b.iter(|| black_box(scan_new(&sst, slots, ring, 0, 32, 100)))
+    });
+    g.bench_function("contiguous_ranges_wrap", |b| {
+        b.iter(|| black_box(ring.contiguous_slot_ranges(90, 120)))
+    });
+    g.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership");
+    let space = SeqSpace::new(16);
+    let counts: Vec<u64> = (0..16).map(|i| 1000 + (i % 3)).collect();
+    g.bench_function("prefix_complete_16", |b| {
+        b.iter(|| black_box(space.prefix_complete(&counts)))
+    });
+    g.bench_function("nulls_owed", |b| {
+        b.iter(|| {
+            black_box(nulls_owed(
+                &space,
+                3,
+                999,
+                MsgId {
+                    rank: 11,
+                    index: 1004,
+                },
+            ))
+        })
+    });
+    g.bench_function("seq_roundtrip", |b| {
+        b.iter(|| {
+            let m = space.msg_of(black_box(123_456));
+            black_box(space.seq_of(m))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    let region = Region::new(4096);
+    let data: Vec<u64> = (0..1282).collect();
+    g.bench_function("apply_write_10KB", |b| {
+        b.iter(|| region.apply_write(0, black_box(&data)))
+    });
+    let fabric = MemFabric::new(2, 4096);
+    let op = WriteOp::new(NodeId(1), 0..1282);
+    g.bench_function("memfabric_post_10KB", |b| {
+        b.iter(|| fabric.post(NodeId(0), black_box(&op)))
+    });
+    let ack = WriteOp::new(NodeId(1), 0..1);
+    g.bench_function("memfabric_post_ack", |b| {
+        b.iter(|| fabric.post(NodeId(0), black_box(&ack)))
+    });
+    g.finish();
+}
+
+fn bench_rdmc(c: &mut Criterion) {
+    use spindle_rdmc::{executor::execute, Rdmc, ScheduleKind};
+    let mut g = c.benchmark_group("rdmc");
+    let rdmc = Rdmc::new(16, 1 << 20, 64 << 10).unwrap();
+    g.bench_function("pipeline_schedule_16n_16b", |b| {
+        b.iter(|| black_box(rdmc.schedule(ScheduleKind::BinomialPipeline)))
+    });
+    let schedule = rdmc.schedule(ScheduleKind::BinomialPipeline);
+    g.bench_function("pipeline_verify_16n_16b", |b| {
+        b.iter(|| black_box(schedule.verify()))
+    });
+    let net = spindle_fabric::NetModel::default();
+    g.bench_function("pipeline_analysis_16n_16b", |b| {
+        b.iter(|| black_box(rdmc.completion_time(&schedule, &net)))
+    });
+    let small = Rdmc::new(8, 64 << 10, 8 << 10).unwrap();
+    let small_sched = small.schedule(ScheduleKind::BinomialPipeline);
+    let msg = vec![0x5Au8; 64 << 10];
+    g.bench_function("pipeline_execute_8n_64KB", |b| {
+        b.iter(|| black_box(execute(&small, &small_sched, &msg).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_persist(c: &mut Criterion) {
+    use spindle_persist::{crc32, DurableLog, LogRecord};
+    let mut g = c.benchmark_group("persist");
+    let payload = vec![0xA5u8; 10 * 1024];
+    g.bench_function("crc32_10KB", |b| b.iter(|| black_box(crc32(&payload))));
+    let dir = std::env::temp_dir().join(format!("spindle-bench-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut log = DurableLog::create(dir.join("bench.log")).unwrap();
+    let mut seq = 0i64;
+    g.bench_function("append_10KB_no_sync", |b| {
+        b.iter(|| {
+            seq += 1;
+            log.append(&LogRecord {
+                epoch: 0,
+                subgroup: 0,
+                seq,
+                sender_rank: 0,
+                app_index: seq as u64,
+                data: payload.clone(),
+            })
+            .unwrap();
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_sst,
+    bench_smc,
+    bench_membership,
+    bench_fabric,
+    bench_rdmc,
+    bench_persist
+);
+criterion_main!(benches);

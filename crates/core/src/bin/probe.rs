@@ -1,0 +1,51 @@
+//! Quick calibration probe: paper-scale single-subgroup runs.
+//!
+//! Not part of the benchmark harness — a developer tool for checking that
+//! the cost model lands in the right regime (see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use spindle_core::{SimCluster, SpindleConfig, Workload};
+use spindle_membership::ViewBuilder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let msgs: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
+    for &n in &[2usize, 4, 8, 16] {
+        let members: Vec<usize> = (0..n).collect();
+        let view = ViewBuilder::new(n)
+            .subgroup(&members, &members, 100, 10 * 1024)
+            .build()
+            .unwrap();
+        for (name, cfg) in [
+            ("baseline ", SpindleConfig::baseline()),
+            ("batching ", SpindleConfig::batching_only()),
+            ("optimized", SpindleConfig::optimized()),
+        ] {
+            let wall = Instant::now();
+            let r = SimCluster::new(view.clone(), cfg, Workload::new(msgs, 10 * 1024)).run();
+            let (sb, rb, db) = r.batch_histograms();
+            let iters: u64 = r.nodes.iter().map(|x| x.iterations).sum();
+            let busy: f64 = r.nodes.iter().map(|x| x.pred_busy.as_secs_f64()).sum::<f64>()
+                / r.nodes.len() as f64;
+            println!(
+                "n={n:2} {name} bw={:7.3} GB/s lat={:9.3} ms writes={:9} wait={:4.1}% \
+                 batches s/r/d={:.1}/{:.1}/{:.1} iters/node={} pred_busy={:4.1}% post={:4.1}% wall={:.1}s",
+                r.bandwidth_gbps(),
+                r.mean_latency_ms(),
+                r.total_writes(),
+                r.sender_wait_share() * 100.0,
+                sb.mean(),
+                rb.mean(),
+                db.mean(),
+                iters / r.nodes.len() as u64,
+                busy / r.makespan.as_secs_f64() * 100.0,
+                r.total_post_time().as_secs_f64()
+                    / r.nodes.len() as f64
+                    / r.makespan.as_secs_f64()
+                    * 100.0,
+                wall.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! SST heartbeat failure detection.
+//!
+//! Derecho detects failures the same way it does everything else: through
+//! the SST. Every node keeps a monotonic *heartbeat* counter in its own row
+//! and pushes it to all members on a fixed cadence; a peer whose counter
+//! stops advancing for longer than a timeout is *suspected* and reported to
+//! the membership layer, which runs the §2.1 view change to remove it. The
+//! Spindle paper assumes this machinery from Derecho ("a view change or
+//! reconfiguration occurs on failures, node joins and leaves"); this module
+//! supplies it for the threaded runtime.
+//!
+//! [`HeartbeatState`] is a pure state machine over `(peer counters, now)`
+//! so it can be driven by the real clock in
+//! [`Cluster`](crate::threaded::Cluster) and by synthetic clocks in tests.
+
+use std::time::{Duration, Instant};
+
+/// Configuration for SST heartbeat failure detection.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_core::detector::DetectorConfig;
+/// use std::time::Duration;
+///
+/// let cfg = DetectorConfig::default();
+/// assert!(cfg.timeout > cfg.heartbeat_interval * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// How often each node bumps (and pushes) its heartbeat counter.
+    pub heartbeat_interval: Duration,
+    /// How long a peer's counter may stand still before suspicion. Must
+    /// comfortably exceed the interval (several missed beats), or healthy
+    /// nodes get evicted under scheduling jitter.
+    pub timeout: Duration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(2),
+            timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One node's view of its peers' heartbeat progress.
+///
+/// The caller feeds observed counter values (from its local SST replica)
+/// through [`HeartbeatState::observe`]; newly suspected peers are returned
+/// exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_core::detector::{DetectorConfig, HeartbeatState};
+/// use std::time::{Duration, Instant};
+///
+/// let cfg = DetectorConfig {
+///     heartbeat_interval: Duration::from_millis(1),
+///     timeout: Duration::from_millis(10),
+/// };
+/// let t0 = Instant::now();
+/// let mut hb = HeartbeatState::new(vec![1, 2], &cfg, t0);
+/// // Peer 1 beats, peer 2 stays silent past the timeout.
+/// assert!(hb.observe(1, 5, t0 + Duration::from_millis(9)).is_none());
+/// assert_eq!(hb.observe(2, 0, t0 + Duration::from_millis(11)), Some(2));
+/// // Reported once only.
+/// assert!(hb.observe(2, 0, t0 + Duration::from_millis(20)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeartbeatState {
+    peers: Vec<PeerState>,
+    timeout: Duration,
+}
+
+#[derive(Debug, Clone)]
+struct PeerState {
+    row: usize,
+    last_value: i64,
+    last_advance: Instant,
+    suspected: bool,
+}
+
+impl HeartbeatState {
+    /// Starts monitoring `rows` at `now` with the given config. Heartbeat
+    /// counters initialize to 0 in the SST, so an observed value of 0 is
+    /// *not* progress; the timeout clock for every peer starts at `now`.
+    pub fn new(rows: Vec<usize>, cfg: &DetectorConfig, now: Instant) -> Self {
+        HeartbeatState {
+            peers: rows
+                .into_iter()
+                .map(|row| PeerState {
+                    row,
+                    last_value: 0,
+                    last_advance: now,
+                    suspected: false,
+                })
+                .collect(),
+            timeout: cfg.timeout,
+        }
+    }
+
+    /// Rows currently monitored.
+    pub fn monitored(&self) -> impl Iterator<Item = usize> + '_ {
+        self.peers.iter().map(|p| p.row)
+    }
+
+    /// Feeds one observation of `row`'s heartbeat counter at time `now`.
+    /// Returns `Some(row)` exactly once, at the moment the peer becomes
+    /// suspected (no counter advance for longer than the timeout).
+    ///
+    /// Unmonitored rows are ignored.
+    pub fn observe(&mut self, row: usize, value: i64, now: Instant) -> Option<usize> {
+        let p = self.peers.iter_mut().find(|p| p.row == row)?;
+        if value > p.last_value {
+            p.last_value = value;
+            p.last_advance = now;
+            return None;
+        }
+        if !p.suspected && now.duration_since(p.last_advance) > self.timeout {
+            p.suspected = true;
+            return Some(row);
+        }
+        None
+    }
+
+    /// Whether `row` is currently suspected.
+    pub fn is_suspected(&self, row: usize) -> bool {
+        self.peers.iter().any(|p| p.row == row && p.suspected)
+    }
+
+    /// Stops monitoring `row` (it was removed by a view change).
+    pub fn forget(&mut self, row: usize) {
+        self.peers.retain(|p| p.row != row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(timeout_ms: u64) -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(1),
+            timeout: Duration::from_millis(timeout_ms),
+        }
+    }
+
+    #[test]
+    fn healthy_peer_never_suspected() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(10), t0);
+        for i in 0..100 {
+            let now = t0 + Duration::from_millis(i * 5);
+            assert_eq!(hb.observe(1, i as i64, now), None);
+        }
+        assert!(!hb.is_suspected(1));
+    }
+
+    #[test]
+    fn silent_peer_suspected_after_timeout() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(10), t0);
+        assert_eq!(hb.observe(1, 3, t0 + Duration::from_millis(1)), None);
+        // Stuck at 3: not yet timed out...
+        assert_eq!(hb.observe(1, 3, t0 + Duration::from_millis(10)), None);
+        // ...and past it.
+        assert_eq!(hb.observe(1, 3, t0 + Duration::from_millis(12)), Some(1));
+        assert!(hb.is_suspected(1));
+    }
+
+    #[test]
+    fn suspicion_reported_once() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(5), t0);
+        assert_eq!(hb.observe(1, 0, t0 + Duration::from_millis(6)), Some(1));
+        assert_eq!(hb.observe(1, 0, t0 + Duration::from_millis(60)), None);
+    }
+
+    #[test]
+    fn advance_resets_timeout_clock() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(10), t0);
+        assert_eq!(hb.observe(1, 1, t0 + Duration::from_millis(9)), None);
+        // 9 ms later would have timed out from t0, but the clock reset.
+        assert_eq!(hb.observe(1, 1, t0 + Duration::from_millis(18)), None);
+        assert_eq!(hb.observe(1, 1, t0 + Duration::from_millis(20)), Some(1));
+    }
+
+    #[test]
+    fn multiple_peers_tracked_independently() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1, 2, 3], &cfg(10), t0);
+        let t = t0 + Duration::from_millis(11);
+        assert_eq!(hb.observe(1, 5, t), None); // advanced
+        assert_eq!(hb.observe(2, 0, t), Some(2)); // silent
+        assert_eq!(hb.observe(3, 7, t), None); // advanced
+        assert!(hb.is_suspected(2));
+        assert!(!hb.is_suspected(1));
+        assert!(!hb.is_suspected(3));
+    }
+
+    #[test]
+    fn forget_stops_monitoring() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1, 2], &cfg(5), t0);
+        hb.forget(2);
+        assert_eq!(hb.observe(2, 0, t0 + Duration::from_secs(1)), None);
+        assert_eq!(hb.monitored().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn unmonitored_row_ignored() {
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(5), t0);
+        assert_eq!(hb.observe(9, 0, t0 + Duration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = DetectorConfig::default();
+        assert!(c.timeout > c.heartbeat_interval);
+    }
+
+    #[test]
+    fn counter_regression_does_not_reset_clock() {
+        // Counters are monotonic in the protocol; a regression (stale read
+        // ordering) must not count as progress.
+        let t0 = Instant::now();
+        let mut hb = HeartbeatState::new(vec![1], &cfg(10), t0);
+        assert_eq!(hb.observe(1, 5, t0 + Duration::from_millis(1)), None);
+        assert_eq!(hb.observe(1, 4, t0 + Duration::from_millis(5)), None);
+        assert_eq!(hb.observe(1, 4, t0 + Duration::from_millis(12)), Some(1));
+    }
+}

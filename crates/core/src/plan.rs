@@ -1,0 +1,138 @@
+//! SST layout planning for a view.
+
+use std::sync::Arc;
+
+use spindle_membership::View;
+use spindle_sst::{CounterCol, LayoutBuilder, SlotsCol, SstLayout};
+
+/// The SST column handles of one subgroup.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgroupCols {
+    /// `received_num` — highest prefix-complete sequence number (paper
+    /// §2.2), initialized to −1.
+    pub recv: CounterCol,
+    /// `delivered_num` — last delivered sequence number, initialized to −1.
+    pub deliv: CounterCol,
+    /// `committed_rounds` — how many round indices this sender has
+    /// committed (app messages + nulls). This is the "single integer"
+    /// carrier of the Spindle null-send scheme (§3.3); initialized to 0.
+    pub committed: CounterCol,
+    /// `persisted_num` — last sequence number appended to this member's
+    /// durable log (Derecho's persistent atomic multicast, paper footnote
+    /// 2); initialized to −1 and only advanced in persistent clusters.
+    pub pers: CounterCol,
+    /// The SMC ring slots of this subgroup (per sender row).
+    pub slots: SlotsCol,
+}
+
+/// The complete SST plan for a view: the layout plus per-subgroup handles.
+///
+/// Every node in the view builds the identical plan, so the column handles
+/// are valid across all replicas (§2.3: layout is fixed within a view).
+///
+/// # Examples
+///
+/// ```
+/// use spindle_core::Plan;
+/// use spindle_membership::ViewBuilder;
+///
+/// let view = ViewBuilder::new(3)
+///     .subgroup(&[0, 1, 2], &[0, 1], 10, 1024)
+///     .build()?;
+/// let plan = Plan::build(&view, true);
+/// assert_eq!(plan.cols.len(), 1);
+/// assert_eq!(plan.layout.num_rows(), 3);
+/// # Ok::<(), spindle_membership::ViewError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The shared row layout.
+    pub layout: Arc<SstLayout>,
+    /// Column handles per subgroup, indexed by subgroup id.
+    pub cols: Vec<SubgroupCols>,
+    /// The top-level heartbeat counter (one per row, initialized to 0),
+    /// used by SST failure detection ([`detector`](crate::detector)).
+    pub heartbeat: CounterCol,
+}
+
+impl Plan {
+    /// Builds the plan for `view`. With `materialize = false`, slot payload
+    /// words are not allocated (the simulated runtime's mode; wire sizes
+    /// still reflect the logical message size).
+    pub fn build(view: &View, materialize: bool) -> Plan {
+        let mut b = LayoutBuilder::new();
+        let heartbeat = b.add_counter("heartbeat", 0);
+        let mut cols = Vec::with_capacity(view.subgroups().len());
+        for (g, sg) in view.subgroups().iter().enumerate() {
+            let recv = b.add_counter(format!("g{g}.received_num"), -1);
+            let deliv = b.add_counter(format!("g{g}.delivered_num"), -1);
+            let committed = b.add_counter(format!("g{g}.committed_rounds"), 0);
+            let pers = b.add_counter(format!("g{g}.persisted_num"), -1);
+            let slots = if materialize {
+                b.add_slots(format!("g{g}.smc"), sg.window, sg.max_msg_size)
+            } else {
+                b.add_slots_meta(format!("g{g}.smc"), sg.window, sg.max_msg_size)
+            };
+            cols.push(SubgroupCols {
+                recv,
+                deliv,
+                committed,
+                pers,
+                slots,
+            });
+        }
+        Plan {
+            layout: Arc::new(b.finish(view.members().len())),
+            cols,
+            heartbeat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_membership::ViewBuilder;
+
+    fn view_3x2() -> View {
+        ViewBuilder::new(4)
+            .subgroup(&[0, 1, 2], &[0, 1, 2], 8, 256)
+            .subgroup(&[1, 2, 3], &[1, 3], 4, 64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_cols_entry_per_subgroup() {
+        let plan = Plan::build(&view_3x2(), true);
+        assert_eq!(plan.cols.len(), 2);
+        assert_eq!(plan.layout.num_rows(), 4);
+    }
+
+    #[test]
+    fn materialized_plan_is_larger() {
+        let view = view_3x2();
+        let fat = Plan::build(&view, true);
+        let thin = Plan::build(&view, false);
+        assert!(fat.layout.row_words() > thin.layout.row_words());
+        // Thin plan: heartbeat + (4 counters + 2 control words per slot)
+        // per subgroup.
+        assert_eq!(thin.layout.row_words(), 1 + 4 + 8 * 2 + 4 + 4 * 2);
+    }
+
+    #[test]
+    fn counters_have_paper_initials() {
+        let plan = Plan::build(&view_3x2(), false);
+        let inits: Vec<i64> = plan.layout.counters().map(|(_, _, i)| i).collect();
+        // Heartbeat first, then per subgroup: recv=-1, deliv=-1,
+        // committed=0, persisted=-1.
+        assert_eq!(inits, vec![0, -1, -1, 0, -1, -1, -1, 0, -1]);
+    }
+
+    #[test]
+    fn wire_size_preserved_in_thin_plan() {
+        let plan = Plan::build(&view_3x2(), false);
+        assert_eq!(plan.cols[0].slots.wire_slot_bytes(), 16 + 256);
+        assert_eq!(plan.cols[1].slots.wire_slot_bytes(), 16 + 64);
+    }
+}

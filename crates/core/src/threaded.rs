@@ -1,0 +1,1363 @@
+//! The threaded cluster: real concurrency over the shared-memory fabric.
+//!
+//! This is the embeddable runtime of the library: every node gets a real
+//! predicate (polling) thread exactly as in the paper (§2.4), application
+//! threads send through [`NodeHandle::send`], and deliveries appear —
+//! in the identical total order at every member — on each node's delivery
+//! channel. The same [`proto`](crate::proto) state machines as the
+//! simulated runtime execute here, so the correctness properties the
+//! integration tests establish (total order, gap-freedom, FIFO per sender,
+//! null invisibility, failure atomicity) hold for the code the performance
+//! model measures.
+//!
+//! The §3.4 optimization is implemented literally: with
+//! [`SpindleConfig::early_lock_release`] the predicate body collects the
+//! word ranges to push under the node's lock, releases it, and only then
+//! posts the writes; the baseline posts while holding the lock.
+//!
+//! # View changes
+//!
+//! [`Cluster::remove_node`] executes the virtual-synchrony epoch transition
+//! of §2.1: the cluster wedges, survivors agree on the ragged trim per
+//! subgroup (the minimum `received_num` over survivors), every survivor
+//! delivers exactly through the cut, undelivered messages from surviving
+//! senders are recovered from their ring slots, a new view (and a fresh
+//! fabric — §2.3's per-view memory registration) is installed, and the
+//! recovered messages are resent in the new epoch. Messages beyond the cut
+//! are delivered by *no one*, which together with the cut rule gives the
+//! all-or-nothing guarantee.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use spindle_fabric::{MemFabric, NodeId, WriteOp};
+use spindle_membership::{RaggedTrim, SeqNum, Subgroup, SubgroupId, View, ViewBuilder};
+use spindle_sst::Sst;
+
+use crate::config::{DeliveryTiming, SpindleConfig};
+use crate::detector::{DetectorConfig, HeartbeatState};
+use crate::plan::Plan;
+use crate::proto::{QueueOutcome, SubgroupProto};
+
+/// A message delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// Epoch (view id) it was delivered in.
+    pub epoch: u64,
+    /// Subgroup it was sent in.
+    pub subgroup: SubgroupId,
+    /// Sender rank within the subgroup's sender list.
+    pub sender_rank: usize,
+    /// The sender's app index within the epoch (FIFO per sender).
+    pub app_index: u64,
+    /// Global sequence number in the subgroup's total order (within the
+    /// epoch).
+    pub seq: SeqNum,
+    /// Payload bytes (copied out of the ring slot at delivery, the
+    /// pragmatic §3.5 option 2).
+    pub data: Vec<u8>,
+}
+
+/// Errors from [`NodeHandle::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// This node is not a sender in the subgroup.
+    NotASender,
+    /// The payload exceeds the subgroup's `max_msg_size`.
+    TooLarge {
+        /// The subgroup's limit.
+        max: usize,
+    },
+    /// The cluster (or this node) is shut down or was removed.
+    Closed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::NotASender => write!(f, "node is not a sender in this subgroup"),
+            SendError::TooLarge { max } => write!(f, "payload exceeds max message size {max}"),
+            SendError::Closed => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors from [`Cluster::remove_node`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewChangeError {
+    /// The node id is not a current member.
+    UnknownNode(usize),
+    /// Removing the node would leave a subgroup with no members.
+    WouldEmptySubgroup(SubgroupId),
+    /// Fewer than two members would remain.
+    TooFewSurvivors,
+    /// A join referenced a subgroup id outside the view.
+    UnknownSubgroup(SubgroupId),
+}
+
+impl std::fmt::Display for ViewChangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewChangeError::UnknownNode(n) => write!(f, "node {n} is not a member"),
+            ViewChangeError::WouldEmptySubgroup(g) => {
+                write!(f, "removal would empty subgroup {g}")
+            }
+            ViewChangeError::TooFewSurvivors => write!(f, "a view needs at least two members"),
+            ViewChangeError::UnknownSubgroup(g) => write!(f, "no such subgroup {g}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewChangeError {}
+
+/// Summary of an executed view change.
+#[derive(Debug, Clone)]
+pub struct ViewChangeReport {
+    /// The new epoch number.
+    pub epoch: u64,
+    /// Per subgroup: the ragged-trim cut (last seq delivered in the old
+    /// epoch; -1 if nothing was in flight).
+    pub cuts: Vec<SeqNum>,
+    /// Messages recovered from surviving senders' rings and resent in the
+    /// new epoch.
+    pub resent: usize,
+}
+
+/// Durable-mode configuration (Derecho's persistent atomic multicast,
+/// paper footnote 2): every ordered delivery is appended to a per-node,
+/// per-subgroup [`spindle_persist::DurableLog`], and each node advertises
+/// its persistence frontier through the SST `persisted_num` counter (read
+/// it with [`NodeHandle::persistence_frontier`]).
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory for the log files (`node<row>-g<subgroup>.log`).
+    pub dir: std::path::PathBuf,
+    /// Whether to fsync after each batch of appends. Turning this off
+    /// trades crash durability of the newest batch for throughput.
+    pub fsync: bool,
+}
+
+impl PersistConfig {
+    /// Durable logs under `dir`, fsync on every append batch.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> PersistConfig {
+        PersistConfig {
+            dir: dir.into(),
+            fsync: true,
+        }
+    }
+}
+
+/// A failure suspicion raised by SST heartbeat detection (see
+/// [`Cluster::suspicions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Suspicion {
+    /// The node whose detector noticed the silence.
+    pub reporter: usize,
+    /// The node whose heartbeat counter stopped advancing.
+    pub suspect: usize,
+}
+
+/// Everything that is replaced wholesale on a view change.
+struct NodeInner {
+    sst: Sst,
+    protos: Vec<SubgroupProto>,
+    fabric: MemFabric,
+    view: Arc<View>,
+    alive: bool,
+    /// The top-level heartbeat column of the current plan.
+    heartbeat_col: spindle_sst::CounterCol,
+    /// Rows this node pushes heartbeats to and monitors: members of at
+    /// least one subgroup, excluding itself.
+    hb_peers: Vec<usize>,
+}
+
+struct NodeShared {
+    inner: Mutex<NodeInner>,
+    deliveries: Sender<Delivered>,
+    /// Incremented while the predicate thread must stand still (view
+    /// change in progress).
+    wedged: AtomicBool,
+    /// Set by the predicate thread while parked under a wedge.
+    parked: AtomicBool,
+    epoch: AtomicU64,
+    /// Simulated crash: the predicate thread exits silently, heartbeats
+    /// stop, membership does not know until a detector notices.
+    killed: AtomicBool,
+    /// Where this node's detector reports suspicions.
+    suspicion_tx: Sender<Suspicion>,
+    /// Durable logs, one per subgroup, opened lazily (empty unless the
+    /// cluster was started persistent). Shared between the predicate
+    /// thread and the view-change drain.
+    plogs: Mutex<std::collections::HashMap<usize, spindle_persist::DurableLog>>,
+}
+
+/// Handle to one in-process node.
+pub struct NodeHandle {
+    id: NodeId,
+    shared: Arc<NodeShared>,
+    rx: Receiver<Delivered>,
+    stop: Arc<AtomicBool>,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current epoch (view id) as seen by this node.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Sends `payload` in `sg`, blocking while the ring window is full or a
+    /// view change is in progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::NotASender`] if the node is not a sender in the
+    /// subgroup, [`SendError::TooLarge`] for oversized payloads, and
+    /// [`SendError::Closed`] if the cluster stopped or this node was
+    /// removed.
+    pub fn send(&self, sg: SubgroupId, payload: &[u8]) -> Result<(), SendError> {
+        loop {
+            match self.try_send(sg, payload)? {
+                true => return Ok(()),
+                false => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Err(SendError::Closed);
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Attempts one send; returns `Ok(false)` if the window is full or the
+    /// cluster is momentarily wedged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NodeHandle::send`], except a full window is `Ok(false)`.
+    pub fn try_send(&self, sg: SubgroupId, payload: &[u8]) -> Result<bool, SendError> {
+        if self.stop.load(Ordering::Relaxed) || self.shared.killed.load(Ordering::Acquire) {
+            return Err(SendError::Closed);
+        }
+        if self.shared.wedged.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let mut inner = self.shared.inner.lock();
+        if !inner.alive {
+            return Err(SendError::Closed);
+        }
+        let max = inner.view.subgroup(sg).max_msg_size;
+        if payload.len() > max {
+            return Err(SendError::TooLarge { max });
+        }
+        let sst = inner.sst.clone();
+        let p = inner
+            .protos
+            .iter_mut()
+            .find(|p| p.sg == sg)
+            .ok_or(SendError::NotASender)?;
+        if p.my_sender_rank.is_none() {
+            return Err(SendError::NotASender);
+        }
+        match p.try_queue_app(&sst, payload.len() as u32, Some(payload)) {
+            QueueOutcome::Queued { .. } => Ok(true),
+            QueueOutcome::WindowFull => Ok(false),
+        }
+    }
+
+    /// The delivery channel: messages arrive in the subgroup's total order
+    /// (per epoch).
+    pub fn deliveries(&self) -> &Receiver<Delivered> {
+        &self.rx
+    }
+
+    /// Receives the next delivery, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivered> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// The *global persistence frontier* of subgroup `sg` as seen by this
+    /// node: the minimum `persisted_num` over the subgroup's members. Every
+    /// message with a sequence number at or below it has been appended to
+    /// stable storage by every member (durable in the Paxos sense). Always
+    /// −1 in clusters not started with [`Cluster::start_persistent`], and
+    /// `None` if this node is not a member of `sg`.
+    pub fn persistence_frontier(&self, sg: SubgroupId) -> Option<SeqNum> {
+        let inner = self.shared.inner.lock();
+        let p = inner.protos.iter().find(|p| p.sg == sg)?;
+        let sst = &inner.sst;
+        Some(
+            p.member_rows
+                .iter()
+                .map(|&row| sst.counter(p.cols.pers, row))
+                .min()
+                .unwrap_or(-1),
+        )
+    }
+
+    /// This node's *own* persistence frontier in `sg`: the last sequence
+    /// number it has appended to its durable log (−1 if none, `None` if
+    /// not a member). Unlike [`NodeHandle::persistence_frontier`], this
+    /// can advance past crashed members.
+    pub fn local_persisted(&self, sg: SubgroupId) -> Option<SeqNum> {
+        let inner = self.shared.inner.lock();
+        let p = inner.protos.iter().find(|p| p.sg == sg)?;
+        Some(inner.sst.counter(p.cols.pers, inner.sst.own_row()))
+    }
+}
+
+/// An in-process cluster of nodes running the full protocol over real
+/// threads.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_core::{Cluster, SpindleConfig};
+/// use spindle_membership::{SubgroupId, ViewBuilder};
+/// use std::time::Duration;
+///
+/// let view = ViewBuilder::new(2)
+///     .subgroup(&[0, 1], &[0], 8, 64)
+///     .build()?;
+/// let mut cluster = Cluster::start(view, SpindleConfig::optimized());
+/// cluster.node(0).send(SubgroupId(0), b"hello")?;
+/// let got = cluster.node(1).recv_timeout(Duration::from_secs(5)).unwrap();
+/// assert_eq!(got.data, b"hello");
+/// cluster.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Cluster {
+    nodes: Vec<NodeHandle>,
+    threads: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    fabric: MemFabric,
+    view: Arc<View>,
+    cfg: SpindleConfig,
+    epoch: u64,
+    detector: Option<DetectorConfig>,
+    persist: Option<PersistConfig>,
+    suspicion_tx: Sender<Suspicion>,
+    suspicion_rx: Receiver<Suspicion>,
+}
+
+impl Cluster {
+    /// Builds the SST plan for `view`, allocates the fabric, and spawns one
+    /// predicate thread per node.
+    pub fn start(view: View, cfg: SpindleConfig) -> Cluster {
+        Cluster::start_inner(view, cfg, None, None)
+    }
+
+    /// Like [`Cluster::start`], additionally running SST heartbeat failure
+    /// detection on every node: each node pushes a heartbeat counter on
+    /// `detector.heartbeat_interval` and suspicions surface on
+    /// [`Cluster::suspicions`] after `detector.timeout` of silence.
+    pub fn start_with_detector(view: View, cfg: SpindleConfig, detector: DetectorConfig) -> Cluster {
+        Cluster::start_inner(view, cfg, Some(detector), None)
+    }
+
+    /// Like [`Cluster::start`], additionally running Derecho's *persistent*
+    /// atomic multicast (paper footnote 2): every ordered delivery is
+    /// appended to a checksummed per-node log under `persist.dir` before
+    /// the node advances its SST persistence frontier.
+    ///
+    /// Requires [`DeliveryTiming::Ordered`] (the default); unordered
+    /// deliveries carry no stable sequence number to log.
+    pub fn start_persistent(view: View, cfg: SpindleConfig, persist: PersistConfig) -> Cluster {
+        assert_eq!(
+            cfg.delivery_timing,
+            DeliveryTiming::Ordered,
+            "persistent multicast requires ordered delivery"
+        );
+        Cluster::start_inner(view, cfg, None, Some(persist))
+    }
+
+    /// The general constructor: any combination of failure detection and
+    /// durable mode. [`Cluster::start`], [`Cluster::start_with_detector`]
+    /// and [`Cluster::start_persistent`] are shorthands for the common
+    /// cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `persist` is set while `cfg.delivery_timing` is not
+    /// [`DeliveryTiming::Ordered`] (unordered deliveries carry no stable
+    /// sequence number to log).
+    pub fn start_configured(
+        view: View,
+        cfg: SpindleConfig,
+        detector: Option<DetectorConfig>,
+        persist: Option<PersistConfig>,
+    ) -> Cluster {
+        if persist.is_some() {
+            assert_eq!(
+                cfg.delivery_timing,
+                DeliveryTiming::Ordered,
+                "persistent multicast requires ordered delivery"
+            );
+        }
+        Cluster::start_inner(view, cfg, detector, persist)
+    }
+
+    fn start_inner(
+        view: View,
+        cfg: SpindleConfig,
+        detector: Option<DetectorConfig>,
+        persist: Option<PersistConfig>,
+    ) -> Cluster {
+        let view = Arc::new(view);
+        let epoch = view.id();
+        let (suspicion_tx, suspicion_rx) = unbounded();
+        let (fabric, shareds) = build_epoch(&view, epoch, &suspicion_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut cluster = Cluster {
+            nodes: Vec::new(),
+            threads: Vec::new(),
+            stop,
+            fabric,
+            view,
+            cfg,
+            epoch,
+            detector,
+            persist,
+            suspicion_tx,
+            suspicion_rx,
+        };
+        for (row, (shared, rx)) in shareds.into_iter().enumerate() {
+            cluster.spawn_node(row, shared, rx);
+        }
+        cluster
+    }
+
+    /// Creates the handle and predicate thread for one node.
+    fn spawn_node(&mut self, row: usize, shared: Arc<NodeShared>, rx: Receiver<Delivered>) {
+        let handle = NodeHandle {
+            id: NodeId(row),
+            shared: Arc::clone(&shared),
+            rx,
+            stop: Arc::clone(&self.stop),
+        };
+        let th = {
+            let cfg = self.cfg.clone();
+            let det = self.detector.clone();
+            let persist = self.persist.clone();
+            let stop = Arc::clone(&self.stop);
+            std::thread::Builder::new()
+                .name(format!("spindle-pred-{row}"))
+                .spawn(move || predicate_thread(row, shared, cfg, det, persist, stop))
+                .expect("spawn predicate thread")
+        };
+        self.nodes.push(handle);
+        self.threads.push(th);
+    }
+
+    /// The stream of failure suspicions raised by SST heartbeat detection
+    /// (empty unless started via [`Cluster::start_with_detector`]). Every
+    /// node reports independently, so one failure typically yields one
+    /// [`Suspicion`] per surviving member; feed the first to
+    /// [`Cluster::remove_node`] and drain the rest.
+    pub fn suspicions(&self) -> &Receiver<Suspicion> {
+        &self.suspicion_rx
+    }
+
+    /// Simulates a crash of `node`: its predicate thread exits without any
+    /// protocol action, its heartbeat counter freezes, and its handle
+    /// rejects sends. Membership is *not* informed — that is the failure
+    /// detector's job (or call [`Cluster::remove_node`] directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn kill(&self, node: usize) {
+        self.nodes[node].shared.killed.store(true, Ordering::Release);
+    }
+
+    /// Handle to node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &NodeHandle {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes (including removed ones, whose handles are closed).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for an empty cluster (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The underlying fabric of the current epoch (write counters are
+    /// useful in tests).
+    pub fn fabric(&self) -> &MemFabric {
+        &self.fabric
+    }
+
+    /// Executes a view change that removes `failed` (crash or planned
+    /// leave): wedge, ragged trim, final deliveries, new view install, and
+    /// resend of surviving senders' undelivered messages (§2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ViewChangeError`] if the node is unknown or removal
+    /// would leave an empty subgroup / a singleton cluster. The cluster is
+    /// unchanged on error.
+    pub fn remove_node(&mut self, failed: usize) -> Result<ViewChangeReport, ViewChangeError> {
+        let old_view = Arc::clone(&self.view);
+        if !old_view.contains(NodeId(failed)) || !self.alive(failed) {
+            return Err(ViewChangeError::UnknownNode(failed));
+        }
+        let survivors: Vec<NodeId> = old_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m.0 != failed && self.participating(m.0))
+            .collect();
+        if survivors.len() < 2 {
+            return Err(ViewChangeError::TooFewSurvivors);
+        }
+        // Validate the next view's subgroups before touching anything.
+        let mut next_subgroups = Vec::new();
+        for (g, sg) in old_view.subgroups().iter().enumerate() {
+            let members: Vec<NodeId> = sg
+                .members
+                .iter()
+                .copied()
+                .filter(|m| survivors.contains(m))
+                .collect();
+            if members.is_empty() {
+                return Err(ViewChangeError::WouldEmptySubgroup(SubgroupId(g)));
+            }
+            let senders: Vec<NodeId> = sg
+                .senders
+                .iter()
+                .copied()
+                .filter(|m| survivors.contains(m))
+                .collect();
+            // A subgroup needs at least one sender for its sequence space;
+            // keep the first member as a (quiet) sender if all senders died.
+            let senders = if senders.is_empty() {
+                vec![members[0]]
+            } else {
+                senders
+            };
+            next_subgroups.push(Subgroup {
+                members,
+                senders,
+                window: sg.window,
+                max_msg_size: sg.max_msg_size,
+            });
+        }
+
+        // 1. Wedge everyone and wait for the predicate threads to park.
+        self.wedge_and_park();
+
+        // 2. Agree on the ragged trim per subgroup (§2.1).
+        let cuts = self.compute_cuts(&old_view, Some(failed));
+
+        // 3. Every survivor delivers exactly through the cut and recovers
+        //    its own undelivered messages for resend.
+        let resend = self.drain_through(&survivors, &cuts);
+
+        // 4. Install the new view: fresh layout, fresh fabric (§2.3: memory
+        //    is registered per view), fresh protocol state.
+        let new_epoch = self.epoch + 1;
+        let next_view = Arc::new(
+            ViewBuilder::with_members(new_epoch, old_view.members().to_vec())
+                .id(new_epoch)
+                .subgroups_from(next_subgroups)
+                .build()
+                .expect("validated next view"),
+        );
+        self.install_view(Arc::clone(&next_view), Some(failed));
+
+        // 5. Unwedge and resend the recovered messages in the new epoch.
+        let resent = self.unwedge_and_resend(resend);
+        Ok(ViewChangeReport {
+            epoch: new_epoch,
+            cuts,
+            resent,
+        })
+    }
+
+    /// Adds a fresh node to the cluster (§2.1 "node joins"): the epoch
+    /// transition wedges the old view, trims and delivers exactly as for a
+    /// removal, then installs a view whose top-level membership gains one
+    /// node, appended to the members (and optionally senders) of the
+    /// subgroups listed in `joins`. Returns the new node's id alongside
+    /// the view-change report; its handle is at [`Cluster::node`] with that
+    /// id, delivering from the new epoch onward (virtual synchrony: the
+    /// joiner observes no old-epoch traffic — higher layers such as the DDS
+    /// volatile store handle catch-up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViewChangeError::UnknownSubgroup`] if a join references a
+    /// subgroup id outside the view. The cluster is unchanged on error.
+    pub fn add_node(
+        &mut self,
+        joins: &[(SubgroupId, bool)],
+    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        let old_view = Arc::clone(&self.view);
+        for &(g, _) in joins {
+            if g.0 >= old_view.subgroups().len() {
+                return Err(ViewChangeError::UnknownSubgroup(g));
+            }
+        }
+        let new_row = self.nodes.len();
+        let survivors: Vec<NodeId> = old_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| self.participating(m.0))
+            .collect();
+
+        let mut next_subgroups: Vec<Subgroup> = old_view.subgroups().to_vec();
+        for &(g, as_sender) in joins {
+            let sg = &mut next_subgroups[g.0];
+            sg.members.push(NodeId(new_row));
+            if as_sender {
+                sg.senders.push(NodeId(new_row));
+            }
+        }
+
+        // Same epoch transition as removal: wedge, trim, drain, install.
+        self.wedge_and_park();
+        let cuts = self.compute_cuts(&old_view, None);
+        let resend = self.drain_through(&survivors, &cuts);
+
+        let new_epoch = self.epoch + 1;
+        let mut members = old_view.members().to_vec();
+        members.push(NodeId(new_row));
+        let next_view = Arc::new(
+            ViewBuilder::with_members(new_epoch, members)
+                .id(new_epoch)
+                .subgroups_from(next_subgroups)
+                .build()
+                .expect("validated next view"),
+        );
+        self.install_view(Arc::clone(&next_view), None);
+
+        // Bring up the joiner against the freshly installed fabric, then
+        // unwedge everyone together.
+        let (shared, rx) = build_node_shared(
+            &next_view,
+            new_epoch,
+            new_row,
+            &self.fabric,
+            &Plan::build(&next_view, true),
+            &self.suspicion_tx,
+        );
+        self.spawn_node(new_row, shared, rx);
+        let resent = self.unwedge_and_resend(resend);
+        Ok((
+            new_row,
+            ViewChangeReport {
+                epoch: new_epoch,
+                cuts,
+                resent,
+            },
+        ))
+    }
+
+    /// Wedges all nodes and waits for live predicate threads to park.
+    fn wedge_and_park(&self) {
+        for n in &self.nodes {
+            n.shared.wedged.store(true, Ordering::Release);
+        }
+        for n in &self.nodes {
+            if self.participating(n.id.0) {
+                while !n.shared.parked.load(Ordering::Acquire) {
+                    if n.shared.killed.load(Ordering::Acquire) {
+                        break; // crashed while we waited
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The ragged trim per subgroup: the minimum `received_num` over the
+    /// participating members (state is frozen under the wedge, so reading
+    /// each survivor's protocol state is the "leader gathers state" step).
+    fn compute_cuts(&self, old_view: &View, failed: Option<usize>) -> Vec<SeqNum> {
+        let mut cuts = Vec::with_capacity(old_view.subgroups().len());
+        for (g, sg) in old_view.subgroups().iter().enumerate() {
+            let mut frontiers = Vec::new();
+            for &m in &sg.members {
+                if Some(m.0) == failed || !self.participating(m.0) {
+                    continue;
+                }
+                let inner = self.nodes[m.0].shared.inner.lock();
+                let p = inner.protos.iter().find(|p| p.sg.0 == g).expect("member proto");
+                frontiers.push(p.received_num);
+            }
+            cuts.push(if frontiers.is_empty() {
+                -1
+            } else {
+                RaggedTrim::compute(&frontiers).deliver_through()
+            });
+        }
+        cuts
+    }
+
+    /// Delivers exactly through the cut at every survivor and collects
+    /// surviving senders' undelivered messages for resend.
+    fn drain_through(
+        &self,
+        survivors: &[NodeId],
+        cuts: &[SeqNum],
+    ) -> Vec<(usize, SubgroupId, Vec<u8>)> {
+        let mut resend = Vec::new();
+        for &m in survivors {
+            let shared = Arc::clone(&self.nodes[m.0].shared);
+            let mut inner = shared.inner.lock();
+            let sst = inner.sst.clone();
+            let epoch = self.epoch;
+            let mut persisted: Vec<Delivered> = Vec::new();
+            for (g, &cut) in cuts.iter().enumerate() {
+                let Some(p) = inner.protos.iter_mut().find(|p| p.sg.0 == g) else {
+                    continue;
+                };
+                let out = p.deliver_through(&sst, cut);
+                for del in out.deliveries {
+                    if self.cfg.delivery_timing == DeliveryTiming::Ordered {
+                        let data = sst.read_slot_with_len(
+                            p.cols.slots,
+                            p.sender_rows[del.rank],
+                            del.slot,
+                            del.len as usize,
+                        );
+                        let d = Delivered {
+                            epoch,
+                            subgroup: p.sg,
+                            sender_rank: del.rank,
+                            app_index: del.app_index,
+                            seq: del.seq,
+                            data,
+                        };
+                        if self.persist.is_some() {
+                            persisted.push(d.clone());
+                        }
+                        let _ = shared.deliveries.send(d);
+                    }
+                }
+                for (_, payload) in p.undelivered_own(&sst) {
+                    resend.push((m.0, SubgroupId(g), payload));
+                }
+            }
+            drop(inner);
+            // Durable mode: the final deliveries of the old epoch go to the
+            // log like any others (the predicate thread is parked, so we
+            // append on its behalf).
+            if let Some(pc) = &self.persist {
+                let mut plogs = shared.plogs.lock();
+                for d in &persisted {
+                    let log = open_log(&mut plogs, pc, m.0, d.subgroup);
+                    append_delivery(log, d);
+                }
+                for log in plogs.values_mut() {
+                    log.sync().expect("sync durable log");
+                }
+            }
+        }
+        resend
+    }
+
+    /// Installs `next_view` on every existing node: fresh layout, fresh
+    /// fabric, fresh protocol state. `failed` (if any) is marked dead.
+    fn install_view(&mut self, next_view: Arc<View>, failed: Option<usize>) {
+        let new_epoch = next_view.id();
+        let plan = Plan::build(&next_view, true);
+        let fabric = MemFabric::new(next_view.members().len(), plan.layout.region_words());
+        for n in &self.nodes {
+            let mut inner = n.shared.inner.lock();
+            let row = n.id.0;
+            if Some(row) == failed || !inner.alive {
+                inner.alive = false;
+                continue;
+            }
+            let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(row)), row);
+            sst.init();
+            inner.protos = next_view
+                .subgroups()
+                .iter()
+                .enumerate()
+                .filter(|(_, sg)| sg.member_rank(NodeId(row)).is_some())
+                .map(|(g, _)| SubgroupProto::new(&next_view, SubgroupId(g), plan.cols[g], row))
+                .collect();
+            inner.sst = sst;
+            inner.fabric = fabric.clone();
+            inner.view = Arc::clone(&next_view);
+            inner.heartbeat_col = plan.heartbeat;
+            inner.hb_peers = hb_peers(&next_view, row);
+            n.shared.epoch.store(new_epoch, Ordering::Release);
+        }
+        self.view = next_view;
+        self.fabric = fabric;
+        self.epoch = new_epoch;
+    }
+
+    /// Unwedges everyone and resends recovered messages in the new epoch.
+    fn unwedge_and_resend(&self, resend: Vec<(usize, SubgroupId, Vec<u8>)>) -> usize {
+        for n in &self.nodes {
+            n.shared.wedged.store(false, Ordering::Release);
+        }
+        let resent = resend.len();
+        for (node, sg, payload) in resend {
+            self.nodes[node]
+                .send(sg, &payload)
+                .expect("resend in new epoch");
+        }
+        resent
+    }
+
+    fn alive(&self, node: usize) -> bool {
+        self.nodes[node].shared.inner.lock().alive
+    }
+
+    /// A node participates in epoch transitions if it has not been removed
+    /// *and* has not silently crashed.
+    fn participating(&self, node: usize) -> bool {
+        self.alive(node) && !self.nodes[node].shared.killed.load(Ordering::Acquire)
+    }
+
+    /// Stops all predicate threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for th in self.threads.drain(..) {
+            let _ = th.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+type SharedAndRx = (Arc<NodeShared>, Receiver<Delivered>);
+
+/// Rows `row` exchanges heartbeats with: members of at least one subgroup
+/// of `view`, excluding `row` itself. (Removed nodes belong to no subgroup
+/// and drop out of monitoring automatically.)
+fn hb_peers(view: &View, row: usize) -> Vec<usize> {
+    view.members()
+        .iter()
+        .map(|m| m.0)
+        .filter(|&m| m != row && !view.subgroups_of(NodeId(m)).is_empty())
+        .collect()
+}
+
+/// Builds the shared state of one node against an existing fabric/plan.
+fn build_node_shared(
+    view: &Arc<View>,
+    epoch: u64,
+    row: usize,
+    fabric: &MemFabric,
+    plan: &Plan,
+    suspicion_tx: &Sender<Suspicion>,
+) -> SharedAndRx {
+    let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(row)), row);
+    sst.init();
+    let protos: Vec<SubgroupProto> = view
+        .subgroups()
+        .iter()
+        .enumerate()
+        .filter(|(_, sg)| sg.member_rank(NodeId(row)).is_some())
+        .map(|(g, _)| SubgroupProto::new(view, SubgroupId(g), plan.cols[g], row))
+        .collect();
+    let (tx, rx) = unbounded();
+    let shared = Arc::new(NodeShared {
+        inner: Mutex::new(NodeInner {
+            sst,
+            protos,
+            fabric: fabric.clone(),
+            view: Arc::clone(view),
+            alive: true,
+            heartbeat_col: plan.heartbeat,
+            hb_peers: hb_peers(view, row),
+        }),
+        deliveries: tx,
+        wedged: AtomicBool::new(false),
+        parked: AtomicBool::new(false),
+        epoch: AtomicU64::new(epoch),
+        killed: AtomicBool::new(false),
+        suspicion_tx: suspicion_tx.clone(),
+        plogs: Mutex::new(std::collections::HashMap::new()),
+    });
+    (shared, rx)
+}
+
+/// Allocates fabric + per-node shared state for one epoch.
+fn build_epoch(
+    view: &Arc<View>,
+    epoch: u64,
+    suspicion_tx: &Sender<Suspicion>,
+) -> (MemFabric, Vec<SharedAndRx>) {
+    let plan = Plan::build(view, true);
+    let n = view.members().len();
+    let fabric = MemFabric::new(n, plan.layout.region_words());
+    let out = (0..n)
+        .map(|row| build_node_shared(view, epoch, row, &fabric, &plan, suspicion_tx))
+        .collect();
+    (fabric, out)
+}
+
+/// The per-node polling loop (§2.4): evaluate every subgroup's predicates,
+/// then post the collected writes — after releasing the lock when §3.4 is
+/// enabled.
+fn predicate_thread(
+    row: usize,
+    shared: Arc<NodeShared>,
+    cfg: SpindleConfig,
+    det: Option<DetectorConfig>,
+    persist: Option<PersistConfig>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut idle_spins = 0u32;
+    // Heartbeat state (only used when a detector is configured). Rebuilt on
+    // every epoch change because the SST (and its counters) start fresh.
+    let mut hb_epoch = u64::MAX;
+    let mut hb_value = 0i64;
+    let mut last_beat = Instant::now();
+    let mut hb_state: Option<HeartbeatState> = None;
+    while !stop.load(Ordering::Relaxed) {
+        if shared.killed.load(Ordering::Acquire) {
+            return; // simulated crash: vanish without a trace
+        }
+        if shared.wedged.load(Ordering::Acquire) {
+            shared.parked.store(true, Ordering::Release);
+            while shared.wedged.load(Ordering::Acquire) && !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            shared.parked.store(false, Ordering::Release);
+            continue;
+        }
+        // Work items collected under the lock, posted after release
+        // (early_lock_release) or under it (baseline).
+        let mut posts: Vec<WriteOp> = Vec::new();
+        let mut delivered: Vec<Delivered> = Vec::new();
+        // (subgroup, persisted_num column, member rows, highest seq) for
+        // every subgroup that delivered this iteration — used after the
+        // lock to append to the durable log and advance the frontier.
+        let mut persist_work: Vec<(SubgroupId, spindle_sst::CounterCol, Vec<usize>, SeqNum)> =
+            Vec::new();
+        let mut work = false;
+        {
+            let mut inner = shared.inner.lock();
+            if !inner.alive {
+                return;
+            }
+            let sst = inner.sst.clone();
+            let fabric = inner.fabric.clone();
+            let epoch = shared.epoch.load(Ordering::Relaxed);
+            if let Some(dc) = &det {
+                let now = Instant::now();
+                if epoch != hb_epoch {
+                    hb_epoch = epoch;
+                    hb_value = 0;
+                    last_beat = now;
+                    hb_state = Some(HeartbeatState::new(inner.hb_peers.clone(), dc, now));
+                }
+                // Bump and push the own heartbeat counter on the cadence.
+                if now.duration_since(last_beat) >= dc.heartbeat_interval {
+                    hb_value += 1;
+                    last_beat = now;
+                    let range = sst.set_counter(inner.heartbeat_col, hb_value);
+                    push_to(&mut posts, &inner.hb_peers, row, range);
+                }
+                // Observe peers' counters in the local replica.
+                if let Some(hb) = hb_state.as_mut() {
+                    for peer in inner.hb_peers.clone() {
+                        let v = sst.counter(inner.heartbeat_col, peer);
+                        if let Some(suspect) = hb.observe(peer, v, now) {
+                            let _ = shared
+                                .suspicion_tx
+                                .send(Suspicion { reporter: row, suspect });
+                        }
+                    }
+                }
+            }
+            for p in inner.protos.iter_mut() {
+                let members = p.member_rows.clone();
+                let collect = cfg.delivery_timing == DeliveryTiming::OnReceive;
+                let r = p.receive_predicate(&sst, cfg.receive_batching, cfg.null_sends, collect);
+                if r.new_rounds > 0 || r.nulls_added > 0 {
+                    work = true;
+                }
+                if collect {
+                    for (rank, a, _round, len, slot) in r.new_app {
+                        let data = sst.read_slot_with_len(
+                            p.cols.slots,
+                            p.sender_rows[rank],
+                            slot,
+                            len as usize,
+                        );
+                        delivered.push(Delivered {
+                            epoch,
+                            subgroup: p.sg,
+                            sender_rank: rank,
+                            app_index: a,
+                            seq: -1,
+                            data,
+                        });
+                    }
+                }
+                if let Some(ack) = r.ack {
+                    for _ in 0..r.ack_pushes {
+                        push_to(&mut posts, &members, row, ack.clone());
+                    }
+                }
+                if p.my_sender_rank.is_some() {
+                    if let Some(s) = p.send_predicate(&sst, cfg.send_batching, cfg.null_sends) {
+                        work = true;
+                        for range in s.slot_ranges {
+                            push_to(&mut posts, &members, row, range);
+                        }
+                        if let Some(c) = s.committed_push {
+                            push_to(&mut posts, &members, row, c);
+                        }
+                    }
+                }
+                let d = p.delivery_predicate(&sst, cfg.delivery_batching);
+                if !d.deliveries.is_empty() || d.nulls_skipped > 0 {
+                    work = true;
+                }
+                if persist.is_some() && cfg.delivery_timing == DeliveryTiming::Ordered {
+                    if let Some(hi) = d.deliveries.iter().map(|del| del.seq).max() {
+                        persist_work.push((p.sg, p.cols.pers, members.clone(), hi));
+                    }
+                }
+                for del in d.deliveries {
+                    if cfg.delivery_timing == DeliveryTiming::Ordered {
+                        let data = sst.read_slot_with_len(
+                            p.cols.slots,
+                            p.sender_rows[del.rank],
+                            del.slot,
+                            del.len as usize,
+                        );
+                        delivered.push(Delivered {
+                            epoch,
+                            subgroup: p.sg,
+                            sender_rank: del.rank,
+                            app_index: del.app_index,
+                            seq: del.seq,
+                            data,
+                        });
+                    }
+                }
+                if let Some(ack) = d.ack {
+                    for _ in 0..d.ack_pushes {
+                        push_to(&mut posts, &members, row, ack.clone());
+                    }
+                }
+            }
+            if !cfg.early_lock_release {
+                // Baseline: post while holding the lock (§3.4's problem).
+                for op in posts.drain(..) {
+                    fabric.post(NodeId(row), &op);
+                }
+            } else {
+                // §3.4: release first, then post (below).
+            }
+            drop(inner);
+            // Durable mode: append this iteration's ordered deliveries to
+            // the per-subgroup log, fsync, then advertise the new frontier.
+            // This happens outside the lock — log I/O must never stall the
+            // application threads (the same reasoning as §3.4).
+            if let Some(pc) = &persist {
+                let mut plogs = shared.plogs.lock();
+                for (sg, pers_col, members, hi) in persist_work.drain(..) {
+                    let log = open_log(&mut plogs, pc, row, sg);
+                    for d in delivered.iter().filter(|d| d.subgroup == sg) {
+                        append_delivery(log, d);
+                    }
+                    if pc.fsync {
+                        log.sync().expect("sync durable log");
+                    }
+                    let range = sst.set_counter(pers_col, hi);
+                    push_to(&mut posts, &members, row, range);
+                }
+            }
+            if !posts.is_empty() {
+                for op in posts {
+                    fabric.post(NodeId(row), &op);
+                }
+            }
+        }
+        for d in delivered {
+            // Receiver may have hung up (handle dropped); that's fine.
+            let _ = shared.deliveries.send(d);
+        }
+        if work {
+            idle_spins = 0;
+        } else {
+            idle_spins += 1;
+            if idle_spins > 64 {
+                // Quiesce politely; sends and arrivals are visible in shared
+                // memory, so a short sleep stands in for the doorbell.
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Lazily opens (recovering) the durable log of `(row, sg)`.
+fn open_log<'a>(
+    plogs: &'a mut std::collections::HashMap<usize, spindle_persist::DurableLog>,
+    pc: &PersistConfig,
+    row: usize,
+    sg: SubgroupId,
+) -> &'a mut spindle_persist::DurableLog {
+    plogs.entry(sg.0).or_insert_with(|| {
+        std::fs::create_dir_all(&pc.dir).expect("create persist dir");
+        let path = pc.dir.join(format!("node{row}-g{}.log", sg.0));
+        spindle_persist::DurableLog::open(path)
+            .expect("open durable log")
+            .0
+    })
+}
+
+fn append_delivery(log: &mut spindle_persist::DurableLog, d: &Delivered) {
+    log.append(&spindle_persist::LogRecord {
+        epoch: d.epoch,
+        subgroup: d.subgroup.0 as u32,
+        seq: d.seq,
+        sender_rank: d.sender_rank as u32,
+        app_index: d.app_index,
+        data: d.data.clone(),
+    })
+    .expect("append to durable log");
+}
+
+fn push_to(posts: &mut Vec<WriteOp>, members: &[usize], me: usize, range: std::ops::Range<usize>) {
+    for &m in members {
+        if m != me {
+            posts.push(WriteOp::new(NodeId(m), range.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: usize, senders: usize, window: usize, max_msg: usize) -> View {
+        let members: Vec<usize> = (0..n).collect();
+        let s: Vec<usize> = (0..senders).collect();
+        ViewBuilder::new(n)
+            .subgroup(&members, &s, window, max_msg)
+            .build()
+            .unwrap()
+    }
+
+    fn collect(cluster: &Cluster, node: usize, count: usize) -> Vec<Delivered> {
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            match cluster.node(node).recv_timeout(Duration::from_secs(10)) {
+                Some(d) => out.push(d),
+                None => panic!(
+                    "timed out at node {node} after {} of {count} deliveries",
+                    out.len()
+                ),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_sender_fifo_everywhere() {
+        let cluster = Cluster::start(view(3, 1, 8, 64), SpindleConfig::optimized());
+        for i in 0..20u32 {
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+        }
+        for node in 0..3 {
+            let got = collect(&cluster, node, 20);
+            for (i, d) in got.iter().enumerate() {
+                assert_eq!(d.sender_rank, 0);
+                assert_eq!(d.app_index, i as u64);
+                assert_eq!(u32::from_le_bytes(d.data[..4].try_into().unwrap()), i as u32);
+                assert_eq!(d.epoch, 0);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn total_order_identical_across_nodes() {
+        let cluster = Cluster::start(view(3, 3, 16, 64), SpindleConfig::optimized());
+        let total = 3 * 50;
+        let sequences: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+            for n in 0..3 {
+                let node = cluster.node(n);
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        node.send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+                    }
+                });
+            }
+            (0..3)
+                .map(|n| {
+                    collect(&cluster, n, total)
+                        .into_iter()
+                        .map(|d| (d.sender_rank, d.app_index))
+                        .collect()
+                })
+                .collect()
+        });
+        assert_eq!(sequences[0], sequences[1]);
+        assert_eq!(sequences[1], sequences[2]);
+        // FIFO per sender within the total order.
+        for seq in &sequences {
+            let mut next = [0u64; 3];
+            for &(rank, idx) in seq {
+                assert_eq!(idx, next[rank], "per-sender FIFO violated");
+                next[rank] += 1;
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn small_window_backpressure() {
+        let cluster = Cluster::start(view(2, 1, 2, 32), SpindleConfig::optimized());
+        // Far more messages than slots: send() must block and recover.
+        for i in 0..100u32 {
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+        }
+        let got = collect(&cluster, 1, 100);
+        assert_eq!(got.len(), 100);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn send_errors() {
+        let cluster = Cluster::start(view(2, 1, 4, 16), SpindleConfig::optimized());
+        assert_eq!(
+            cluster.node(1).send(SubgroupId(0), b"x"),
+            Err(SendError::NotASender)
+        );
+        assert_eq!(
+            cluster.node(0).send(SubgroupId(0), &[0u8; 17]),
+            Err(SendError::TooLarge { max: 16 })
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn baseline_config_also_correct() {
+        let cluster = Cluster::start(view(2, 2, 8, 64), SpindleConfig::baseline());
+        for i in 0..10u32 {
+            cluster.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+            cluster.node(1).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+        }
+        let a: Vec<_> = collect(&cluster, 0, 20)
+            .into_iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        let b: Vec<_> = collect(&cluster, 1, 20)
+            .into_iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        assert_eq!(a, b);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multiple_subgroups_isolated() {
+        let v = ViewBuilder::new(3)
+            .subgroup(&[0, 1], &[0], 8, 32)
+            .subgroup(&[1, 2], &[2], 8, 32)
+            .build()
+            .unwrap();
+        let cluster = Cluster::start(v, SpindleConfig::optimized());
+        cluster.node(0).send(SubgroupId(0), b"sg0").unwrap();
+        cluster.node(2).send(SubgroupId(1), b"sg1").unwrap();
+        // Node 1 is in both subgroups and receives both messages.
+        let got = collect(&cluster, 1, 2);
+        let mut sgs: Vec<usize> = got.iter().map(|d| d.subgroup.0).collect();
+        sgs.sort_unstable();
+        assert_eq!(sgs, vec![0, 1]);
+        // Node 0 receives only its own.
+        let d0 = collect(&cluster, 0, 1);
+        assert_eq!(d0[0].subgroup, SubgroupId(0));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn view_change_removes_node_and_continues() {
+        let mut cluster = Cluster::start(view(3, 3, 8, 64), SpindleConfig::optimized());
+        for i in 0..10u32 {
+            cluster.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+            cluster.node(1).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+        }
+        // Drain what's there, then remove node 2.
+        let report = cluster.remove_node(2).unwrap();
+        assert_eq!(report.epoch, 1);
+        // New epoch works: survivors still multicast.
+        cluster.node(0).send(SubgroupId(0), b"after").unwrap();
+        let mut saw_after = false;
+        for _ in 0..1000 {
+            if let Some(d) = cluster.node(1).recv_timeout(Duration::from_secs(5)) {
+                if d.epoch == 1 && d.data == b"after" {
+                    saw_after = true;
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        assert!(saw_after, "new-epoch message not delivered");
+        // The removed node's handle is closed.
+        assert_eq!(
+            cluster.node(2).send(SubgroupId(0), b"x"),
+            Err(SendError::Closed)
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn view_change_errors() {
+        let mut cluster = Cluster::start(view(2, 2, 8, 64), SpindleConfig::optimized());
+        assert_eq!(
+            cluster.remove_node(5).unwrap_err(),
+            ViewChangeError::UnknownNode(5)
+        );
+        assert_eq!(
+            cluster.remove_node(1).unwrap_err(),
+            ViewChangeError::TooFewSurvivors
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! An OMG-DCPS-style Data Distribution Service over Spindle (paper §4.6).
+//!
+//! The paper's motivating application is an avionics DDS: publish/subscribe
+//! with 8-bit topic numbers and byte-vector messages, layered over the
+//! atomic multicast. The mapping is the paper's: one Derecho *top-level
+//! group* containing every publisher and subscriber, and one *subgroup per
+//! topic* containing exactly the processes that publish or subscribe to it.
+//! Publishers are the subgroup's senders.
+//!
+//! Four quality-of-service levels are offered (§4.6):
+//!
+//! 1. [`QosLevel::Unordered`] — deliver on receive, no stability wait,
+//!    discard after the upcall;
+//! 2. [`QosLevel::AtomicMulticast`] — Derecho's atomic multicast delivery;
+//! 3. [`QosLevel::VolatileStorage`] — delivered data is additionally copied
+//!    into an in-memory per-topic store (late-joiner catch-up);
+//! 4. [`QosLevel::LoggedStorage`] — data is additionally appended to an
+//!    on-disk log.
+//!
+//! Two frontends are provided, mirroring the two runtimes of
+//! `spindle-core`:
+//!
+//! * [`DdsDomain`] — a real, threaded DDS over
+//!   [`spindle_core::Cluster`]: create topics, write samples, take them
+//!   from readers, inspect volatile history or the on-disk log;
+//! * [`DdsExperiment`] — the simulated workload behind the paper's
+//!   Figure 18 (1 publisher, N subscribers, 1 M 10 KB samples, all four
+//!   QoS levels, baseline vs. Spindle).
+//!
+//! External processes can additionally reach a domain through a relay
+//! member over TCP — the paper's §4.6 "external clients" mode — via
+//! [`DdsDomain::serve_external`] and [`ExternalClient`].
+
+pub mod domain;
+pub mod experiment;
+pub mod external;
+pub mod qos;
+
+pub use domain::{DdsDomain, DdsError, DomainBuilder, Participant, Sample};
+pub use experiment::DdsExperiment;
+pub use external::{ExternalClient, PublishStatus};
+pub use qos::{QosLevel, TopicId};

@@ -1,0 +1,91 @@
+//! Topic identifiers and quality-of-service levels.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit topic number (the OMG avionics profile the paper targets uses
+/// 8-bit topic ids, §1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TopicId(pub u8);
+
+impl std::fmt::Display for TopicId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+/// The four QoS levels of the Spindle DDS (paper §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QosLevel {
+    /// Data is delivered to the application without waiting for stability
+    /// and discarded after delivery; no ordering or reliability guarantees
+    /// beyond per-sender FIFO.
+    Unordered,
+    /// Maps directly to the atomic multicast: identical total order at
+    /// every subscriber; data discarded after the upcall.
+    #[default]
+    AtomicMulticast,
+    /// Atomic multicast, plus incoming data is copied into the receiver's
+    /// in-memory store (allows a joining subscriber to catch up).
+    VolatileStorage,
+    /// Volatile storage, plus data is appended to a log file on SSD
+    /// storage.
+    LoggedStorage,
+}
+
+impl QosLevel {
+    /// All levels in the paper's order (Figure 18's legend).
+    pub const ALL: [QosLevel; 4] = [
+        QosLevel::Unordered,
+        QosLevel::AtomicMulticast,
+        QosLevel::VolatileStorage,
+        QosLevel::LoggedStorage,
+    ];
+
+    /// Returns `true` if this level waits for global stability before the
+    /// upcall.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, QosLevel::Unordered)
+    }
+
+    /// Returns `true` if delivered data is retained in memory.
+    pub fn stores_in_memory(self) -> bool {
+        matches!(self, QosLevel::VolatileStorage | QosLevel::LoggedStorage)
+    }
+
+    /// Returns `true` if delivered data is persisted to the log device.
+    pub fn persists(self) -> bool {
+        matches!(self, QosLevel::LoggedStorage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_predicates() {
+        assert!(!QosLevel::Unordered.is_ordered());
+        assert!(QosLevel::AtomicMulticast.is_ordered());
+        assert!(!QosLevel::AtomicMulticast.stores_in_memory());
+        assert!(QosLevel::VolatileStorage.stores_in_memory());
+        assert!(!QosLevel::VolatileStorage.persists());
+        assert!(QosLevel::LoggedStorage.persists());
+        assert!(QosLevel::LoggedStorage.stores_in_memory());
+    }
+
+    #[test]
+    fn all_levels_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for l in QosLevel::ALL {
+            assert!(set.insert(l));
+        }
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn topic_display() {
+        assert_eq!(TopicId(7).to_string(), "topic7");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! RDMA fabric abstraction for Spindle.
+//!
+//! The Spindle paper runs over 100 Gb/s InfiniBand NICs using one-sided RDMA
+//! writes. This crate provides the equivalent substrate for environments
+//! without RDMA hardware, preserving the two properties every Spindle
+//! protocol decision relies on:
+//!
+//! 1. **Placement semantics** (paper §2.2): a one-sided write lands in the
+//!    target's registered memory without involving the target CPU; placement
+//!    is cache-line atomic; and two writes posted in order are *fenced* — any
+//!    reader that observes the second also observes the first.
+//! 2. **Cost structure** (paper §3.2, Fig. 1/Fig. 14): small-write latency is
+//!    nearly flat (≈1.7 µs at 1 B → ≈2.5 µs at 4 KB), posting a work request
+//!    costs the CPU ≈1 µs, the link serializes at 12.5 GB/s, and local memcpy
+//!    has its own latency/bandwidth curve.
+//!
+//! Two backends implement the placement semantics:
+//!
+//! * [`MemFabric`] — real threads, real atomics: remote writes are applied to
+//!   the target's [`Region`] in increasing word order with release/acquire
+//!   fences. Used by the threaded cluster runtime and the correctness tests.
+//! * The discrete-event backend lives in `spindle-core`'s simulated runtime,
+//!   which uses this crate's [`cost`] models to schedule [`WriteOp`]s on
+//!   virtual NIC resources.
+//!
+//! A production deployment would add a third implementation of the same
+//! posting interface backed by `ibverbs`/libfabric; the protocol crates are
+//! written against these types only.
+
+pub mod cost;
+pub mod mem;
+pub mod region;
+pub mod types;
+
+pub use cost::{MemcpyModel, NetModel, SsdModel};
+pub use mem::MemFabric;
+pub use region::Region;
+pub use types::{MirrorMap, NodeId, WriteOp};

@@ -1,0 +1,207 @@
+//! In-process threaded fabric: real concurrency, immediate placement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::region::Region;
+use crate::types::{NodeId, WriteOp};
+
+/// A shared-memory fabric connecting `n` in-process nodes.
+///
+/// Each node owns one [`Region`] (its full SST replica). Posting a
+/// [`WriteOp`] from node `src` copies the covered word range from `src`'s
+/// region into the destination's region, in increasing address order with
+/// release stores — exactly the placement an RDMA NIC performs for a posted
+/// write, minus the wire delay. Because placement is immediate and the
+/// poster's own row words are only ever written by the poster, the
+/// "snapshot at post time" and "placement at arrival time" coincide.
+///
+/// `MemFabric` is the backend for the threaded cluster runtime: it provides
+/// *real* cross-thread memory traffic so the protocol's lock-freedom and
+/// fencing assumptions are exercised by the hardware memory model, not by a
+/// single-threaded simulation.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_fabric::{MemFabric, NodeId, WriteOp};
+///
+/// let fabric = MemFabric::new(2, 16);
+/// fabric.region(NodeId(0)).store(4, 99);
+/// fabric.post(NodeId(0), &WriteOp::new(NodeId(1), 4..5));
+/// assert_eq!(fabric.region(NodeId(1)).load(4), 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemFabric {
+    regions: Arc<[Arc<Region>]>,
+    writes_posted: Arc<AtomicU64>,
+    bytes_posted: Arc<AtomicU64>,
+}
+
+impl MemFabric {
+    /// Creates a fabric for `nodes` nodes, each with a region of
+    /// `region_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, region_words: usize) -> Self {
+        assert!(nodes > 0, "fabric needs at least one node");
+        let regions: Vec<Arc<Region>> = (0..nodes)
+            .map(|_| Arc::new(Region::new(region_words)))
+            .collect();
+        MemFabric {
+            regions: regions.into(),
+            writes_posted: Arc::new(AtomicU64::new(0)),
+            bytes_posted: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of nodes connected.
+    pub fn nodes(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region (SST replica) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn region(&self, node: NodeId) -> &Region {
+        &self.regions[node.0]
+    }
+
+    /// Shared handle to the region of `node` (for embedding in an SST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn region_arc(&self, node: NodeId) -> Arc<Region> {
+        Arc::clone(&self.regions[node.0])
+    }
+
+    /// Posts a one-sided write from `src`: places the word range of `src`'s
+    /// region into `op.dst`'s region.
+    ///
+    /// Posting to oneself is a no-op placement-wise (the poster's replica is
+    /// already authoritative) but is still counted, mirroring a loopback QP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id or the word range is out of bounds.
+    pub fn post(&self, src: NodeId, op: &WriteOp) {
+        self.writes_posted.fetch_add(1, Ordering::Relaxed);
+        self.bytes_posted
+            .fetch_add(op.wire_bytes as u64, Ordering::Relaxed);
+        if src == op.dst {
+            return;
+        }
+        let src_region = &self.regions[src.0];
+        let dst_region = &self.regions[op.dst.0];
+        dst_region.copy_range_from(src_region, op.range.start, op.range.end - op.range.start);
+    }
+
+    /// Total writes posted across all nodes.
+    pub fn writes_posted(&self) -> u64 {
+        self.writes_posted.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes posted across all nodes.
+    pub fn bytes_posted(&self) -> u64 {
+        self.bytes_posted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_copies_range_to_destination_only() {
+        let f = MemFabric::new(3, 8);
+        f.region(NodeId(0)).store(2, 11);
+        f.region(NodeId(0)).store(3, 22);
+        f.post(NodeId(0), &WriteOp::new(NodeId(2), 2..4));
+        assert_eq!(f.region(NodeId(2)).load(2), 11);
+        assert_eq!(f.region(NodeId(2)).load(3), 22);
+        // Node 1 saw nothing.
+        assert_eq!(f.region(NodeId(1)).load(2), 0);
+    }
+
+    #[test]
+    fn self_post_is_counted_but_harmless() {
+        let f = MemFabric::new(1, 4);
+        f.region(NodeId(0)).store(0, 5);
+        f.post(NodeId(0), &WriteOp::new(NodeId(0), 0..1));
+        assert_eq!(f.writes_posted(), 1);
+        assert_eq!(f.region(NodeId(0)).load(0), 5);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let f = MemFabric::new(2, 4);
+        f.post(NodeId(0), &WriteOp::new(NodeId(1), 0..2));
+        f.post(NodeId(1), &WriteOp::new(NodeId(0), 2..3));
+        assert_eq!(f.writes_posted(), 2);
+        assert_eq!(f.bytes_posted(), 24);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = MemFabric::new(2, 4);
+        let g = f.clone();
+        g.region(NodeId(0)).store(1, 9);
+        g.post(NodeId(0), &WriteOp::new(NodeId(1), 1..2));
+        assert_eq!(f.region(NodeId(1)).load(1), 9);
+        assert_eq!(f.writes_posted(), 1);
+    }
+
+    /// Concurrent posts from many source nodes to one destination must never
+    /// tear words or lose the fencing property on a (data, guard) pair that
+    /// lives in each source's own row range.
+    #[test]
+    fn concurrent_posts_are_word_atomic() {
+        // Row layout: node i owns words [i*2, i*2+2): [data, guard].
+        let nodes = 4;
+        let f = MemFabric::new(nodes, nodes * 2);
+        let mut handles = Vec::new();
+        for src in 1..nodes {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = src * 2;
+                for i in 1..=20_000u64 {
+                    f.region(NodeId(src)).store(base, i * 1000 + src as u64);
+                    f.region(NodeId(src)).store(base + 1, i);
+                    f.post(NodeId(src), &WriteOp::new(NodeId(0), base..base + 2));
+                }
+            }));
+        }
+        // Reader on node 0 checks every source's pair stays consistent.
+        let reader = {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200_000 {
+                    for src in 1..nodes {
+                        let base = src * 2;
+                        let guard = f.region(NodeId(0)).load(base + 1);
+                        let data = f.region(NodeId(0)).load(base);
+                        if guard > 0 {
+                            // data was written before guard at the source and
+                            // copied in increasing address order, so the data
+                            // value must be from iteration >= guard.
+                            assert!(
+                                data >= guard * 1000,
+                                "torn or reordered write from {src}: data={data} guard={guard}"
+                            );
+                            assert_eq!(data % 1000, src as u64);
+                        }
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Virtual-synchrony membership for Spindle.
+//!
+//! Derecho (and therefore Spindle) manages application membership in a
+//! top-level group that evolves through a sequence of *views* (paper §2.1).
+//! Application components are *subgroups* — subsets of the top-level
+//! membership — and within each subgroup a designated set of *senders* may
+//! initiate atomic multicasts. Messages are delivered round-by-round: in
+//! each round, one message from every sender, in sender-list order.
+//!
+//! This crate contains the membership data model and all the order-theoretic
+//! machinery that the multicast engine builds on:
+//!
+//! * [`View`] / [`Subgroup`] — membership, sender sets, per-subgroup window
+//!   and message-size configuration;
+//! * [`SeqSpace`] — the bijection between global sequence numbers and
+//!   `(sender rank, sender index)` pairs implied by round-robin delivery,
+//!   including the *prefix-complete* computation behind `received_num`;
+//! * [`null_policy`] — the Spindle null-send decision rule (§3.3) and its
+//!   proved invariants;
+//! * [`ragged_trim`] — the view-change cleanup that makes multicast
+//!   failure-atomic (§2.1).
+
+pub mod null_policy;
+pub mod ragged_trim;
+pub mod seq;
+pub mod view;
+
+pub use null_policy::nulls_owed;
+pub use ragged_trim::RaggedTrim;
+pub use seq::{MsgId, SeqNum, SeqSpace};
+pub use view::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};

@@ -1,0 +1,151 @@
+//! The Spindle null-send decision rule (paper §3.3).
+//!
+//! When a sender is not ready to send its next message, other senders'
+//! messages stall in the round-robin delivery order. Spindle's rule: *when a
+//! sender node receives a message, it sends a single null message if that
+//! null would precede the received message in the delivery order.* With
+//! receive batching, one receive-predicate iteration tallies all the nulls
+//! owed and emits them as a single batch.
+//!
+//! The rule's proved properties (§3.3) are validated by tests here and by
+//! property tests over the full engine:
+//!
+//! * **Correctness / no stall** — after `M(j,k)` is received everywhere,
+//!   every sender's own index is `>= k`, so every message preceding
+//!   `M(j,k)` has been initiated and delivery cannot deadlock.
+//! * **Bounded skew** — a sender that only responds to the rule stays
+//!   within one round of any message it has received.
+//! * **Quiescence** — nulls are only sent in response to received messages;
+//!   with no application traffic the null chain terminates.
+
+use crate::seq::{MsgId, SeqSpace};
+
+/// Number of nulls sender `my_rank` owes after observing that messages up to
+/// `received` (inclusive, in delivery order) exist, given that its own next
+/// unsent index is `my_next_index`.
+///
+/// This is the batched form of the paper's rule: a null is owed for every
+/// own-message slot `M(my_rank, l)` with `l >= my_next_index` that precedes
+/// `received` in the round-robin order. For a single received message the
+/// result is 0 or 1 (the paper's "single null" case); when the receive
+/// predicate batches multiple messages, `received` is the newest one and the
+/// count can be larger (catch-up after a long delay).
+///
+/// # Examples
+///
+/// ```
+/// use spindle_membership::{nulls_owed, MsgId, SeqSpace};
+///
+/// let sp = SeqSpace::new(3);
+/// // Sender 0 has sent nothing and sees M(2, 0): it owes the round-0 null.
+/// assert_eq!(nulls_owed(&sp, 0, 0, MsgId { rank: 2, index: 0 }), 1);
+/// // Sender 2 sees M(0, 0): M(2,0) does NOT precede M(0,0); no null owed.
+/// assert_eq!(nulls_owed(&sp, 2, 0, MsgId { rank: 0, index: 0 }), 0);
+/// ```
+pub fn nulls_owed(space: &SeqSpace, my_rank: usize, my_next_index: u64, received: MsgId) -> u64 {
+    // Largest own index l such that M(my_rank, l) < received:
+    //   l < received.index, or l == received.index if my_rank < received.rank.
+    let highest_owed = if my_rank < received.rank {
+        received.index as i64
+    } else {
+        received.index as i64 - 1
+    };
+    let _ = space; // the rule depends only on the (index, rank) order
+    if highest_owed < my_next_index as i64 {
+        0
+    } else {
+        (highest_owed - my_next_index as i64 + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sp(n: usize) -> SeqSpace {
+        SeqSpace::new(n)
+    }
+
+    #[test]
+    fn single_message_owes_at_most_one_when_caught_up() {
+        // Paper: "It is an easy induction to deduce that l = k-1" — a sender
+        // that has been keeping up owes exactly one null per newly received
+        // round.
+        let space = sp(4);
+        // Sender 1 has sent 5 messages, sees M(3, 5): M(1,5) < M(3,5), owes 1.
+        assert_eq!(nulls_owed(&space, 1, 5, MsgId { rank: 3, index: 5 }), 1);
+        // Sender 3 has sent 5, sees M(1, 5): M(3,5) > M(1,5), owes 0.
+        assert_eq!(nulls_owed(&space, 3, 5, MsgId { rank: 1, index: 5 }), 0);
+    }
+
+    #[test]
+    fn lagging_sender_owes_catch_up_batch() {
+        let space = sp(2);
+        // Sender 0 sent nothing; sees M(1, 9). Own messages M(0,0..=9) all
+        // precede M(1,9): owes 10.
+        assert_eq!(nulls_owed(&space, 0, 0, MsgId { rank: 1, index: 9 }), 10);
+    }
+
+    #[test]
+    fn ahead_sender_owes_nothing() {
+        let space = sp(3);
+        assert_eq!(nulls_owed(&space, 0, 7, MsgId { rank: 2, index: 3 }), 0);
+    }
+
+    #[test]
+    fn rank_tiebreak_matches_delivery_order() {
+        let space = sp(3);
+        // Same round k: only ranks below the received sender's rank owe the
+        // round-k null.
+        let m = MsgId { rank: 1, index: 4 };
+        assert_eq!(nulls_owed(&space, 0, 4, m), 1); // M(0,4) < M(1,4)
+        assert_eq!(nulls_owed(&space, 2, 4, m), 0); // M(2,4) > M(1,4)
+    }
+
+    proptest! {
+        /// The count equals a brute-force enumeration of own messages that
+        /// precede the received one.
+        #[test]
+        fn matches_bruteforce(
+            s in 1usize..8,
+            my_rank_raw in 0usize..8,
+            my_next in 0u64..30,
+            recv_rank_raw in 0usize..8,
+            recv_index in 0u64..30,
+        ) {
+            let space = sp(s);
+            let my_rank = my_rank_raw % s;
+            let received = MsgId { rank: recv_rank_raw % s, index: recv_index };
+            let fast = nulls_owed(&space, my_rank, my_next, received);
+            let recv_seq = space.seq_of(received);
+            let brute = (my_next..my_next + 64)
+                .take_while(|&l| space.seq_of(MsgId { rank: my_rank, index: l }) < recv_seq)
+                .count() as u64;
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// Applying the rule never pushes a sender more than one message
+        /// past the received round: after sending the owed nulls, the
+        /// sender's next index is at most received.index + 1.
+        #[test]
+        fn bounded_skew(
+            s in 2usize..8,
+            my_rank_raw in 0usize..8,
+            my_next in 0u64..30,
+            recv_rank_raw in 0usize..8,
+            recv_index in 0u64..30,
+        ) {
+            let space = sp(s);
+            let my_rank = my_rank_raw % s;
+            let received = MsgId { rank: recv_rank_raw % s, index: recv_index };
+            let owed = nulls_owed(&space, my_rank, my_next, received);
+            let after = my_next + owed;
+            // The rule never advances a sender past one round beyond the
+            // received message (an already-ahead sender just stays put).
+            prop_assert!(after <= (received.index + 1).max(my_next));
+            // And after catching up, nothing more is owed for the same message.
+            prop_assert_eq!(nulls_owed(&space, my_rank, after, received), 0);
+        }
+    }
+}

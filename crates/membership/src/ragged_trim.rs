@@ -1,0 +1,123 @@
+//! View-change cleanup: the ragged trim.
+//!
+//! When membership changes, messages that were underway must be either
+//! delivered by *all* surviving subgroup members or by none (paper §2.1:
+//! "Messages that are underway when a failure occurs are either delivered to
+//! all subgroup members or cleaned up ... and then resent in the next
+//! membership view"). The classic virtual-synchrony mechanism is the
+//! *ragged trim*: survivors exchange their `received_num` values, agree on
+//! the common stable prefix, deliver exactly up to it, and discard the
+//! ragged edge beyond it (those messages are re-sent in the next view).
+
+use crate::seq::SeqNum;
+
+/// The agreed cut for one subgroup at a view change.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_membership::RaggedTrim;
+///
+/// // Survivors report how far they have received; the trim is the minimum.
+/// let trim = RaggedTrim::compute(&[8, 25, 7]);
+/// assert_eq!(trim.deliver_through(), 7);
+/// // A node that already delivered through 5 must deliver 6..=7 and then
+/// // discard anything it received beyond 7.
+/// assert_eq!(trim.must_deliver(5), 6..8);
+/// assert_eq!(trim.discard_after(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaggedTrim {
+    cut: SeqNum,
+}
+
+impl RaggedTrim {
+    /// Computes the trim from the surviving members' `received_num` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received_nums` is empty (a subgroup with no survivors is
+    /// removed, not trimmed).
+    pub fn compute(received_nums: &[SeqNum]) -> Self {
+        let cut = *received_nums
+            .iter()
+            .min()
+            .expect("ragged trim needs at least one survivor");
+        RaggedTrim { cut }
+    }
+
+    /// The last sequence number that must be delivered in the old view.
+    pub fn deliver_through(&self) -> SeqNum {
+        self.cut
+    }
+
+    /// Sequence numbers a node that has delivered through `delivered_num`
+    /// must still deliver before installing the next view (empty if it is
+    /// already past the cut).
+    pub fn must_deliver(&self, delivered_num: SeqNum) -> std::ops::Range<SeqNum> {
+        (delivered_num + 1)..(self.cut + 1).max(delivered_num + 1)
+    }
+
+    /// Everything after this sequence number is discarded (and re-sent by
+    /// its original sender in the next view, if still alive).
+    pub fn discard_after(&self) -> SeqNum {
+        self.cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trim_is_minimum() {
+        assert_eq!(RaggedTrim::compute(&[3, 9, 5]).deliver_through(), 3);
+        assert_eq!(RaggedTrim::compute(&[-1, 4]).deliver_through(), -1);
+        assert_eq!(RaggedTrim::compute(&[7]).deliver_through(), 7);
+    }
+
+    #[test]
+    fn must_deliver_empty_when_caught_up() {
+        let t = RaggedTrim::compute(&[5, 6]);
+        assert!(t.must_deliver(5).is_empty());
+        assert!(t.must_deliver(9).is_empty());
+    }
+
+    #[test]
+    fn must_deliver_covers_gap() {
+        let t = RaggedTrim::compute(&[10, 12]);
+        assert_eq!(t.must_deliver(-1), 0..11);
+        assert_eq!(t.must_deliver(8), 9..11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_survivors_panic() {
+        RaggedTrim::compute(&[]);
+    }
+
+    proptest! {
+        /// Every survivor can execute the trim: the cut never exceeds what
+        /// any survivor received, and all survivors end at the same
+        /// delivered_num (atomicity).
+        #[test]
+        fn all_survivors_agree(
+            received in prop::collection::vec(-1i64..1000, 1..10),
+            delivered_offsets in prop::collection::vec(0i64..50, 1..10),
+        ) {
+            let trim = RaggedTrim::compute(&received);
+            for (i, &r) in received.iter().enumerate() {
+                // delivered_num is always <= received_num for that node.
+                let d = (r - delivered_offsets[i % delivered_offsets.len()]).max(-1);
+                let range = trim.must_deliver(d);
+                // The node has received everything the trim asks it to deliver.
+                prop_assert!(range.end - 1 <= r || range.is_empty());
+                // After executing the trim, everyone is at the same point.
+                let final_d = d.max(trim.deliver_through());
+                let expect = if d >= trim.deliver_through() { d } else { trim.deliver_through() };
+                prop_assert_eq!(final_d, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Round-robin sequence-number arithmetic.
+//!
+//! Within a subgroup with `s` senders, Derecho delivers messages on a
+//! round-by-round basis: round `k` consists of the `k`-th message of every
+//! sender, in sender-list order (paper §2.1). Message `M(i, k)` — the `k`-th
+//! message of the sender with rank `i` — therefore has the global sequence
+//! number `k*s + i`, and the induced total order is exactly the paper's
+//! `M(i1,k1) < M(i2,k2) ⟺ k1 < k2 ∨ (k1 = k2 ∧ i1 < i2)` (§3.3).
+
+use std::fmt;
+
+/// Global delivery-order sequence number within one subgroup.
+///
+/// `-1` is the conventional "nothing yet" value of the `received_num` /
+/// `delivered_num` SST counters, so sequence numbers are `i64`.
+pub type SeqNum = i64;
+
+/// A message identity: `(sender rank, per-sender index)`.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_membership::MsgId;
+///
+/// let m = MsgId { rank: 2, index: 5 };
+/// assert_eq!(m.to_string(), "M(2,5)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// Rank of the sender in the subgroup's sender list.
+    pub rank: usize,
+    /// How many messages this sender had sent before this one.
+    pub index: u64,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M({},{})", self.rank, self.index)
+    }
+}
+
+/// The sequence-number space of one subgroup: a bijection between [`SeqNum`]
+/// and [`MsgId`] for a fixed number of senders.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_membership::{MsgId, SeqSpace};
+///
+/// let sp = SeqSpace::new(3);
+/// let m = MsgId { rank: 1, index: 4 };
+/// let seq = sp.seq_of(m);
+/// assert_eq!(seq, 13); // 4*3 + 1
+/// assert_eq!(sp.msg_of(seq), m);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqSpace {
+    num_senders: usize,
+}
+
+impl SeqSpace {
+    /// Creates the space for a subgroup with `num_senders` senders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_senders == 0` (a subgroup with no senders has no
+    /// sequence space).
+    pub fn new(num_senders: usize) -> Self {
+        assert!(num_senders > 0, "sequence space needs at least one sender");
+        SeqSpace { num_senders }
+    }
+
+    /// Number of senders (`s`).
+    pub fn num_senders(&self) -> usize {
+        self.num_senders
+    }
+
+    /// Sequence number of message `m`: `index * s + rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.rank >= s`.
+    pub fn seq_of(&self, m: MsgId) -> SeqNum {
+        assert!(m.rank < self.num_senders, "rank out of range");
+        (m.index as i64) * self.num_senders as i64 + m.rank as i64
+    }
+
+    /// Inverse of [`SeqSpace::seq_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq < 0`.
+    pub fn msg_of(&self, seq: SeqNum) -> MsgId {
+        assert!(seq >= 0, "negative sequence number has no message");
+        MsgId {
+            rank: (seq as u64 % self.num_senders as u64) as usize,
+            index: seq as u64 / self.num_senders as u64,
+        }
+    }
+
+    /// The round a sequence number belongs to (`index` of its message).
+    pub fn round_of(&self, seq: SeqNum) -> u64 {
+        self.msg_of(seq).index
+    }
+
+    /// Computes the *prefix-complete* sequence number from per-sender
+    /// receive counts: the largest `t` such that every message with
+    /// `seq <= t` has been received, or `-1` if none. `counts[i]` is the
+    /// number of messages received (FIFO, gap-free) from sender rank `i`.
+    ///
+    /// This is the value a receiver publishes as `received_num` (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spindle_membership::SeqSpace;
+    ///
+    /// let sp = SeqSpace::new(3);
+    /// // Sender 0 sent 2, sender 1 sent 1, sender 2 sent 1:
+    /// // received M(0,0) M(1,0) M(2,0) M(0,1) = seqs 0,1,2,3 complete.
+    /// assert_eq!(sp.prefix_complete(&[2, 1, 1]), 3);
+    /// // Nothing from sender 0 blocks everything.
+    /// assert_eq!(sp.prefix_complete(&[0, 5, 5]), -1);
+    /// ```
+    pub fn prefix_complete(&self, counts: &[u64]) -> SeqNum {
+        assert_eq!(
+            counts.len(),
+            self.num_senders,
+            "one count per sender required"
+        );
+        let kmin = *counts.iter().min().expect("non-empty counts");
+        // All rounds < kmin are complete; within round kmin, the prefix of
+        // senders that have already sent their kmin-th message extends it.
+        let mut extra = 0i64;
+        for &c in counts {
+            if c > kmin {
+                extra += 1;
+            } else {
+                break;
+            }
+        }
+        kmin as i64 * self.num_senders as i64 + extra - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seq_msg_roundtrip_small() {
+        let sp = SeqSpace::new(4);
+        for seq in 0..64 {
+            assert_eq!(sp.seq_of(sp.msg_of(seq)), seq);
+        }
+    }
+
+    #[test]
+    fn seq_order_is_round_robin() {
+        let sp = SeqSpace::new(3);
+        let order: Vec<MsgId> = (0..9).map(|s| sp.msg_of(s)).collect();
+        let expected = [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+        ];
+        for (m, (rank, index)) in order.iter().zip(expected) {
+            assert_eq!((m.rank, m.index), (rank, index));
+        }
+    }
+
+    #[test]
+    fn single_sender_space_is_identity() {
+        let sp = SeqSpace::new(1);
+        assert_eq!(sp.seq_of(MsgId { rank: 0, index: 9 }), 9);
+        assert_eq!(sp.prefix_complete(&[5]), 4);
+    }
+
+    #[test]
+    fn prefix_complete_empty() {
+        let sp = SeqSpace::new(2);
+        assert_eq!(sp.prefix_complete(&[0, 0]), -1);
+        assert_eq!(sp.prefix_complete(&[0, 3]), -1);
+    }
+
+    #[test]
+    fn prefix_complete_partial_round() {
+        let sp = SeqSpace::new(4);
+        // Round 0 complete from senders 0,1; sender 2 missing.
+        assert_eq!(sp.prefix_complete(&[1, 1, 0, 1]), 1);
+        // Complete round 0; sender 0 ahead by one extends into round 1.
+        assert_eq!(sp.prefix_complete(&[2, 1, 1, 1]), 4);
+    }
+
+    #[test]
+    fn round_of_matches_index() {
+        let sp = SeqSpace::new(5);
+        assert_eq!(sp.round_of(0), 0);
+        assert_eq!(sp.round_of(4), 0);
+        assert_eq!(sp.round_of(5), 1);
+        assert_eq!(sp.round_of(14), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_senders_rejected() {
+        SeqSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_out_of_range_rejected() {
+        SeqSpace::new(2).seq_of(MsgId { rank: 2, index: 0 });
+    }
+
+    proptest! {
+        /// seq_of and msg_of are mutually inverse.
+        #[test]
+        fn roundtrip(s in 1usize..20, index in 0u64..100_000, rank_raw in 0usize..20) {
+            let sp = SeqSpace::new(s);
+            let rank = rank_raw % s;
+            let m = MsgId { rank, index };
+            prop_assert_eq!(sp.msg_of(sp.seq_of(m)), m);
+        }
+
+        /// prefix_complete returns exactly the last index of the maximal
+        /// received prefix, verified against a brute-force scan.
+        #[test]
+        fn prefix_complete_matches_bruteforce(counts in prop::collection::vec(0u64..12, 1..8)) {
+            let sp = SeqSpace::new(counts.len());
+            let fast = sp.prefix_complete(&counts);
+            let mut brute: SeqNum = -1;
+            for seq in 0..(12 * counts.len() as i64) {
+                let m = sp.msg_of(seq);
+                if counts[m.rank] > m.index {
+                    brute = seq;
+                } else {
+                    break;
+                }
+            }
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// The total order induced by seq numbers equals the paper's
+        /// lexicographic (index, rank) order.
+        #[test]
+        fn order_matches_paper_definition(
+            s in 1usize..10,
+            a_idx in 0u64..50, a_rank_raw in 0usize..10,
+            b_idx in 0u64..50, b_rank_raw in 0usize..10,
+        ) {
+            let sp = SeqSpace::new(s);
+            let a = MsgId { rank: a_rank_raw % s, index: a_idx };
+            let b = MsgId { rank: b_rank_raw % s, index: b_idx };
+            let by_seq = sp.seq_of(a) < sp.seq_of(b);
+            let by_paper = a.index < b.index || (a.index == b.index && a.rank < b.rank);
+            prop_assert_eq!(by_seq, by_paper);
+        }
+    }
+}

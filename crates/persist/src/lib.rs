@@ -1,0 +1,478 @@
+#![warn(missing_docs)]
+//! Durable message log for Spindle's persistent atomic multicast.
+//!
+//! The Spindle paper's substrate, Derecho, offers a *persistent* atomic
+//! multicast that is "equivalent to the classical durable Paxos" (paper
+//! footnote 2): every delivered message is appended to a per-subgroup log
+//! on stable storage, each replica advertises its *persistence frontier*
+//! through an SST counter, and a message is globally durable once every
+//! member's frontier has passed it. This crate supplies the storage half:
+//! a checksummed, append-only, crash-recoverable log.
+//!
+//! Format: each record is `[magic][body_len][crc32][body]`, little-endian,
+//! where the body carries `(epoch, subgroup, seq, sender_rank, app_index,
+//! payload)`. [`DurableLog::open`] replays the file, validates every
+//! checksum, and truncates a torn tail (a partial record from a crash
+//! mid-append), so the log is always a clean prefix of what was appended.
+//!
+//! # Examples
+//!
+//! ```
+//! use spindle_persist::{DurableLog, LogRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("spindle-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("g0.log");
+//!
+//! let mut log = DurableLog::create(&path)?;
+//! log.append(&LogRecord {
+//!     epoch: 0,
+//!     subgroup: 0,
+//!     seq: 0,
+//!     sender_rank: 0,
+//!     app_index: 0,
+//!     data: b"hello".to_vec(),
+//! })?;
+//! log.sync()?;
+//! drop(log);
+//!
+//! let (log, records) = DurableLog::open(&path)?;
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(records[0].data, b"hello");
+//! drop(log);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Record magic: "SPIN" little-endian.
+const MAGIC: u32 = 0x4E49_5053;
+/// Fixed body bytes before the payload: epoch(8) + subgroup(4) + seq(8) +
+/// sender_rank(4) + app_index(8) + data_len(4).
+const BODY_HEADER: usize = 8 + 4 + 8 + 4 + 8 + 4;
+/// Frame bytes before the body: magic(4) + body_len(4) + crc(4).
+const FRAME_HEADER: usize = 12;
+
+/// One durably logged multicast delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Epoch (view id) the message was delivered in.
+    pub epoch: u64,
+    /// Subgroup id.
+    pub subgroup: u32,
+    /// Sequence number in the subgroup's per-epoch total order.
+    pub seq: i64,
+    /// Sender rank within the epoch's sender list.
+    pub sender_rank: u32,
+    /// The sender's per-epoch FIFO index.
+    pub app_index: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl LogRecord {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(BODY_HEADER + self.data.len());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&self.subgroup.to_le_bytes());
+        b.extend_from_slice(&self.seq.to_le_bytes());
+        b.extend_from_slice(&self.sender_rank.to_le_bytes());
+        b.extend_from_slice(&self.app_index.to_le_bytes());
+        b.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        b.extend_from_slice(&self.data);
+        b
+    }
+
+    fn decode_body(body: &[u8]) -> Option<LogRecord> {
+        if body.len() < BODY_HEADER {
+            return None;
+        }
+        let take = |range: std::ops::Range<usize>| body.get(range);
+        let epoch = u64::from_le_bytes(take(0..8)?.try_into().ok()?);
+        let subgroup = u32::from_le_bytes(take(8..12)?.try_into().ok()?);
+        let seq = i64::from_le_bytes(take(12..20)?.try_into().ok()?);
+        let sender_rank = u32::from_le_bytes(take(20..24)?.try_into().ok()?);
+        let app_index = u64::from_le_bytes(take(24..32)?.try_into().ok()?);
+        let data_len = u32::from_le_bytes(take(32..36)?.try_into().ok()?) as usize;
+        if body.len() != BODY_HEADER + data_len {
+            return None;
+        }
+        Some(LogRecord {
+            epoch,
+            subgroup,
+            seq,
+            sender_rank,
+            app_index,
+            data: body[BODY_HEADER..].to_vec(),
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(spindle_persist::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An append-only, checksummed, crash-recoverable message log.
+pub struct DurableLog {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("path", &self.path)
+            .field("records", &self.records)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Parses the valid record prefix of `path` **read-only**: no recovery
+/// truncation, safe to call while another handle is appending (the torn
+/// tail, if any, is simply not returned).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing file reads as empty.
+///
+/// # Examples
+///
+/// ```
+/// let missing = std::env::temp_dir().join("spindle-read-records-none.log");
+/// assert!(spindle_persist::read_records(&missing)?.is_empty());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn read_records(path: impl AsRef<Path>) -> io::Result<Vec<LogRecord>> {
+    let raw = match std::fs::read(path.as_ref()) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(parse_prefix(&raw).0)
+}
+
+/// Parses the longest valid record prefix; returns the records and the
+/// byte length of that prefix.
+fn parse_prefix(raw: &[u8]) -> (Vec<LogRecord>, usize) {
+    let mut records = Vec::new();
+    let mut good = 0usize;
+    let mut off = 0usize;
+    while off + FRAME_HEADER <= raw.len() {
+        let magic = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
+        if magic != MAGIC {
+            break;
+        }
+        let body_len = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(raw[off + 8..off + 12].try_into().unwrap());
+        let body_start = off + FRAME_HEADER;
+        let Some(body) = raw.get(body_start..body_start + body_len) else {
+            break; // partial tail
+        };
+        if crc32(body) != crc {
+            break; // corrupt tail
+        }
+        let Some(rec) = LogRecord::decode_body(body) else {
+            break;
+        };
+        records.push(rec);
+        off = body_start + body_len;
+        good = off;
+    }
+    (records, good)
+}
+
+impl DurableLog {
+    /// Creates a fresh log at `path`, truncating any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<DurableLog> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(DurableLog {
+            writer: BufWriter::new(file),
+            path,
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Opens an existing log (or creates an empty one), replaying and
+    /// validating every record. A torn or corrupt tail — from a crash
+    /// mid-append — is truncated away; everything before it is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; corruption is *not* an error (the valid
+    /// prefix is recovered).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(DurableLog, Vec<LogRecord>)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, good) = parse_prefix(&raw);
+        // Truncate anything past the last valid record.
+        if good < raw.len() {
+            file.set_len(good as u64)?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        Ok((
+            DurableLog {
+                writer: BufWriter::new(file),
+                path,
+                records: records.len() as u64,
+                bytes: good as u64,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record (buffered; call [`DurableLog::sync`] to make it
+    /// durable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writes.
+    pub fn append(&mut self, rec: &LogRecord) -> io::Result<()> {
+        let body = rec.encode_body();
+        self.writer.write_all(&MAGIC.to_le_bytes())?;
+        self.writer.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&body).to_le_bytes())?;
+        self.writer.write_all(&body)?;
+        self.records += 1;
+        self.bytes += (FRAME_HEADER + body.len()) as u64;
+        Ok(())
+    }
+
+    /// Flushes buffers and fsyncs the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flush or fsync.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+
+    /// Number of records appended (including recovered ones).
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Returns `true` if no records have been appended or recovered.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Bytes occupied by valid records.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spindle-persist-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("test.log")
+    }
+
+    fn rec(seq: i64, data: &[u8]) -> LogRecord {
+        LogRecord {
+            epoch: 1,
+            subgroup: 0,
+            seq,
+            sender_rank: (seq % 3) as u32,
+            app_index: seq as u64 / 3,
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_records() {
+        let path = tmp("roundtrip");
+        let mut log = DurableLog::create(&path).unwrap();
+        for i in 0..100 {
+            log.append(&rec(i, format!("payload-{i}").as_bytes())).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        let (log, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(log.len(), 100);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as i64);
+            assert_eq!(r.data, format!("payload-{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let path = tmp("empty");
+        let mut log = DurableLog::create(&path).unwrap();
+        log.append(&rec(0, b"")).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].data.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let path = tmp("torn");
+        let mut log = DurableLog::create(&path).unwrap();
+        for i in 0..10 {
+            log.append(&rec(i, b"0123456789")).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        // Simulate a crash mid-append: write half a record's frame.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&MAGIC.to_le_bytes()).unwrap();
+        f.write_all(&100u32.to_le_bytes()).unwrap();
+        drop(f);
+        let (log, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(records.len(), 10, "torn tail must not hide valid prefix");
+        // The file was truncated back to the valid prefix.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            log.byte_len()
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_from_there() {
+        let path = tmp("crc");
+        let mut log = DurableLog::create(&path).unwrap();
+        for i in 0..5 {
+            log.append(&rec(i, b"AAAA")).unwrap();
+        }
+        log.sync().unwrap();
+        let record_bytes = log.byte_len() / 5;
+        drop(log);
+        // Flip a byte in record 3's body.
+        let mut raw = std::fs::read(&path).unwrap();
+        let victim = (3 * record_bytes + FRAME_HEADER as u64 + 2) as usize;
+        raw[victim] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(records.len(), 3, "corruption cuts the log at record 3");
+        assert_eq!(records.last().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn append_after_recovery_continues_cleanly() {
+        let path = tmp("continue");
+        let mut log = DurableLog::create(&path).unwrap();
+        for i in 0..4 {
+            log.append(&rec(i, b"x")).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        let (mut log, recovered) = DurableLog::open(&path).unwrap();
+        assert_eq!(recovered.len(), 4);
+        for i in 4..8 {
+            log.append(&rec(i, b"y")).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        let (_, all) = DurableLog::open(&path).unwrap();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[7].seq, 7);
+    }
+
+    #[test]
+    fn open_on_missing_file_creates_empty() {
+        let path = tmp("fresh");
+        let (log, records) = DurableLog::open(&path).unwrap();
+        assert!(log.is_empty());
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn garbage_file_recovers_to_empty() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"this is not a spindle log at all").unwrap();
+        let (log, records) = DurableLog::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(log.byte_len(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn record_fields_roundtrip_exactly() {
+        let path = tmp("fields");
+        let r = LogRecord {
+            epoch: u64::MAX,
+            subgroup: 7,
+            seq: -1,
+            sender_rank: 3,
+            app_index: 42,
+            data: vec![0u8, 255, 128],
+        };
+        let mut log = DurableLog::create(&path).unwrap();
+        log.append(&r).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(records, vec![r]);
+    }
+}

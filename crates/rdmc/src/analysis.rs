@@ -1,0 +1,263 @@
+//! Prices a schedule against the calibrated network model.
+//!
+//! RDMC executes its schedule asynchronously: each node posts the next
+//! transfer as soon as its data dependency is satisfied, so rounds overlap
+//! in time. The model here reflects that: a transfer starts when
+//!
+//! * the sender holds the block (its *data-ready* time),
+//! * the sender's CPU has posted the work request (posts are serialized at
+//!   [`NetModel::post_cost`] apiece),
+//! * the sender's egress link and the receiver's ingress link are free,
+//!
+//! occupies both links for [`NetModel::link_time`] of the block size, and
+//! lands [`NetModel::fixed_latency`] later. This makes sequential send
+//! pipeline to full line rate (its real strength) while still charging the
+//! relaying schedules their per-hop latency — so the SMC-vs-RDMC crossover
+//! measured by `figures rdmc` is a fair fight.
+
+use std::time::Duration;
+
+use spindle_fabric::NetModel;
+
+use crate::{Rdmc, Schedule};
+
+/// Completion-time results for one schedule execution (see
+/// [`Analysis::completion`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionBreakdown {
+    /// Time at which the last node holds the complete message.
+    pub total: Duration,
+    /// Per-node completion times (the root's is zero).
+    pub per_node: Vec<Duration>,
+    /// Bytes the root pushed out of its own NIC — the sequential-send
+    /// amplification shows up here as `(n-1) * message`.
+    pub root_egress_bytes: usize,
+    /// Total bytes crossing the fabric.
+    pub wire_bytes: usize,
+}
+
+impl CompletionBreakdown {
+    /// Spread between the first and last non-root completion — RDMC's
+    /// binomial pipeline keeps this within a few block times.
+    pub fn completion_spread(&self) -> Duration {
+        let non_root = &self.per_node[1..];
+        let min = non_root.iter().min().copied().unwrap_or_default();
+        let max = non_root.iter().max().copied().unwrap_or_default();
+        max - min
+    }
+}
+
+/// Prices schedules for one [`Rdmc`] problem under one [`NetModel`].
+///
+/// # Examples
+///
+/// ```
+/// use spindle_rdmc::{Analysis, Rdmc, ScheduleKind};
+/// use spindle_fabric::NetModel;
+///
+/// let rdmc = Rdmc::new(8, 1 << 20, 128 << 10)?;
+/// let analysis = Analysis::new(rdmc, NetModel::default());
+/// let b = analysis.completion(&rdmc.schedule(ScheduleKind::SequentialSend));
+/// // Sequential send pushes (n-1) copies through the root's NIC.
+/// assert_eq!(b.root_egress_bytes, 7 << 20);
+/// # Ok::<(), spindle_rdmc::RdmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    rdmc: Rdmc,
+    net: NetModel,
+}
+
+impl Analysis {
+    /// Creates an analysis context.
+    pub fn new(rdmc: Rdmc, net: NetModel) -> Self {
+        Analysis { rdmc, net }
+    }
+
+    /// Computes the asynchronous completion time of `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's geometry does not match the [`Rdmc`] the
+    /// analysis was built with.
+    pub fn completion(&self, schedule: &Schedule) -> CompletionBreakdown {
+        let n = self.rdmc.nodes();
+        let k = self.rdmc.blocks();
+        assert_eq!(
+            (schedule.nodes(), schedule.blocks()),
+            (n, k),
+            "schedule geometry mismatch"
+        );
+
+        // ready[node][block]: instant the node holds the block.
+        let mut ready = vec![vec![Duration::MAX; k]; n];
+        ready[0] = vec![Duration::ZERO; k];
+        let mut cpu_free = vec![Duration::ZERO; n];
+        let mut egress_free = vec![Duration::ZERO; n];
+        let mut ingress_free = vec![Duration::ZERO; n];
+        let mut root_egress_bytes = 0usize;
+        let mut wire_bytes = 0usize;
+
+        for round in schedule.rounds() {
+            for t in round {
+                let len = self.rdmc.block_len(t.block);
+                let data_ready = ready[t.from][t.block];
+                assert_ne!(
+                    data_ready,
+                    Duration::MAX,
+                    "transfer of unheld block; schedule failed verify()"
+                );
+                // CPU posts the work request (serialized per node)...
+                let post = data_ready.max(cpu_free[t.from]);
+                cpu_free[t.from] = post + self.net.post_cost;
+                // ...then the NIC performs the transfer when both link
+                // endpoints are free.
+                let start = (post + self.net.post_cost)
+                    .max(egress_free[t.from])
+                    .max(ingress_free[t.to]);
+                let link = self.net.link_time(len);
+                egress_free[t.from] = start + link;
+                let arrival = start + link + self.net.fixed_latency + link;
+                ingress_free[t.to] = arrival;
+                let slot = &mut ready[t.to][t.block];
+                *slot = (*slot).min(arrival);
+                if t.from == 0 {
+                    root_egress_bytes += len;
+                }
+                wire_bytes += len;
+            }
+        }
+
+        let per_node: Vec<Duration> = ready
+            .iter()
+            .map(|blocks| {
+                blocks
+                    .iter()
+                    .copied()
+                    .max()
+                    .expect("at least one block")
+            })
+            .collect();
+        let total = per_node.iter().copied().max().unwrap_or_default();
+        CompletionBreakdown {
+            total,
+            per_node,
+            root_egress_bytes,
+            wire_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleKind;
+
+    fn net() -> NetModel {
+        NetModel::default()
+    }
+
+    #[test]
+    fn sequential_send_time_scales_with_receivers() {
+        let msg = 1 << 20;
+        let r4 = Rdmc::new(4, msg, 64 << 10).unwrap();
+        let r8 = Rdmc::new(8, msg, 64 << 10).unwrap();
+        let t4 = r4.completion_time(&r4.schedule(ScheduleKind::SequentialSend), &net());
+        let t8 = r8.completion_time(&r8.schedule(ScheduleKind::SequentialSend), &net());
+        // 7 copies vs 3 copies out of the root NIC: ~2.3x.
+        let ratio = t8.as_nanos() as f64 / t4.as_nanos() as f64;
+        assert!((2.0..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pipeline_nearly_flat_in_group_size() {
+        let msg = 8 << 20;
+        let mut prev = Duration::ZERO;
+        for n in [4, 8, 16, 32] {
+            let r = Rdmc::new(n, msg, 256 << 10).unwrap();
+            let t = r.completion_time(&r.schedule(ScheduleKind::BinomialPipeline), &net());
+            if !prev.is_zero() {
+                // Doubling the group must cost far less than doubling time.
+                assert!(
+                    t.as_secs_f64() < prev.as_secs_f64() * 1.4,
+                    "n={n}: {t:?} vs {prev:?}"
+                );
+            }
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn pipeline_beats_sequential_at_scale() {
+        let r = Rdmc::new(16, 8 << 20, 256 << 10).unwrap();
+        let seq = r.completion_time(&r.schedule(ScheduleKind::SequentialSend), &net());
+        let pipe = r.completion_time(&r.schedule(ScheduleKind::BinomialPipeline), &net());
+        let speedup = seq.as_secs_f64() / pipe.as_secs_f64();
+        // 15 serial copies vs ~1 pipelined copy: order-10x.
+        assert!(speedup > 6.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sequential_wins_for_tiny_messages_small_groups() {
+        // For one small block in a small group, relaying hops only add
+        // latency; direct unicast from the root is at least as good.
+        let r = Rdmc::new(4, 1024, 1024).unwrap();
+        let seq = r.completion_time(&r.schedule(ScheduleKind::SequentialSend), &net());
+        let chain = r.completion_time(&r.schedule(ScheduleKind::ChainSend), &net());
+        assert!(seq <= chain);
+    }
+
+    #[test]
+    fn chain_latency_linear_in_nodes() {
+        let msg = 64 << 10;
+        let r4 = Rdmc::new(4, msg, 64 << 10).unwrap();
+        let r16 = Rdmc::new(16, msg, 64 << 10).unwrap();
+        let t4 = r4.completion_time(&r4.schedule(ScheduleKind::ChainSend), &net());
+        let t16 = r16.completion_time(&r16.schedule(ScheduleKind::ChainSend), &net());
+        let ratio = t16.as_nanos() as f64 / t4.as_nanos() as f64;
+        assert!(ratio > 3.0, "single-block chain should scale ~linearly, got {ratio}");
+    }
+
+    #[test]
+    fn root_egress_amplification() {
+        let r = Rdmc::new(8, 1 << 20, 128 << 10).unwrap();
+        let a = Analysis::new(r, net());
+        let seq = a.completion(&r.schedule(ScheduleKind::SequentialSend));
+        let pipe = a.completion(&r.schedule(ScheduleKind::BinomialPipeline));
+        assert_eq!(seq.root_egress_bytes, 7 << 20);
+        // The pipeline spreads relaying over the group; the root sends far
+        // less than sequential.
+        assert!(pipe.root_egress_bytes < seq.root_egress_bytes / 2);
+        // Total wire bytes are identical: every receiver gets every block.
+        assert_eq!(seq.wire_bytes, pipe.wire_bytes);
+    }
+
+    #[test]
+    fn pipeline_completion_spread_is_tight() {
+        let r = Rdmc::new(16, 4 << 20, 128 << 10).unwrap();
+        let a = Analysis::new(r, net());
+        let pipe = a.completion(&r.schedule(ScheduleKind::BinomialPipeline));
+        let seq = a.completion(&r.schedule(ScheduleKind::SequentialSend));
+        // Sequential finishes receiver 1 long before receiver 15; the
+        // pipeline finishes everyone within a small window.
+        assert!(pipe.completion_spread() < seq.completion_spread() / 4);
+    }
+
+    #[test]
+    fn bandwidth_helper_consistent_with_completion() {
+        let r = Rdmc::new(8, 1 << 20, 128 << 10).unwrap();
+        let s = r.schedule(ScheduleKind::BinomialPipeline);
+        let t = r.completion_time(&s, &net());
+        let bw = r.bandwidth(&s, &net());
+        let expect = (1u64 << 20) as f64 / t.as_secs_f64();
+        assert!((bw - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn completion_panics_on_geometry_mismatch() {
+        let a = Analysis::new(Rdmc::new(4, 1000, 100).unwrap(), net());
+        let other = Rdmc::new(5, 1000, 100).unwrap();
+        let _ = a.completion(&other.schedule(ScheduleKind::ChainSend));
+    }
+}

@@ -1,0 +1,683 @@
+//! Deterministic block-transfer schedules.
+//!
+//! A [`Schedule`] is a list of rounds; each [`Round`] is a set of unicast
+//! block [`Transfer`]s that may proceed concurrently. RDMC's defining
+//! property is that the schedule is a pure function of `(nodes, blocks)` —
+//! every member computes it locally and no control traffic is exchanged
+//! during the transfer. [`Schedule::verify`] statically checks the
+//! invariants every legal schedule must satisfy (see its docs), and the
+//! [`executor`](crate::executor) additionally proves content propagation
+//! over real buffers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One unicast block transfer within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+    /// Block index being transferred.
+    pub block: usize,
+}
+
+/// The set of transfers that proceed concurrently in one schedule step.
+pub type Round = Vec<Transfer>;
+
+/// The schedule family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Root unicasts every block to each receiver in turn (what SMC's
+    /// slot pushes amount to; paper §4.1.2's "sequential send").
+    SequentialSend,
+    /// Blocks relayed down a chain `0 → 1 → … → n-1`.
+    ChainSend,
+    /// Whole-message binomial broadcast: holders double each phase.
+    BinomialTree,
+    /// RDMC's binomial pipeline (Ganesan & Seshadri): hypercube rounds,
+    /// full-duplex, every node forwarding the newest block its partner
+    /// lacks; completes in ≈ `blocks + log2(nodes)` block times.
+    BinomialPipeline,
+}
+
+impl ScheduleKind {
+    /// All schedule kinds, for sweeps.
+    pub const ALL: [ScheduleKind; 4] = [
+        ScheduleKind::SequentialSend,
+        ScheduleKind::ChainSend,
+        ScheduleKind::BinomialTree,
+        ScheduleKind::BinomialPipeline,
+    ];
+
+    /// Short stable name used in CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::SequentialSend => "sequential",
+            ScheduleKind::ChainSend => "chain",
+            ScheduleKind::BinomialTree => "binomial_tree",
+            ScheduleKind::BinomialPipeline => "binomial_pipeline",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A verified-constructible multicast schedule.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_rdmc::schedule::{generate, ScheduleKind};
+///
+/// let s = generate(ScheduleKind::BinomialPipeline, 8, 4);
+/// s.verify()?;
+/// // Pipeline finishes in about blocks + log2(nodes) rounds.
+/// assert!(s.rounds().len() <= 4 + 2 * 3);
+/// # Ok::<(), spindle_rdmc::VerifyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    kind: ScheduleKind,
+    nodes: usize,
+    blocks: usize,
+    rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// The schedule family this was generated from.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// Number of group members (rank 0 is the root).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of blocks in the message.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// Maximum sends (and receives) one physical node may post per round:
+    /// 1, except 2 for the binomial pipeline on a non-power-of-two group
+    /// (where a node can host two hypercube vertices).
+    pub fn nic_ops_per_round(&self) -> usize {
+        match self.kind {
+            ScheduleKind::BinomialPipeline if !self.nodes.is_power_of_two() => 2,
+            _ => 1,
+        }
+    }
+
+    /// Mutable access for in-crate tests that corrupt schedules on purpose.
+    #[cfg(test)]
+    pub(crate) fn rounds_mut(&mut self) -> &mut Vec<Round> {
+        &mut self.rounds
+    }
+
+    /// Total number of unicast block transfers.
+    pub fn transfer_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// The round (1-based) in which each node holds the complete message;
+    /// the root's entry is 0.
+    pub fn completion_rounds(&self) -> Vec<usize> {
+        let mut have = holdings(self.nodes, self.blocks);
+        let mut done = vec![usize::MAX; self.nodes];
+        done[0] = 0;
+        for (r, round) in self.rounds.iter().enumerate() {
+            for t in round {
+                have[t.to][t.block] = true;
+            }
+            for (node, blocks) in have.iter().enumerate() {
+                if done[node] == usize::MAX && blocks.iter().all(|&b| b) {
+                    done[node] = r + 1;
+                }
+            }
+        }
+        done
+    }
+
+    /// Statically verifies the schedule:
+    ///
+    /// * every transfer's sender holds the block at the start of the round
+    ///   (received in a strictly earlier round, or is the root);
+    /// * no node sends or receives more blocks per round than it has
+    ///   hypercube vertices — one for every schedule except the binomial
+    ///   pipeline on a non-power-of-two group, where a node hosting a
+    ///   virtual vertex may do two (its NIC serializes them);
+    /// * no transfer delivers a block its receiver already holds;
+    /// * ranks and block indices are in range, and no self-sends;
+    /// * after the final round, every node holds every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        let limit = self.nic_ops_per_round();
+        let mut have = holdings(self.nodes, self.blocks);
+        for (r, round) in self.rounds.iter().enumerate() {
+            let mut sends = vec![0usize; self.nodes];
+            let mut recvs = vec![0usize; self.nodes];
+            for t in round {
+                if t.from >= self.nodes || t.to >= self.nodes {
+                    return Err(VerifyError::RankOutOfRange { round: r, t: *t });
+                }
+                if t.block >= self.blocks {
+                    return Err(VerifyError::BlockOutOfRange { round: r, t: *t });
+                }
+                if t.from == t.to {
+                    return Err(VerifyError::SelfSend { round: r, t: *t });
+                }
+                if !have[t.from][t.block] {
+                    return Err(VerifyError::SenderLacksBlock { round: r, t: *t });
+                }
+                if have[t.to][t.block] {
+                    return Err(VerifyError::DuplicateDelivery { round: r, t: *t });
+                }
+                sends[t.from] += 1;
+                recvs[t.to] += 1;
+                if sends[t.from] > limit {
+                    return Err(VerifyError::NodeSendsTwice { round: r, node: t.from });
+                }
+                if recvs[t.to] > limit {
+                    return Err(VerifyError::NodeReceivesTwice { round: r, node: t.to });
+                }
+            }
+            // Apply at end of round: receipt is visible only next round.
+            for t in round {
+                have[t.to][t.block] = true;
+            }
+        }
+        for (node, blocks) in have.iter().enumerate() {
+            if let Some(block) = blocks.iter().position(|&b| !b) {
+                return Err(VerifyError::Incomplete { node, block });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violated schedule invariant (see [`Schedule::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A rank is outside `0..nodes`.
+    RankOutOfRange {
+        /// Offending round index.
+        round: usize,
+        /// The offending transfer.
+        t: Transfer,
+    },
+    /// A block index is outside `0..blocks`.
+    BlockOutOfRange {
+        /// Offending round index.
+        round: usize,
+        /// The offending transfer.
+        t: Transfer,
+    },
+    /// `from == to`.
+    SelfSend {
+        /// Offending round index.
+        round: usize,
+        /// The offending transfer.
+        t: Transfer,
+    },
+    /// Sender does not hold the block at the start of the round.
+    SenderLacksBlock {
+        /// Offending round index.
+        round: usize,
+        /// The offending transfer.
+        t: Transfer,
+    },
+    /// Receiver already holds the block.
+    DuplicateDelivery {
+        /// Offending round index.
+        round: usize,
+        /// The offending transfer.
+        t: Transfer,
+    },
+    /// A node posts more sends in one round than its NIC budget.
+    NodeSendsTwice {
+        /// Offending round index.
+        round: usize,
+        /// The over-budget node.
+        node: usize,
+    },
+    /// A node is the target of more transfers than its NIC budget allows.
+    NodeReceivesTwice {
+        /// Offending round index.
+        round: usize,
+        /// The over-budget node.
+        node: usize,
+    },
+    /// A node is missing a block after the final round.
+    Incomplete {
+        /// The incomplete node.
+        node: usize,
+        /// The missing block.
+        block: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::RankOutOfRange { round, t } => {
+                write!(f, "round {round}: rank out of range in {t:?}")
+            }
+            VerifyError::BlockOutOfRange { round, t } => {
+                write!(f, "round {round}: block out of range in {t:?}")
+            }
+            VerifyError::SelfSend { round, t } => write!(f, "round {round}: self-send {t:?}"),
+            VerifyError::SenderLacksBlock { round, t } => {
+                write!(f, "round {round}: sender lacks block in {t:?}")
+            }
+            VerifyError::DuplicateDelivery { round, t } => {
+                write!(f, "round {round}: receiver already holds block in {t:?}")
+            }
+            VerifyError::NodeSendsTwice { round, node } => {
+                write!(f, "round {round}: node {node} sends twice")
+            }
+            VerifyError::NodeReceivesTwice { round, node } => {
+                write!(f, "round {round}: node {node} receives twice")
+            }
+            VerifyError::Incomplete { node, block } => {
+                write!(f, "node {node} missing block {block} at end of schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn holdings(nodes: usize, blocks: usize) -> Vec<Vec<bool>> {
+    let mut have = vec![vec![false; blocks]; nodes];
+    have[0] = vec![true; blocks];
+    have
+}
+
+/// Generates the schedule of the given kind for `nodes` members and
+/// `blocks` blocks.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `blocks == 0` (construct via
+/// [`Rdmc`](crate::Rdmc) to get error handling instead).
+pub fn generate(kind: ScheduleKind, nodes: usize, blocks: usize) -> Schedule {
+    assert!(nodes >= 2, "need at least 2 nodes");
+    assert!(blocks >= 1, "need at least 1 block");
+    let rounds = match kind {
+        ScheduleKind::SequentialSend => sequential(nodes, blocks),
+        ScheduleKind::ChainSend => chain(nodes, blocks),
+        ScheduleKind::BinomialTree => binomial_tree(nodes, blocks),
+        ScheduleKind::BinomialPipeline => binomial_pipeline(nodes, blocks),
+    };
+    Schedule {
+        kind,
+        nodes,
+        blocks,
+        rounds,
+    }
+}
+
+/// Root sends block after block to receiver after receiver; one transfer
+/// per round because the root's single NIC serializes everything.
+fn sequential(nodes: usize, blocks: usize) -> Vec<Round> {
+    let mut rounds = Vec::with_capacity((nodes - 1) * blocks);
+    for to in 1..nodes {
+        for block in 0..blocks {
+            rounds.push(vec![Transfer { from: 0, to, block }]);
+        }
+    }
+    rounds
+}
+
+/// Round `r`: node `i` forwards block `r - i` to `i + 1` wherever valid.
+fn chain(nodes: usize, blocks: usize) -> Vec<Round> {
+    let total = blocks + nodes - 2;
+    let mut rounds = Vec::with_capacity(total);
+    for r in 0..total {
+        let mut round = Round::new();
+        for from in 0..nodes - 1 {
+            if r >= from {
+                let block = r - from;
+                if block < blocks {
+                    round.push(Transfer {
+                        from,
+                        to: from + 1,
+                        block,
+                    });
+                }
+            }
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+    }
+    rounds
+}
+
+/// Classic binomial doubling of whole-message holders; each doubling phase
+/// transfers all `blocks` blocks over consecutive rounds.
+fn binomial_tree(nodes: usize, blocks: usize) -> Vec<Round> {
+    let mut rounds = Vec::new();
+    let mut stride = 1;
+    while stride < nodes {
+        for block in 0..blocks {
+            let mut round = Round::new();
+            for from in 0..nodes {
+                // `from` is a holder iff from < stride (holders are a prefix
+                // because ranks join in order from + stride).
+                if from < stride && from + stride < nodes {
+                    round.push(Transfer {
+                        from,
+                        to: from + stride,
+                        block,
+                    });
+                }
+            }
+            rounds.push(round);
+        }
+        stride *= 2;
+    }
+    rounds
+}
+
+/// The binomial pipeline: in round `r`, hypercube vertices pair along
+/// dimension `r mod d` (with `d = ceil(log2 nodes)`) and exchange blocks
+/// full-duplex. The root *injects a fresh block each round* — block `r` in
+/// round `r` while blocks remain — and every relay forwards the newest
+/// block its partner lacks. The injection keeps distinct sub-cubes holding
+/// distinct blocks, which is what lets the hypercube pipeline: for
+/// power-of-two groups the schedule completes in the optimal
+/// `blocks + d - 1` rounds (asserted by tests).
+///
+/// Groups that are not a power of two use RDMC's *virtual node* trick: the
+/// hypercube is padded to `2^d` vertices and each surplus vertex is hosted
+/// by one of the physical nodes (never the root), so a hosting node may
+/// send and receive up to two blocks per round — its NIC simply serializes
+/// them, which the [`analysis`](crate::analysis) pricing reflects.
+fn binomial_pipeline(nodes: usize, blocks: usize) -> Vec<Round> {
+    let d = usize::BITS as usize - (nodes - 1).leading_zeros() as usize; // ceil(log2 nodes)
+    // Vertex -> physical node. Vertices `nodes..2^d` are hosted by
+    // physical nodes 1..=(2^d - nodes): never the root, always distinct
+    // (2^d - nodes < nodes because 2^(d-1) < nodes).
+    let host = |v: usize| -> usize {
+        if v < nodes {
+            v
+        } else {
+            v - nodes + 1
+        }
+    };
+
+    // Generate the optimal schedule on the full padded hypercube, then
+    // project vertices onto their hosts. Projection only *drops* transfers
+    // (same-host pairs and duplicate deliveries), so the physical schedule
+    // inherits the vertex schedule's optimal `blocks + d - 1` round count.
+    // A physical sender always holds what any of its vertices holds, so
+    // sender validity is preserved.
+    let vertex_rounds = pipeline_on_hypercube(d, blocks);
+    debug_assert_eq!(vertex_rounds.len(), blocks + d - 1);
+
+    let mut have = holdings(nodes, blocks);
+    let mut rounds = Vec::with_capacity(vertex_rounds.len());
+    for vround in vertex_rounds {
+        let mut round = Round::new();
+        // Deliveries already scheduled this round, per physical node, so
+        // two vertices of one host never receive the same block twice.
+        let mut incoming: Vec<(usize, usize)> = Vec::new();
+        for t in vround {
+            let (from, to) = (host(t.from), host(t.to));
+            if from == to || have[to][t.block] || incoming.contains(&(to, t.block)) {
+                continue;
+            }
+            round.push(Transfer {
+                from,
+                to,
+                block: t.block,
+            });
+            incoming.push((to, t.block));
+        }
+        for t in &round {
+            have[t.to][t.block] = true;
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+    }
+    debug_assert!(
+        have.iter().all(|h| h.iter().all(|&b| b)),
+        "binomial pipeline projection failed to complete"
+    );
+    rounds
+}
+
+/// The optimal binomial pipeline on a full hypercube of `2^d` vertices:
+/// completes `blocks` blocks in exactly `blocks + d - 1` rounds.
+fn pipeline_on_hypercube(d: usize, blocks: usize) -> Vec<Vec<Transfer>> {
+    let vertices = 1usize << d;
+    let mut have = holdings(vertices, blocks);
+    let mut rounds = Vec::new();
+    let cap = 4 * (blocks + d) + 4 * d;
+    for r in 0..cap {
+        if have.iter().all(|h| h.iter().all(|&b| b)) {
+            break;
+        }
+        let dim = 1usize << (r % d);
+        let mut round = Vec::new();
+        for a in 0..vertices {
+            let b = a ^ dim;
+            if a > b {
+                continue;
+            }
+            // Full duplex: each direction carries one block. The root
+            // injects block r in round r (oldest-first), so a new block
+            // enters the hypercube every round; relays (and the root once
+            // all blocks are injected) forward the newest block the
+            // partner lacks.
+            for (from, to) in [(a, b), (b, a)] {
+                let inject = if from == 0 && r < blocks && !have[to][r] {
+                    Some(r)
+                } else {
+                    None
+                };
+                let block = inject.or_else(|| {
+                    (0..blocks)
+                        .rev()
+                        .find(|&blk| have[from][blk] && !have[to][blk])
+                });
+                if let Some(block) = block {
+                    round.push(Transfer { from, to, block });
+                }
+            }
+        }
+        if round.is_empty() {
+            continue;
+        }
+        for t in &round {
+            have[t.to][t.block] = true;
+        }
+        rounds.push(round);
+    }
+    debug_assert!(
+        have.iter().all(|h| h.iter().all(|&b| b)),
+        "hypercube pipeline failed to complete within its round cap"
+    );
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify_all(nodes: usize, blocks: usize) {
+        for kind in ScheduleKind::ALL {
+            let s = generate(kind, nodes, blocks);
+            s.verify()
+                .unwrap_or_else(|e| panic!("{kind} n={nodes} k={blocks}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_kinds_verify_small() {
+        for nodes in 2..=9 {
+            for blocks in [1, 2, 3, 5, 8] {
+                verify_all(nodes, blocks);
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_verify_paper_scale() {
+        verify_all(16, 16);
+        verify_all(12, 64);
+        verify_all(13, 7); // non-power-of-two, prime
+    }
+
+    #[test]
+    fn sequential_round_count() {
+        let s = generate(ScheduleKind::SequentialSend, 5, 3);
+        assert_eq!(s.rounds().len(), 4 * 3);
+        assert_eq!(s.transfer_count(), 12);
+    }
+
+    #[test]
+    fn chain_round_count_is_blocks_plus_nodes_minus_2() {
+        let s = generate(ScheduleKind::ChainSend, 6, 10);
+        assert_eq!(s.rounds().len(), 10 + 6 - 2);
+        // Every node except the root receives every block exactly once.
+        assert_eq!(s.transfer_count(), 5 * 10);
+    }
+
+    #[test]
+    fn binomial_tree_round_count() {
+        let s = generate(ScheduleKind::BinomialTree, 8, 4);
+        assert_eq!(s.rounds().len(), 3 * 4); // log2(8) phases x blocks
+    }
+
+    #[test]
+    fn binomial_pipeline_close_to_lower_bound() {
+        // Lower bound is blocks + d - 1 rounds; the greedy newest-first
+        // schedule should stay within blocks + 2d.
+        for (nodes, blocks) in [(4, 2), (8, 3), (8, 8), (16, 16), (16, 4), (32, 8)] {
+            let d = usize::BITS as usize - (nodes - 1_usize).leading_zeros() as usize;
+            let s = generate(ScheduleKind::BinomialPipeline, nodes, blocks);
+            assert!(
+                s.rounds().len() <= blocks + 2 * d,
+                "n={nodes} k={blocks}: {} rounds > {}",
+                s.rounds().len(),
+                blocks + 2 * d
+            );
+            assert!(s.rounds().len() >= blocks + d - 1);
+        }
+    }
+
+    #[test]
+    fn binomial_pipeline_exact_small_case() {
+        // 4 nodes, 2 blocks completes in the k + d - 1 = 3 optimum.
+        let s = generate(ScheduleKind::BinomialPipeline, 4, 2);
+        assert_eq!(s.rounds().len(), 3);
+    }
+
+    #[test]
+    fn pipeline_transfer_count_is_minimal() {
+        // Exactly (nodes-1) * blocks deliveries, none wasted (verify()
+        // already rejects duplicates; this checks the total).
+        for (nodes, blocks) in [(8, 5), (7, 3), (16, 16)] {
+            let s = generate(ScheduleKind::BinomialPipeline, nodes, blocks);
+            assert_eq!(s.transfer_count(), (nodes - 1) * blocks);
+        }
+    }
+
+    #[test]
+    fn completion_rounds_monotone_in_chain() {
+        let s = generate(ScheduleKind::ChainSend, 5, 4);
+        let done = s.completion_rounds();
+        assert_eq!(done[0], 0);
+        for i in 1..4 {
+            assert!(done[i] < done[i + 1], "chain completion must be ordered");
+        }
+    }
+
+    #[test]
+    fn pipeline_completion_nearly_simultaneous() {
+        // RDMC's headline property: all receivers finish within d rounds of
+        // each other.
+        let s = generate(ScheduleKind::BinomialPipeline, 16, 16);
+        let done = s.completion_rounds();
+        let max = *done.iter().max().unwrap();
+        let min_nonroot = done[1..].iter().min().unwrap();
+        assert!(max - min_nonroot <= 4);
+    }
+
+    #[test]
+    fn verify_rejects_sender_without_block() {
+        let mut s = generate(ScheduleKind::ChainSend, 3, 2);
+        // Corrupt: node 2 (which holds nothing at round 0) sends.
+        s.rounds[0].push(Transfer {
+            from: 2,
+            to: 1,
+            block: 1,
+        });
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::SenderLacksBlock { .. }) | Err(VerifyError::NodeReceivesTwice { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_double_send() {
+        let mut s = generate(ScheduleKind::SequentialSend, 3, 2);
+        let extra = Transfer {
+            from: 0,
+            to: 2,
+            block: 0,
+        };
+        s.rounds[0].push(extra);
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::NodeSendsTwice { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_incomplete() {
+        let mut s = generate(ScheduleKind::SequentialSend, 3, 2);
+        s.rounds.pop();
+        assert!(matches!(s.verify(), Err(VerifyError::Incomplete { .. })));
+    }
+
+    #[test]
+    fn verify_rejects_self_send() {
+        let mut s = generate(ScheduleKind::SequentialSend, 3, 1);
+        s.rounds[0][0].to = 0;
+        assert!(matches!(s.verify(), Err(VerifyError::SelfSend { .. })));
+    }
+
+    #[test]
+    fn two_nodes_all_kinds_degenerate_to_direct_send() {
+        for kind in ScheduleKind::ALL {
+            let s = generate(kind, 2, 3);
+            s.verify().unwrap();
+            assert_eq!(s.transfer_count(), 3);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(ScheduleKind::BinomialPipeline.to_string(), "binomial_pipeline");
+        assert_eq!(ScheduleKind::SequentialSend.name(), "sequential");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests over the RDMC schedule generators and executor.
+//!
+//! Every schedule family must, for arbitrary group sizes and block counts:
+//! pass static verification, propagate arbitrary content bit-exactly, and
+//! (for the binomial pipeline) stay within its round bound while performing
+//! the minimal number of transfers.
+
+use proptest::prelude::*;
+use spindle_rdmc::{executor::execute, Rdmc, ScheduleKind};
+
+fn dims(nodes: usize) -> usize {
+    usize::BITS as usize - (nodes - 1).leading_zeros() as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_schedule_kind_verifies(nodes in 2usize..=20, blocks in 1usize..=32) {
+        for kind in ScheduleKind::ALL {
+            let rdmc = Rdmc::new(nodes, blocks * 64, 64).unwrap();
+            let s = rdmc.schedule(kind);
+            prop_assert_eq!(s.blocks(), blocks);
+            prop_assert!(s.verify().is_ok(), "{} n={} k={}", kind, nodes, blocks);
+        }
+    }
+
+    #[test]
+    fn executor_propagates_arbitrary_content(
+        nodes in 2usize..=12,
+        block_bytes in 1usize..=512,
+        payload in proptest::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        let rdmc = Rdmc::new(nodes, payload.len(), block_bytes).unwrap();
+        for kind in ScheduleKind::ALL {
+            let s = rdmc.schedule(kind);
+            let rep = execute(&rdmc, &s, &payload);
+            prop_assert!(rep.is_ok(), "{}: {:?}", kind, rep);
+            let rep = rep.unwrap();
+            prop_assert_eq!(rep.transfers, (nodes - 1) * rdmc.blocks());
+            prop_assert_eq!(rep.wire_bytes, (nodes - 1) * payload.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_round_bound(nodes in 2usize..=33, blocks in 1usize..=64) {
+        let rdmc = Rdmc::new(nodes, blocks * 8, 8).unwrap();
+        let s = rdmc.schedule(ScheduleKind::BinomialPipeline);
+        let d = dims(nodes);
+        // Power-of-two groups are exactly optimal (blocks + d - 1); padded
+        // groups may pay up to ~d extra rounds for virtual-vertex hosting.
+        prop_assert!(
+            s.rounds().len() <= blocks + 2 * d + 2,
+            "n={} k={}: {} rounds",
+            nodes, blocks, s.rounds().len()
+        );
+        // Power-of-two groups achieve the optimum exactly.
+        if nodes.is_power_of_two() && nodes >= 2 {
+            prop_assert_eq!(s.rounds().len(), blocks + d - 1);
+        }
+    }
+
+    #[test]
+    fn pipeline_spread_bounded(nodes in 3usize..=32, blocks in 2usize..=32) {
+        // All receivers finish within 2d rounds of the first finisher.
+        let rdmc = Rdmc::new(nodes, blocks * 16, 16).unwrap();
+        let s = rdmc.schedule(ScheduleKind::BinomialPipeline);
+        let done = s.completion_rounds();
+        let max = done.iter().max().copied().unwrap();
+        let min_nonroot = done[1..].iter().min().copied().unwrap();
+        prop_assert!(max - min_nonroot <= 2 * dims(nodes));
+    }
+
+    #[test]
+    fn chain_has_exact_round_count(nodes in 2usize..=24, blocks in 1usize..=24) {
+        let rdmc = Rdmc::new(nodes, blocks, 1).unwrap();
+        let s = rdmc.schedule(ScheduleKind::ChainSend);
+        prop_assert_eq!(s.rounds().len(), blocks + nodes - 2);
+    }
+}

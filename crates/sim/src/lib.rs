@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate provides the virtual-time substrate on which the Spindle RDMA
+//! fabric model (`spindle-fabric`) and the simulated cluster runtime of
+//! `spindle-core` are built. It is deliberately small and generic:
+//!
+//! * [`SimTime`] — a nanosecond-resolution virtual instant,
+//! * [`Engine`] — a priority event queue with a deterministic tie-break order,
+//! * [`Resource`] — a FIFO-serialized resource (NIC link, CPU thread, lock),
+//! * [`stats`] — histogram / summary helpers shared by the metrics and the
+//!   benchmark harness,
+//! * [`rng`] — seeded, reproducible random number generation.
+//!
+//! Determinism is a core requirement: running the same simulation twice with
+//! the same seed must produce the identical event trace (this is asserted by
+//! integration tests in the workspace). The engine therefore orders events by
+//! `(time, insertion sequence)` so that simultaneous events always execute in
+//! the order they were scheduled.
+//!
+//! # Examples
+//!
+//! ```
+//! use spindle_sim::{Engine, SimTime};
+//! use std::time::Duration;
+//!
+//! #[derive(Debug)]
+//! enum Ev {
+//!     Ping(u32),
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_in(Duration::from_micros(5), Ev::Ping(1));
+//! engine.schedule_in(Duration::from_micros(2), Ev::Ping(2));
+//!
+//! let mut seen = Vec::new();
+//! while let Some((now, ev)) = engine.pop() {
+//!     match ev {
+//!         Ev::Ping(x) => seen.push((now, x)),
+//!     }
+//! }
+//! assert_eq!(seen[0].1, 2);
+//! assert_eq!(seen[1].1, 1);
+//! assert_eq!(seen[1].0, SimTime::from_micros(5));
+//! ```
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod sampler;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use resource::Resource;
+pub use rng::DetRng;
+pub use time::SimTime;

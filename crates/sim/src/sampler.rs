@@ -1,0 +1,187 @@
+//! Bounded, deterministic sample collection for percentile reporting.
+
+/// A decimating sampler: keeps a bounded, uniformly strided subset of an
+/// unbounded observation stream, deterministically (no RNG), so percentile
+/// estimates stay reproducible run to run.
+///
+/// The sampler keeps every `stride`-th observation. When the buffer fills,
+/// it drops every other retained sample and doubles the stride — so at any
+/// moment it holds an evenly spaced subset of the whole stream with at
+/// most `capacity` entries.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_sim::stats::Decimator;
+///
+/// let mut d = Decimator::new(128);
+/// for i in 0..10_000 {
+///     d.record(i as f64);
+/// }
+/// let p50 = d.percentile(0.5);
+/// // Uniform stream: the median of the subset is close to the true median.
+/// assert!((p50 - 5_000.0).abs() < 300.0, "{p50}");
+/// assert!(d.len() <= 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    samples: Vec<f64>,
+    capacity: usize,
+    stride: u64,
+    seen: u64,
+}
+
+impl Decimator {
+    /// Creates a sampler that retains at most `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "decimator needs capacity >= 2");
+        Decimator {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Offers one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == self.capacity {
+                // Thin: keep every other sample, double the stride.
+                let mut keep = Vec::with_capacity(self.capacity);
+                for (i, &s) in self.samples.iter().enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.stride *= 2;
+                if self.seen.is_multiple_of(self.stride) {
+                    self.samples.push(x);
+                }
+            } else {
+                self.samples.push(x);
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total observations offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Nearest-rank percentile over the retained subset (`q` in `[0, 1]`);
+    /// 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        crate::stats::percentile(&self.samples, q)
+    }
+
+    /// Merges another sampler's retained subset into this one (both keep
+    /// evenly spaced subsets, so the concatenation remains representative;
+    /// it is thinned back down to the capacity).
+    pub fn merge(&mut self, other: &Decimator) {
+        self.samples.extend_from_slice(&other.samples);
+        self.seen += other.seen;
+        while self.samples.len() > self.capacity {
+            let keep: Vec<f64> = self
+                .samples
+                .iter()
+                .copied()
+                .step_by(2)
+                .collect();
+            self.samples = keep;
+            self.stride = self.stride.saturating_mul(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut d = Decimator::new(16);
+        for i in 0..10 {
+            d.record(i as f64);
+        }
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.seen(), 10);
+        assert_eq!(d.percentile(1.0), 9.0);
+    }
+
+    #[test]
+    fn bounded_under_flood() {
+        let mut d = Decimator::new(32);
+        for i in 0..100_000 {
+            d.record(i as f64);
+        }
+        assert!(d.len() <= 32);
+        assert_eq!(d.seen(), 100_000);
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let mut d = Decimator::new(256);
+        for i in 0..50_000 {
+            d.record(i as f64);
+        }
+        let p10 = d.percentile(0.1);
+        let p90 = d.percentile(0.9);
+        assert!((p10 - 5_000.0).abs() < 1_500.0, "{p10}");
+        assert!((p90 - 45_000.0).abs() < 1_500.0, "{p90}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut d = Decimator::new(64);
+            for i in 0..12_345 {
+                d.record((i * 7 % 1000) as f64);
+            }
+            (d.len(), d.percentile(0.5), d.percentile(0.99))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_combines_streams() {
+        let mut a = Decimator::new(64);
+        let mut b = Decimator::new(64);
+        for i in 0..1_000 {
+            a.record(i as f64);
+            b.record((i + 1_000) as f64);
+        }
+        a.merge(&b);
+        let p50 = a.percentile(0.5);
+        assert!((p50 - 1_000.0).abs() < 200.0, "{p50}");
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let d = Decimator::new(8);
+        assert!(d.is_empty());
+        assert_eq!(d.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_capacity_rejected() {
+        Decimator::new(1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Statistics helpers shared by metrics collection and the benchmark harness.
+
+use std::fmt;
+
+pub use crate::sampler::Decimator;
+
+/// An online mean / standard deviation accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use spindle_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.stddev() - 2.138).abs() < 1e-3); // sample stddev
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values (linear buckets of equal
+/// width), used for the paper's batch-size histograms (Figure 7).
+///
+/// Values above the last bucket are counted in an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use spindle_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(1, 10); // buckets for 1..=10
+/// h.record(1);
+/// h.record(2);
+/// h.record(2);
+/// h.record(999); // overflow
+/// assert_eq!(h.count_at(2), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.frequency_at(2) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    sum: u128,
+    total: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with one bucket per integer in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "histogram bounds must satisfy lo <= hi");
+        Histogram {
+            lo,
+            counts: vec![0; (hi - lo + 1) as usize],
+            overflow: 0,
+            underflow: 0,
+            sum: 0,
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.sum += v as u128;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(v);
+        if v < self.lo {
+            self.underflow += 1;
+        } else if let Some(slot) = self.counts.get_mut((v - self.lo) as usize) {
+            *slot += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count of observations exactly equal to `v` (0 outside the range).
+    pub fn count_at(&self, v: u64) -> u64 {
+        if v < self.lo {
+            0
+        } else {
+            self.counts.get((v - self.lo) as usize).copied().unwrap_or(0)
+        }
+    }
+
+    /// Fraction of all observations equal to `v`.
+    pub fn frequency_at(&self, v: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_at(v) as f64 / self.total as f64
+        }
+    }
+
+    /// Observations above the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded values (including over/underflow).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest value observed.
+    pub fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Iterates `(value, count)` over the in-range buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as u64, c))
+    }
+
+    /// Merges another histogram with identical bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bucket ranges.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram bounds differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
+        self.sum += other.sum;
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+/// Exact percentile over a collected sample (sorts a copy).
+///
+/// `q` is in `[0, 1]`; returns 0.0 for an empty slice. Uses the
+/// nearest-rank method.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_stream() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record(3.5);
+        }
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let mut all = Summary::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..20] {
+            a.record(x);
+        }
+        for &x in &xs[20..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_into_empty() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        b.record(1.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::new(5, 8);
+        for v in [4, 5, 6, 6, 8, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count_at(6), 2);
+        assert_eq!(h.count_at(7), 0);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max_seen(), 100);
+    }
+
+    #[test]
+    fn histogram_mean_includes_all() {
+        let mut h = Histogram::new(0, 3);
+        h.record(1);
+        h.record(3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(1, 4);
+        let mut b = Histogram::new(1, 4);
+        a.record(2);
+        b.record(2);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count_at(2), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn histogram_iter_covers_range() {
+        let mut h = Histogram::new(2, 4);
+        h.record(3);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(2, 0), (3, 1), (4, 0)]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

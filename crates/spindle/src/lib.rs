@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! # Spindle — optimized atomic multicast on (simulated) RDMA
+//!
+//! A from-scratch Rust reproduction of *"Spindle: Techniques for Optimizing
+//! Atomic Multicast on RDMA"* (Jha, Rosa, Birman — ICDCS 2022), including
+//! the full Derecho-style substrate the paper builds on:
+//!
+//! * [`fabric`] — the RDMA abstraction: registered memory regions with
+//!   cache-line-atomic, write-ordered placement; a threaded shared-memory
+//!   fabric; and the calibrated network/memcpy/SSD cost models;
+//! * [`sst`] — the Shared State Table of monotonic variables;
+//! * [`smc`] — the ring-buffer small-message multicast;
+//! * [`membership`] — virtual-synchrony views, subgroups, round-robin
+//!   sequencing, the null-send rule, and view-change ragged trim;
+//! * [`core`] — the multicast engine with all four Spindle optimizations
+//!   (opportunistic batching, null-sends, early lock release, delivery
+//!   modes), runnable on real threads ([`Cluster`]) or on a deterministic
+//!   discrete-event cluster ([`SimCluster`]) that regenerates every figure
+//!   of the paper's evaluation;
+//! * [`rdmc`] — Derecho's *second* data plane for large objects (the
+//!   paper's Fig. 4 caption): RDMC-style block multicast schedules
+//!   (sequential / chain / binomial tree / binomial pipeline) with a
+//!   verifying executor and cost-model analysis;
+//! * [`dds`] — the OMG-DCPS-style avionics DDS with four QoS levels and
+//!   the §4.6 TCP external-client relay ([`ExternalClient`]);
+//! * [`persist`] — the durable log behind the persistent atomic multicast
+//!   of the paper's footnote 2 ([`Cluster::start_persistent`]).
+//!
+//! The threaded runtime also carries the membership machinery the paper
+//! assumes: SST heartbeat failure detection
+//! ([`Cluster::start_with_detector`], [`Suspicion`]), removal
+//! ([`Cluster::remove_node`]) and joins ([`Cluster::add_node`]) via the
+//! §2.1 epoch transition.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spindle::{Cluster, SpindleConfig, SubgroupId, ViewBuilder};
+//! use std::time::Duration;
+//!
+//! // Three nodes, all senders in one subgroup.
+//! let view = ViewBuilder::new(3)
+//!     .subgroup(&[0, 1, 2], &[0, 1, 2], 16, 1024)
+//!     .build()?;
+//! let cluster = Cluster::start(view, SpindleConfig::optimized());
+//! cluster.node(0).send(SubgroupId(0), b"hello from n0")?;
+//! cluster.node(1).send(SubgroupId(0), b"hello from n1")?;
+//! // Every member delivers both messages, in the same order.
+//! for n in 0..3 {
+//!     let a = cluster.node(n).recv_timeout(Duration::from_secs(5)).unwrap();
+//!     let b = cluster.node(n).recv_timeout(Duration::from_secs(5)).unwrap();
+//!     assert_eq!((a.sender_rank, b.sender_rank), (0, 1));
+//! }
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Reproducing the paper
+//!
+//! `cargo run -p spindle-bench --release --bin figures -- all` regenerates
+//! every table and figure of the evaluation section; see `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
+
+pub use spindle_core as core;
+pub use spindle_dds as dds;
+pub use spindle_fabric as fabric;
+pub use spindle_membership as membership;
+pub use spindle_rdmc as rdmc;
+pub use spindle_sim as sim;
+pub use spindle_smc as smc;
+pub use spindle_sst as sst;
+
+pub use spindle_core::detector::DetectorConfig;
+pub use spindle_core::threaded::{
+    Delivered, NodeHandle, PersistConfig, SendError, Suspicion, ViewChangeError, ViewChangeReport,
+};
+pub use spindle_persist as persist;
+pub use spindle_core::{
+    Cluster, CostModel, DeliveryTiming, RunReport, SenderActivity, SimCluster, SpindleConfig,
+    Workload,
+};
+pub use spindle_dds::{
+    DdsDomain, DdsExperiment, DomainBuilder, ExternalClient, PublishStatus, QosLevel, TopicId,
+};
+pub use spindle_fabric::NodeId;
+pub use spindle_rdmc::{Rdmc, ScheduleKind};
+pub use spindle_membership::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};

@@ -1,0 +1,142 @@
+//! Integration: the DDS layer end to end — multiple topics, multiple
+//! publishers, all four QoS levels, over the threaded cluster.
+
+use std::time::Duration;
+
+use spindle::{DomainBuilder, QosLevel, TopicId};
+
+#[test]
+fn multi_publisher_topic_total_order() {
+    // Two publishers on one topic: subscribers must agree on the order.
+    let domain = DomainBuilder::new(4)
+        .topic(TopicId(1), &[0, 1], &[2, 3], QosLevel::AtomicMulticast)
+        .start()
+        .unwrap();
+    std::thread::scope(|s| {
+        for p in 0..2 {
+            let d = &domain;
+            s.spawn(move || {
+                for i in 0..30u32 {
+                    let mut m = (p as u32).to_le_bytes().to_vec();
+                    m.extend_from_slice(&i.to_le_bytes());
+                    d.participant(p).publish(TopicId(1), &m).unwrap();
+                }
+            });
+        }
+    });
+    let mut orders = Vec::new();
+    for sub in 2..4 {
+        let mut seq = Vec::new();
+        while seq.len() < 60 {
+            if let Some(s) = domain
+                .participant(sub)
+                .take_timeout(TopicId(1), Duration::from_secs(20))
+                .unwrap()
+            {
+                seq.push((s.publisher, s.index));
+            } else {
+                panic!("subscriber {sub} stalled at {}", seq.len());
+            }
+        }
+        orders.push(seq);
+    }
+    assert_eq!(orders[0], orders[1], "subscribers disagree on sample order");
+}
+
+#[test]
+fn mixed_qos_topics_coexist() {
+    let domain = DomainBuilder::new(3)
+        .topic(TopicId(1), &[0], &[1, 2], QosLevel::AtomicMulticast)
+        .topic(TopicId(2), &[0], &[1], QosLevel::VolatileStorage)
+        .topic(TopicId(3), &[1], &[2], QosLevel::LoggedStorage)
+        .start()
+        .unwrap();
+    for i in 0..10u8 {
+        domain.participant(0).publish(TopicId(1), &[1, i]).unwrap();
+        domain.participant(0).publish(TopicId(2), &[2, i]).unwrap();
+        domain.participant(1).publish(TopicId(3), &[3, i]).unwrap();
+    }
+    // Topic 1 at both subscribers.
+    for sub in 1..3 {
+        for i in 0..10u8 {
+            let s = domain
+                .participant(sub)
+                .take_timeout(TopicId(1), Duration::from_secs(10))
+                .unwrap()
+                .unwrap();
+            assert_eq!(s.data, vec![1, i]);
+        }
+    }
+    // Topic 2 history persists after takes.
+    for _ in 0..10 {
+        domain
+            .participant(1)
+            .take_timeout(TopicId(2), Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+    }
+    assert_eq!(domain.participant(1).history(TopicId(2)).unwrap().len(), 10);
+    // Topic 3 log grows on disk at the subscriber.
+    for _ in 0..10 {
+        domain
+            .participant(2)
+            .take_timeout(TopicId(3), Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+    }
+    let records = domain.participant(2).replay_log(TopicId(3)).unwrap();
+    assert_eq!(records.len(), 10, "all 10 samples durably logged");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.data, vec![3, i as u8]);
+    }
+    let _ = std::fs::remove_dir_all(domain.log_dir());
+}
+
+#[test]
+fn unordered_domain_delivers_everything() {
+    let domain = DomainBuilder::new(3)
+        .topic(TopicId(7), &[0, 1], &[2], QosLevel::Unordered)
+        .start()
+        .unwrap();
+    for i in 0..20u8 {
+        domain.participant(0).publish(TopicId(7), &[0, i]).unwrap();
+        domain.participant(1).publish(TopicId(7), &[1, i]).unwrap();
+    }
+    let mut per_pub = [0u8; 2];
+    for _ in 0..40 {
+        let s = domain
+            .participant(2)
+            .take_timeout(TopicId(7), Duration::from_secs(10))
+            .unwrap()
+            .expect("unordered sample");
+        // FIFO per publisher even without total order.
+        assert_eq!(s.data[1], per_pub[s.data[0] as usize]);
+        per_pub[s.data[0] as usize] += 1;
+    }
+    assert_eq!(per_pub, [20, 20]);
+}
+
+#[test]
+fn publisher_is_also_subscriber() {
+    // A publisher in the subgroup receives its own topic traffic.
+    let domain = DomainBuilder::new(2)
+        .topic(TopicId(4), &[0, 1], &[], QosLevel::AtomicMulticast)
+        .start()
+        .unwrap();
+    domain.participant(0).publish(TopicId(4), b"ping").unwrap();
+    domain.participant(1).publish(TopicId(4), b"pong").unwrap();
+    for p in 0..2 {
+        let a = domain
+            .participant(p)
+            .take_timeout(TopicId(4), Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+        let b = domain
+            .participant(p)
+            .take_timeout(TopicId(4), Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.data, b"ping");
+        assert_eq!(b.data, b"pong");
+    }
+}

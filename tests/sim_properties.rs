@@ -1,0 +1,163 @@
+//! Property tests over the simulated cluster: for randomized cluster
+//! shapes, windows and workloads, the engine completes, delivers exactly
+//! the offered messages at every member, stays deterministic under a fixed
+//! seed, and respects the paper's directional performance claims.
+
+use proptest::prelude::*;
+use spindle::{SenderActivity, SimCluster, SpindleConfig, ViewBuilder, Workload};
+use std::time::Duration;
+
+fn view(n: usize, senders: usize, window: usize, max_msg: usize) -> spindle::View {
+    let members: Vec<usize> = (0..n).collect();
+    let s: Vec<usize> = (0..senders).collect();
+    ViewBuilder::new(n)
+        .subgroup(&members, &s, window, max_msg)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Exactly-once delivery of the whole offered workload, any shape.
+    #[test]
+    fn optimized_delivers_exactly_offered(
+        n in 2usize..6,
+        senders_raw in 1usize..6,
+        window in prop::sample::select(vec![2usize, 4, 16, 64]),
+        msgs in 20u64..120,
+        size in prop::sample::select(vec![1usize, 128, 1024, 10 * 1024]),
+        seed in 0u64..1000,
+    ) {
+        let senders = senders_raw.min(n);
+        let r = SimCluster::new(
+            view(n, senders, window, size),
+            SpindleConfig::optimized(),
+            Workload::new(msgs, size),
+        )
+        .with_seed(seed)
+        .run();
+        prop_assert!(r.completed, "stalled: n={n} s={senders} w={window}");
+        for node in &r.nodes {
+            prop_assert_eq!(node.delivered_msgs, senders as u64 * msgs);
+            prop_assert_eq!(node.delivered_bytes, senders as u64 * msgs * size as u64);
+        }
+    }
+
+    /// The baseline also delivers everything (slower, but correct).
+    #[test]
+    fn baseline_delivers_exactly_offered(
+        n in 2usize..5,
+        senders_raw in 1usize..5,
+        window in prop::sample::select(vec![4usize, 16]),
+        msgs in 20u64..60,
+        seed in 0u64..1000,
+    ) {
+        let senders = senders_raw.min(n);
+        let r = SimCluster::new(
+            view(n, senders, window, 1024),
+            SpindleConfig::baseline(),
+            Workload::new(msgs, 1024),
+        )
+        .with_seed(seed)
+        .run();
+        prop_assert!(r.completed);
+        for node in &r.nodes {
+            prop_assert_eq!(node.delivered_msgs, senders as u64 * msgs);
+        }
+    }
+
+    /// Determinism: the same seed reproduces the identical run; different
+    /// seeds may differ but still deliver the same totals.
+    #[test]
+    fn seeded_determinism(
+        n in 2usize..5,
+        msgs in 20u64..80,
+        seed in 0u64..1000,
+    ) {
+        let v = view(n, n, 16, 1024);
+        let wl = Workload::new(msgs, 1024);
+        let a = SimCluster::new(v.clone(), SpindleConfig::optimized(), wl.clone())
+            .with_seed(seed)
+            .run();
+        let b = SimCluster::new(v.clone(), SpindleConfig::optimized(), wl.clone())
+            .with_seed(seed)
+            .run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.total_writes(), b.total_writes());
+        let c = SimCluster::new(v, SpindleConfig::optimized(), wl)
+            .with_seed(seed + 1)
+            .run();
+        for (x, y) in a.nodes.iter().zip(&c.nodes) {
+            prop_assert_eq!(x.delivered_msgs, y.delivered_msgs);
+        }
+    }
+
+    /// Null-send liveness for arbitrary inactive subsets (as long as one
+    /// sender remains active).
+    #[test]
+    fn nulls_survive_any_inactive_subset(
+        n in 3usize..7,
+        inactive_mask in 0u32..64,
+        seed in 0u64..100,
+    ) {
+        let mut wl = Workload::new(50, 1024);
+        let mut active = 0;
+        for r in 0..n {
+            if inactive_mask & (1 << r) != 0 {
+                wl = wl.with_activity(0, r, SenderActivity::Inactive);
+            } else {
+                active += 1;
+            }
+        }
+        prop_assume!(active > 0);
+        let r = SimCluster::new(view(n, n, 16, 1024), SpindleConfig::optimized(), wl)
+            .with_seed(seed)
+            .run();
+        prop_assert!(r.completed, "stalled with mask {inactive_mask:b}");
+        for node in &r.nodes {
+            prop_assert_eq!(node.delivered_msgs, active as u64 * 50);
+        }
+    }
+
+    /// Delays never break completion, whatever their size.
+    #[test]
+    fn delays_never_break_completion(
+        delay_us in 1u64..300,
+        victim in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let wl = Workload::new(40, 1024)
+            .with_activity(0, victim, SenderActivity::DelayEach(Duration::from_micros(delay_us)));
+        let r = SimCluster::new(view(4, 4, 16, 1024), SpindleConfig::optimized(), wl)
+            .with_seed(seed)
+            .run();
+        prop_assert!(r.completed);
+        for node in &r.nodes {
+            // The run stops once the three continuous senders' messages are
+            // all delivered; the delayed sender's are a bonus.
+            prop_assert!(node.delivered_msgs >= 3 * 40);
+            prop_assert!(node.delivered_msgs <= 4 * 40);
+        }
+    }
+}
+
+/// Directional claims of the paper, at a fixed representative scale (kept
+/// out of proptest: they are about magnitudes, not corner cases).
+#[test]
+fn directional_performance_claims() {
+    let v = view(8, 8, 100, 10 * 1024);
+    let wl = Workload::new(800, 10 * 1024);
+    let base = SimCluster::new(v.clone(), SpindleConfig::baseline(), wl.clone()).run();
+    let batch = SimCluster::new(v.clone(), SpindleConfig::batching_only(), wl.clone()).run();
+    let opt = SimCluster::new(v, SpindleConfig::optimized(), wl).run();
+    // Batching beats baseline by a wide margin (Fig. 3)...
+    assert!(batch.bandwidth_gbps() > 3.0 * base.bandwidth_gbps());
+    // ...the full stack beats batching-only (Fig. 12)...
+    assert!(opt.bandwidth_gbps() > batch.bandwidth_gbps());
+    // ...and writes + posting time collapse (§4.1.1).
+    assert!(base.total_writes() > 5 * opt.total_writes());
+    assert!(base.total_post_time() > opt.total_post_time());
+    // Latency improves despite batching (the paper's headline).
+    assert!(opt.mean_latency_ms() < base.mean_latency_ms());
+}
