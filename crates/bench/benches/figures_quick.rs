@@ -98,7 +98,11 @@ fn figure_smokes(c: &mut Criterion) {
                     wl = wl.with_activity(sg, rank, SenderActivity::Inactive);
                 }
             }
-            run(overlapping_subgroups(3, 5, W, MSG), SpindleConfig::baseline(), wl)
+            run(
+                overlapping_subgroups(3, 5, W, MSG),
+                SpindleConfig::baseline(),
+                wl,
+            )
         })
     });
 
@@ -123,8 +127,11 @@ fn figure_smokes(c: &mut Criterion) {
             run(
                 single_subgroup(4, Pattern::All, W, MSG),
                 SpindleConfig::optimized(),
-                Workload::new(150, MSG)
-                    .with_activity(0, 1, SenderActivity::DelayEach(Duration::from_micros(100))),
+                Workload::new(150, MSG).with_activity(
+                    0,
+                    1,
+                    SenderActivity::DelayEach(Duration::from_micros(100)),
+                ),
             )
         })
     });

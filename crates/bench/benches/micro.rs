@@ -10,7 +10,10 @@ use spindle_membership::{nulls_owed, MsgId, SeqSpace};
 use spindle_smc::{scan_new, Ring};
 use spindle_sst::{LayoutBuilder, Sst};
 
-fn sst_setup(window: usize, max_msg: usize) -> (Sst, spindle_sst::CounterCol, spindle_sst::SlotsCol) {
+fn sst_setup(
+    window: usize,
+    max_msg: usize,
+) -> (Sst, spindle_sst::CounterCol, spindle_sst::SlotsCol) {
     let mut b = LayoutBuilder::new();
     let c = b.add_counter("received_num", -1);
     let s = b.add_slots("smc", window, max_msg);

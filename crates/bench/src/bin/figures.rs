@@ -58,9 +58,31 @@ fn main() {
     opts.runs = runs_override.unwrap_or(if opts.full { 5 } else { 2 });
     let exp = exp.unwrap_or_else(|| "all".to_string());
     let all = [
-        "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "upcall",
-        "counters", "nullstress", "ablate", "rdmc", "membership", "durability",
+        "table1",
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "upcall",
+        "counters",
+        "nullstress",
+        "ablate",
+        "rdmc",
+        "membership",
+        "durability",
     ];
     let list: Vec<&str> = if exp == "all" {
         all.to_vec()
@@ -138,18 +160,26 @@ fn table1(_opts: &Opts) {
     for row in 0..5 {
         for g in 0..3 {
             if let Some(v) = r[row][g] {
-                region.store(plan.layout.abs_word(row, plan.cols[g].recv.word_range().start), v as u64);
+                region.store(
+                    plan.layout
+                        .abs_word(row, plan.cols[g].recv.word_range().start),
+                    v as u64,
+                );
             }
             if let Some(v) = d[row][g] {
                 region.store(
-                    plan.layout.abs_word(row, plan.cols[g].deliv.word_range().start),
+                    plan.layout
+                        .abs_word(row, plan.cols[g].deliv.word_range().start),
                     v as u64,
                 );
             }
         }
     }
     println!("== table1 — sample SST state at node 0 (paper Table 1a)");
-    println!("{:>7} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}", "", "r[0]", "r[1]", "r[2]", "d[0]", "d[1]", "d[2]");
+    println!(
+        "{:>7} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "", "r[0]", "r[1]", "r[2]", "d[0]", "d[1]", "d[2]"
+    );
     for row in 0..5 {
         let cell = |g: usize, col: spindle_sst::CounterCol| -> String {
             if membership[g].contains(&row) {
@@ -231,10 +261,7 @@ fn fig3(opts: &Opts) {
 /// stack.
 fn fig4(opts: &Opts) {
     let sizes = [1usize, 128, 1024, 10 * 1024];
-    let mut series: Vec<String> = sizes
-        .iter()
-        .map(|s| format!("{}B all", s))
-        .collect();
+    let mut series: Vec<String> = sizes.iter().map(|s| format!("{}B all", s)).collect();
     series.push("10KB half".into());
     series.push("10KB one".into());
     let mut t = Table::new(
@@ -305,7 +332,11 @@ fn fig5(opts: &Opts) {
         let view = single_subgroup(n, Pattern::All, PAPER_WINDOW, PAPER_MSG);
         let mut points = Vec::new();
         for (_, cfg, slow) in &stages {
-            let msgs = if *slow { opts.msgs_baseline() } else { opts.msgs() };
+            let msgs = if *slow {
+                opts.msgs_baseline()
+            } else {
+                opts.msgs()
+            };
             let reports = run_seeds(&view, cfg, &paper_workload(msgs), opts.runs);
             let mut b = spindle_sim::stats::Summary::new();
             let mut l = spindle_sim::stats::Summary::new();
@@ -313,8 +344,14 @@ fn fig5(opts: &Opts) {
                 b.record(bw(r));
                 l.record(lat(r));
             }
-            points.push(Point { mean: b.mean(), sd: b.stddev() });
-            points.push(Point { mean: l.mean(), sd: l.stddev() });
+            points.push(Point {
+                mean: b.mean(),
+                sd: b.stddev(),
+            });
+            points.push(Point {
+                mean: l.mean(),
+                sd: l.stddev(),
+            });
         }
         t.row(n as f64, points);
     }
@@ -335,7 +372,13 @@ fn fig6(opts: &Opts) {
         let mut points = Vec::new();
         for &w in &windows {
             let view = single_subgroup(n, Pattern::All, w, PAPER_MSG);
-            points.push(measure(&view, &cfg, &paper_workload(opts.msgs()), opts.runs, bw));
+            points.push(measure(
+                &view,
+                &cfg,
+                &paper_workload(opts.msgs()),
+                opts.runs,
+                bw,
+            ));
         }
         t.row(n as f64, points);
     }
@@ -368,7 +411,10 @@ fn fig7(opts: &Opts) {
         deliv.mean()
     );
     let emit = |name: &str, h: &spindle_sim::stats::Histogram, buckets: &[u64]| {
-        println!("\n(fig7{}) {name} batches — frequency %:", name.chars().next().unwrap());
+        println!(
+            "\n(fig7{}) {name} batches — frequency %:",
+            name.chars().next().unwrap()
+        );
         for &b in buckets {
             let pct = h.frequency_at(b) * 100.0;
             if pct > 0.05 {
@@ -377,11 +423,7 @@ fn fig7(opts: &Opts) {
         }
     };
     emit("send", &send, &(1..=14).collect::<Vec<u64>>());
-    emit(
-        "receive",
-        &recv,
-        &(1..=50).collect::<Vec<u64>>(),
-    );
+    emit("receive", &recv, &(1..=50).collect::<Vec<u64>>());
     emit(
         "delivery",
         &deliv,
@@ -394,9 +436,27 @@ fn fig7(opts: &Opts) {
         "stage",
         vec!["mean batch".into()],
     );
-    t.row(0.0, vec![Point { mean: send.mean(), sd: 0.0 }]);
-    t.row(1.0, vec![Point { mean: recv.mean(), sd: 0.0 }]);
-    t.row(2.0, vec![Point { mean: deliv.mean(), sd: 0.0 }]);
+    t.row(
+        0.0,
+        vec![Point {
+            mean: send.mean(),
+            sd: 0.0,
+        }],
+    );
+    t.row(
+        1.0,
+        vec![Point {
+            mean: recv.mean(),
+            sd: 0.0,
+        }],
+    );
+    t.row(
+        2.0,
+        vec![Point {
+            mean: deliv.mean(),
+            sd: 0.0,
+        }],
+    );
     t.emit(opts);
 }
 
@@ -457,11 +517,27 @@ fn fig9(opts: &Opts) {
 fn fig10(opts: &Opts) {
     let cases: Vec<(String, Option<SenderActivity>, bool)> = vec![
         ("no delayed senders".into(), None, false),
-        ("1us one".into(), Some(SenderActivity::DelayEach(us(1))), false),
-        ("100us one".into(), Some(SenderActivity::DelayEach(us(100))), false),
+        (
+            "1us one".into(),
+            Some(SenderActivity::DelayEach(us(1))),
+            false,
+        ),
+        (
+            "100us one".into(),
+            Some(SenderActivity::DelayEach(us(100))),
+            false,
+        ),
         ("lengthy one".into(), Some(SenderActivity::Inactive), false),
-        ("1us half".into(), Some(SenderActivity::DelayEach(us(1))), true),
-        ("100us half".into(), Some(SenderActivity::DelayEach(us(100))), true),
+        (
+            "1us half".into(),
+            Some(SenderActivity::DelayEach(us(1))),
+            true,
+        ),
+        (
+            "100us half".into(),
+            Some(SenderActivity::DelayEach(us(100))),
+            true,
+        ),
         ("lengthy half".into(), Some(SenderActivity::Inactive), true),
     ];
     let mut t = Table::new(
@@ -512,7 +588,13 @@ fn fig11(opts: &Opts) {
         ] {
             for pat in [Pattern::All, Pattern::Half, Pattern::One] {
                 let view = single_subgroup(n, pat, PAPER_WINDOW, PAPER_MSG);
-                points.push(measure(&view, &cfg, &paper_workload(opts.msgs()), opts.runs, bw));
+                points.push(measure(
+                    &view,
+                    &cfg,
+                    &paper_workload(opts.msgs()),
+                    opts.runs,
+                    bw,
+                ));
             }
         }
         t.row(n as f64, points);
@@ -542,7 +624,11 @@ fn fig12(opts: &Opts) {
         let view = single_subgroup(n, Pattern::All, PAPER_WINDOW, PAPER_MSG);
         let mut points = Vec::new();
         for (_, cfg, slow) in &stages {
-            let msgs = if *slow { opts.msgs_baseline() } else { opts.msgs() };
+            let msgs = if *slow {
+                opts.msgs_baseline()
+            } else {
+                opts.msgs()
+            };
             points.push(measure(&view, cfg, &paper_workload(msgs), opts.runs, bw));
         }
         t.row(n as f64, points);
@@ -628,7 +714,13 @@ fn fig15(opts: &Opts) {
         ] {
             for pat in [Pattern::All, Pattern::Half, Pattern::One] {
                 let view = single_subgroup(n, pat, PAPER_WINDOW, PAPER_MSG);
-                points.push(measure(&view, &cfg, &paper_workload(opts.msgs()), opts.runs, bw));
+                points.push(measure(
+                    &view,
+                    &cfg,
+                    &paper_workload(opts.msgs()),
+                    opts.runs,
+                    bw,
+                ));
             }
         }
         t.row(n as f64, points);
@@ -680,10 +772,19 @@ fn fig16_17(opts: &Opts) {
                     l.record(lat(r));
                     p99.record(r.latency_percentile_ms(0.99));
                 }
-                p16.push(Point { mean: b.mean(), sd: b.stddev() });
-                p17.push(Point { mean: l.mean(), sd: l.stddev() });
+                p16.push(Point {
+                    mean: b.mean(),
+                    sd: b.stddev(),
+                });
+                p17.push(Point {
+                    mean: l.mean(),
+                    sd: l.stddev(),
+                });
                 if pat == Pattern::All {
-                    p99s.push(Point { mean: p99.mean(), sd: p99.stddev() });
+                    p99s.push(Point {
+                        mean: p99.mean(),
+                        sd: p99.stddev(),
+                    });
                 }
             }
         }
@@ -720,7 +821,11 @@ fn fig18(opts: &Opts) {
         let mut points = Vec::new();
         for spindle in [true, false] {
             for qos in QosLevel::ALL {
-                let samples = if spindle { opts.msgs() } else { opts.msgs_baseline() };
+                let samples = if spindle {
+                    opts.msgs()
+                } else {
+                    opts.msgs_baseline()
+                };
                 let mut s = spindle_sim::stats::Summary::new();
                 for seed in 1..=opts.runs as u64 {
                     let r = DdsExperiment::new(n, qos, spindle)
@@ -729,7 +834,10 @@ fn fig18(opts: &Opts) {
                         .run();
                     s.record(DdsExperiment::subscriber_bandwidth_mbs(&r));
                 }
-                points.push(Point { mean: s.mean(), sd: s.stddev() });
+                points.push(Point {
+                    mean: s.mean(),
+                    sd: s.stddev(),
+                });
             }
         }
         t.row(n as f64, points);
@@ -749,8 +857,21 @@ fn upcall(opts: &Opts) {
         "upcall us",
         vec!["GB/s".into(), "% of no-delay".into()],
     );
-    t.row(0.0, vec![baseline, Point { mean: 100.0, sd: 0.0 }]);
-    for (us_, msgs) in [(1u64, opts.msgs()), (100, opts.msgs() / 4), (1000, opts.msgs() / 20)] {
+    t.row(
+        0.0,
+        vec![
+            baseline,
+            Point {
+                mean: 100.0,
+                sd: 0.0,
+            },
+        ],
+    );
+    for (us_, msgs) in [
+        (1u64, opts.msgs()),
+        (100, opts.msgs() / 4),
+        (1000, opts.msgs() / 20),
+    ] {
         let wl = paper_workload(msgs.max(200)).with_upcall_cost(us(us_));
         let p = measure(&view, &cfg, &wl, opts.runs, bw);
         let pct = p.mean / baseline.mean * 100.0;
@@ -779,9 +900,7 @@ fn counters(opts: &Opts) {
         let pushes: u64 = r.nodes.iter().map(|x| x.push_ops).sum::<u64>() / n;
         let post = r.total_post_time().as_secs_f64() / n as f64;
         let wait = r.sender_wait_share() * 100.0;
-        println!(
-            "{name:>22} | {writes:>14} | {pushes:>14} | {post:>12.3} | {wait:>9.1}%",
-        );
+        println!("{name:>22} | {writes:>14} | {pushes:>14} | {post:>12.3} | {wait:>9.1}%",);
         rows.push((name, writes, pushes, post, wait, msgs));
     }
     println!(
@@ -832,9 +951,7 @@ fn nullstress(opts: &Opts) {
         "subgroup size",
         cases
             .iter()
-            .flat_map(|(name, _)| {
-                [format!("{name} (nulls)"), format!("{name} (no nulls)")]
-            })
+            .flat_map(|(name, _)| [format!("{name} (nulls)"), format!("{name} (no nulls)")])
             .collect(),
     );
     for n in opts.sizes() {
@@ -842,7 +959,13 @@ fn nullstress(opts: &Opts) {
         let mut points = Vec::new();
         for (_, shape) in cases {
             let wl = shape(paper_workload(opts.msgs()), n);
-            points.push(measure(&view, &SpindleConfig::optimized(), &wl, opts.runs, bw));
+            points.push(measure(
+                &view,
+                &SpindleConfig::optimized(),
+                &wl,
+                opts.runs,
+                bw,
+            ));
             points.push(measure(
                 &view,
                 &SpindleConfig::batching_only(),
@@ -890,7 +1013,10 @@ fn ablate(opts: &Opts) {
             vec![
                 Point { mean: o, sd: 0.0 },
                 Point { mean: b, sd: 0.0 },
-                Point { mean: o / b, sd: 0.0 },
+                Point {
+                    mean: o / b,
+                    sd: 0.0,
+                },
             ],
         );
     }
@@ -912,8 +1038,14 @@ fn ablate(opts: &Opts) {
         t.row(
             link / 1e9,
             vec![
-                Point { mean: r.bandwidth_gbps(), sd: 0.0 },
-                Point { mean: r.bandwidth_gbps() / cap * 100.0, sd: 0.0 },
+                Point {
+                    mean: r.bandwidth_gbps(),
+                    sd: 0.0,
+                },
+                Point {
+                    mean: r.bandwidth_gbps() / cap * 100.0,
+                    sd: 0.0,
+                },
             ],
         );
     }
@@ -933,7 +1065,13 @@ fn ablate(opts: &Opts) {
         let r = spindle_core::SimCluster::new(view.clone(), SpindleConfig::optimized(), wl.clone())
             .with_cost(cost)
             .run();
-        t.row(ns as f64, vec![Point { mean: r.bandwidth_gbps(), sd: 0.0 }]);
+        t.row(
+            ns as f64,
+            vec![Point {
+                mean: r.bandwidth_gbps(),
+                sd: 0.0,
+            }],
+        );
     }
     t.emit(opts);
 }
@@ -1018,7 +1156,6 @@ fn human(bytes: usize) -> String {
     }
 }
 
-
 /// Membership-operation latency on the threaded runtime (extension): how
 /// long the §2.1 epoch transition takes end to end — failure detection,
 /// removal (wedge + ragged trim + reinstall + resend), and join — as the
@@ -1044,7 +1181,11 @@ fn membership(opts: &Opts) {
         "membership",
         "membership ops on the threaded runtime (ms; detector timeout 50 ms)",
         "group size",
-        vec!["detect (ms)".into(), "remove (ms)".into(), "join (ms)".into()],
+        vec![
+            "detect (ms)".into(),
+            "remove (ms)".into(),
+            "join (ms)".into(),
+        ],
     );
     for &n in &sizes {
         let mut detect = spindle_sim::stats::Summary::new();
@@ -1060,7 +1201,10 @@ fn membership(opts: &Opts) {
                 Cluster::start_with_detector(view, SpindleConfig::optimized(), det.clone());
             // Background traffic so the transition has real state to trim.
             for i in 0..20u32 {
-                cluster.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+                cluster
+                    .node(0)
+                    .send(SubgroupId(0), &i.to_le_bytes())
+                    .unwrap();
             }
             std::thread::sleep(Duration::from_millis(10)); // heartbeats flowing
 
@@ -1148,7 +1292,10 @@ fn durability(opts: &Opts) {
         bytes / secs / 1e9
     };
     let dir = |tag: &str| {
-        let d = std::env::temp_dir().join(format!("spindle-fig-durability-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!(
+            "spindle-fig-durability-{}-{tag}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&d);
         d
     };
@@ -1177,7 +1324,13 @@ fn durability(opts: &Opts) {
             s.record(run(persist.clone()));
         }
         println!("  mode {i}: {label}");
-        t.row(i as f64, vec![Point { mean: s.mean(), sd: s.stddev() }]);
+        t.row(
+            i as f64,
+            vec![Point {
+                mean: s.mean(),
+                sd: s.stddev(),
+            }],
+        );
     }
     t.emit(opts);
     let _ = std::fs::remove_dir_all(dir("nofsync"));

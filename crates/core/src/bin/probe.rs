@@ -26,7 +26,11 @@ fn main() {
             let r = SimCluster::new(view.clone(), cfg, Workload::new(msgs, 10 * 1024)).run();
             let (sb, rb, db) = r.batch_histograms();
             let iters: u64 = r.nodes.iter().map(|x| x.iterations).sum();
-            let busy: f64 = r.nodes.iter().map(|x| x.pred_busy.as_secs_f64()).sum::<f64>()
+            let busy: f64 = r
+                .nodes
+                .iter()
+                .map(|x| x.pred_busy.as_secs_f64())
+                .sum::<f64>()
                 / r.nodes.len() as f64;
             println!(
                 "n={n:2} {name} bw={:7.3} GB/s lat={:9.3} ms writes={:9} wait={:4.1}% \

@@ -283,7 +283,10 @@ mod tests {
             .with_delivery_batching()
             .with_receive_batching();
         assert!(c.delivery_batching && c.receive_batching && !c.send_batching);
-        let c = c.with_send_batching().with_null_sends().with_early_lock_release();
+        let c = c
+            .with_send_batching()
+            .with_null_sends()
+            .with_early_lock_release();
         assert_eq!(c, SpindleConfig::optimized());
     }
 

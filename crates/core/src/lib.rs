@@ -26,8 +26,8 @@
 //!   used for correctness testing and as the embeddable library runtime.
 
 pub mod config;
-pub mod detector;
 pub mod cost;
+pub mod detector;
 pub mod metrics;
 pub mod plan;
 pub mod proto;

@@ -346,7 +346,11 @@ impl SubgroupProto {
         if rn > self.received_num {
             self.received_num = rn;
             out.ack = Some(sst.set_counter(self.cols.recv, rn));
-            out.ack_pushes = if batched { 1 } else { out.new_rounds.max(1) as u32 };
+            out.ack_pushes = if batched {
+                1
+            } else {
+                out.new_rounds.max(1) as u32
+            };
         }
         out
     }
@@ -356,7 +360,12 @@ impl SubgroupProto {
     /// counter when null rounds or batched sends require it.
     ///
     /// Returns `None` when there is nothing to push.
-    pub fn send_predicate(&mut self, sst: &Sst, batched: bool, push_committed: bool) -> Option<SendOutcome> {
+    pub fn send_predicate(
+        &mut self,
+        sst: &Sst,
+        batched: bool,
+        push_committed: bool,
+    ) -> Option<SendOutcome> {
         let hi = if batched {
             self.app_sent
         } else {
@@ -449,7 +458,10 @@ impl SubgroupProto {
                 let slot = self.ring.slot_of(a);
                 let h = sst.slot_header(self.cols.slots, row, slot);
                 debug_assert_eq!(h.gen, self.ring.gen_of(a), "undelivered slot was reused");
-                (a, sst.read_slot_with_len(self.cols.slots, row, slot, h.len as usize))
+                (
+                    a,
+                    sst.read_slot_with_len(self.cols.slots, row, slot, h.len as usize),
+                )
             })
             .collect()
     }
@@ -530,11 +542,7 @@ mod tests {
             let fabric = MemFabric::new(n, plan.layout.region_words());
             let ssts: Vec<Sst> = (0..n)
                 .map(|i| {
-                    let sst = Sst::new(
-                        plan.layout.clone(),
-                        fabric.region_arc(NodeId(i)),
-                        i,
-                    );
+                    let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(i)), i);
                     sst.init();
                     sst
                 })
@@ -651,8 +659,11 @@ mod tests {
         let d1 = m.pump_deliver(1);
         // Round 0 = {a0, b0}; round 1 has only b1 which needs node 0's
         // round-1 message (or a null) — not deliverable yet.
-        let order: Vec<(usize, u64)> =
-            d0.deliveries.iter().map(|d| (d.rank, d.app_index)).collect();
+        let order: Vec<(usize, u64)> = d0
+            .deliveries
+            .iter()
+            .map(|d| (d.rank, d.app_index))
+            .collect();
         assert_eq!(order, vec![(0, 0), (1, 0)]);
         assert_eq!(
             d1.deliveries

@@ -214,9 +214,8 @@ impl SimWorld {
             .collect();
         let mut nodes = Vec::with_capacity(n);
         for row in 0..n {
-            let region = std::sync::Arc::new(spindle_fabric::Region::new(
-                plan.layout.region_words(),
-            ));
+            let region =
+                std::sync::Arc::new(spindle_fabric::Region::new(plan.layout.region_words()));
             let sst = Sst::new(plan.layout.clone(), region, row);
             sst.init();
             let mut protos = Vec::new();
@@ -227,8 +226,7 @@ impl SimWorld {
                 if sg.member_rank(spindle_fabric::NodeId(row)).is_none() {
                     continue;
                 }
-                let proto =
-                    SubgroupProto::new(&sc.view, SubgroupId(g), plan.cols[g], row);
+                let proto = SubgroupProto::new(&sc.view, SubgroupId(g), plan.cols[g], row);
                 // This node must deliver every offered message in the
                 // subgroup from continuously active senders.
                 for r in 0..sg.num_senders() {
@@ -666,10 +664,7 @@ impl SimWorld {
                 let sent_at = self.ts[sg][rank][(app_index % w as u64) as usize];
                 let lat = upcall_time.saturating_since(sent_at);
                 self.nodes[node].m.latency.record(lat.as_secs_f64());
-                self.nodes[node]
-                    .m
-                    .latency_samples
-                    .record(lat.as_secs_f64());
+                self.nodes[node].m.latency_samples.record(lat.as_secs_f64());
                 self.count_delivery(upcall_time, node, len as u64);
             }
         }
@@ -677,7 +672,11 @@ impl SimWorld {
         // Post writes sequentially after the body.
         let mut t_post = body_start + busy;
         for (i, post) in posts.iter().enumerate() {
-            t_post += if i == 0 { cost.post_first } else { cost.post_next };
+            t_post += if i == 0 {
+                cost.post_first
+            } else {
+                cost.post_next
+            };
             let eg = self.nodes[node]
                 .egress
                 .acquire(t_post, cost.egress_time(post.wire));
@@ -829,8 +828,11 @@ mod tests {
     #[test]
     fn delayed_sender_with_nulls_still_completes() {
         let view = small_view(3, 3, 8);
-        let wl = Workload::new(50, 1024)
-            .with_activity(0, 2, SenderActivity::DelayEach(Duration::from_micros(100)));
+        let wl = Workload::new(50, 1024).with_activity(
+            0,
+            2,
+            SenderActivity::DelayEach(Duration::from_micros(100)),
+        );
         let r = SimCluster::new(view, SpindleConfig::optimized(), wl).run();
         assert!(r.completed);
         for n in &r.nodes {
@@ -897,9 +899,12 @@ mod tests {
     #[test]
     fn upcall_cost_degrades_throughput() {
         let view = small_view(2, 2, 32);
-        let fast =
-            SimCluster::new(view.clone(), SpindleConfig::optimized(), Workload::new(300, 10240))
-                .run();
+        let fast = SimCluster::new(
+            view.clone(),
+            SpindleConfig::optimized(),
+            Workload::new(300, 10240),
+        )
+        .run();
         let slow = SimCluster::new(
             view,
             SpindleConfig::optimized(),
@@ -948,6 +953,10 @@ mod tests {
         let wl = Workload::new(300, 10 * 1024);
         let base = SimCluster::new(view, SpindleConfig::baseline(), wl).run();
         // §4.1.1: baseline senders wait most of the time for free buffers.
-        assert!(base.sender_wait_share() > 0.5, "{}", base.sender_wait_share());
+        assert!(
+            base.sender_wait_share() > 0.5,
+            "{}",
+            base.sender_wait_share()
+        );
     }
 }

@@ -361,7 +361,11 @@ impl Cluster {
     /// detection on every node: each node pushes a heartbeat counter on
     /// `detector.heartbeat_interval` and suspicions surface on
     /// [`Cluster::suspicions`] after `detector.timeout` of silence.
-    pub fn start_with_detector(view: View, cfg: SpindleConfig, detector: DetectorConfig) -> Cluster {
+    pub fn start_with_detector(
+        view: View,
+        cfg: SpindleConfig,
+        detector: DetectorConfig,
+    ) -> Cluster {
         Cluster::start_inner(view, cfg, Some(detector), None)
     }
 
@@ -477,7 +481,10 @@ impl Cluster {
     ///
     /// Panics if `node` is out of range.
     pub fn kill(&self, node: usize) {
-        self.nodes[node].shared.killed.store(true, Ordering::Release);
+        self.nodes[node]
+            .shared
+            .killed
+            .store(true, Ordering::Release);
     }
 
     /// Handle to node `i`.
@@ -706,7 +713,11 @@ impl Cluster {
                     continue;
                 }
                 let inner = self.nodes[m.0].shared.inner.lock();
-                let p = inner.protos.iter().find(|p| p.sg.0 == g).expect("member proto");
+                let p = inner
+                    .protos
+                    .iter()
+                    .find(|p| p.sg.0 == g)
+                    .expect("member proto");
                 frontiers.push(p.received_num);
             }
             cuts.push(if frontiers.is_empty() {
@@ -994,9 +1005,10 @@ fn predicate_thread(
                     for peer in inner.hb_peers.clone() {
                         let v = sst.counter(inner.heartbeat_col, peer);
                         if let Some(suspect) = hb.observe(peer, v, now) {
-                            let _ = shared
-                                .suspicion_tx
-                                .send(Suspicion { reporter: row, suspect });
+                            let _ = shared.suspicion_tx.send(Suspicion {
+                                reporter: row,
+                                suspect,
+                            });
                         }
                     }
                 }
@@ -1204,7 +1216,10 @@ mod tests {
             for (i, d) in got.iter().enumerate() {
                 assert_eq!(d.sender_rank, 0);
                 assert_eq!(d.app_index, i as u64);
-                assert_eq!(u32::from_le_bytes(d.data[..4].try_into().unwrap()), i as u32);
+                assert_eq!(
+                    u32::from_le_bytes(d.data[..4].try_into().unwrap()),
+                    i as u32
+                );
                 assert_eq!(d.epoch, 0);
             }
         }
@@ -1279,8 +1294,14 @@ mod tests {
     fn baseline_config_also_correct() {
         let cluster = Cluster::start(view(2, 2, 8, 64), SpindleConfig::baseline());
         for i in 0..10u32 {
-            cluster.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
-            cluster.node(1).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+            cluster
+                .node(1)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
         }
         let a: Vec<_> = collect(&cluster, 0, 20)
             .into_iter()
@@ -1319,8 +1340,14 @@ mod tests {
     fn view_change_removes_node_and_continues() {
         let mut cluster = Cluster::start(view(3, 3, 8, 64), SpindleConfig::optimized());
         for i in 0..10u32 {
-            cluster.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
-            cluster.node(1).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+            cluster
+                .node(1)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
         }
         // Drain what's there, then remove node 2.
         let report = cluster.remove_node(2).unwrap();

@@ -350,7 +350,10 @@ impl DomainCore {
             return Err(DdsError::NotAPublisher(topic));
         }
         let sg = self.topic_sg[&topic];
-        self.cluster.node(node).send(sg, data).map_err(DdsError::from)
+        self.cluster
+            .node(node)
+            .send(sg, data)
+            .map_err(DdsError::from)
     }
 
     /// Registers an external tap on `(node, topic)`: every sample pumped at

@@ -15,9 +15,7 @@
 
 use std::time::Duration;
 
-use spindle_core::{
-    CostModel, DeliveryTiming, RunReport, SimCluster, SpindleConfig, Workload,
-};
+use spindle_core::{CostModel, DeliveryTiming, RunReport, SimCluster, SpindleConfig, Workload};
 use spindle_membership::{View, ViewBuilder};
 
 use crate::qos::QosLevel;
@@ -118,8 +116,8 @@ impl DdsExperiment {
 
     /// Runs the experiment.
     pub fn run(&self) -> RunReport {
-        let workload = Workload::new(self.samples, self.sample_size)
-            .with_upcall_cost(self.upcall_cost());
+        let workload =
+            Workload::new(self.samples, self.sample_size).with_upcall_cost(self.upcall_cost());
         SimCluster::new(self.view(), self.config(), workload)
             .with_seed(self.seed)
             .run()
@@ -182,9 +180,7 @@ mod tests {
     #[test]
     fn spindle_beats_baseline_at_every_qos() {
         for qos in QosLevel::ALL {
-            let base = DdsExperiment::new(3, qos, false)
-                .with_samples(400)
-                .run();
+            let base = DdsExperiment::new(3, qos, false).with_samples(400).run();
             let opt = DdsExperiment::new(3, qos, true).with_samples(400).run();
             let b = DdsExperiment::subscriber_bandwidth_mbs(&base);
             let o = DdsExperiment::subscriber_bandwidth_mbs(&opt);
@@ -206,7 +202,12 @@ mod tests {
             })
             .collect();
         // unordered >= atomic (small tolerance), and logged is the slowest.
-        assert!(bw[0] >= bw[1] * 0.9, "unordered {} vs atomic {}", bw[0], bw[1]);
+        assert!(
+            bw[0] >= bw[1] * 0.9,
+            "unordered {} vs atomic {}",
+            bw[0],
+            bw[1]
+        );
         assert!(bw[3] <= bw[1], "logged {} vs atomic {}", bw[3], bw[1]);
         assert!(bw[3] <= bw[2], "logged {} vs volatile {}", bw[3], bw[2]);
     }

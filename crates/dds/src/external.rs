@@ -190,9 +190,7 @@ fn serve_connection(stream: TcpStream, core: Arc<DomainCore>, relay: usize) -> i
                     // Forwarder: tap -> outbound frames.
                     let fwd_out = out_tx.clone();
                     let fwd_core = Arc::clone(&core);
-                    std::thread::spawn(move || {
-                        forward_tap(tap_rx, fwd_out, fwd_core)
-                    });
+                    std::thread::spawn(move || forward_tap(tap_rx, fwd_out, fwd_core));
                 }
                 _ => {
                     return Err(io::Error::new(
@@ -243,8 +241,8 @@ fn read_fully(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
             }
             Ok(n) => done += n,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
             Err(e) => return Err(e),
         }
     }
@@ -442,7 +440,10 @@ mod tests {
         client.subscribe(TopicId(1)).unwrap();
         // Give the subscription a moment to register before publishing.
         std::thread::sleep(Duration::from_millis(50));
-        domain.participant(0).publish(TopicId(1), b"inside").unwrap();
+        domain
+            .participant(0)
+            .publish(TopicId(1), b"inside")
+            .unwrap();
         let s = client
             .take_timeout(Duration::from_secs(5))
             .unwrap()
@@ -518,9 +519,16 @@ mod tests {
         let mut client = ExternalClient::connect(addr).unwrap();
         client.subscribe(TopicId(1)).unwrap();
         std::thread::sleep(Duration::from_millis(50));
-        domain.participant(0).publish(TopicId(1), b"before").unwrap();
+        domain
+            .participant(0)
+            .publish(TopicId(1), b"before")
+            .unwrap();
         assert_eq!(
-            client.take_timeout(Duration::from_secs(5)).unwrap().unwrap().data,
+            client
+                .take_timeout(Duration::from_secs(5))
+                .unwrap()
+                .unwrap()
+                .data,
             b"before"
         );
         // Note: DdsDomain does not expose membership surgery, so this test
@@ -530,7 +538,10 @@ mod tests {
             domain.participant(1).publish(TopicId(1), &[i]).unwrap();
         }
         for i in 0..50u8 {
-            let s = client.take_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            let s = client
+                .take_timeout(Duration::from_secs(5))
+                .unwrap()
+                .unwrap();
             assert_eq!(s.data, vec![i]);
         }
     }

@@ -126,7 +126,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -344,7 +348,8 @@ mod tests {
         let path = tmp("roundtrip");
         let mut log = DurableLog::create(&path).unwrap();
         for i in 0..100 {
-            log.append(&rec(i, format!("payload-{i}").as_bytes())).unwrap();
+            log.append(&rec(i, format!("payload-{i}").as_bytes()))
+                .unwrap();
         }
         log.sync().unwrap();
         drop(log);
@@ -385,10 +390,7 @@ mod tests {
         let (log, records) = DurableLog::open(&path).unwrap();
         assert_eq!(records.len(), 10, "torn tail must not hide valid prefix");
         // The file was truncated back to the valid prefix.
-        assert_eq!(
-            std::fs::metadata(&path).unwrap().len(),
-            log.byte_len()
-        );
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), log.byte_len());
     }
 
     #[test]
@@ -454,7 +456,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

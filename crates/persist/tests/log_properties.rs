@@ -14,21 +14,21 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
         any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..512),
     )
-        .prop_map(|(epoch, subgroup, seq, sender_rank, app_index, data)| LogRecord {
-            epoch,
-            subgroup,
-            seq,
-            sender_rank,
-            app_index,
-            data,
-        })
+        .prop_map(
+            |(epoch, subgroup, seq, sender_rank, app_index, data)| LogRecord {
+                epoch,
+                subgroup,
+                seq,
+                sender_rank,
+                app_index,
+                data,
+            },
+        )
 }
 
 fn tmp(tag: u64) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "spindle-persist-prop-{}-{tag}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("spindle-persist-prop-{}-{tag}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir.join("p.log")
 }

@@ -130,13 +130,7 @@ impl Analysis {
 
         let per_node: Vec<Duration> = ready
             .iter()
-            .map(|blocks| {
-                blocks
-                    .iter()
-                    .copied()
-                    .max()
-                    .expect("at least one block")
-            })
+            .map(|blocks| blocks.iter().copied().max().expect("at least one block"))
             .collect();
         let total = per_node.iter().copied().max().unwrap_or_default();
         CompletionBreakdown {
@@ -215,7 +209,10 @@ mod tests {
         let t4 = r4.completion_time(&r4.schedule(ScheduleKind::ChainSend), &net());
         let t16 = r16.completion_time(&r16.schedule(ScheduleKind::ChainSend), &net());
         let ratio = t16.as_nanos() as f64 / t4.as_nanos() as f64;
-        assert!(ratio > 3.0, "single-block chain should scale ~linearly, got {ratio}");
+        assert!(
+            ratio > 3.0,
+            "single-block chain should scale ~linearly, got {ratio}"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl fmt::Display for ExecError {
                 write!(f, "message is {found} bytes, rdmc expects {expected}")
             }
             ExecError::StaleRead { round, from, block } => {
-                write!(f, "round {round}: node {from} forwarded unreceived block {block}")
+                write!(
+                    f,
+                    "round {round}: node {from} forwarded unreceived block {block}"
+                )
             }
             ExecError::ContentMismatch { node, offset } => {
                 write!(f, "node {node} diverges from root message at byte {offset}")
@@ -205,7 +208,12 @@ mod tests {
     #[test]
     fn single_byte_message() {
         let rdmc = Rdmc::new(3, 1, 4096).unwrap();
-        execute(&rdmc, &rdmc.schedule(ScheduleKind::BinomialPipeline), &[0xAB]).unwrap();
+        execute(
+            &rdmc,
+            &rdmc.schedule(ScheduleKind::BinomialPipeline),
+            &[0xAB],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -213,7 +221,13 @@ mod tests {
         let rdmc = Rdmc::new(3, 100, 32).unwrap();
         let s = rdmc.schedule(ScheduleKind::ChainSend);
         let err = execute(&rdmc, &s, &pattern(99)).unwrap_err();
-        assert!(matches!(err, ExecError::MessageLength { expected: 100, found: 99 }));
+        assert!(matches!(
+            err,
+            ExecError::MessageLength {
+                expected: 100,
+                found: 99
+            }
+        ));
     }
 
     #[test]
@@ -236,7 +250,14 @@ mod tests {
             block: 1,
         }];
         let err = execute(&rdmc, &s, &pattern(64)).unwrap_err();
-        assert!(matches!(err, ExecError::StaleRead { from: 2, block: 1, .. }));
+        assert!(matches!(
+            err,
+            ExecError::StaleRead {
+                from: 2,
+                block: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -227,8 +227,7 @@ mod tests {
         let rdmc = Rdmc::new(5, 40 * 1024, 1024).unwrap();
         let msg = pattern(40 * 1024);
         for _ in 0..5 {
-            execute_threaded(&rdmc, &rdmc.schedule(ScheduleKind::BinomialPipeline), &msg)
-                .unwrap();
+            execute_threaded(&rdmc, &rdmc.schedule(ScheduleKind::BinomialPipeline), &msg).unwrap();
         }
     }
 

@@ -190,10 +190,16 @@ impl Schedule {
                 sends[t.from] += 1;
                 recvs[t.to] += 1;
                 if sends[t.from] > limit {
-                    return Err(VerifyError::NodeSendsTwice { round: r, node: t.from });
+                    return Err(VerifyError::NodeSendsTwice {
+                        round: r,
+                        node: t.from,
+                    });
                 }
                 if recvs[t.to] > limit {
-                    return Err(VerifyError::NodeReceivesTwice { round: r, node: t.to });
+                    return Err(VerifyError::NodeReceivesTwice {
+                        round: r,
+                        node: t.to,
+                    });
                 }
             }
             // Apply at end of round: receipt is visible only next round.
@@ -410,7 +416,8 @@ fn binomial_tree(nodes: usize, blocks: usize) -> Vec<Round> {
 /// send and receive up to two blocks per round — its NIC simply serializes
 /// them, which the [`analysis`](crate::analysis) pricing reflects.
 fn binomial_pipeline(nodes: usize, blocks: usize) -> Vec<Round> {
-    let d = usize::BITS as usize - (nodes - 1).leading_zeros() as usize; // ceil(log2 nodes)
+    // d = ceil(log2 nodes)
+    let d = usize::BITS as usize - (nodes - 1).leading_zeros() as usize;
     // Vertex -> physical node. Vertices `nodes..2^d` are hosted by
     // physical nodes 1..=(2^d - nodes): never the root, always distinct
     // (2^d - nodes < nodes because 2^(d-1) < nodes).
@@ -677,7 +684,10 @@ mod tests {
 
     #[test]
     fn kind_names_are_stable() {
-        assert_eq!(ScheduleKind::BinomialPipeline.to_string(), "binomial_pipeline");
+        assert_eq!(
+            ScheduleKind::BinomialPipeline.to_string(),
+            "binomial_pipeline"
+        );
         assert_eq!(ScheduleKind::SequentialSend.name(), "sequential");
     }
 }

@@ -227,14 +227,10 @@ mod tests {
         e.schedule_at(SimTime::from_micros(1), 1u32);
         e.schedule_at(SimTime::from_micros(100), 2u32);
         let mut seen = Vec::new();
-        let end = e.run(
-            &mut seen,
-            SimTime::from_micros(10),
-            |seen, _eng, _t, ev| {
-                seen.push(ev);
-                Step::Continue
-            },
-        );
+        let end = e.run(&mut seen, SimTime::from_micros(10), |seen, _eng, _t, ev| {
+            seen.push(ev);
+            Step::Continue
+        });
         assert_eq!(seen, [1]);
         assert_eq!(end, SimTime::from_micros(10));
         assert_eq!(e.len(), 1); // the post-deadline event remains

@@ -98,12 +98,7 @@ impl Decimator {
         self.samples.extend_from_slice(&other.samples);
         self.seen += other.seen;
         while self.samples.len() > self.capacity {
-            let keep: Vec<f64> = self
-                .samples
-                .iter()
-                .copied()
-                .step_by(2)
-                .collect();
+            let keep: Vec<f64> = self.samples.iter().copied().step_by(2).collect();
             self.samples = keep;
             self.stride = self.stride.saturating_mul(2);
         }

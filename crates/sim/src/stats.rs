@@ -195,7 +195,10 @@ impl Histogram {
         if v < self.lo {
             0
         } else {
-            self.counts.get((v - self.lo) as usize).copied().unwrap_or(0)
+            self.counts
+                .get((v - self.lo) as usize)
+                .copied()
+                .unwrap_or(0)
         }
     }
 
@@ -252,7 +255,11 @@ impl Histogram {
     /// Panics if the histograms have different bucket ranges.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram bounds differ");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram bounds differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bounds differ"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

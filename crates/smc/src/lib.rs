@@ -202,8 +202,8 @@ pub fn scan_new(
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use spindle_membership::MsgId;
     use spindle_fabric::Region;
+    use spindle_membership::MsgId;
     use spindle_sst::LayoutBuilder;
     use std::sync::Arc;
 

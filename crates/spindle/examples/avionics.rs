@@ -1,0 +1,131 @@
+//! An avionics-style DDS domain: the application class that motivated the
+//! Spindle paper (§1, §4.6).
+//!
+//! Run with: `cargo run -p spindle --example avionics`
+//!
+//! Five processes share a Global Data Space with four topics at different
+//! QoS levels, mirroring an onboard architecture:
+//!
+//! * `ATTITUDE` (topic 10, `Unordered`) — a high-rate sensor stream where
+//!   the freshest value wins and ordering is irrelevant;
+//! * `FLIGHT_CMD` (topic 20, `AtomicMulticast`) — safety-critical commands
+//!   that every flight-management replica must apply in the same order;
+//! * `NAV_STATE` (topic 30, `VolatileStorage`) — the fused navigation
+//!   solution, kept in memory so late-joining displays can catch up;
+//! * `MAINT_LOG` (topic 40, `LoggedStorage`) — maintenance telemetry,
+//!   additionally appended to an on-disk log.
+
+use std::time::Duration;
+
+use spindle::{DomainBuilder, QosLevel, TopicId};
+
+const ATTITUDE: TopicId = TopicId(10);
+const FLIGHT_CMD: TopicId = TopicId(20);
+const NAV_STATE: TopicId = TopicId(30);
+const MAINT_LOG: TopicId = TopicId(40);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Participants: 0 = IMU, 1+2 = redundant flight management computers,
+    // 3 = navigation unit, 4 = cockpit display / maintenance recorder.
+    let domain = DomainBuilder::new(5)
+        .topic(ATTITUDE, &[0], &[1, 2, 3], QosLevel::Unordered)
+        .topic(FLIGHT_CMD, &[1, 2], &[3, 4], QosLevel::AtomicMulticast)
+        .topic(NAV_STATE, &[3], &[1, 2, 4], QosLevel::VolatileStorage)
+        .topic(MAINT_LOG, &[1, 2, 3], &[4], QosLevel::LoggedStorage)
+        .start()?;
+
+    // The IMU streams attitude samples.
+    for i in 0..20u32 {
+        let sample = format!(
+            "att pitch={:+.2} roll={:+.2}",
+            (i as f32) * 0.1,
+            -(i as f32) * 0.05
+        );
+        domain.participant(0).publish(ATTITUDE, sample.as_bytes())?;
+    }
+
+    // Both flight-management computers issue commands concurrently; the
+    // atomic multicast imposes one order that all consumers share.
+    domain
+        .participant(1)
+        .publish(FLIGHT_CMD, b"cmd: set-heading 270")?;
+    domain
+        .participant(2)
+        .publish(FLIGHT_CMD, b"cmd: hold-altitude 9000")?;
+    domain
+        .participant(1)
+        .publish(FLIGHT_CMD, b"cmd: reduce-thrust 0.85")?;
+
+    // The navigation unit publishes fused state (kept in volatile history).
+    for i in 0..5u32 {
+        let fix = format!("nav fix#{i} lat=52.3 lon=13.4 alt=9000");
+        domain.participant(3).publish(NAV_STATE, fix.as_bytes())?;
+    }
+
+    // Maintenance telemetry is durably logged at the recorder.
+    domain
+        .participant(1)
+        .publish(MAINT_LOG, b"engine1 egt=612C")?;
+    domain
+        .participant(3)
+        .publish(MAINT_LOG, b"nav gps-sats=11")?;
+
+    // --- Consumption ---------------------------------------------------
+    // The display (4) sees flight commands in the agreed order.
+    println!("cockpit display command feed:");
+    for _ in 0..3 {
+        let s = domain
+            .participant(4)
+            .take_timeout(FLIGHT_CMD, Duration::from_secs(5))?
+            .expect("command");
+        println!(
+            "  [fmc rank {}] {}",
+            s.publisher,
+            String::from_utf8_lossy(&s.data)
+        );
+    }
+
+    // FMC 1 sees the same commands it and its twin issued, same order.
+    println!("\nfmc replica 3 (nav consumer) attitude stream (first 5):");
+    for _ in 0..5 {
+        let s = domain
+            .participant(3)
+            .take_timeout(ATTITUDE, Duration::from_secs(5))?
+            .expect("attitude");
+        println!("  {}", String::from_utf8_lossy(&s.data));
+    }
+
+    // Late-joiner catch-up from volatile history.
+    let mut history_len = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while history_len < 5 && std::time::Instant::now() < deadline {
+        history_len = domain.participant(4).history(NAV_STATE)?.len();
+    }
+    println!("\nnav-state volatile history at the display: {history_len} fixes retained");
+
+    // The durable log on disk.
+    let mut logged = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while logged < 2 && std::time::Instant::now() < deadline {
+        logged = 0;
+        for _ in 0..2 {
+            if domain
+                .participant(4)
+                .take_timeout(MAINT_LOG, Duration::from_millis(200))?
+                .is_some()
+            {
+                logged += 1;
+            }
+        }
+    }
+    let log_path = domain.log_dir().join(format!("{MAINT_LOG}-node4.log"));
+    let log_bytes = std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "maintenance log on disk: {log_bytes} bytes at {}",
+        log_path.display()
+    );
+
+    println!("\nok: four QoS levels served by one Derecho group, one subgroup per topic");
+    let _ = std::fs::remove_dir_all(domain.log_dir());
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! An avionics-flavoured DDS session (paper §1, §4.6).
+//!
+//! Run with: `cargo run -p spindle --example dds_pubsub`
+//!
+//! A flight-management domain with three topics at different QoS levels:
+//! `altitude` (atomic multicast — every consumer must act on the same
+//! ordered stream), `engine-telemetry` (volatile storage — late joiners
+//! catch up from memory), and `maintenance-log` (logged storage — persisted
+//! to the on-disk log).
+
+use std::time::Duration;
+
+use spindle::{DomainBuilder, QosLevel, TopicId};
+
+const ALTITUDE: TopicId = TopicId(1);
+const TELEMETRY: TopicId = TopicId(2);
+const MAINT: TopicId = TopicId(3);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Participant 0: flight computer (publishes everything).
+    // Participants 1, 2: display + autopilot (subscribe).
+    let domain = DomainBuilder::new(3)
+        .topic(ALTITUDE, &[0], &[1, 2], QosLevel::AtomicMulticast)
+        .topic(TELEMETRY, &[0], &[1, 2], QosLevel::VolatileStorage)
+        .topic(MAINT, &[0], &[1], QosLevel::LoggedStorage)
+        .start()?;
+
+    let fc = domain.participant(0);
+    for alt in [9000u32, 9050, 9100, 9080] {
+        fc.publish(ALTITUDE, format!("ALT {alt}").as_bytes())?;
+    }
+    for rpm in [5400u32, 5420, 5410] {
+        fc.publish(TELEMETRY, format!("N1 {rpm}").as_bytes())?;
+    }
+    fc.publish(MAINT, b"oil pressure sensor replaced")?;
+
+    println!("altitude stream at the autopilot (ordered, discarded on take):");
+    let autopilot = domain.participant(2);
+    for _ in 0..4 {
+        let s = autopilot
+            .take_timeout(ALTITUDE, Duration::from_secs(5))?
+            .expect("altitude sample");
+        println!("  #{} {}", s.index, String::from_utf8_lossy(&s.data));
+    }
+
+    // Telemetry: the display reads the stream AND the volatile history a
+    // late joiner would use.
+    let display = domain.participant(1);
+    let mut got = 0;
+    while got < 3 {
+        if display
+            .take_timeout(TELEMETRY, Duration::from_secs(5))?
+            .is_some()
+        {
+            got += 1;
+        }
+    }
+    let history = display.history(TELEMETRY)?;
+    println!(
+        "\ntelemetry volatile history at the display ({} samples retained):",
+        history.len()
+    );
+    for s in &history {
+        println!("  #{} {}", s.index, String::from_utf8_lossy(&s.data));
+    }
+
+    // Maintenance log: persisted on disk.
+    let m = display
+        .take_timeout(MAINT, Duration::from_secs(5))?
+        .expect("maintenance record");
+    println!(
+        "\nmaintenance record delivered: {}",
+        String::from_utf8_lossy(&m.data)
+    );
+    let log = domain.log_dir().join("topic3-node1.log");
+    let bytes = std::fs::read(&log)?;
+    println!("on-disk log {} holds {} bytes", log.display(), bytes.len());
+    let _ = std::fs::remove_dir_all(domain.log_dir());
+
+    println!("\nok: three topics, three QoS levels, one domain");
+    Ok(())
+}

@@ -74,7 +74,6 @@ pub use spindle_core::detector::DetectorConfig;
 pub use spindle_core::threaded::{
     Delivered, NodeHandle, PersistConfig, SendError, Suspicion, ViewChangeError, ViewChangeReport,
 };
-pub use spindle_persist as persist;
 pub use spindle_core::{
     Cluster, CostModel, DeliveryTiming, RunReport, SenderActivity, SimCluster, SpindleConfig,
     Workload,
@@ -83,5 +82,6 @@ pub use spindle_dds::{
     DdsDomain, DdsExperiment, DomainBuilder, ExternalClient, PublishStatus, QosLevel, TopicId,
 };
 pub use spindle_fabric::NodeId;
-pub use spindle_rdmc::{Rdmc, ScheduleKind};
 pub use spindle_membership::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};
+pub use spindle_persist as persist;
+pub use spindle_rdmc::{Rdmc, ScheduleKind};

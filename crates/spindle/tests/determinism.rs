@@ -1,0 +1,45 @@
+//! The deterministic-simulation contract, pinned as a workspace-level test:
+//! a `SimCluster` run is a pure function of (view, config, workload, seed).
+//! Two runs with the same seed must produce bit-identical reports — every
+//! counter, histogram bucket, latency summary and the virtual-time makespan.
+//!
+//! This is the property that makes recorded seeds usable as regression
+//! tests: if it ever breaks, every figure regeneration and every seeded
+//! property test in the repo silently loses reproducibility.
+
+use spindle::{SimCluster, SpindleConfig, ViewBuilder, Workload};
+
+fn view(n: usize, window: usize, max_msg: usize) -> spindle::View {
+    let members: Vec<usize> = (0..n).collect();
+    ViewBuilder::new(n)
+        .subgroup(&members, &members, window, max_msg)
+        .build()
+        .unwrap()
+}
+
+/// One full report, rendered to its exhaustive `Debug` form. Comparing the
+/// rendered form compares every public field of every node's metrics at
+/// once (including f64 latency statistics, bit-for-bit).
+fn trace(cfg: SpindleConfig, seed: u64) -> String {
+    let report = SimCluster::new(view(4, 16, 1024), cfg, Workload::new(200, 1024))
+        .with_seed(seed)
+        .run();
+    assert!(report.completed, "simulation stalled (seed {seed})");
+    format!("{report:?}")
+}
+
+#[test]
+fn same_seed_same_delivery_trace_optimized() {
+    for seed in [0, 1, 42, 0xDEAD_BEEF] {
+        let a = trace(SpindleConfig::optimized(), seed);
+        let b = trace(SpindleConfig::optimized(), seed);
+        assert_eq!(a, b, "optimized run diverged under seed {seed}");
+    }
+}
+
+#[test]
+fn same_seed_same_delivery_trace_baseline() {
+    let a = trace(SpindleConfig::baseline(), 7);
+    let b = trace(SpindleConfig::baseline(), 7);
+    assert_eq!(a, b, "baseline run diverged under seed 7");
+}

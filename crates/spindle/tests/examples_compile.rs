@@ -1,0 +1,63 @@
+//! Compiles all nine `examples/` programs into one test binary so that an
+//! example that stops building fails `cargo test`, not just `cargo build
+//! --examples` (which nothing would otherwise run in the tier-1 verify).
+//!
+//! Each example is included as a module via `#[path]`; compilation *is* the
+//! assertion. None are executed here — several start multi-second threaded
+//! clusters or open TCP sockets — CI runs the `quickstart` example for real
+//! as a separate smoke step.
+
+// Each example's `main` (and helpers) are private to their module and only
+// compiled, never called, from this harness.
+#![allow(dead_code)]
+
+#[path = "../examples/avionics.rs"]
+mod avionics;
+#[path = "../examples/dds_pubsub.rs"]
+mod dds_pubsub;
+#[path = "../examples/delayed_sender.rs"]
+mod delayed_sender;
+#[path = "../examples/durable_log.rs"]
+mod durable_log;
+#[path = "../examples/external_client.rs"]
+mod external_client;
+#[path = "../examples/failover.rs"]
+mod failover;
+#[path = "../examples/large_object.rs"]
+mod large_object;
+#[path = "../examples/multi_subgroup.rs"]
+mod multi_subgroup;
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+/// Keep the harness honest: if an example file is added under `examples/`
+/// without being wired into the module list above, this fails.
+#[test]
+fn every_example_is_included() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+
+    let included = [
+        "avionics",
+        "dds_pubsub",
+        "delayed_sender",
+        "durable_log",
+        "external_client",
+        "failover",
+        "large_object",
+        "multi_subgroup",
+        "quickstart",
+    ];
+    assert_eq!(
+        on_disk, included,
+        "examples/ and the harness module list drifted apart; \
+         add the new example as a `#[path]` module in this file"
+    );
+}

@@ -1,0 +1,163 @@
+//! Integration: the null-send scheme's four required properties (paper
+//! §3.3): sender-invariance, low overhead, correctness (no stall), and
+//! quiescence — exercised on the simulated cluster at paper-like scale and
+//! on the threaded cluster for the real-concurrency liveness case.
+
+use std::time::Duration;
+
+use spindle::{
+    Cluster, SenderActivity, SimCluster, SpindleConfig, SubgroupId, ViewBuilder, Workload,
+};
+
+fn all_sender_view(n: usize, window: usize) -> spindle::View {
+    let members: Vec<usize> = (0..n).collect();
+    ViewBuilder::new(n)
+        .subgroup(&members, &members, window, 10 * 1024)
+        .build()
+        .unwrap()
+}
+
+/// Property 3 (correctness): with some senders inactive, the delivery
+/// pipeline never stalls.
+#[test]
+fn no_stall_with_inactive_senders() {
+    for inactive in [1usize, 3] {
+        let view = all_sender_view(8, 32);
+        let mut wl = Workload::new(500, 10 * 1024);
+        for r in 0..inactive {
+            wl = wl.with_activity(0, r, SenderActivity::Inactive);
+        }
+        let r = SimCluster::new(view, SpindleConfig::optimized(), wl).run();
+        assert!(r.completed, "{inactive} inactive senders stalled the run");
+        let expected = (8 - inactive) as u64 * 500;
+        for n in &r.nodes {
+            assert_eq!(n.delivered_msgs, expected);
+        }
+    }
+}
+
+/// The baseline control for the same scenario: without nulls it stalls.
+#[test]
+fn baseline_control_stalls() {
+    let view = all_sender_view(8, 32);
+    let wl = Workload::new(500, 10 * 1024).with_activity(0, 0, SenderActivity::Inactive);
+    let r = SimCluster::new(view, SpindleConfig::batching_only(), wl).run();
+    assert!(!r.completed);
+    // Nothing past round 0 can deliver (rank 0 gates every round).
+    assert!(r.nodes[0].delivered_msgs < 8);
+}
+
+/// Property 1 (sender-invariance): performance with a delayed sender stays
+/// in the same regime as all-continuous (the paper even observes gains).
+#[test]
+fn sender_invariance_under_delay() {
+    let view = all_sender_view(8, 100);
+    let continuous = SimCluster::new(
+        view.clone(),
+        SpindleConfig::optimized(),
+        Workload::new(1_500, 10 * 1024),
+    )
+    .run();
+    let delayed = SimCluster::new(
+        view,
+        SpindleConfig::optimized(),
+        Workload::new(1_500, 10 * 1024).with_activity(
+            0,
+            5,
+            SenderActivity::DelayEach(Duration::from_micros(100)),
+        ),
+    )
+    .run();
+    assert!(delayed.completed);
+    let ratio = delayed.bandwidth_gbps() / continuous.bandwidth_gbps();
+    assert!(
+        ratio > 0.6,
+        "one delayed sender collapsed bandwidth: {ratio:.2}x"
+    );
+}
+
+/// Property 2 (low overhead): with everyone continuously sending, nulls
+/// cost little relative to batching-only.
+#[test]
+fn low_overhead_when_all_continuous() {
+    let view = all_sender_view(8, 100);
+    let wl = Workload::new(1_500, 10 * 1024);
+    let without = SimCluster::new(view.clone(), SpindleConfig::batching_only(), wl.clone()).run();
+    let mut cfg = SpindleConfig::batching_only();
+    cfg.null_sends = true;
+    let with = SimCluster::new(view, cfg, wl).run();
+    assert!(with.completed && without.completed);
+    let ratio = with.bandwidth_gbps() / without.bandwidth_gbps();
+    assert!(
+        ratio > 0.7,
+        "null-send overhead too high under continuous load: {ratio:.2}x"
+    );
+}
+
+/// Property 4 (quiescence): a single-sender subgroup can never generate a
+/// null, and an all-idle system sends none.
+#[test]
+fn quiescence() {
+    // Single sender: the only sender always trails nobody.
+    let view = ViewBuilder::new(4)
+        .subgroup(&[0, 1, 2, 3], &[1], 16, 1024)
+        .build()
+        .unwrap();
+    let r = SimCluster::new(view, SpindleConfig::optimized(), Workload::new(400, 1024)).run();
+    assert!(r.completed);
+    assert_eq!(r.nodes.iter().map(|n| n.nulls_sent).sum::<u64>(), 0);
+}
+
+/// Nulls are bounded: a sender only ever fills rounds behind messages it
+/// received, so total nulls can never exceed rounds consumed.
+#[test]
+fn nulls_are_bounded_by_rounds() {
+    let view = all_sender_view(6, 32);
+    let wl = Workload::new(400, 1024)
+        .with_activity(0, 0, SenderActivity::Inactive)
+        .with_activity(0, 1, SenderActivity::DelayEach(Duration::from_micros(50)));
+    let r = SimCluster::new(view, SpindleConfig::optimized(), wl).run();
+    assert!(r.completed);
+    for n in &r.nodes {
+        // A node's nulls can never exceed the total rounds it participated
+        // in (app messages + nulls of the whole subgroup).
+        let rounds_upper = 6 * 400 + n.nulls_sent;
+        assert!(n.nulls_sent <= rounds_upper);
+        // And nulls are invisible to the application.
+        assert!(n.delivered_msgs >= 4 * 400);
+    }
+}
+
+/// Threaded (real concurrency) liveness: a sender that stops sending does
+/// not wedge the others, because its predicate thread answers with nulls.
+#[test]
+fn threaded_lagging_sender_liveness() {
+    let view = all_sender_view(3, 8);
+    let cluster = Cluster::start(view, SpindleConfig::optimized());
+    // Nodes 0 and 1 send; node 2 (also a declared sender) stays silent.
+    for i in 0..40u32 {
+        cluster
+            .node(0)
+            .send(SubgroupId(0), &i.to_le_bytes())
+            .unwrap();
+        cluster
+            .node(1)
+            .send(SubgroupId(0), &i.to_le_bytes())
+            .unwrap();
+    }
+    // All 80 application messages must deliver everywhere despite node 2's
+    // silence.
+    for node in 0..3 {
+        let mut got = 0;
+        while got < 80 {
+            match cluster.node(node).recv_timeout(Duration::from_secs(20)) {
+                Some(d) => {
+                    assert!(d.sender_rank < 2, "silent sender delivered app data");
+                    got += 1;
+                }
+                None => panic!("node {node} wedged at {got}/80 without nulls"),
+            }
+        }
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,230 @@
+//! Integration: failure-atomic view change via the ragged trim (paper
+//! §2.1), exercised over the membership machinery and the SST guard
+//! protocol that would carry the trim metadata.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use spindle::membership::{RaggedTrim, ViewBuilder};
+use spindle::{Cluster, NodeId, SpindleConfig, SubgroupId};
+
+/// The classic virtual-synchrony scenario: three survivors with ragged
+/// receive frontiers agree on a cut; everyone ends at the same
+/// delivered_num; everything past the cut is discarded everywhere.
+#[test]
+fn survivors_agree_on_cut() {
+    // Node receive frontiers when the failure was detected.
+    let received = [14i64, 9, 22];
+    let delivered = [5i64, 9, 3];
+    let trim = RaggedTrim::compute(&received);
+    assert_eq!(trim.deliver_through(), 9);
+    let mut final_delivered = Vec::new();
+    for (r, d) in received.iter().zip(delivered) {
+        let range = trim.must_deliver(d);
+        // Everything the trim demands was already received by this node.
+        if !range.is_empty() {
+            assert!(range.end - 1 <= *r);
+        }
+        final_delivered.push(d.max(trim.deliver_through()));
+    }
+    // Atomicity: all survivors finish the old view at the same point.
+    assert!(final_delivered.iter().all(|&d| d == 9));
+}
+
+/// The next view keeps survivor ids and drops the failed node; subgroups
+/// are rebuilt from survivors only.
+#[test]
+fn next_view_construction() {
+    let v1 = ViewBuilder::new(4)
+        .subgroup(&[0, 1, 2, 3], &[0, 1, 2, 3], 16, 256)
+        .build()
+        .unwrap();
+    assert_eq!(v1.id(), 0);
+    // Node 2 fails: survivors carry their ids into view 1.
+    let survivors: Vec<NodeId> = v1.members().iter().copied().filter(|n| n.0 != 2).collect();
+    let v2 = ViewBuilder::with_members(v1.id() + 1, survivors.clone())
+        .subgroup_raw(spindle::Subgroup {
+            members: survivors.clone(),
+            senders: survivors.clone(),
+            window: 16,
+            max_msg_size: 256,
+        })
+        .build()
+        .unwrap();
+    assert_eq!(v2.id(), 1);
+    assert!(!v2.contains(NodeId(2)));
+    assert!(v2.contains(NodeId(3)));
+    assert_eq!(v2.subgroups()[0].num_senders(), 3);
+}
+
+/// A subgroup whose members all survive is untouched by the trim of a
+/// sibling subgroup (trims are per subgroup).
+#[test]
+fn trims_are_per_subgroup() {
+    let t0 = RaggedTrim::compute(&[100, 90]);
+    let t1 = RaggedTrim::compute(&[3, 7, 5]);
+    assert_eq!(t0.deliver_through(), 90);
+    assert_eq!(t1.deliver_through(), 3);
+}
+
+/// End-to-end failure atomicity over the threaded cluster: kill a node
+/// mid-stream, then check that (a) both survivors delivered the identical
+/// old-epoch sequence, and (b) every message a *survivor* sent appears
+/// exactly once — in the old epoch or resent in the new one.
+#[test]
+fn end_to_end_node_removal_is_atomic() {
+    let view = ViewBuilder::new(3)
+        .subgroup(&[0, 1, 2], &[0, 1, 2], 8, 32)
+        .build()
+        .unwrap();
+    let mut cluster = Cluster::start(view, SpindleConfig::optimized());
+    // All three nodes send concurrently; node 2 dies partway through.
+    let per_sender = 60u32;
+    std::thread::scope(|s| {
+        for n in 0..3u32 {
+            let node = cluster.node(n as usize);
+            s.spawn(move || {
+                for i in 0..per_sender {
+                    let mut p = n.to_le_bytes().to_vec();
+                    p.extend_from_slice(&i.to_le_bytes());
+                    if node.send(SubgroupId(0), &p).is_err() {
+                        break; // node was removed mid-send
+                    }
+                }
+            });
+        }
+        // Let some traffic flow, then fail node 2.
+        std::thread::sleep(Duration::from_millis(5));
+    });
+    let report = cluster.remove_node(2).expect("view change");
+    assert_eq!(report.epoch, 1);
+
+    // Drain both survivors completely (old epoch + resends).
+    let drain = |node: usize| -> Vec<spindle::Delivered> {
+        let mut out = Vec::new();
+        while let Some(d) = cluster.node(node).recv_timeout(Duration::from_millis(800)) {
+            out.push(d);
+        }
+        out
+    };
+    let d0 = drain(0);
+    let d1 = drain(1);
+
+    // (a) Old-epoch sequences identical at both survivors.
+    let old = |ds: &[spindle::Delivered]| -> Vec<(usize, u64)> {
+        ds.iter()
+            .filter(|d| d.epoch == 0)
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect()
+    };
+    assert_eq!(old(&d0), old(&d1), "old-epoch divergence");
+
+    // (b) Exactly-once for survivor-sent payloads across epochs.
+    for (who, ds) in [(0usize, &d0), (1usize, &d1)] {
+        let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
+        for d in ds.iter() {
+            // Survivor payloads start with sender 0 or 1 tags.
+            let tag = u32::from_le_bytes(d.data[..4].try_into().unwrap());
+            if tag < 2 {
+                *seen.entry(d.data.clone()).or_default() += 1;
+            }
+        }
+        for sender in 0..2u32 {
+            for i in 0..per_sender {
+                let mut p = sender.to_le_bytes().to_vec();
+                p.extend_from_slice(&i.to_le_bytes());
+                assert_eq!(
+                    seen.get(&p).copied().unwrap_or(0),
+                    1,
+                    "survivor {who}: message {sender}/{i} delivered wrong number of times"
+                );
+            }
+        }
+        // (c) Failed-node messages: whatever survived the cut is identical
+        // at both survivors (checked by (a)); none arrive in the new epoch.
+        assert!(
+            ds.iter()
+                .filter(|d| d.epoch == 1)
+                .all(|d| u32::from_le_bytes(d.data[..4].try_into().unwrap()) < 2),
+            "failed node's message leaked into the new epoch"
+        );
+    }
+    cluster.shutdown();
+}
+
+/// Repeated removals: the cluster survives shrinking from 5 to 2 nodes
+/// with traffic between each epoch.
+#[test]
+fn successive_view_changes() {
+    let view = ViewBuilder::new(5)
+        .subgroup(&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4], 8, 32)
+        .build()
+        .unwrap();
+    let mut cluster = Cluster::start(view, SpindleConfig::optimized());
+    for (round, victim) in [4usize, 3, 2].into_iter().enumerate() {
+        // Traffic from node 0 in the current epoch.
+        for i in 0..10u32 {
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+        }
+        let report = cluster.remove_node(victim).expect("view change");
+        assert_eq!(report.epoch, round as u64 + 1);
+    }
+    // Final epoch: 2 nodes, still working.
+    cluster.node(1).send(SubgroupId(0), b"final").unwrap();
+    let mut found = false;
+    while let Some(d) = cluster.node(0).recv_timeout(Duration::from_secs(5)) {
+        if d.data == b"final" {
+            assert_eq!(d.epoch, 3);
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "message in final epoch not delivered");
+    cluster.shutdown();
+}
+
+proptest! {
+    /// For any ragged state, the trim is executable by every survivor (no
+    /// one is asked to deliver something it has not received) and maximal
+    /// (the cut equals some survivor's frontier).
+    #[test]
+    fn trim_is_executable_and_maximal(
+        received in prop::collection::vec(-1i64..500, 1..12),
+    ) {
+        let trim = RaggedTrim::compute(&received);
+        let cut = trim.deliver_through();
+        for &r in &received {
+            prop_assert!(cut <= r);
+        }
+        prop_assert!(received.contains(&cut));
+    }
+
+    /// After executing the trim from any starting delivered_num <= its
+    /// received_num, every survivor lands on max(delivered, cut) and the
+    /// discard point is identical everywhere — the all-or-nothing property.
+    #[test]
+    fn execution_converges(
+        received in prop::collection::vec(0i64..300, 2..8),
+        lag in prop::collection::vec(0i64..50, 2..8),
+    ) {
+        let trim = RaggedTrim::compute(&received);
+        let mut finals = Vec::new();
+        for (i, &r) in received.iter().enumerate() {
+            let d = (r - lag[i % lag.len()]).max(-1);
+            let range = trim.must_deliver(d);
+            let end = if range.is_empty() { d } else { range.end - 1 };
+            finals.push(end.max(trim.deliver_through()).min(r.max(trim.deliver_through())));
+        }
+        // Any survivor at or past the cut keeps its progress; all others
+        // land exactly on the cut.
+        for (&f, &r) in finals.iter().zip(&received) {
+            prop_assert!(f >= trim.deliver_through());
+            prop_assert!(f <= r.max(trim.deliver_through()));
+        }
+        prop_assert!(finals.iter().all(|&f| f >= trim.discard_after() || f == trim.deliver_through()));
+    }
+}

@@ -292,7 +292,12 @@ impl LayoutBuilder {
     /// # Panics
     ///
     /// Panics if `count == 0` or `max_msg == 0`.
-    pub fn add_slots(&mut self, label: impl Into<String>, count: usize, max_msg: usize) -> SlotsCol {
+    pub fn add_slots(
+        &mut self,
+        label: impl Into<String>,
+        count: usize,
+        max_msg: usize,
+    ) -> SlotsCol {
         self.add_slots_inner(label.into(), count, max_msg, true)
     }
 

@@ -181,7 +181,10 @@ impl Sst {
 
     /// Reads the header of slot `i` in `row`'s block.
     pub fn slot_header(&self, col: SlotsCol, row: usize, i: usize) -> SlotHeader {
-        SlotHeader::unpack(self.region.load(self.layout.abs_word(row, col.header_word(i))))
+        SlotHeader::unpack(
+            self.region
+                .load(self.layout.abs_word(row, col.header_word(i))),
+        )
     }
 
     /// Writes `payload` into own slot `i` and publishes its control words:
@@ -291,8 +294,7 @@ impl Sst {
 
     /// Absolute one-word range of own counter `col` (for a push).
     pub fn own_counter_range(&self, col: CounterCol) -> Range<usize> {
-        self.layout
-            .abs_range(self.own_row, col.word_range())
+        self.layout.abs_range(self.own_row, col.word_range())
     }
 
     /// Raw word read (row-relative), for debug dumps.

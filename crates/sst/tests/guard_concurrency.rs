@@ -56,7 +56,10 @@ fn guarded_lists_never_tear_across_fabric() {
             match read_list(&reader_sst, col, 0) {
                 Ok((0, items)) => assert!(items.is_empty(), "unpublished list must be empty"),
                 Ok((v, items)) => {
-                    assert!(v >= last_guard, "guard must be monotonic: {v} < {last_guard}");
+                    assert!(
+                        v >= last_guard,
+                        "guard must be monotonic: {v} < {last_guard}"
+                    );
                     last_guard = v;
                     assert_within_contract(v, &items, LEN);
                     observed += 1;

@@ -1,0 +1,34 @@
+//! Sampling strategies: currently just [`select`].
+
+use crate::{Strategy, TestRng};
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}
+
+/// A strategy that picks uniformly from `choices`.
+///
+/// # Panics
+///
+/// The returned strategy panics on generation if `choices` is empty.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// let strat = proptest::sample::select(vec![2usize, 4, 16, 64]);
+/// let v = strat.generate(&mut proptest::TestRng::from_seed(1));
+/// assert!([2, 4, 16, 64].contains(&v));
+/// ```
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    Select { choices }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io. The workspace uses serde
+//! purely as `#[derive(Serialize, Deserialize)]` markers — no code calls a
+//! `Serializer`/`Deserializer` yet — so this crate provides marker traits and
+//! re-exports the no-op derives from the sibling `serde_derive` stand-in.
+//! The import shape (`use serde::{Deserialize, Serialize};`) is identical to
+//! the real crate with the `derive` feature, so swapping in real serde is a
+//! one-line change in the root `Cargo.toml`.
+
+/// Marker for types a real serde could serialize.
+///
+/// Intentionally has no methods: nothing in the workspace drives a
+/// `Serializer` yet, and the empty trait keeps the stand-in honest — code
+/// that tried to actually serialize would fail to compile rather than
+/// silently do nothing.
+pub trait Serialize {}
+
+/// Marker for types a real serde could deserialize.
+///
+/// See [`Serialize`] for why this has no methods.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

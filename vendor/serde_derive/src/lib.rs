@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses serde as `#[derive(Serialize, Deserialize)]` markers on config and
+//! wire types (nothing serializes through a serde `Serializer` yet). These
+//! derives therefore accept any item and expand to nothing; the traits the
+//! real crate would implement live in the sibling `serde` stand-in. Swapping
+//! in the real serde is a one-line change in the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` on any item and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` on any item and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
