@@ -119,6 +119,14 @@ fn bench_fabric(c: &mut Criterion) {
     g.bench_function("memfabric_post_ack", |b| {
         b.iter(|| fabric.post(NodeId(0), black_box(&ack)))
     });
+    // The fault-injection hook on the post hot path: an inert plan must
+    // cost one relaxed load; an active plan (faulting some *other* node)
+    // pays the lock but must stay cheap.
+    let active = MemFabric::with_faults(3, 4096, spindle_fabric::FaultPlan::new());
+    active.faults().isolate(NodeId(2));
+    g.bench_function("memfabric_post_ack_faults_active", |b| {
+        b.iter(|| active.post(NodeId(0), black_box(&ack)))
+    });
     g.finish();
 }
 

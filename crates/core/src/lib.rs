@@ -40,5 +40,5 @@ pub use detector::{DetectorConfig, HeartbeatState};
 pub use metrics::{NodeMetrics, RunReport};
 pub use plan::{Plan, SubgroupCols};
 pub use proto::{Delivery, SubgroupProto};
-pub use sim::SimCluster;
+pub use sim::{SimCluster, SimFault, SimFaultKind};
 pub use threaded::{Cluster, PersistConfig, Suspicion};

@@ -101,6 +101,12 @@ pub struct RunReport {
     /// `true` if the run reached its delivery target; `false` if it stalled
     /// or hit the deadline (e.g. the baseline with an inactive sender).
     pub completed: bool,
+    /// Per-node ordered delivery records as `(subgroup, sender rank,
+    /// app index)` — empty unless the run was created with
+    /// [`SimCluster::with_delivery_trace`](crate::SimCluster::with_delivery_trace).
+    /// This is what protocol oracles consume (total order, per-sender FIFO,
+    /// atomicity); it is part of the deterministic trace contract.
+    pub delivery_trace: Vec<Vec<(usize, usize, u64)>>,
 }
 
 impl RunReport {
@@ -227,6 +233,7 @@ mod tests {
             nodes: vec![n.clone(), n],
             makespan: Duration::from_secs(secs),
             completed: true,
+            delivery_trace: Vec::new(),
         }
     }
 
@@ -254,6 +261,7 @@ mod tests {
             nodes: vec![a, b],
             makespan: Duration::from_secs(1),
             completed: true,
+            delivery_trace: Vec::new(),
         };
         assert!((r.mean_latency_ms() - 2.0).abs() < 1e-9);
     }
@@ -268,6 +276,7 @@ mod tests {
             nodes: vec![s, quiet],
             makespan: Duration::from_secs(1),
             completed: true,
+            delivery_trace: Vec::new(),
         };
         assert!((r.sender_wait_share() - 0.5).abs() < 1e-9);
     }
@@ -283,6 +292,7 @@ mod tests {
             nodes: vec![a, b],
             makespan: Duration::from_secs(1),
             completed: true,
+            delivery_trace: Vec::new(),
         };
         let (s, _, d) = r.batch_histograms();
         assert_eq!(s.count_at(2), 2);

@@ -43,10 +43,55 @@ enum CtrKind {
     DelivAck,
 }
 
+/// One scheduled fault in a simulated run (see [`SimCluster::with_faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFault {
+    /// Virtual time at which the fault fires.
+    pub at: Duration,
+    /// What happens.
+    pub kind: SimFaultKind,
+}
+
+/// The kinds of fault the simulated runtime can inject. All faults are
+/// omission or slowness: delivered writes still place intact and in posting
+/// order, so the §2.2 fencing assumptions hold under any fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFaultKind {
+    /// The node halts silently: its predicate thread stops iterating, its
+    /// application senders stop, and writes addressed to it are discarded.
+    /// Writes it posted before the crash still land (they were on the
+    /// wire). The run then typically stalls — stability needs every member
+    /// — which is exactly the behavior membership exists to repair.
+    Crash {
+        /// The crashing node.
+        node: usize,
+    },
+    /// The node's predicate thread stalls for `pause` while its application
+    /// senders keep queueing — the §4.1.1 slow-receiver situation (windows
+    /// fill, senders block) in isolation.
+    PausePredicate {
+        /// The stalling node.
+        node: usize,
+        /// How long the predicate thread stands still.
+        pause: Duration,
+    },
+    /// Every write `node` posts from now on incurs `extra` additional
+    /// latency (a congested or throttled NIC). Per-destination arrival
+    /// order is preserved.
+    DelayWrites {
+        /// The throttled node.
+        node: usize,
+        /// Added per-write latency.
+        extra: Duration,
+    },
+}
+
 #[derive(Debug)]
 enum Ev {
     /// One predicate-thread loop iteration at `node`.
     Iter { node: usize },
+    /// A scheduled fault fires.
+    Fault { kind: SimFaultKind },
     /// A counter write (value snapshotted at post time) lands at `dst`.
     ArriveCtr {
         dst: usize,
@@ -137,6 +182,8 @@ pub struct SimCluster {
     cost: CostModel,
     seed: u64,
     deadline: SimTime,
+    faults: Vec<SimFault>,
+    trace: bool,
 }
 
 impl SimCluster {
@@ -150,7 +197,26 @@ impl SimCluster {
             cost: CostModel::default(),
             seed: 1,
             deadline: SimTime::from_secs(120),
+            faults: Vec::new(),
+            trace: false,
         }
+    }
+
+    /// Schedules deterministic fault injections (crashes, predicate-thread
+    /// pauses, write throttling) into the run. Faults are part of the
+    /// run description, so the same seed + faults reproduce the same
+    /// virtual-time trace bit for bit.
+    pub fn with_faults(mut self, faults: Vec<SimFault>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Records every ordered delivery as `(subgroup, sender rank, app
+    /// index)` per node into [`RunReport::delivery_trace`], for protocol
+    /// oracles (total order, FIFO, atomic prefix agreement under faults).
+    pub fn with_delivery_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Overrides the cost model.
@@ -195,6 +261,11 @@ struct SimWorld {
     last_delivery: SimTime,
     done_nodes: usize,
     rng: DetRng,
+    faults: Vec<SimFault>,
+    crashed: Vec<bool>,
+    paused_until: Vec<SimTime>,
+    extra_write_delay: Vec<Duration>,
+    trace: Option<Vec<Vec<(usize, usize, u64)>>>,
 }
 
 impl SimWorld {
@@ -284,6 +355,11 @@ impl SimWorld {
             last_delivery: SimTime::ZERO,
             done_nodes: 0,
             rng: DetRng::seed(sc.seed),
+            faults: sc.faults.clone(),
+            crashed: vec![false; n],
+            paused_until: vec![SimTime::ZERO; n],
+            extra_write_delay: vec![Duration::ZERO; n],
+            trace: sc.trace.then(|| vec![Vec::new(); n]),
         }
     }
 
@@ -295,12 +371,47 @@ impl SimWorld {
                 eng.schedule_at(SimTime::ZERO + jitter, Ev::App { node, ai });
             }
         }
+        for f in self.faults.clone() {
+            eng.schedule_at(SimTime::ZERO + f.at, Ev::Fault { kind: f.kind });
+        }
+    }
+
+    /// Applies one scheduled fault at the current virtual time.
+    fn fault(&mut self, eng: &mut Engine<Ev>, kind: SimFaultKind) {
+        match kind {
+            SimFaultKind::Crash { node } => {
+                self.crashed[node] = true;
+            }
+            SimFaultKind::PausePredicate { node, pause } => {
+                self.paused_until[node] = eng.now() + pause;
+                // Make sure the thread notices the pause ending even if it
+                // had quiesced and nothing else wakes it.
+                self.wake(eng, node);
+            }
+            SimFaultKind::DelayWrites { node, extra } => {
+                self.extra_write_delay[node] = extra;
+            }
+        }
+    }
+
+    /// Records one ordered delivery into the oracle trace, if enabled.
+    fn record_delivery(&mut self, node: usize, sg: usize, rank: usize, app_index: u64) {
+        if let Some(t) = &mut self.trace {
+            t[node].push((sg, rank, app_index));
+        }
     }
 
     fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) -> Step {
         match ev {
             Ev::Iter { node } => self.iter(eng, node),
+            Ev::Fault { kind } => {
+                self.fault(eng, kind);
+                Step::Continue
+            }
             Ev::App { node, ai } => {
+                if self.crashed[node] {
+                    return Step::Continue;
+                }
                 self.app(eng, node, ai);
                 Step::Continue
             }
@@ -310,6 +421,9 @@ impl SimWorld {
                 value,
                 kind,
             } => {
+                if self.crashed[dst] {
+                    return Step::Continue;
+                }
                 self.nodes[dst].sst.region().store(word, value);
                 if kind == CtrKind::DelivAck {
                     self.unblock_apps(eng, dst);
@@ -318,6 +432,9 @@ impl SimWorld {
                 Step::Continue
             }
             Ev::ArriveSlots { src, dst, range } => {
+                if self.crashed[dst] {
+                    return Step::Continue;
+                }
                 let src_region = self.nodes[src].sst.region().clone();
                 self.nodes[dst].sst.region().copy_range_from(
                     &src_region,
@@ -333,6 +450,9 @@ impl SimWorld {
     /// Wakes the predicate thread of `node` if it has quiesced (§2.4's
     /// doorbell).
     fn wake(&mut self, eng: &mut Engine<Ev>, node: usize) {
+        if self.crashed[node] {
+            return;
+        }
         if !self.nodes[node].pred_running {
             self.nodes[node].pred_running = true;
             self.nodes[node].idle_streak = 0;
@@ -389,6 +509,7 @@ impl SimWorld {
                 self.nodes[node].m.app_sent += 1;
                 // Unordered QoS counts own messages at queue time.
                 if self.cfg.delivery_timing == DeliveryTiming::OnReceive {
+                    self.record_delivery(node, sg, rank, app_index);
                     self.count_delivery(eng.now(), node, msg_len as u64);
                 }
                 // In-place construction pays the fixed per-message cost;
@@ -450,6 +571,18 @@ impl SimWorld {
     /// accumulated RDMA writes.
     fn iter(&mut self, eng: &mut Engine<Ev>, node: usize) -> Step {
         let now = eng.now();
+        if self.crashed[node] {
+            self.nodes[node].pred_running = false;
+            return Step::Continue;
+        }
+        if now < self.paused_until[node] {
+            // Predicate thread is stalled by a fault; resume at the end of
+            // the pause window. `pred_running` stays true, so wake() never
+            // schedules a second concurrent Iter for this node.
+            let until = self.paused_until[node];
+            eng.schedule_at(until, Ev::Iter { node });
+            return Step::Continue;
+        }
         let cfg = self.cfg.clone();
         let cost = self.cost.clone();
         let sst = self.nodes[node].sst.clone();
@@ -504,11 +637,12 @@ impl SimWorld {
                 self.nodes[node].m.nulls_sent += r.nulls_added;
             }
             if collect_new_app {
-                for &(_, _, _, len, _) in &r.new_app {
+                for &(rank, a, _, len, _) in &r.new_app {
                     busy += cost.upcall_base + self.workload.upcall_cost;
                     if cfg.memcpy_on_delivery {
                         busy += cost.memcpy.copy_time(len as usize);
                     }
+                    self.record_delivery(node, sg_id, rank, a);
                     self.count_delivery(now + busy, node, len as u64);
                 }
             }
@@ -665,6 +799,7 @@ impl SimWorld {
                 let lat = upcall_time.saturating_since(sent_at);
                 self.nodes[node].m.latency.record(lat.as_secs_f64());
                 self.nodes[node].m.latency_samples.record(lat.as_secs_f64());
+                self.record_delivery(node, sg, rank, app_index);
                 self.count_delivery(upcall_time, node, len as u64);
             }
         }
@@ -680,7 +815,9 @@ impl SimWorld {
             let eg = self.nodes[node]
                 .egress
                 .acquire(t_post, cost.egress_time(post.wire));
-            let at_dst = eg.end + cost.net.fixed_latency;
+            // Fault-injected throttling: a constant per-source stall keeps
+            // per-(source, destination) arrival order intact.
+            let at_dst = eg.end + cost.net.fixed_latency + self.extra_write_delay[node];
             let ig = self.nodes[post.dst]
                 .ingress
                 .acquire(at_dst, cost.ingress_time(post.wire, post.slots));
@@ -742,6 +879,7 @@ impl SimWorld {
             nodes: self.nodes.iter().map(|n| n.m.clone()).collect(),
             makespan,
             completed: self.finish.is_some(),
+            delivery_trace: self.trace.clone().unwrap_or_default(),
         }
     }
 }
@@ -945,6 +1083,111 @@ mod tests {
         assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
         // The mean sits between the median and the tail for this workload.
         assert!(r.mean_latency_ms() >= p50 * 0.5);
+    }
+
+    #[test]
+    fn crash_fault_stalls_but_preserves_prefix_agreement() {
+        let view = small_view(3, 3, 8);
+        let r = SimCluster::new(view, SpindleConfig::optimized(), Workload::new(500, 1024))
+            .with_faults(vec![SimFault {
+                at: Duration::from_micros(300),
+                kind: SimFaultKind::Crash { node: 2 },
+            }])
+            .with_delivery_trace()
+            .run();
+        // Stability needs all three members: the run cannot complete.
+        assert!(!r.completed);
+        // Survivors' delivery traces are prefix-comparable (total order).
+        let a = &r.delivery_trace[0];
+        let b = &r.delivery_trace[1];
+        let common = a.len().min(b.len());
+        assert_eq!(&a[..common], &b[..common]);
+    }
+
+    #[test]
+    fn pause_fault_delays_but_run_completes() {
+        let view = small_view(3, 3, 8);
+        let wl = Workload::new(100, 1024);
+        let clean = SimCluster::new(view.clone(), SpindleConfig::optimized(), wl.clone()).run();
+        let paused = SimCluster::new(view, SpindleConfig::optimized(), wl)
+            .with_faults(vec![SimFault {
+                at: Duration::from_micros(100),
+                kind: SimFaultKind::PausePredicate {
+                    node: 1,
+                    pause: Duration::from_millis(2),
+                },
+            }])
+            .run();
+        assert!(paused.completed, "pause must only delay, not wedge");
+        assert!(paused.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn write_delay_fault_slows_the_run() {
+        let view = small_view(3, 3, 16);
+        let wl = Workload::new(200, 1024);
+        let clean = SimCluster::new(view.clone(), SpindleConfig::optimized(), wl.clone()).run();
+        let slowed = SimCluster::new(view, SpindleConfig::optimized(), wl)
+            .with_faults(vec![SimFault {
+                at: Duration::ZERO,
+                kind: SimFaultKind::DelayWrites {
+                    node: 0,
+                    extra: Duration::from_micros(20),
+                },
+            }])
+            .run();
+        assert!(slowed.completed);
+        assert!(slowed.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let view = small_view(3, 3, 8);
+        let wl = Workload::new(150, 1024);
+        let faults = vec![
+            SimFault {
+                at: Duration::from_micros(200),
+                kind: SimFaultKind::PausePredicate {
+                    node: 2,
+                    pause: Duration::from_millis(1),
+                },
+            },
+            SimFault {
+                at: Duration::from_millis(4),
+                kind: SimFaultKind::Crash { node: 1 },
+            },
+        ];
+        let run = || {
+            SimCluster::new(view.clone(), SpindleConfig::optimized(), wl.clone())
+                .with_seed(9)
+                .with_faults(faults.clone())
+                .with_delivery_trace()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn delivery_trace_matches_counts_and_orders() {
+        let view = small_view(3, 2, 16);
+        let r = SimCluster::new(view, SpindleConfig::optimized(), Workload::new(50, 512))
+            .with_delivery_trace()
+            .run();
+        assert!(r.completed);
+        assert_eq!(r.delivery_trace.len(), 3);
+        for (n, trace) in r.delivery_trace.iter().enumerate() {
+            assert_eq!(trace.len() as u64, r.nodes[n].delivered_msgs);
+            // Per-sender FIFO within the trace.
+            let mut next = [0u64; 2];
+            for &(_, rank, idx) in trace {
+                assert_eq!(idx, next[rank], "FIFO violated at node {n}");
+                next[rank] += 1;
+            }
+        }
+        // Identical total order everywhere.
+        assert_eq!(r.delivery_trace[0], r.delivery_trace[1]);
+        assert_eq!(r.delivery_trace[1], r.delivery_trace[2]);
     }
 
     #[test]

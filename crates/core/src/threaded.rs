@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use spindle_fabric::{MemFabric, NodeId, WriteOp};
+use spindle_fabric::{FaultPlan, MemFabric, NodeId, WriteOp};
 use spindle_membership::{RaggedTrim, SeqNum, Subgroup, SubgroupId, View, ViewBuilder};
 use spindle_sst::Sst;
 
@@ -189,6 +189,10 @@ struct NodeShared {
     /// Simulated crash: the predicate thread exits silently, heartbeats
     /// stop, membership does not know until a detector notices.
     killed: AtomicBool,
+    /// Fault injection: while set, the predicate thread stands still (no
+    /// predicate evaluation, no heartbeats) but application threads keep
+    /// queueing — a slow/descheduled receiver.
+    paused: AtomicBool,
     /// Where this node's detector reports suspicions.
     suspicion_tx: Sender<Suspicion>,
     /// Durable logs, one per subgroup, opened lazily (empty unless the
@@ -348,6 +352,16 @@ pub struct Cluster {
     persist: Option<PersistConfig>,
     suspicion_tx: Sender<Suspicion>,
     suspicion_rx: Receiver<Suspicion>,
+    /// Fault switches shared with every epoch's fabric (node faults are
+    /// keyed by node id, so they survive view changes).
+    faults: FaultPlan,
+    /// Nodes whose heartbeat pushes are currently suppressed; drop ranges
+    /// are re-derived from the fresh layout after every view change.
+    hb_dropped: std::collections::BTreeSet<usize>,
+    /// Nodes for which this cluster has a drop range registered in
+    /// `faults` right now (cleared and rebuilt by `apply_heartbeat_drops`
+    /// without touching externally registered ranges on other nodes).
+    hb_registered: std::collections::BTreeSet<usize>,
 }
 
 impl Cluster {
@@ -420,7 +434,8 @@ impl Cluster {
         let view = Arc::new(view);
         let epoch = view.id();
         let (suspicion_tx, suspicion_rx) = unbounded();
-        let (fabric, shareds) = build_epoch(&view, epoch, &suspicion_tx);
+        let faults = FaultPlan::new();
+        let (fabric, shareds) = build_epoch(&view, epoch, &suspicion_tx, &faults);
         let stop = Arc::new(AtomicBool::new(false));
         let mut cluster = Cluster {
             nodes: Vec::new(),
@@ -434,6 +449,9 @@ impl Cluster {
             persist,
             suspicion_tx,
             suspicion_rx,
+            faults,
+            hb_dropped: std::collections::BTreeSet::new(),
+            hb_registered: std::collections::BTreeSet::new(),
         };
         for (row, (shared, rx)) in shareds.into_iter().enumerate() {
             cluster.spawn_node(row, shared, rx);
@@ -485,6 +503,107 @@ impl Cluster {
             .shared
             .killed
             .store(true, Ordering::Release);
+    }
+
+    /// Fault injection: stalls `node`'s predicate thread (no predicate
+    /// evaluation, no acknowledgments, no heartbeats) until
+    /// [`Cluster::resume_node`]. Application threads keep queueing, so ring
+    /// windows fill and cluster-wide delivery stalls on the missing
+    /// acknowledgments — the slow-receiver situation of §4.1.1. With a
+    /// detector configured, a pause longer than its timeout is
+    /// indistinguishable from a crash and draws a suspicion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn pause_node(&self, node: usize) {
+        self.nodes[node]
+            .shared
+            .paused
+            .store(true, Ordering::Release);
+    }
+
+    /// Ends a [`Cluster::pause_node`] stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn resume_node(&self, node: usize) {
+        self.nodes[node]
+            .shared
+            .paused
+            .store(false, Ordering::Release);
+    }
+
+    /// Fault injection: drops all fabric writes from and to `node` (a full
+    /// one-node partition) until [`Cluster::heal_node`]. The node keeps
+    /// running — it just stops being heard, so detectors on both sides of
+    /// the partition raise suspicions.
+    pub fn isolate_node(&self, node: usize) {
+        self.faults.isolate(NodeId(node));
+    }
+
+    /// Ends a [`Cluster::isolate_node`] partition.
+    pub fn heal_node(&self, node: usize) {
+        self.faults.heal(NodeId(node));
+    }
+
+    /// Fault injection: stalls every fabric write `node` posts by `delay`
+    /// (`Duration::ZERO` removes the throttle). Ordering is preserved; the
+    /// node is merely slow.
+    pub fn throttle_node(&self, node: usize, delay: Duration) {
+        self.faults.throttle(NodeId(node), delay);
+    }
+
+    /// Fault injection: suppresses (or restores) `node`'s heartbeat counter
+    /// pushes while the rest of its traffic flows — a healthy node that
+    /// *looks* dead to every detector. The suppression survives view
+    /// changes (drop ranges are re-derived from each new layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_drop_heartbeats(&mut self, node: usize, on: bool) {
+        if on {
+            self.hb_dropped.insert(node);
+        } else {
+            self.hb_dropped.remove(&node);
+        }
+        self.apply_heartbeat_drops();
+    }
+
+    /// Re-registers the heartbeat drop ranges against the current layout.
+    /// Only ranges this cluster registered (tracked in `hb_registered`)
+    /// are cleared, so drop ranges installed directly through
+    /// [`Cluster::faults`] on *other* nodes are left alone. Removed and
+    /// crashed nodes are skipped — their inner state still describes the
+    /// old epoch's layout, and they post nothing anyway.
+    fn apply_heartbeat_drops(&mut self) {
+        for &row in &self.hb_registered {
+            self.faults.clear_write_drops(NodeId(row));
+        }
+        self.hb_registered.clear();
+        for &row in &self.hb_dropped {
+            let inner = self.nodes[row].shared.inner.lock();
+            if !inner.alive {
+                continue;
+            }
+            let range = inner.sst.own_counter_range(inner.heartbeat_col);
+            drop(inner);
+            self.faults.drop_writes_in(NodeId(row), range);
+            self.hb_registered.insert(row);
+        }
+    }
+
+    /// The fault-injection switches shared with the fabric of every epoch.
+    /// Prefer the named methods ([`Cluster::isolate_node`],
+    /// [`Cluster::throttle_node`], ...) where one fits. Caveat: drop
+    /// ranges on nodes managed by [`Cluster::set_drop_heartbeats`] are
+    /// rebuilt on every view change; direct
+    /// [`FaultPlan::drop_writes_in`] registrations on *those* nodes are
+    /// cleared in the process (other nodes' are preserved).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Handle to node `i`.
@@ -797,7 +916,11 @@ impl Cluster {
     fn install_view(&mut self, next_view: Arc<View>, failed: Option<usize>) {
         let new_epoch = next_view.id();
         let plan = Plan::build(&next_view, true);
-        let fabric = MemFabric::new(next_view.members().len(), plan.layout.region_words());
+        let fabric = MemFabric::with_faults(
+            next_view.members().len(),
+            plan.layout.region_words(),
+            self.faults.clone(),
+        );
         for n in &self.nodes {
             let mut inner = n.shared.inner.lock();
             let row = n.id.0;
@@ -824,6 +947,8 @@ impl Cluster {
         self.view = next_view;
         self.fabric = fabric;
         self.epoch = new_epoch;
+        // Heartbeat drop ranges are layout-relative; re-derive them.
+        self.apply_heartbeat_drops();
     }
 
     /// Unwedges everyone and resends recovered messages in the new epoch.
@@ -916,6 +1041,7 @@ fn build_node_shared(
         parked: AtomicBool::new(false),
         epoch: AtomicU64::new(epoch),
         killed: AtomicBool::new(false),
+        paused: AtomicBool::new(false),
         suspicion_tx: suspicion_tx.clone(),
         plogs: Mutex::new(std::collections::HashMap::new()),
     });
@@ -927,10 +1053,11 @@ fn build_epoch(
     view: &Arc<View>,
     epoch: u64,
     suspicion_tx: &Sender<Suspicion>,
+    faults: &FaultPlan,
 ) -> (MemFabric, Vec<SharedAndRx>) {
     let plan = Plan::build(view, true);
     let n = view.members().len();
-    let fabric = MemFabric::new(n, plan.layout.region_words());
+    let fabric = MemFabric::with_faults(n, plan.layout.region_words(), faults.clone());
     let out = (0..n)
         .map(|row| build_node_shared(view, epoch, row, &fabric, &plan, suspicion_tx))
         .collect();
@@ -965,6 +1092,12 @@ fn predicate_thread(
                 std::thread::sleep(Duration::from_micros(20));
             }
             shared.parked.store(false, Ordering::Release);
+            continue;
+        }
+        if shared.paused.load(Ordering::Acquire) {
+            // Fault-injected stall: no predicate work, no heartbeats. Loop
+            // (rather than block) so wedges, kills and stop still land.
+            std::thread::sleep(Duration::from_micros(50));
             continue;
         }
         // Work items collected under the lock, posted after release
@@ -1371,6 +1504,75 @@ mod tests {
             cluster.node(2).send(SubgroupId(0), b"x"),
             Err(SendError::Closed)
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn paused_node_stalls_delivery_until_resumed() {
+        // Window larger than the burst: sends queue without blocking even
+        // though nothing can deliver while node 2 is paused.
+        let cluster = Cluster::start(view(3, 1, 16, 64), SpindleConfig::optimized());
+        cluster.pause_node(2);
+        for i in 0..10u32 {
+            cluster
+                .node(0)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+        }
+        // Node 2 acknowledges nothing, so nothing can stabilize anywhere.
+        assert!(
+            cluster
+                .node(1)
+                .recv_timeout(Duration::from_millis(300))
+                .is_none(),
+            "delivery proceeded despite a paused member"
+        );
+        cluster.resume_node(2);
+        let got = collect(&cluster, 1, 10);
+        assert_eq!(got.len(), 10);
+        assert_eq!(collect(&cluster, 2, 10).len(), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn isolated_node_stalls_cluster_until_removed() {
+        let mut cluster = Cluster::start(view(3, 3, 4, 64), SpindleConfig::optimized());
+        cluster.isolate_node(2);
+        cluster.node(0).send(SubgroupId(0), b"during").unwrap();
+        // Node 2 hears nothing; its missing ack also stalls nodes 0 and 1.
+        assert!(cluster
+            .node(2)
+            .recv_timeout(Duration::from_millis(300))
+            .is_none());
+        assert!(cluster.faults().writes_dropped() > 0);
+        // One-sided writes are never retransmitted: the partition is
+        // repaired by membership, not by healing the link. Removing the
+        // isolated node delivers the message at every survivor — either
+        // through the ragged-trim cut (epoch 0) or via resend (epoch 1).
+        cluster.remove_node(2).unwrap();
+        let got = collect(&cluster, 1, 1);
+        assert_eq!(got[0].data, b"during");
+        assert_eq!(collect(&cluster, 0, 1)[0].data, b"during");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dropped_heartbeats_draw_suspicion_on_healthy_node() {
+        let det = DetectorConfig {
+            heartbeat_interval: Duration::from_millis(1),
+            timeout: Duration::from_millis(100),
+        };
+        let mut cluster =
+            Cluster::start_with_detector(view(3, 3, 8, 64), SpindleConfig::optimized(), det);
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.set_drop_heartbeats(1, true);
+        // Node 1 is alive (it can still multicast) yet looks dead.
+        cluster.node(1).send(SubgroupId(0), b"alive").unwrap();
+        let s = cluster
+            .suspicions()
+            .recv_timeout(Duration::from_secs(10))
+            .expect("suppressed heartbeats must draw a suspicion");
+        assert_eq!(s.suspect, 1);
         cluster.shutdown();
     }
 

@@ -29,11 +29,13 @@
 //! written against these types only.
 
 pub mod cost;
+pub mod fault;
 pub mod mem;
 pub mod region;
 pub mod types;
 
 pub use cost::{MemcpyModel, NetModel, SsdModel};
+pub use fault::{Disposition, FaultPlan};
 pub use mem::MemFabric;
 pub use region::Region;
 pub use types::{MirrorMap, NodeId, WriteOp};

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::fault::{Disposition, FaultPlan};
 use crate::region::Region;
 use crate::types::{NodeId, WriteOp};
 
@@ -36,6 +37,7 @@ pub struct MemFabric {
     regions: Arc<[Arc<Region>]>,
     writes_posted: Arc<AtomicU64>,
     bytes_posted: Arc<AtomicU64>,
+    faults: FaultPlan,
 }
 
 impl MemFabric {
@@ -46,6 +48,18 @@ impl MemFabric {
     ///
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize, region_words: usize) -> Self {
+        MemFabric::with_faults(nodes, region_words, FaultPlan::new())
+    }
+
+    /// Like [`MemFabric::new`], but consulting `faults` on every post. The
+    /// plan is shared: a harness holding a clone can flip faults while the
+    /// fabric is live, and the same plan can be re-attached to the fresh
+    /// fabric of a later view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn with_faults(nodes: usize, region_words: usize, faults: FaultPlan) -> Self {
         assert!(nodes > 0, "fabric needs at least one node");
         let regions: Vec<Arc<Region>> = (0..nodes)
             .map(|_| Arc::new(Region::new(region_words)))
@@ -54,7 +68,14 @@ impl MemFabric {
             regions: regions.into(),
             writes_posted: Arc::new(AtomicU64::new(0)),
             bytes_posted: Arc::new(AtomicU64::new(0)),
+            faults,
         }
+    }
+
+    /// The fault plan this fabric consults (inert unless constructed via
+    /// [`MemFabric::with_faults`] or mutated through this handle).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of nodes connected.
@@ -94,7 +115,16 @@ impl MemFabric {
         self.bytes_posted
             .fetch_add(op.wire_bytes as u64, Ordering::Relaxed);
         if src == op.dst {
+            // Loopback never crosses the fabric: exempt from faults too.
             return;
+        }
+        match self.faults.disposition(src, op.dst, &op.range) {
+            Disposition::Drop => return,
+            Disposition::Deliver(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
         }
         let src_region = &self.regions[src.0];
         let dst_region = &self.regions[op.dst.0];

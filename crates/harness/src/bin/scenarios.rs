@@ -1,0 +1,81 @@
+//! Runs the fault-injection scenario corpus and prints a per-scenario
+//! verdict. Exit status is non-zero if any scenario fails, and the failing
+//! scenario's seed and full deterministic trace are printed so the run can
+//! be replayed locally with
+//! `cargo run -p spindle-harness --release --bin scenarios -- --seed <N> <name>`.
+
+use std::process::ExitCode;
+
+use spindle_harness::{corpus, run_scenario};
+
+const USAGE: &str = "usage: scenarios [--seed N] [--list] [NAME ...]\n\
+       runs the whole corpus (default seed 42), or only the named scenarios";
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let all = corpus(seed);
+    if list {
+        for s in &all {
+            println!("{}", s.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = if names.is_empty() {
+        all
+    } else {
+        let picked: Vec<_> = all
+            .into_iter()
+            .filter(|s| names.iter().any(|n| s.name.starts_with(n.as_str())))
+            .collect();
+        if picked.is_empty() {
+            eprintln!("no scenario matches {names:?}; try --list");
+            return ExitCode::FAILURE;
+        }
+        picked
+    };
+
+    let mut failed = 0usize;
+    for s in &selected {
+        let outcome = run_scenario(s);
+        if outcome.passed() {
+            println!("PASS {} (seed {})", outcome.name, outcome.seed);
+        } else {
+            failed += 1;
+            println!("FAIL {} (seed {})", outcome.name, outcome.seed);
+            println!("--- replay trace (seed {}) ---", outcome.seed);
+            print!("{}", outcome.trace);
+            println!("--- end trace ---");
+        }
+    }
+    println!(
+        "{}/{} scenarios passed (seed {seed})",
+        selected.len() - failed,
+        selected.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,341 @@
+//! The named scenario corpus the `scenarios` binary runs in CI.
+//!
+//! Each scenario targets one adversarial shape from the paper's §2.1
+//! failure model: crashes detected by SST heartbeats, crashes concurrent
+//! with a view change, slow and partitioned receivers, membership churn
+//! under load, durable-mode restarts, multi-subgroup crossfire, and
+//! sim-runtime fault schedules. The `seed` parameterizes the generated
+//! member of the corpus and the sim runtimes; every scenario replays bit
+//! for bit under the same seed.
+
+use std::time::Duration;
+
+use spindle_core::{SimFault, SimFaultKind, SpindleConfig};
+
+use crate::scenario::{
+    crash_at, fast_detector, random_scenario, ClusterSpec, Event, Scenario, ScenarioKind, SgSpec,
+    SimScenario, ThreadedScenario,
+};
+
+fn threaded(name: &str, seed: u64, spec: ClusterSpec, events: Vec<Event>) -> Scenario {
+    Scenario {
+        name: name.into(),
+        seed,
+        kind: ScenarioKind::Threaded(ThreadedScenario {
+            spec,
+            events,
+            expect_complete: true,
+        }),
+    }
+}
+
+fn burst(node: usize, count: u32) -> Event {
+    Event::Burst {
+        node,
+        sg: 0,
+        count,
+        size: 24,
+    }
+}
+
+/// The full corpus for `seed`.
+pub fn corpus(seed: u64) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // 1. Concurrent senders, no faults: the baseline every other scenario
+    // degrades from.
+    out.push(threaded(
+        "smoke-crossfire",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        vec![
+            burst(0, 20),
+            burst(1, 20),
+            burst(2, 20),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 2. A receiver stalls (paused predicate thread): cluster-wide delivery
+    // stops on its missing acknowledgments, then recovers on resume.
+    out.push(threaded(
+        "slow-receiver",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        vec![
+            Event::Pause { node: 2 },
+            burst(0, 6),
+            burst(1, 4),
+            Event::Settle { millis: 60 },
+            Event::Resume { node: 2 },
+            burst(0, 10),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 3. Silent crash mid-traffic, noticed by SST heartbeats, repaired by a
+    // detector-driven view change.
+    let mut spec = ClusterSpec::all_senders(4, 16, 64);
+    spec.detector = Some(fast_detector());
+    out.push(threaded(
+        "crash-detected-removal",
+        seed,
+        spec,
+        vec![
+            Event::Settle { millis: 30 },
+            burst(0, 10),
+            burst(2, 5),
+            Event::Crash { node: 2 },
+            Event::AwaitSuspicion { suspect: 2 },
+            burst(0, 10),
+            burst(1, 10),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 4. A second node crashes silently just before a planned removal runs:
+    // the epoch transition must cope with a participant vanishing mid
+    // view-change.
+    out.push(threaded(
+        "crash-during-view-change",
+        seed,
+        ClusterSpec::all_senders(5, 16, 64),
+        vec![
+            burst(0, 8),
+            burst(1, 8),
+            burst(2, 8),
+            Event::Crash { node: 4 },
+            Event::Remove { node: 3 },
+            burst(0, 8),
+            burst(2, 8),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 5. Membership churn under load: removals and joins interleaved with
+    // bursts, including traffic from the joiner.
+    out.push(threaded(
+        "churn-storm",
+        seed,
+        ClusterSpec::all_senders(4, 16, 64),
+        vec![
+            burst(0, 10),
+            burst(1, 6),
+            Event::Remove { node: 3 },
+            burst(0, 6),
+            Event::Join {
+                joins: vec![(0, true)],
+            },
+            burst(4, 8),
+            burst(2, 6),
+            Event::Remove { node: 2 },
+            burst(4, 6),
+            Event::Join {
+                joins: vec![(0, true)],
+            },
+            burst(5, 6),
+            burst(0, 6),
+            Event::Settle { millis: 120 },
+        ],
+    ));
+
+    // 6. Heartbeat blackout: a healthy, actively sending node whose
+    // heartbeat pushes are suppressed looks dead and is evicted — its
+    // pre-cut traffic must survive atomically.
+    let mut spec = ClusterSpec::all_senders(4, 16, 64);
+    spec.detector = Some(fast_detector());
+    out.push(threaded(
+        "heartbeat-blackout",
+        seed,
+        spec,
+        vec![
+            Event::Settle { millis: 30 },
+            burst(1, 6),
+            Event::DropHeartbeats { node: 1 },
+            burst(1, 6),
+            Event::AwaitSuspicion { suspect: 1 },
+            burst(0, 10),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 7. A throttled NIC: ordering is untouched, everything just slows.
+    out.push(threaded(
+        "slow-nic-throttle",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        vec![
+            Event::Throttle {
+                node: 1,
+                micros: 50,
+            },
+            burst(0, 12),
+            burst(1, 12),
+            burst(2, 12),
+            Event::Throttle { node: 1, micros: 0 },
+            burst(0, 8),
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 8. Two overlapping subgroups with disjoint sender sets; a node in
+    // both is removed mid-traffic.
+    out.push(threaded(
+        "multi-subgroup-crossfire",
+        seed,
+        ClusterSpec {
+            nodes: 4,
+            subgroups: vec![
+                SgSpec {
+                    members: vec![0, 1, 2],
+                    senders: vec![0, 1],
+                    window: 16,
+                    max_msg: 64,
+                },
+                SgSpec {
+                    members: vec![1, 2, 3],
+                    senders: vec![2, 3],
+                    window: 16,
+                    max_msg: 64,
+                },
+            ],
+            config: SpindleConfig::optimized(),
+            detector: None,
+            persist: false,
+        },
+        vec![
+            Event::Burst {
+                node: 0,
+                sg: 0,
+                count: 10,
+                size: 24,
+            },
+            Event::Burst {
+                node: 2,
+                sg: 1,
+                count: 10,
+                size: 24,
+            },
+            Event::Burst {
+                node: 1,
+                sg: 0,
+                count: 8,
+                size: 24,
+            },
+            Event::Burst {
+                node: 3,
+                sg: 1,
+                count: 8,
+                size: 24,
+            },
+            Event::Remove { node: 2 },
+            Event::Burst {
+                node: 0,
+                sg: 0,
+                count: 6,
+                size: 24,
+            },
+            Event::Burst {
+                node: 3,
+                sg: 1,
+                count: 6,
+                size: 24,
+            },
+            Event::Settle { millis: 100 },
+        ],
+    ));
+
+    // 9. Durable mode: every delivery must replay identically from the
+    // per-node logs after shutdown, across a view change.
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.persist = true;
+    out.push(threaded(
+        "persistent-restart-replay",
+        seed,
+        spec,
+        vec![
+            burst(0, 10),
+            burst(1, 10),
+            Event::Settle { millis: 60 },
+            Event::Remove { node: 2 },
+            burst(0, 6),
+            Event::Settle { millis: 120 },
+        ],
+    ));
+
+    // 10. Sim runtime: a node crashes mid-run; survivors stall (stability
+    // needs every member) but their delivered prefixes must agree.
+    out.push(Scenario {
+        name: "sim-crash-stall".into(),
+        seed,
+        kind: ScenarioKind::Sim(SimScenario {
+            nodes: 3,
+            window: 8,
+            msgs_per_sender: 400,
+            msg_size: 1024,
+            config: SpindleConfig::optimized(),
+            faults: vec![crash_at(300, 2)],
+            deadline_ms: 5_000,
+            expect_complete: false,
+        }),
+    });
+
+    // 11. Sim runtime: a paused predicate thread plus a throttled NIC —
+    // pure slowness, so the run must still complete.
+    out.push(Scenario {
+        name: "sim-slow-predicate".into(),
+        seed,
+        kind: ScenarioKind::Sim(SimScenario {
+            nodes: 3,
+            window: 16,
+            msgs_per_sender: 150,
+            msg_size: 1024,
+            config: SpindleConfig::optimized(),
+            faults: vec![
+                SimFault {
+                    at: Duration::from_micros(200),
+                    kind: SimFaultKind::PausePredicate {
+                        node: 1,
+                        pause: Duration::from_millis(1),
+                    },
+                },
+                SimFault {
+                    at: Duration::ZERO,
+                    kind: SimFaultKind::DelayWrites {
+                        node: 0,
+                        extra: Duration::from_micros(10),
+                    },
+                },
+            ],
+            deadline_ms: 30_000,
+            expect_complete: true,
+        }),
+    });
+
+    // 12. The seed-generated churn scenario.
+    out.push(random_scenario(seed));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_at_least_eight_named_scenarios() {
+        let c = corpus(42);
+        assert!(c.len() >= 8, "corpus shrank to {}", c.len());
+        let mut names: Vec<&str> = c.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn corpus_scripts_are_deterministic() {
+        let a: Vec<String> = corpus(7).iter().map(|s| s.script()).collect();
+        let b: Vec<String> = corpus(7).iter().map(|s| s.script()).collect();
+        assert_eq!(a, b);
+    }
+}

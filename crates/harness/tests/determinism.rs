@@ -1,0 +1,53 @@
+//! The harness determinism contract, extending the pattern of
+//! `crates/spindle/tests/determinism.rs` to scenarios: a scenario's replay
+//! trace and oracle verdict are a pure function of `(scenario, seed)`.
+//! Two runs with the same seed must produce bit-identical traces — the
+//! scenario script, the epoch/membership history, every oracle verdict,
+//! and (for the sim runtime) the delivery-trace fingerprints. This is what
+//! lets a failing scenario's printed seed replay the exact run locally.
+
+use spindle_harness::{corpus, random_scenario, run_scenario, Scenario, ScenarioKind};
+
+fn rerun_is_bit_identical(s: &Scenario) {
+    let a = run_scenario(s);
+    let b = run_scenario(s);
+    assert_eq!(
+        a.trace, b.trace,
+        "scenario {} diverged across same-seed reruns",
+        s.name
+    );
+    assert_eq!(a.passed(), b.passed());
+    assert!(a.passed(), "scenario {} failed:\n{}", s.name, a.trace);
+}
+
+#[test]
+fn sim_scenarios_replay_bit_identically() {
+    for s in corpus(42) {
+        if matches!(s.kind, ScenarioKind::Sim(_)) {
+            rerun_is_bit_identical(&s);
+        }
+    }
+}
+
+#[test]
+fn threaded_scenario_replays_bit_identically() {
+    // One threaded scenario with faults and a view change: the wall-clock
+    // interleavings differ between runs, the trace must not.
+    let s = corpus(42)
+        .into_iter()
+        .find(|s| s.name == "crash-during-view-change")
+        .expect("corpus scenario present");
+    rerun_is_bit_identical(&s);
+}
+
+#[test]
+fn generated_scenario_replays_bit_identically() {
+    rerun_is_bit_identical(&random_scenario(0xC0FFEE));
+}
+
+#[test]
+fn distinct_seeds_give_distinct_generated_scenarios() {
+    let a = random_scenario(1);
+    let b = random_scenario(2);
+    assert_ne!(a.script(), b.script());
+}

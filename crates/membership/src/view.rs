@@ -49,6 +49,12 @@ impl Subgroup {
         self.senders.iter().position(|&s| s == node)
     }
 
+    /// Whether `node` is a member of this subgroup (what delivery oracles
+    /// need to decide which nodes must agree on an epoch's sequence).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
     /// Number of members.
     pub fn size(&self) -> usize {
         self.members.len()

@@ -673,6 +673,104 @@ mod tests {
         assert!(matches!(s.verify(), Err(VerifyError::SelfSend { .. })));
     }
 
+    // --- one hand-corrupted schedule per invariant, asserting the exact
+    // --- error each corruption must produce ---
+
+    #[test]
+    fn verify_rejects_duplicate_delivery() {
+        // sequential(3, 2) is [0→1 b0][0→1 b1][0→2 b0][0→2 b1]. After
+        // round 0, node 1 holds b0; let it forward b0 to node 2 in round 1
+        // — legal in itself, but it turns round 2's 0→2 b0 into a second
+        // delivery of a block the receiver already holds.
+        let mut s = generate(ScheduleKind::SequentialSend, 3, 2);
+        s.rounds_mut()[1].push(Transfer {
+            from: 1,
+            to: 2,
+            block: 0,
+        });
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::DuplicateDelivery {
+                round: 2,
+                t: Transfer {
+                    from: 0,
+                    to: 2,
+                    block: 0
+                }
+            })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_send_before_receive() {
+        // sequential(4, 1) is [0→1][0→2][0→3]. Node 2 receives the block
+        // only in round 1; making it forward in round 0 sends a block it
+        // does not yet hold.
+        let mut s = generate(ScheduleKind::SequentialSend, 4, 1);
+        s.rounds_mut()[0].push(Transfer {
+            from: 2,
+            to: 3,
+            block: 0,
+        });
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::SenderLacksBlock {
+                round: 0,
+                t: Transfer {
+                    from: 2,
+                    to: 3,
+                    block: 0
+                }
+            })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_receive_budget_violation() {
+        // binomial_tree(8, 1): round 2 (stride 4) is [0→4, 1→5, 2→6, 3→7].
+        // Redirect 1→5 onto node 4: two distinct senders now target node 4
+        // in one round, exceeding its single-NIC receive budget (the
+        // half-duplex rule — each link direction carries one block per
+        // round).
+        let mut s = generate(ScheduleKind::BinomialTree, 8, 1);
+        s.rounds_mut()[2][1].to = 4;
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::NodeReceivesTwice { round: 2, node: 4 })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_rank_out_of_range() {
+        let mut s = generate(ScheduleKind::SequentialSend, 3, 1);
+        s.rounds_mut()[1].push(Transfer {
+            from: 1,
+            to: 7,
+            block: 0,
+        });
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::RankOutOfRange {
+                round: 1,
+                t: Transfer {
+                    from: 1,
+                    to: 7,
+                    block: 0
+                }
+            })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_block_out_of_range() {
+        let mut s = generate(ScheduleKind::ChainSend, 3, 2);
+        s.rounds_mut()[0][0].block = 9;
+        assert!(matches!(
+            s.verify(),
+            Err(VerifyError::BlockOutOfRange { round: 0, .. })
+        ));
+    }
+
     #[test]
     fn two_nodes_all_kinds_degenerate_to_direct_send() {
         for kind in ScheduleKind::ALL {

@@ -24,7 +24,13 @@
 //! * [`dds`] — the OMG-DCPS-style avionics DDS with four QoS levels and
 //!   the §4.6 TCP external-client relay ([`ExternalClient`]);
 //! * [`persist`] — the durable log behind the persistent atomic multicast
-//!   of the paper's footnote 2 ([`Cluster::start_persistent`]).
+//!   of the paper's footnote 2 ([`Cluster::start_persistent`]);
+//! * [`harness`] — the deterministic fault-injection scenario harness:
+//!   seeded, replayable fault schedules (crashes, pauses, partitions,
+//!   heartbeat blackouts, churn) run against both runtimes and checked by
+//!   protocol oracles (total order, FIFO, null invisibility, failure
+//!   atomicity, agreement); `cargo run -p spindle-harness --bin scenarios`
+//!   runs the named corpus.
 //!
 //! The threaded runtime also carries the membership machinery the paper
 //! assumes: SST heartbeat failure detection
@@ -64,6 +70,7 @@
 pub use spindle_core as core;
 pub use spindle_dds as dds;
 pub use spindle_fabric as fabric;
+pub use spindle_harness as harness;
 pub use spindle_membership as membership;
 pub use spindle_rdmc as rdmc;
 pub use spindle_sim as sim;
@@ -75,12 +82,13 @@ pub use spindle_core::threaded::{
     Delivered, NodeHandle, PersistConfig, SendError, Suspicion, ViewChangeError, ViewChangeReport,
 };
 pub use spindle_core::{
-    Cluster, CostModel, DeliveryTiming, RunReport, SenderActivity, SimCluster, SpindleConfig,
-    Workload,
+    Cluster, CostModel, DeliveryTiming, RunReport, SenderActivity, SimCluster, SimFault,
+    SimFaultKind, SpindleConfig, Workload,
 };
 pub use spindle_dds::{
     DdsDomain, DdsExperiment, DomainBuilder, ExternalClient, PublishStatus, QosLevel, TopicId,
 };
+pub use spindle_fabric::FaultPlan;
 pub use spindle_fabric::NodeId;
 pub use spindle_membership::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};
 pub use spindle_persist as persist;
