@@ -5,8 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
-use spindle_fabric::{MemFabric, NodeId, Region, WriteOp};
+use spindle_fabric::{Fabric as _, FaultPlan, MemFabric, NodeId, Region, WriteOp};
 use spindle_membership::{nulls_owed, MsgId, SeqSpace};
+use spindle_net::TcpFabricGroup;
 use spindle_smc::{scan_new, Ring};
 use spindle_sst::{LayoutBuilder, Sst};
 
@@ -181,12 +182,67 @@ fn bench_persist(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Real-network mode: post→placement latency over loopback TCP — the
+/// number EXPERIMENTS.md compares against the calibrated RDMA `NetModel`
+/// (≈1.7 µs at 8 B on the paper's hardware) and against
+/// `fabric/memfabric_post_ack`. Each iteration posts one write from node
+/// 0 and spins until the word is visible in node 1's mirror, so the
+/// measurement covers snapshot + frame encode + kernel TCP + placement.
+fn bench_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net");
+    let fabric = TcpFabricGroup::loopback(2, 1024, FaultPlan::new()).expect("loopback group");
+    let r0 = fabric.region_arc(NodeId(0));
+    let r1 = fabric.region_arc(NodeId(1));
+    let mut v = 0u64;
+    g.bench_function("tcp_post_visible_8B", |b| {
+        b.iter(|| {
+            v += 1;
+            r0.store(0, v);
+            fabric.post(NodeId(0), black_box(&WriteOp::new(NodeId(1), 0..1)));
+            while r1.load(0) != v {
+                // Yield, don't spin: on a single-core host the writer and
+                // reader threads need this CPU to move the bytes.
+                std::thread::yield_now();
+            }
+        })
+    });
+    // 4 KiB, the paper's largest small-message size (Fig. 1): words are
+    // placed in increasing order, so visibility of the last word implies
+    // the whole write landed.
+    let op4k = WriteOp::new(NodeId(1), 1..513);
+    g.bench_function("tcp_post_visible_4KB", |b| {
+        b.iter(|| {
+            v += 1;
+            r0.store(512, v);
+            fabric.post(NodeId(0), black_box(&op4k));
+            while r1.load(512) != v {
+                std::thread::yield_now();
+            }
+        })
+    });
+    // The poster-side cost alone (enqueue to the writer thread): what the
+    // predicate thread actually pays per posted write.
+    g.bench_function("tcp_post_enqueue_8B", |b| {
+        b.iter(|| {
+            v += 1;
+            r0.store(0, v);
+            fabric.post(NodeId(0), black_box(&WriteOp::new(NodeId(1), 0..1)));
+        })
+    });
+    // Let the writer drain before tearing the sockets down.
+    while r1.load(0) != v {
+        std::thread::yield_now();
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sst,
     bench_smc,
     bench_membership,
     bench_fabric,
+    bench_net,
     bench_rdmc,
     bench_persist
 );

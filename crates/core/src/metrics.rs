@@ -20,6 +20,15 @@ pub struct NodeMetrics {
     pub push_ops: u64,
     /// Total bytes put on the wire.
     pub wire_bytes: u64,
+    /// Real-network mode only: bytes actually written to peer sockets
+    /// (payload + framing), as counted by `spindle_net`'s wire layer.
+    /// Zero for the simulated and shared-memory transports.
+    pub wire_bytes_sent: u64,
+    /// Real-network mode only: bytes read from peer sockets.
+    pub wire_bytes_received: u64,
+    /// Real-network mode only: `WRITE` frames this node posted (including
+    /// loopback self-posts and frames dropped by faults or dead links).
+    pub wire_frames_posted: u64,
     /// Predicate-thread CPU time spent posting writes (§4.1.1).
     pub post_time: Duration,
     /// Predicate-thread total busy time.
@@ -66,6 +75,9 @@ impl NodeMetrics {
             writes_posted: 0,
             push_ops: 0,
             wire_bytes: 0,
+            wire_bytes_sent: 0,
+            wire_bytes_received: 0,
+            wire_frames_posted: 0,
             post_time: Duration::ZERO,
             pred_busy: Duration::ZERO,
             active_sg_busy: Duration::ZERO,
@@ -165,6 +177,22 @@ impl RunReport {
     /// Total writes posted across nodes.
     pub fn total_writes(&self) -> u64 {
         self.nodes.iter().map(|n| n.writes_posted).sum()
+    }
+
+    /// Real-network mode: total socket bytes sent across nodes (zero on
+    /// the simulated and shared-memory transports).
+    pub fn total_wire_bytes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wire_bytes_sent).sum()
+    }
+
+    /// Real-network mode: total socket bytes received across nodes.
+    pub fn total_wire_bytes_received(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wire_bytes_received).sum()
+    }
+
+    /// Real-network mode: total `WRITE` frames posted across nodes.
+    pub fn total_wire_frames(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wire_frames_posted).sum()
     }
 
     /// Total posting time across nodes.
@@ -303,5 +331,26 @@ mod tests {
     fn active_share_handles_zero_busy() {
         let r = report_with(0, 0, 1);
         assert_eq!(r.active_sg_share(), 0.0);
+    }
+
+    #[test]
+    fn wire_counters_aggregate_across_nodes() {
+        let mut a = NodeMetrics::new();
+        a.wire_bytes_sent = 100;
+        a.wire_bytes_received = 40;
+        a.wire_frames_posted = 7;
+        let mut b = NodeMetrics::new();
+        b.wire_bytes_sent = 50;
+        b.wire_bytes_received = 110;
+        b.wire_frames_posted = 3;
+        let r = RunReport {
+            nodes: vec![a, b],
+            makespan: Duration::from_secs(1),
+            completed: true,
+            delivery_trace: Vec::new(),
+        };
+        assert_eq!(r.total_wire_bytes_sent(), 150);
+        assert_eq!(r.total_wire_bytes_received(), 150);
+        assert_eq!(r.total_wire_frames(), 10);
     }
 }

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use spindle_fabric::{FaultPlan, MemFabric, NodeId, WriteOp};
+use spindle_fabric::{Fabric, FaultPlan, MemFabric, NodeId, Region, WriteOp};
 use spindle_membership::{RaggedTrim, SeqNum, Subgroup, SubgroupId, View, ViewBuilder};
 use spindle_sst::Sst;
 
@@ -99,6 +99,11 @@ pub enum ViewChangeError {
     TooFewSurvivors,
     /// A join referenced a subgroup id outside the view.
     UnknownSubgroup(SubgroupId),
+    /// The cluster was started on a pre-built fabric
+    /// ([`Cluster::start_distributed`]): its transport cannot be rebuilt
+    /// for a new view from inside one process, so epoch transitions are
+    /// driven externally (restart with a new bootstrap config).
+    StaticFabric,
 }
 
 impl std::fmt::Display for ViewChangeError {
@@ -110,6 +115,9 @@ impl std::fmt::Display for ViewChangeError {
             }
             ViewChangeError::TooFewSurvivors => write!(f, "a view needs at least two members"),
             ViewChangeError::UnknownSubgroup(g) => write!(f, "no such subgroup {g}"),
+            ViewChangeError::StaticFabric => {
+                write!(f, "cluster fabric is static; view changes are external")
+            }
         }
     }
 }
@@ -164,10 +172,12 @@ pub struct Suspicion {
 }
 
 /// Everything that is replaced wholesale on a view change.
-struct NodeInner {
+struct NodeInner<F: Fabric> {
     sst: Sst,
     protos: Vec<SubgroupProto>,
-    fabric: MemFabric,
+    /// `None` only for the closed stub of a remotely hosted row, which
+    /// never runs a predicate thread and never posts.
+    fabric: Option<F>,
     view: Arc<View>,
     alive: bool,
     /// The top-level heartbeat column of the current plan.
@@ -177,8 +187,8 @@ struct NodeInner {
     hb_peers: Vec<usize>,
 }
 
-struct NodeShared {
-    inner: Mutex<NodeInner>,
+struct NodeShared<F: Fabric> {
+    inner: Mutex<NodeInner<F>>,
     deliveries: Sender<Delivered>,
     /// Incremented while the predicate thread must stand still (view
     /// change in progress).
@@ -202,14 +212,17 @@ struct NodeShared {
 }
 
 /// Handle to one in-process node.
-pub struct NodeHandle {
+///
+/// Generic over the transport; defaults to the in-process [`MemFabric`],
+/// so `NodeHandle` without parameters names the common case.
+pub struct NodeHandle<F: Fabric = MemFabric> {
     id: NodeId,
-    shared: Arc<NodeShared>,
+    shared: Arc<NodeShared<F>>,
     rx: Receiver<Delivered>,
     stop: Arc<AtomicBool>,
 }
 
-impl NodeHandle {
+impl<F: Fabric> NodeHandle<F> {
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -340,11 +353,26 @@ impl NodeHandle {
 /// cluster.shutdown();
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Cluster {
-    nodes: Vec<NodeHandle>,
+///
+/// # Transports
+///
+/// The cluster is generic over the [`Fabric`] transport and defaults to
+/// the in-process [`MemFabric`]. [`Cluster::start_with_fabric_factory`]
+/// runs all nodes in this process over any transport (e.g. a loopback TCP
+/// group); [`Cluster::start_distributed`] runs only a subset of rows in
+/// this process over a pre-built fabric — the multi-process deployment
+/// mode the `spindle-node` binary uses.
+pub struct Cluster<F: Fabric = MemFabric> {
+    nodes: Vec<NodeHandle<F>>,
     threads: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
-    fabric: MemFabric,
+    fabric: F,
+    /// Rebuilds the fabric for a new view (`nodes`, `region_words`,
+    /// shared fault plan). `None` for pre-built fabrics
+    /// ([`Cluster::start_distributed`]), whose view changes are external.
+    factory: Option<FabricFactory<F>>,
+    /// Rows hosted (with a live predicate thread) in this process.
+    local_rows: std::collections::BTreeSet<usize>,
     view: Arc<View>,
     cfg: SpindleConfig,
     epoch: u64,
@@ -364,7 +392,10 @@ pub struct Cluster {
     hb_registered: std::collections::BTreeSet<usize>,
 }
 
-impl Cluster {
+/// Builds a fabric for one epoch: `(nodes, region_words, faults)`.
+type FabricFactory<F> = Arc<dyn Fn(usize, usize, FaultPlan) -> F + Send + Sync>;
+
+impl Cluster<MemFabric> {
     /// Builds the SST plan for `view`, allocates the fabric, and spawns one
     /// predicate thread per node.
     pub fn start(view: View, cfg: SpindleConfig) -> Cluster {
@@ -431,18 +462,111 @@ impl Cluster {
         detector: Option<DetectorConfig>,
         persist: Option<PersistConfig>,
     ) -> Cluster {
+        Cluster::start_with_fabric_factory(view, cfg, detector, persist, MemFabric::with_faults)
+    }
+}
+
+impl<F: Fabric> Cluster<F> {
+    /// The generic constructor over any transport: builds the SST plan for
+    /// `view`, obtains the epoch's fabric from `factory`
+    /// (`(nodes, region_words, shared fault plan)`), and spawns one
+    /// predicate thread per node — all in this process. The factory is
+    /// retained and re-invoked on every view change (§2.3: memory is
+    /// registered per view), so membership changes work on any transport
+    /// that can be rebuilt in-process.
+    pub fn start_with_fabric_factory(
+        view: View,
+        cfg: SpindleConfig,
+        detector: Option<DetectorConfig>,
+        persist: Option<PersistConfig>,
+        factory: impl Fn(usize, usize, FaultPlan) -> F + Send + Sync + 'static,
+    ) -> Cluster<F> {
         let view = Arc::new(view);
+        let faults = FaultPlan::new();
+        let factory: FabricFactory<F> = Arc::new(factory);
+        let plan = Plan::build(&view, true);
+        let fabric = factory(
+            view.members().len(),
+            plan.layout.region_words(),
+            faults.clone(),
+        );
+        let local: std::collections::BTreeSet<usize> = view.members().iter().map(|m| m.0).collect();
+        Cluster::assemble(
+            view,
+            cfg,
+            detector,
+            persist,
+            fabric,
+            Some(factory),
+            local,
+            faults,
+            &plan,
+        )
+    }
+
+    /// The multi-process deployment mode: hosts only `local_rows` of
+    /// `view` in this process, over a pre-built `fabric` (e.g. a
+    /// `spindle_net::TcpFabric` produced by the bootstrap handshake).
+    /// Handles for remote rows exist but are closed (sends return
+    /// [`SendError::Closed`], deliveries never arrive); in-process view
+    /// changes are rejected with [`ViewChangeError::StaticFabric`] because
+    /// a static fabric cannot be re-registered from one process.
+    ///
+    /// The cluster adopts `fabric.faults()` as its fault plan, so the
+    /// fault-injection hooks act on the real transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local row is out of range or the fabric's region size
+    /// does not match the view's SST layout (a bootstrap mismatch).
+    pub fn start_distributed(
+        view: View,
+        cfg: SpindleConfig,
+        detector: Option<DetectorConfig>,
+        persist: Option<PersistConfig>,
+        local_rows: &[usize],
+        fabric: F,
+    ) -> Cluster<F> {
+        let view = Arc::new(view);
+        let plan = Plan::build(&view, true);
+        let faults = fabric.faults().clone();
+        for &row in local_rows {
+            assert!(row < view.members().len(), "local row {row} out of range");
+            assert_eq!(
+                fabric.region_arc(NodeId(row)).len(),
+                plan.layout.region_words(),
+                "fabric region size does not match the view's SST layout"
+            );
+        }
+        let local = local_rows.iter().copied().collect();
+        Cluster::assemble(
+            view, cfg, detector, persist, fabric, None, local, faults, &plan,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        view: Arc<View>,
+        cfg: SpindleConfig,
+        detector: Option<DetectorConfig>,
+        persist: Option<PersistConfig>,
+        fabric: F,
+        factory: Option<FabricFactory<F>>,
+        local_rows: std::collections::BTreeSet<usize>,
+        faults: FaultPlan,
+        plan: &Plan,
+    ) -> Cluster<F> {
         let epoch = view.id();
         let (suspicion_tx, suspicion_rx) = unbounded();
-        let faults = FaultPlan::new();
-        let (fabric, shareds) = build_epoch(&view, epoch, &suspicion_tx, &faults);
         let stop = Arc::new(AtomicBool::new(false));
         let mut cluster = Cluster {
             nodes: Vec::new(),
             threads: Vec::new(),
             stop,
             fabric,
-            view,
+            factory,
+            local_rows,
+            view: Arc::clone(&view),
             cfg,
             epoch,
             detector,
@@ -453,20 +577,40 @@ impl Cluster {
             hb_dropped: std::collections::BTreeSet::new(),
             hb_registered: std::collections::BTreeSet::new(),
         };
-        for (row, (shared, rx)) in shareds.into_iter().enumerate() {
-            cluster.spawn_node(row, shared, rx);
+        for row in 0..view.members().len() {
+            if cluster.local_rows.contains(&row) {
+                let (shared, rx) = build_node_shared(
+                    &view,
+                    epoch,
+                    row,
+                    &cluster.fabric,
+                    plan,
+                    &cluster.suspicion_tx,
+                );
+                cluster.spawn_node(row, shared, rx);
+            } else {
+                let (shared, rx) =
+                    build_remote_stub(&view, epoch, row, plan, &cluster.suspicion_tx);
+                cluster.push_handle(row, shared, rx);
+            }
         }
         cluster
     }
 
-    /// Creates the handle and predicate thread for one node.
-    fn spawn_node(&mut self, row: usize, shared: Arc<NodeShared>, rx: Receiver<Delivered>) {
-        let handle = NodeHandle {
+    /// Adds the handle for one (local or remote) row without a thread.
+    fn push_handle(&mut self, row: usize, shared: Arc<NodeShared<F>>, rx: Receiver<Delivered>) {
+        self.nodes.push(NodeHandle {
             id: NodeId(row),
-            shared: Arc::clone(&shared),
+            shared,
             rx,
             stop: Arc::clone(&self.stop),
-        };
+        });
+    }
+
+    /// Creates the handle and predicate thread for one node.
+    fn spawn_node(&mut self, row: usize, shared: Arc<NodeShared<F>>, rx: Receiver<Delivered>) {
+        self.push_handle(row, Arc::clone(&shared), rx);
+        self.local_rows.insert(row);
         let th = {
             let cfg = self.cfg.clone();
             let det = self.detector.clone();
@@ -477,7 +621,6 @@ impl Cluster {
                 .spawn(move || predicate_thread(row, shared, cfg, det, persist, stop))
                 .expect("spawn predicate thread")
         };
-        self.nodes.push(handle);
         self.threads.push(th);
     }
 
@@ -611,7 +754,7 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn node(&self, i: usize) -> &NodeHandle {
+    pub fn node(&self, i: usize) -> &NodeHandle<F> {
         &self.nodes[i]
     }
 
@@ -632,8 +775,14 @@ impl Cluster {
 
     /// The underlying fabric of the current epoch (write counters are
     /// useful in tests).
-    pub fn fabric(&self) -> &MemFabric {
+    pub fn fabric(&self) -> &F {
         &self.fabric
+    }
+
+    /// The rows hosted (with a live predicate thread) in this process —
+    /// all rows except under [`Cluster::start_distributed`].
+    pub fn local_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.local_rows.iter().copied()
     }
 
     /// Executes a view change that removes `failed` (crash or planned
@@ -646,6 +795,9 @@ impl Cluster {
     /// would leave an empty subgroup / a singleton cluster. The cluster is
     /// unchanged on error.
     pub fn remove_node(&mut self, failed: usize) -> Result<ViewChangeReport, ViewChangeError> {
+        if self.factory.is_none() {
+            return Err(ViewChangeError::StaticFabric);
+        }
         let old_view = Arc::clone(&self.view);
         if !old_view.contains(NodeId(failed)) || !self.alive(failed) {
             return Err(ViewChangeError::UnknownNode(failed));
@@ -741,6 +893,9 @@ impl Cluster {
         &mut self,
         joins: &[(SubgroupId, bool)],
     ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        if self.factory.is_none() {
+            return Err(ViewChangeError::StaticFabric);
+        }
         let old_view = Arc::clone(&self.view);
         for &(g, _) in joins {
             if g.0 >= old_view.subgroups().len() {
@@ -916,7 +1071,11 @@ impl Cluster {
     fn install_view(&mut self, next_view: Arc<View>, failed: Option<usize>) {
         let new_epoch = next_view.id();
         let plan = Plan::build(&next_view, true);
-        let fabric = MemFabric::with_faults(
+        let factory = self
+            .factory
+            .as_ref()
+            .expect("view change on a static fabric is rejected earlier");
+        let fabric = factory(
             next_view.members().len(),
             plan.layout.region_words(),
             self.faults.clone(),
@@ -938,7 +1097,7 @@ impl Cluster {
                 .map(|(g, _)| SubgroupProto::new(&next_view, SubgroupId(g), plan.cols[g], row))
                 .collect();
             inner.sst = sst;
-            inner.fabric = fabric.clone();
+            inner.fabric = Some(fabric.clone());
             inner.view = Arc::clone(&next_view);
             inner.heartbeat_col = plan.heartbeat;
             inner.hb_peers = hb_peers(&next_view, row);
@@ -988,13 +1147,13 @@ impl Cluster {
     }
 }
 
-impl Drop for Cluster {
+impl<F: Fabric> Drop for Cluster<F> {
     fn drop(&mut self) {
         self.stop_inner();
     }
 }
 
-type SharedAndRx = (Arc<NodeShared>, Receiver<Delivered>);
+type SharedAndRx<F> = (Arc<NodeShared<F>>, Receiver<Delivered>);
 
 /// Rows `row` exchanges heartbeats with: members of at least one subgroup
 /// of `view`, excluding `row` itself. (Removed nodes belong to no subgroup
@@ -1008,14 +1167,14 @@ fn hb_peers(view: &View, row: usize) -> Vec<usize> {
 }
 
 /// Builds the shared state of one node against an existing fabric/plan.
-fn build_node_shared(
+fn build_node_shared<F: Fabric>(
     view: &Arc<View>,
     epoch: u64,
     row: usize,
-    fabric: &MemFabric,
+    fabric: &F,
     plan: &Plan,
     suspicion_tx: &Sender<Suspicion>,
-) -> SharedAndRx {
+) -> SharedAndRx<F> {
     let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(row)), row);
     sst.init();
     let protos: Vec<SubgroupProto> = view
@@ -1030,7 +1189,7 @@ fn build_node_shared(
         inner: Mutex::new(NodeInner {
             sst,
             protos,
-            fabric: fabric.clone(),
+            fabric: Some(fabric.clone()),
             view: Arc::clone(view),
             alive: true,
             heartbeat_col: plan.heartbeat,
@@ -1048,28 +1207,50 @@ fn build_node_shared(
     (shared, rx)
 }
 
-/// Allocates fabric + per-node shared state for one epoch.
-fn build_epoch(
+/// The closed stand-in for a row hosted by *another* process
+/// ([`Cluster::start_distributed`]): its SST lives over a detached region
+/// (never posted to), `alive` is false so sends fail with
+/// [`SendError::Closed`], and no predicate thread runs. The real row runs
+/// remotely; this handle only keeps row indexing uniform.
+fn build_remote_stub<F: Fabric>(
     view: &Arc<View>,
     epoch: u64,
+    row: usize,
+    plan: &Plan,
     suspicion_tx: &Sender<Suspicion>,
-    faults: &FaultPlan,
-) -> (MemFabric, Vec<SharedAndRx>) {
-    let plan = Plan::build(view, true);
-    let n = view.members().len();
-    let fabric = MemFabric::with_faults(n, plan.layout.region_words(), faults.clone());
-    let out = (0..n)
-        .map(|row| build_node_shared(view, epoch, row, &fabric, &plan, suspicion_tx))
-        .collect();
-    (fabric, out)
+) -> SharedAndRx<F> {
+    let region = Arc::new(Region::new(plan.layout.region_words()));
+    let sst = Sst::new(plan.layout.clone(), region, row);
+    sst.init();
+    let (tx, rx) = unbounded();
+    let shared = Arc::new(NodeShared {
+        inner: Mutex::new(NodeInner {
+            sst,
+            protos: Vec::new(),
+            fabric: None,
+            view: Arc::clone(view),
+            alive: false,
+            heartbeat_col: plan.heartbeat,
+            hb_peers: Vec::new(),
+        }),
+        deliveries: tx,
+        wedged: AtomicBool::new(false),
+        parked: AtomicBool::new(false),
+        epoch: AtomicU64::new(epoch),
+        killed: AtomicBool::new(false),
+        paused: AtomicBool::new(false),
+        suspicion_tx: suspicion_tx.clone(),
+        plogs: Mutex::new(std::collections::HashMap::new()),
+    });
+    (shared, rx)
 }
 
 /// The per-node polling loop (§2.4): evaluate every subgroup's predicates,
 /// then post the collected writes — after releasing the lock when §3.4 is
 /// enabled.
-fn predicate_thread(
+fn predicate_thread<F: Fabric>(
     row: usize,
-    shared: Arc<NodeShared>,
+    shared: Arc<NodeShared<F>>,
     cfg: SpindleConfig,
     det: Option<DetectorConfig>,
     persist: Option<PersistConfig>,
@@ -1116,7 +1297,7 @@ fn predicate_thread(
                 return;
             }
             let sst = inner.sst.clone();
-            let fabric = inner.fabric.clone();
+            let fabric = inner.fabric.clone().expect("live node has a fabric");
             let epoch = shared.epoch.load(Ordering::Relaxed);
             if let Some(dc) = &det {
                 let now = Instant::now();
@@ -1574,6 +1755,72 @@ mod tests {
             .expect("suppressed heartbeats must draw a suspicion");
         assert_eq!(s.suspect, 1);
         cluster.shutdown();
+    }
+
+    /// The multi-process deployment path, exercised in one process: two
+    /// `start_distributed` clusters share one fabric, each hosting a
+    /// disjoint subset of rows — exactly how `spindle-node` processes
+    /// share a TCP fabric, minus the sockets.
+    #[test]
+    fn distributed_rows_split_across_two_clusters() {
+        let v = view(3, 3, 8, 64);
+        let plan = Plan::build(&v, true);
+        let fabric = MemFabric::new(3, plan.layout.region_words());
+        let a = Cluster::start_distributed(
+            v.clone(),
+            SpindleConfig::optimized(),
+            None,
+            None,
+            &[0],
+            fabric.clone(),
+        );
+        let b =
+            Cluster::start_distributed(v, SpindleConfig::optimized(), None, None, &[1, 2], fabric);
+        assert_eq!(a.local_rows().collect::<Vec<_>>(), vec![0]);
+        // Remote rows are closed handles.
+        assert_eq!(a.node(1).send(SubgroupId(0), b"x"), Err(SendError::Closed));
+        for i in 0..5u32 {
+            a.node(0).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+            b.node(1).send(SubgroupId(0), &i.to_le_bytes()).unwrap();
+        }
+        let at_a: Vec<_> = collect(&a, 0, 10)
+            .into_iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        let at_b1: Vec<_> = collect(&b, 1, 10)
+            .into_iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        let at_b2: Vec<_> = collect(&b, 2, 10)
+            .into_iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        assert_eq!(at_a, at_b1);
+        assert_eq!(at_b1, at_b2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// A static-fabric cluster rejects in-process view changes.
+    #[test]
+    fn static_fabric_rejects_view_changes() {
+        let v = view(3, 3, 8, 64);
+        let plan = Plan::build(&v, true);
+        let fabric = MemFabric::new(3, plan.layout.region_words());
+        let mut c = Cluster::start_distributed(
+            v,
+            SpindleConfig::optimized(),
+            None,
+            None,
+            &[0, 1, 2],
+            fabric,
+        );
+        assert_eq!(c.remove_node(2).unwrap_err(), ViewChangeError::StaticFabric);
+        assert_eq!(
+            c.add_node(&[(SubgroupId(0), true)]).unwrap_err(),
+            ViewChangeError::StaticFabric
+        );
+        c.shutdown();
     }
 
     #[test]

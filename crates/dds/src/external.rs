@@ -268,7 +268,9 @@ fn read_fully(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
 /// watcher.subscribe(TopicId(1))?;
 ///
 /// publisher.publish(TopicId(1), b"from outside")?;
-/// let s = watcher.take_timeout(Duration::from_secs(5))?.expect("sample");
+/// // Generous bound: the suite runs heavily oversubscribed in CI, and
+/// // take_timeout returns as soon as the sample arrives.
+/// let s = watcher.take_timeout(Duration::from_secs(30))?.expect("sample");
 /// assert_eq!(s.data, b"from outside");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```

@@ -24,18 +24,23 @@
 //!   which uses this crate's [`cost`] models to schedule [`WriteOp`]s on
 //!   virtual NIC resources.
 //!
-//! A production deployment would add a third implementation of the same
-//! posting interface backed by `ibverbs`/libfabric; the protocol crates are
-//! written against these types only.
+//! The posting interface is captured by the [`Fabric`] trait ([`traits`]):
+//! the protocol crates are written against it only, so further transports
+//! plug in without touching protocol code. `spindle_net::TcpFabric`
+//! implements it over real sockets (per-peer ordered TCP byte streams
+//! standing in for RDMA's ordered one-sided writes); a production
+//! deployment would add an `ibverbs`/libfabric backend the same way.
 
 pub mod cost;
 pub mod fault;
 pub mod mem;
 pub mod region;
+pub mod traits;
 pub mod types;
 
 pub use cost::{MemcpyModel, NetModel, SsdModel};
 pub use fault::{Disposition, FaultPlan};
 pub use mem::MemFabric;
 pub use region::Region;
+pub use traits::Fabric;
 pub use types::{MirrorMap, NodeId, WriteOp};

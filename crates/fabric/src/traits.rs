@@ -1,0 +1,117 @@
+//! The fabric contract: what every transport backend must provide.
+//!
+//! The protocol stack (SST, SMC, the threaded cluster) is written against
+//! this trait, not against a concrete transport. Three semantics make up
+//! the contract, mirroring what Derecho actually gets from RDMA (§2.2):
+//!
+//! * **post** — a one-sided write: the covered word range of the poster's
+//!   replica is placed into the destination's replica without involving the
+//!   destination CPU. Placement is word-atomic and *fenced per destination*:
+//!   two writes posted to the same destination land in posting order, so a
+//!   reader that observes the second also observes the first.
+//! * **read** — all protocol reads go through the node's *local* replica
+//!   ([`Fabric::region_arc`]); a fabric never performs remote reads on the
+//!   critical path (on real RDMA, reads of remote state are reads of the
+//!   locally mirrored SST row the remote pushed).
+//! * **mirror** — each node owns one [`Region`] mirroring the full SST
+//!   (every row); remote rows are updated only by incoming posts.
+//!
+//! Backends: [`MemFabric`](crate::MemFabric) (in-process, immediate
+//! placement), `spindle_net::TcpFabric` (per-peer ordered TCP byte streams
+//! standing in for RDMA's ordered one-sided writes), and the discrete-event
+//! backend in `spindle-core`'s simulated runtime.
+//!
+//! All backends consult a shared [`FaultPlan`] on every post, so fault
+//! injection (isolate / drop ranges / throttle) behaves identically across
+//! transports.
+
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+use crate::mem::MemFabric;
+use crate::region::Region;
+use crate::types::{NodeId, WriteOp};
+
+/// A transport connecting the `n` nodes of one view (see the
+/// [module docs](self) for the semantics contract).
+///
+/// Implementations are cheaply cloneable handles to shared state: the
+/// threaded cluster hands one clone to every predicate thread.
+pub trait Fabric: Clone + Send + Sync + 'static {
+    /// Number of nodes connected by this fabric.
+    fn nodes(&self) -> usize;
+
+    /// Shared handle to `node`'s local replica (for embedding in an SST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, or — for distributed fabrics that
+    /// host a single node per process — if `node` is not hosted locally.
+    fn region_arc(&self, node: NodeId) -> Arc<Region>;
+
+    /// Posts a one-sided write from `src`: places the covered word range of
+    /// `src`'s replica into `op.dst`'s replica. Posting to oneself is a
+    /// counted no-op (the poster's replica is already authoritative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id or the word range is out of bounds.
+    fn post(&self, src: NodeId, op: &WriteOp);
+
+    /// The fault plan consulted on every post.
+    fn faults(&self) -> &FaultPlan;
+
+    /// Total writes posted across all nodes (including dropped ones).
+    fn writes_posted(&self) -> u64;
+
+    /// Total wire bytes posted across all nodes (including dropped ones).
+    fn bytes_posted(&self) -> u64;
+}
+
+impl Fabric for MemFabric {
+    fn nodes(&self) -> usize {
+        MemFabric::nodes(self)
+    }
+
+    fn region_arc(&self, node: NodeId) -> Arc<Region> {
+        MemFabric::region_arc(self, node)
+    }
+
+    fn post(&self, src: NodeId, op: &WriteOp) {
+        MemFabric::post(self, src, op);
+    }
+
+    fn faults(&self) -> &FaultPlan {
+        MemFabric::faults(self)
+    }
+
+    fn writes_posted(&self) -> u64 {
+        MemFabric::writes_posted(self)
+    }
+
+    fn bytes_posted(&self) -> u64 {
+        MemFabric::bytes_posted(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The protocol stack's usage pattern, through the trait only.
+    fn post_and_read<F: Fabric>(f: &F) -> u64 {
+        f.region_arc(NodeId(0)).store(1, 77);
+        f.post(NodeId(0), &WriteOp::new(NodeId(1), 1..2));
+        f.region_arc(NodeId(1)).load(1)
+    }
+
+    #[test]
+    fn mem_fabric_satisfies_the_contract() {
+        let f = MemFabric::new(2, 8);
+        assert_eq!(post_and_read(&f), 77);
+        assert_eq!(Fabric::nodes(&f), 2);
+        assert_eq!(Fabric::writes_posted(&f), 1);
+        assert_eq!(Fabric::bytes_posted(&f), 8);
+        assert!(!Fabric::faults(&f).is_active());
+    }
+}

@@ -29,6 +29,39 @@ fn threaded(name: &str, seed: u64, spec: ClusterSpec, events: Vec<Event>) -> Sce
     }
 }
 
+fn threaded_tcp(name: &str, seed: u64, spec: ClusterSpec, events: Vec<Event>) -> Scenario {
+    Scenario {
+        name: name.into(),
+        seed,
+        kind: ScenarioKind::ThreadedTcp(ThreadedScenario {
+            spec,
+            events,
+            expect_complete: true,
+        }),
+    }
+}
+
+/// The shared isolate→heal schedule run on *both* transports (scenarios
+/// 13/14): traffic quiesces, node 2 is partitioned (on TCP: its
+/// connections are severed), the partition heals (on TCP: the links
+/// re-dial), and fresh traffic from both sides — including the formerly
+/// partitioned node — must still satisfy every oracle. The quiesce before
+/// the cut matters: one-sided writes dropped while partitioned are never
+/// retransmitted, on either transport.
+fn isolate_heal_events() -> Vec<Event> {
+    vec![
+        burst(0, 10),
+        burst(1, 10),
+        Event::Settle { millis: 250 },
+        Event::Isolate { node: 2 },
+        Event::Settle { millis: 80 },
+        Event::Heal { node: 2 },
+        burst(0, 8),
+        burst(2, 8),
+        Event::Settle { millis: 250 },
+    ]
+}
+
 fn burst(node: usize, count: u32) -> Event {
     Event::Burst {
         node,
@@ -314,6 +347,44 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
 
     // 12. The seed-generated churn scenario.
     out.push(random_scenario(seed));
+
+    // 13/14. The isolate→heal reconnection schedule, once per transport:
+    // the identical event list must be oracle-clean over shared memory
+    // and over loopback TCP (where isolation severs real connections and
+    // healing re-dials them).
+    out.push(threaded(
+        "isolate-heal-reconnect",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        isolate_heal_events(),
+    ));
+    out.push(threaded_tcp(
+        "loopback-tcp-isolate-heal",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        isolate_heal_events(),
+    ));
+
+    // 15. Concurrent senders over loopback TCP, with a mid-run view
+    // change (each epoch brings up fresh sockets): the acceptance
+    // workload for the real-network transport.
+    out.push(threaded_tcp(
+        "loopback-tcp-crossfire",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        vec![
+            burst(0, 20),
+            burst(1, 20),
+            burst(2, 20),
+            Event::Settle { millis: 150 },
+            Event::Join {
+                joins: vec![(0, true)],
+            },
+            burst(3, 10),
+            burst(0, 10),
+            Event::Settle { millis: 150 },
+        ],
+    ));
 
     out
 }

@@ -10,10 +10,13 @@
 //!   — send bursts, silent crashes, predicate-thread pauses, one-node
 //!   partitions, heartbeat blackouts, NIC throttling, planned and
 //!   detector-driven view changes, joins ([`scenario`]);
-//! * scenarios run against both runtimes ([`runner`]): the threaded
+//! * scenarios run against all three runtimes ([`runner`]): the threaded
 //!   cluster via the fault hooks in `spindle_core::Cluster` and the
-//!   [`FaultPlan`](spindle_fabric::FaultPlan) consulted by the fabric, and
-//!   the simulated cluster via scheduled
+//!   [`FaultPlan`](spindle_fabric::FaultPlan) consulted by the fabric —
+//!   over shared memory ([`ScenarioKind::Threaded`]) or over a loopback
+//!   TCP fabric group ([`ScenarioKind::ThreadedTcp`], where isolation
+//!   severs real connections and healing re-dials them) — and the
+//!   simulated cluster via scheduled
 //!   [`SimFault`](spindle_core::SimFault)s;
 //! * protocol [`oracle`]s consume every node's delivery stream and assert
 //!   the paper's guarantees: total order, per-sender FIFO, null

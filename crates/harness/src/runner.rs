@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 
 use spindle_core::threaded::{Cluster, Delivered};
 use spindle_core::{PersistConfig, SimCluster, Workload};
+use spindle_fabric::{Fabric, NodeId};
 use spindle_membership::{SubgroupId, View, ViewBuilder};
+use spindle_net::TcpFabricGroup;
 
 use crate::oracle::{self, EpochMembers, OracleCheck};
 use crate::scenario::{ClusterSpec, Event, Scenario, ScenarioKind, SimScenario, ThreadedScenario};
@@ -53,6 +55,7 @@ impl ScenarioOutcome {
 pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
     match &s.kind {
         ScenarioKind::Threaded(t) => run_threaded(s, t),
+        ScenarioKind::ThreadedTcp(t) => run_threaded_tcp(s, t),
         ScenarioKind::Sim(sim) => run_sim(s, sim),
     }
 }
@@ -87,7 +90,12 @@ fn record_epoch(epochs: &mut EpochMembers, view: &View) {
     );
 }
 
-fn send_blocking(cluster: &Cluster, node: usize, sg: usize, data: &[u8]) -> Result<(), String> {
+fn send_blocking<F: Fabric>(
+    cluster: &Cluster<F>,
+    node: usize,
+    sg: usize,
+    data: &[u8],
+) -> Result<(), String> {
     let deadline = Instant::now() + STEP_DEADLINE;
     loop {
         match cluster.node(node).try_send(SubgroupId(sg), data) {
@@ -116,7 +124,15 @@ struct ThreadedRun {
 }
 
 impl ThreadedRun {
-    fn step(&mut self, cluster: &mut Cluster, ev: &Event) {
+    /// Executes one event. `on_isolate` is the transport-specific half of
+    /// a partition (the loopback-TCP runner severs the node's live
+    /// connections; the shared-memory runner needs nothing extra).
+    fn step<F: Fabric>(
+        &mut self,
+        cluster: &mut Cluster<F>,
+        ev: &Event,
+        on_isolate: &dyn Fn(usize),
+    ) {
         match ev {
             Event::Burst {
                 node,
@@ -143,7 +159,11 @@ impl ThreadedRun {
             }
             Event::Pause { node } => cluster.pause_node(*node),
             Event::Resume { node } => cluster.resume_node(*node),
-            Event::Isolate { node } => cluster.isolate_node(*node),
+            Event::Isolate { node } => {
+                cluster.isolate_node(*node);
+                on_isolate(*node);
+            }
+            Event::Heal { node } => cluster.heal_node(*node),
             Event::DropHeartbeats { node } => cluster.set_drop_heartbeats(*node, true),
             Event::Throttle { node, micros } => {
                 cluster.throttle_node(*node, Duration::from_micros(*micros));
@@ -198,13 +218,58 @@ impl ThreadedRun {
 fn run_threaded(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
     let view = build_view(&t.spec);
     let persist_dir = t.spec.persist.then(|| fresh_persist_dir(&s.name, s.seed));
-    let mut cluster = Cluster::start_configured(
+    let cluster = Cluster::start_configured(
         view,
         t.spec.config.clone(),
         t.spec.detector.clone(),
         persist_dir.clone().map(PersistConfig::new),
     );
+    drive_threaded(s, t, cluster, persist_dir, &|_| {})
+}
 
+/// The loopback-TCP runner: the identical schedule over a
+/// [`TcpFabricGroup`], with [`Event::Isolate`] additionally severing the
+/// node's live connections (a real dead link that re-dials after
+/// [`Event::Heal`]). The factory is re-invoked on every view change, so
+/// each epoch gets fresh sockets — the §2.3 per-view registration,
+/// literally.
+fn run_threaded_tcp(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
+    let view = build_view(&t.spec);
+    let persist_dir = t.spec.persist.then(|| fresh_persist_dir(&s.name, s.seed));
+    // The current epoch's group, stashed by the factory so fault events
+    // can reach the sockets.
+    let slot: std::sync::Arc<std::sync::Mutex<Option<TcpFabricGroup>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    let cluster = {
+        let slot = std::sync::Arc::clone(&slot);
+        Cluster::start_with_fabric_factory(
+            view,
+            t.spec.config.clone(),
+            t.spec.detector.clone(),
+            persist_dir.clone().map(PersistConfig::new),
+            move |n, words, faults| {
+                let g =
+                    TcpFabricGroup::loopback(n, words, faults).expect("loopback TCP fabric group");
+                *slot.lock().expect("group slot") = Some(g.clone());
+                g
+            },
+        )
+    };
+    let on_isolate = move |node: usize| {
+        if let Some(g) = slot.lock().expect("group slot").as_ref() {
+            g.sever(NodeId(node));
+        }
+    };
+    drive_threaded(s, t, cluster, persist_dir, &on_isolate)
+}
+
+fn drive_threaded<F: Fabric>(
+    s: &Scenario,
+    t: &ThreadedScenario,
+    mut cluster: Cluster<F>,
+    persist_dir: Option<PathBuf>,
+    on_isolate: &dyn Fn(usize),
+) -> ScenarioOutcome {
     let mut run = ThreadedRun {
         live: (0..t.spec.nodes).collect(),
         counters: BTreeMap::new(),
@@ -214,7 +279,7 @@ fn run_threaded(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
     };
     record_epoch(&mut run.epochs, cluster.view());
     for ev in &t.events {
-        run.step(&mut cluster, ev);
+        run.step(&mut cluster, ev, on_isolate);
         if !run.errors.is_empty() {
             break;
         }

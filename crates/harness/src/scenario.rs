@@ -97,9 +97,20 @@ pub enum Event {
         node: usize,
     },
     /// One-node network partition: all fabric writes from/to the node are
-    /// dropped. Repaired by membership (remove the node), not by healing.
+    /// dropped. On the loopback-TCP runtime the node's live connections
+    /// are additionally severed, so the partition is a real dead link.
+    /// Repaired by membership (remove the node) or by [`Event::Heal`].
     Isolate {
         /// The partitioned node.
+        node: usize,
+    },
+    /// Ends an [`Event::Isolate`] partition. One-sided writes dropped
+    /// while partitioned are *not* retransmitted (RDMA semantics); on the
+    /// loopback-TCP runtime the severed connections re-dial on the next
+    /// posts. Schedules must therefore quiesce before isolating if
+    /// acknowledged traffic is expected to survive without a view change.
+    Heal {
+        /// The healing node.
         node: usize,
     },
     /// Suppress the node's heartbeat pushes while its data traffic flows —
@@ -181,6 +192,12 @@ pub struct SimScenario {
 pub enum ScenarioKind {
     /// Real threads over the shared-memory fabric.
     Threaded(ThreadedScenario),
+    /// Real threads over a loopback-TCP fabric group
+    /// (`spindle_net::TcpFabricGroup`): the identical schedule and
+    /// oracles as [`ScenarioKind::Threaded`], but every fabric write
+    /// crosses the kernel's TCP stack, and isolation severs live
+    /// connections.
+    ThreadedTcp(ThreadedScenario),
     /// The deterministic discrete-event cluster.
     Sim(SimScenario),
 }

@@ -1,0 +1,41 @@
+//! Transport equivalence: the same seeded fault schedule must be
+//! oracle-clean over the shared-memory fabric *and* over loopback TCP.
+//! This pins the `spindle-net` acceptance contract — faults are enforced
+//! at the wire layer, so a schedule's verdict does not depend on the
+//! transport.
+
+use spindle_harness::{corpus, run_scenario, ScenarioKind};
+
+#[test]
+fn same_fault_schedule_is_oracle_clean_on_both_transports() {
+    let all = corpus(42);
+    let mem = all
+        .iter()
+        .find(|s| s.name == "isolate-heal-reconnect")
+        .expect("mem twin in corpus");
+    let tcp = all
+        .iter()
+        .find(|s| s.name == "loopback-tcp-isolate-heal")
+        .expect("tcp twin in corpus");
+
+    // The twins share one schedule, byte for byte.
+    let (ScenarioKind::Threaded(m), ScenarioKind::ThreadedTcp(t)) = (&mem.kind, &tcp.kind) else {
+        panic!("twin scenarios changed kind");
+    };
+    assert_eq!(
+        format!("{:?}", m.events),
+        format!("{:?}", t.events),
+        "the twins no longer share a schedule"
+    );
+    assert_eq!(m.spec.nodes, t.spec.nodes);
+
+    let on_mem = run_scenario(mem);
+    assert!(on_mem.passed(), "MemFabric run failed:\n{}", on_mem.trace);
+    let on_tcp = run_scenario(tcp);
+    assert!(on_tcp.passed(), "TcpFabric run failed:\n{}", on_tcp.trace);
+    // Same oracle set, same verdicts.
+    let names = |o: &spindle_harness::ScenarioOutcome| -> Vec<&'static str> {
+        o.checks.iter().map(|c| c.name).collect()
+    };
+    assert_eq!(names(&on_mem), names(&on_tcp));
+}

@@ -1,0 +1,244 @@
+//! One process of a distributed Spindle cluster.
+//!
+//! Reads the shared cluster config, bootstraps the TCP fabric (with the
+//! `HELLO` handshake), hosts its row of the threaded cluster, runs the
+//! seeded multicast workload, and writes its delivery trace. Exit code 0
+//! means the node delivered the full expected workload; on a timeout the
+//! partial trace goes to stderr so a failing CI run shows exactly what
+//! this node saw.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use spindle_core::threaded::{Cluster, Delivered};
+use spindle_core::{NodeMetrics, RunReport, SpindleConfig};
+use spindle_membership::SubgroupId;
+use spindle_net::{ClusterConfig, TcpFabric, TcpFabricConfig};
+
+const USAGE: &str = "usage: spindle-node --config <cluster.toml> --node <id> \
+[--sends N] [--payload BYTES] [--seed S] [--trace-out PATH] \
+[--deadline-secs T] [--linger-ms L]";
+
+struct Args {
+    config: String,
+    node: usize,
+    sends: u32,
+    payload: usize,
+    seed: u64,
+    trace_out: Option<String>,
+    deadline: Duration,
+    linger: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = None;
+    let mut node = None;
+    let mut sends = 20u32;
+    let mut payload = 24usize;
+    let mut seed = 42u64;
+    let mut trace_out = None;
+    let mut deadline = Duration::from_secs(60);
+    let mut linger = Duration::from_millis(1500);
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}\n{USAGE}"))
+        };
+        match a.as_str() {
+            "--config" => config = Some(next("--config")?),
+            "--node" => node = Some(parse_num(&next("--node")?)?),
+            "--sends" => sends = parse_num(&next("--sends")?)? as u32,
+            "--payload" => payload = parse_num(&next("--payload")?)? as usize,
+            "--seed" => seed = parse_num(&next("--seed")?)?,
+            "--trace-out" => trace_out = Some(next("--trace-out")?),
+            "--deadline-secs" => {
+                deadline = Duration::from_secs(parse_num(&next("--deadline-secs")?)?)
+            }
+            "--linger-ms" => linger = Duration::from_millis(parse_num(&next("--linger-ms")?)?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        config: config.ok_or_else(|| format!("--config is required\n{USAGE}"))?,
+        node: node.ok_or_else(|| format!("--node is required\n{USAGE}"))? as usize,
+        sends,
+        payload,
+        seed,
+        trace_out,
+        deadline,
+        linger,
+    })
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: {s}\n{USAGE}"))
+}
+
+/// The deterministic workload payload: `(sender, counter)` header plus
+/// seed-derived filler, reproducible by the driving test from
+/// `(node, counter, size, seed)` alone.
+fn payload(node: usize, counter: u32, size: usize, seed: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(size.max(8));
+    p.extend_from_slice(&(node as u32).to_le_bytes());
+    p.extend_from_slice(&counter.to_le_bytes());
+    let mut x = seed ^ ((node as u64) << 32) ^ counter as u64;
+    while p.len() < size {
+        // xorshift64 keeps the filler seed-dependent without an RNG dep.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p.push(x as u8);
+    }
+    p
+}
+
+fn trace_line(d: &Delivered) -> String {
+    let hex: String = d.data.iter().map(|b| format!("{b:02x}")).collect();
+    format!(
+        "{} {} {} {} {} {hex}",
+        d.epoch, d.subgroup.0, d.sender_rank, d.app_index, d.seq
+    )
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spindle-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.config)
+        .map_err(|e| format!("cannot read {}: {e}", args.config))?;
+    let cfg = ClusterConfig::parse(&text).map_err(|e| e.to_string())?;
+    if args.node >= cfg.nodes() {
+        return Err(format!(
+            "--node {} out of range (cluster has {} nodes)",
+            args.node,
+            cfg.nodes()
+        ));
+    }
+    let view = cfg
+        .view()
+        .map_err(|e| format!("invalid cluster config: {e}"))?;
+    let region_words = cfg.region_words();
+    let senders = cfg.sender_ids();
+
+    let mut net = TcpFabricConfig::new(args.node, cfg.addrs.clone(), region_words);
+    net.epoch = view.id();
+    let fabric = TcpFabric::bootstrap(net).map_err(|e| format!("bootstrap: {e}"))?;
+    eprintln!(
+        "spindle-node: n{} listening on {}, awaiting {} peers",
+        args.node,
+        fabric.local_addr(),
+        cfg.nodes() - 1
+    );
+    fabric
+        .wait_connected(Duration::from_secs(30))
+        .map_err(|e| format!("handshake: {e}"))?;
+    eprintln!("spindle-node: n{} mesh up", args.node);
+
+    let started = Instant::now();
+    let cluster = Cluster::start_distributed(
+        view,
+        SpindleConfig::optimized(),
+        None,
+        None,
+        &[args.node],
+        fabric.clone(),
+    );
+    let me = cluster.node(args.node);
+
+    // Send this node's share of the workload (if it is a sender), while
+    // collecting deliveries; then collect until the full expected total.
+    let expected = senders.len() as u64 * args.sends as u64;
+    let i_send = senders.contains(&args.node);
+    let deadline = started + args.deadline;
+    let mut sent = 0u32;
+    let mut got: Vec<Delivered> = Vec::with_capacity(expected as usize);
+    while (got.len() as u64) < expected {
+        if i_send && sent < args.sends {
+            let p = payload(args.node, sent, args.payload, args.seed);
+            match me.try_send(SubgroupId(0), &p) {
+                Ok(true) => sent += 1,
+                Ok(false) => {}
+                Err(e) => return Err(format!("send failed: {e}")),
+            }
+        }
+        if let Some(d) = me.recv_timeout(Duration::from_millis(5)) {
+            got.push(d);
+        }
+        if Instant::now() > deadline {
+            for d in &got {
+                eprintln!("trace n{}: {}", args.node, trace_line(d));
+            }
+            return Err(format!(
+                "n{}: delivered only {}/{expected} within {:?} (trace above)",
+                args.node,
+                got.len(),
+                args.deadline
+            ));
+        }
+    }
+    let makespan = started.elapsed();
+
+    if let Some(path) = &args.trace_out {
+        let mut out = String::with_capacity(got.len() * 48);
+        for d in &got {
+            out.push_str(&trace_line(d));
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    // Surface the wire counters through the standard metrics registry.
+    let stats = fabric.wire_stats();
+    let mut node_metrics = NodeMetrics::new();
+    node_metrics.delivered_msgs = got.len() as u64;
+    node_metrics.delivered_bytes = got.iter().map(|d| d.data.len() as u64).sum();
+    node_metrics.app_sent = sent as u64;
+    node_metrics.writes_posted = stats.frames_posted;
+    node_metrics.wire_bytes = fabric_bytes(&fabric);
+    node_metrics.wire_bytes_sent = stats.bytes_sent;
+    node_metrics.wire_bytes_received = stats.bytes_received;
+    node_metrics.wire_frames_posted = stats.frames_posted;
+    let report = RunReport {
+        nodes: vec![node_metrics],
+        makespan,
+        completed: true,
+        delivery_trace: vec![got
+            .iter()
+            .map(|d| (d.subgroup.0, d.sender_rank, d.app_index))
+            .collect()],
+    };
+    println!(
+        "n{} delivered {expected} msgs in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | {:.3} Mmsg/s",
+        args.node,
+        makespan.as_secs_f64(),
+        stats.frames_posted,
+        stats.frames_received,
+        report.total_wire_bytes_sent(),
+        report.total_wire_bytes_received(),
+        stats.frames_dropped,
+        stats.reconnects,
+        report.delivery_mmsgs(),
+    );
+    let _ = std::io::stdout().flush();
+
+    // Keep serving acks while the peers finish, then shut down.
+    std::thread::sleep(args.linger);
+    cluster.shutdown();
+    Ok(())
+}
+
+fn fabric_bytes(fabric: &TcpFabric) -> u64 {
+    use spindle_fabric::Fabric as _;
+    fabric.bytes_posted()
+}

@@ -1,0 +1,361 @@
+//! Cluster bootstrap configuration for the `spindle-node` binary.
+//!
+//! A cluster is described by a small TOML-subset file every process
+//! shares, plus a `--node <id>` flag selecting which row this process
+//! hosts:
+//!
+//! ```toml
+//! # cluster.toml — one line per key, '#' comments
+//! nodes   = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+//! window  = 16
+//! max_msg = 64
+//! senders = [0, 1, 2]   # optional; default: every node sends
+//! ```
+//!
+//! The parser is deliberately a subset (flat `key = value`, integers,
+//! quoted strings, one-level arrays): the build environment is fully
+//! offline, so no external TOML crate is available, and this covers the
+//! whole configuration surface.
+
+use std::fmt;
+
+use spindle_core::Plan;
+use spindle_membership::{View, ViewBuilder, ViewError};
+
+/// A parsed cluster description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Listen address per node, indexed by node id.
+    pub addrs: Vec<String>,
+    /// SMC ring window of the (single) subgroup.
+    pub window: usize,
+    /// Maximum payload size in bytes.
+    pub max_msg: usize,
+    /// Sender node ids; `None` means every node sends.
+    pub senders: Option<Vec<usize>>,
+}
+
+/// Config-file rejection, with the offending line where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line that is not `key = value`, a comment, or blank.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A required key never appeared.
+    MissingKey(&'static str),
+    /// A key's value is structurally valid but semantically wrong.
+    Invalid {
+        /// The key.
+        key: &'static str,
+        /// Why the value is rejected.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Syntax { line, msg } => write!(f, "config line {line}: {msg}"),
+            ConfigError::MissingKey(k) => write!(f, "config is missing required key `{k}`"),
+            ConfigError::Invalid { key, msg } => write!(f, "config key `{key}`: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed right-hand side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Int(u64),
+    Str(String),
+    Array(Vec<Value>),
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    let syntax = |msg: String| ConfigError::Syntax { line, msg };
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| syntax("unterminated array".into()))?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, line)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = raw.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| syntax("unterminated string".into()))?;
+        if body.contains('"') {
+            return Err(syntax("embedded quote in string".into()));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    raw.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| syntax(format!("expected integer, string or array, got `{raw}`")))
+}
+
+/// Splits on commas that are not inside quotes (arrays are one level
+/// deep, so no bracket nesting to track).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+impl ClusterConfig {
+    /// Parses the TOML-subset text (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] naming the line or key at fault.
+    pub fn parse(text: &str) -> Result<ClusterConfig, ConfigError> {
+        let mut addrs: Option<Vec<String>> = None;
+        let mut window = 16usize;
+        let mut max_msg = 64usize;
+        let mut senders: Option<Vec<usize>> = None;
+        for (i, raw_line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::Syntax {
+                    line: line_no,
+                    msg: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = parse_value(value, line_no)?;
+            match key {
+                "nodes" => addrs = Some(expect_str_array("nodes", value)?),
+                "window" => window = expect_int("window", value)? as usize,
+                "max_msg" => max_msg = expect_int("max_msg", value)? as usize,
+                "senders" => senders = Some(expect_int_array("senders", value)?),
+                other => {
+                    return Err(ConfigError::Syntax {
+                        line: line_no,
+                        msg: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        let addrs = addrs.ok_or(ConfigError::MissingKey("nodes"))?;
+        if addrs.len() < 2 {
+            return Err(ConfigError::Invalid {
+                key: "nodes",
+                msg: format!("a cluster needs at least 2 nodes, got {}", addrs.len()),
+            });
+        }
+        if window == 0 || max_msg == 0 {
+            return Err(ConfigError::Invalid {
+                key: "window",
+                msg: "window and max_msg must be positive".into(),
+            });
+        }
+        if let Some(s) = &senders {
+            if s.is_empty() || s.iter().any(|&n| n >= addrs.len()) {
+                return Err(ConfigError::Invalid {
+                    key: "senders",
+                    msg: format!("sender ids must be non-empty and < {}", addrs.len()),
+                });
+            }
+        }
+        Ok(ClusterConfig {
+            addrs,
+            window,
+            max_msg,
+            senders,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The sender list (explicit or "all nodes").
+    pub fn sender_ids(&self) -> Vec<usize> {
+        self.senders
+            .clone()
+            .unwrap_or_else(|| (0..self.nodes()).collect())
+    }
+
+    /// Builds the epoch-0 view every process derives identically from the
+    /// shared config: all nodes are members of one subgroup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ViewError`] for inconsistent member/sender sets.
+    pub fn view(&self) -> Result<View, ViewError> {
+        let members: Vec<usize> = (0..self.nodes()).collect();
+        ViewBuilder::new(self.nodes())
+            .subgroup(&members, &self.sender_ids(), self.window, self.max_msg)
+            .build()
+    }
+
+    /// The SST region size (in words) implied by the view — what every
+    /// process passes to the fabric bootstrap and verifies in the
+    /// handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config does not build a valid view (validate with
+    /// [`ClusterConfig::view`] first).
+    pub fn region_words(&self) -> usize {
+        let view = self.view().expect("config builds a valid view");
+        Plan::build(&view, true).layout.region_words()
+    }
+}
+
+fn expect_int(key: &'static str, v: Value) -> Result<u64, ConfigError> {
+    match v {
+        Value::Int(n) => Ok(n),
+        other => Err(ConfigError::Invalid {
+            key,
+            msg: format!("expected an integer, got {other:?}"),
+        }),
+    }
+}
+
+fn expect_str_array(key: &'static str, v: Value) -> Result<Vec<String>, ConfigError> {
+    let Value::Array(items) = v else {
+        return Err(ConfigError::Invalid {
+            key,
+            msg: "expected an array of strings".into(),
+        });
+    };
+    items
+        .into_iter()
+        .map(|it| match it {
+            Value::Str(s) => Ok(s),
+            other => Err(ConfigError::Invalid {
+                key,
+                msg: format!("expected a quoted string, got {other:?}"),
+            }),
+        })
+        .collect()
+}
+
+fn expect_int_array(key: &'static str, v: Value) -> Result<Vec<usize>, ConfigError> {
+    let Value::Array(items) = v else {
+        return Err(ConfigError::Invalid {
+            key,
+            msg: "expected an array of integers".into(),
+        });
+    };
+    items
+        .into_iter()
+        .map(|it| match it {
+            Value::Int(n) => Ok(n as usize),
+            other => Err(ConfigError::Invalid {
+                key,
+                msg: format!("expected an integer, got {other:?}"),
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a 3-node loopback cluster
+nodes   = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+window  = 8
+max_msg = 48   # bytes
+senders = [0, 2]
+"#;
+
+    #[test]
+    fn sample_parses() {
+        let c = ClusterConfig::parse(SAMPLE).unwrap();
+        assert_eq!(c.nodes(), 3);
+        assert_eq!(c.window, 8);
+        assert_eq!(c.max_msg, 48);
+        assert_eq!(c.sender_ids(), vec![0, 2]);
+        let view = c.view().unwrap();
+        assert_eq!(view.members().len(), 3);
+        assert!(c.region_words() > 0);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let c = ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]").unwrap();
+        assert_eq!(c.window, 16);
+        assert_eq!(c.max_msg, 64);
+        assert_eq!(c.sender_ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn errors_are_typed_and_located() {
+        assert_eq!(
+            ClusterConfig::parse("window = 8"),
+            Err(ConfigError::MissingKey("nodes"))
+        );
+        assert!(matches!(
+            ClusterConfig::parse("nodes = [\"a:1\"]"),
+            Err(ConfigError::Invalid { key: "nodes", .. })
+        ));
+        assert!(matches!(
+            ClusterConfig::parse("???"),
+            Err(ConfigError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]\nbogus = 3"),
+            Err(ConfigError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]\nsenders = [5]"),
+            Err(ConfigError::Invalid { key: "senders", .. })
+        ));
+        assert!(matches!(
+            ClusterConfig::parse("nodes = [1, 2]"),
+            Err(ConfigError::Invalid { key: "nodes", .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_quotes_interact_correctly() {
+        let c = ClusterConfig::parse("nodes = [\"h#st:1\", \"b:2\"] # trailing").unwrap();
+        assert_eq!(c.addrs[0], "h#st:1");
+    }
+}

@@ -1,0 +1,796 @@
+//! The TCP fabric endpoint: one node's view of the transport.
+//!
+//! Each process hosts one [`TcpFabric`] endpoint holding the node's full
+//! SST mirror [`Region`]. Posting a [`WriteOp`] snapshots the covered
+//! words from the local mirror (exactly when an RDMA NIC would DMA them),
+//! hands the resulting [`WriteFrame`] to the destination's dedicated
+//! writer thread, and returns — the poster's CPU never blocks on the
+//! wire. The peer's reader thread places arriving frames into its mirror
+//! in increasing word order. Because each `(src, dst)` pair is a single
+//! ordered TCP byte stream served by a single writer and a single reader,
+//! two writes posted in order are placed in order: RDMA's per-QP fencing
+//! guarantee (§2.2) holds by construction.
+//!
+//! ## Faults at the wire layer
+//!
+//! Every post consults the shared [`FaultPlan`] *before* a frame is
+//! created, so isolate / drop-range / throttle behave byte-for-byte like
+//! the in-process [`MemFabric`](spindle_fabric::MemFabric): dropped
+//! writes simply never reach the wire (one-sided writes are never
+//! retransmitted), and a throttle stalls the poster. Severed connections
+//! ([`TcpFabric::sever_peer`]) model a dead link: frames posted while the
+//! link is down and undialable are discarded, and the writer re-dials
+//! once the fault plan allows it again.
+//!
+//! ## Bootstrap handshake
+//!
+//! Every connection opens with a `HELLO` frame carrying the sender's node
+//! id, cluster size, SST region size and epoch; the acceptor verifies all
+//! of them against its own configuration before applying any write.
+//! [`TcpFabric::wait_connected`] blocks until the full mesh (outbound and
+//! inbound) is up.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use spindle_fabric::{Disposition, Fabric, FaultPlan, NodeId, Region, WriteOp};
+
+use crate::metrics::{WireMetrics, WireStats};
+use crate::wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame, PROTO_VERSION};
+
+/// Frames queued to one unreachable peer before posts start dropping.
+const OUTBOUND_QUEUE_CAP: usize = 65_536;
+/// Minimum gap between reconnect attempts on a dead link.
+const REDIAL_BACKOFF: Duration = Duration::from_millis(40);
+/// Per-attempt dial timeout.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
+/// Socket write timeout: bounds how long a writer thread can sit inside
+/// `write_all` holding the per-peer connection lock, so a peer that
+/// stops reading (full send buffer) cannot wedge `sever_peer` or
+/// shutdown — the timed-out write is treated as a dead link.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Poll granularity for stop/wedge checks in the service threads.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Configuration of one endpoint (see [`TcpFabric::bootstrap`]).
+#[derive(Debug, Clone)]
+pub struct TcpFabricConfig {
+    /// This node's id (row).
+    pub me: usize,
+    /// One listen address per node, indexed by node id.
+    pub addrs: Vec<String>,
+    /// SST region size in words (from `Plan::build(view).layout`).
+    pub region_words: usize,
+    /// Epoch (view id); both sides of every connection must agree.
+    pub epoch: u64,
+    /// Shared fault switches, consulted on every post.
+    pub faults: FaultPlan,
+    /// How long the writer threads keep re-dialing during bootstrap
+    /// before falling back to drop-on-unreachable.
+    pub connect_patience: Duration,
+}
+
+impl TcpFabricConfig {
+    /// A config for node `me` of the cluster at `addrs`, with default
+    /// patience and an inert fault plan.
+    pub fn new(me: usize, addrs: Vec<String>, region_words: usize) -> TcpFabricConfig {
+        TcpFabricConfig {
+            me,
+            addrs,
+            region_words,
+            epoch: 0,
+            faults: FaultPlan::new(),
+            connect_patience: Duration::from_secs(10),
+        }
+    }
+}
+
+struct PeerState {
+    tx: Sender<WriteFrame>,
+    /// The writer-side stream; also reachable by [`TcpFabric::sever_peer`].
+    conn: Mutex<Option<TcpStream>>,
+    connected: AtomicBool,
+}
+
+struct Shared {
+    me: usize,
+    addrs: Vec<SocketAddr>,
+    region_words: usize,
+    epoch: u64,
+    region: Arc<Region>,
+    faults: FaultPlan,
+    metrics: WireMetrics,
+    writes_posted: AtomicU64,
+    bytes_posted: AtomicU64,
+    stop: AtomicBool,
+    connect_patience: Duration,
+    peers: Vec<PeerState>,
+    /// Per source node: a shutdown handle to the current inbound stream.
+    inbound: Mutex<Vec<Option<TcpStream>>>,
+    /// Set once the first valid `HELLO` from each source arrived
+    /// (bootstrap barrier; never cleared).
+    hello_seen: Vec<AtomicBool>,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn link_allowed(&self, peer: usize) -> bool {
+        !self.faults.is_isolated(NodeId(self.me)) && !self.faults.is_isolated(NodeId(peer))
+    }
+}
+
+struct Inner {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    service_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock readers stuck on half-open sockets.
+        {
+            let mut inb = self.shared.inbound.lock().expect("inbound lock");
+            for s in inb.iter_mut().filter_map(|s| s.take()) {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        for th in self
+            .service_threads
+            .lock()
+            .expect("service threads lock")
+            .drain(..)
+        {
+            let _ = th.join();
+        }
+        for th in self
+            .shared
+            .reader_threads
+            .lock()
+            .expect("reader threads lock")
+            .drain(..)
+        {
+            let _ = th.join();
+        }
+    }
+}
+
+/// One node's endpoint of the TCP transport fabric (see the
+/// [module docs](self)). Cheap to clone; the last clone dropped shuts the
+/// service threads down.
+#[derive(Clone)]
+pub struct TcpFabric {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for TcpFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpFabric")
+            .field("me", &self.inner.shared.me)
+            .field("nodes", &self.inner.shared.nodes())
+            .field("local_addr", &self.inner.local_addr)
+            .finish()
+    }
+}
+
+impl TcpFabric {
+    /// Brings the endpoint up: binds `cfg.addrs[cfg.me]`, starts the
+    /// accept loop and one writer thread per peer, and begins dialing the
+    /// full mesh. Use [`TcpFabric::wait_connected`] to barrier on the
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-resolution and bind failures.
+    pub fn bootstrap(cfg: TcpFabricConfig) -> io::Result<TcpFabric> {
+        let addr = resolve(&cfg.addrs[cfg.me])?;
+        let listener = TcpListener::bind(addr)?;
+        TcpFabric::bootstrap_on_listener(cfg, listener)
+    }
+
+    /// Like [`TcpFabric::bootstrap`] with a pre-bound listener (used by
+    /// the loopback group to allocate ephemeral ports first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-resolution failures for peer addresses.
+    pub fn bootstrap_on_listener(
+        cfg: TcpFabricConfig,
+        listener: TcpListener,
+    ) -> io::Result<TcpFabric> {
+        assert!(cfg.me < cfg.addrs.len(), "own node id out of range");
+        assert!(cfg.addrs.len() >= 2, "a fabric connects at least two nodes");
+        let n = cfg.addrs.len();
+        let addrs: Vec<SocketAddr> = cfg
+            .addrs
+            .iter()
+            .map(|a| resolve(a))
+            .collect::<io::Result<_>>()?;
+        let local_addr = listener.local_addr()?;
+        let mut rxs: Vec<Option<Receiver<WriteFrame>>> = Vec::with_capacity(n);
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            rxs.push(Some(rx));
+            peers.push(PeerState {
+                tx,
+                conn: Mutex::new(None),
+                connected: AtomicBool::new(false),
+            });
+        }
+        let shared = Arc::new(Shared {
+            me: cfg.me,
+            addrs,
+            region_words: cfg.region_words,
+            epoch: cfg.epoch,
+            region: Arc::new(Region::new(cfg.region_words)),
+            faults: cfg.faults,
+            metrics: WireMetrics::new(),
+            writes_posted: AtomicU64::new(0),
+            bytes_posted: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            connect_patience: cfg.connect_patience,
+            peers,
+            inbound: Mutex::new((0..n).map(|_| None).collect()),
+            hello_seen: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            reader_threads: Mutex::new(Vec::new()),
+        });
+        let mut service = Vec::new();
+        listener.set_nonblocking(true)?;
+        {
+            let shared = Arc::clone(&shared);
+            service.push(
+                std::thread::Builder::new()
+                    .name(format!("spindle-net-accept-{}", cfg.me))
+                    .spawn(move || accept_loop(listener, shared))
+                    .expect("spawn accept thread"),
+            );
+        }
+        for (peer, rx) in rxs.into_iter().enumerate() {
+            if peer == cfg.me {
+                continue;
+            }
+            let rx = rx.expect("receiver present");
+            let shared = Arc::clone(&shared);
+            service.push(
+                std::thread::Builder::new()
+                    .name(format!("spindle-net-w{}-to-{peer}", cfg.me))
+                    .spawn(move || writer_loop(shared, peer, rx))
+                    .expect("spawn writer thread"),
+            );
+        }
+        Ok(TcpFabric {
+            inner: Arc::new(Inner {
+                shared,
+                local_addr,
+                service_threads: Mutex::new(service),
+            }),
+        })
+    }
+
+    /// This endpoint's node id.
+    pub fn local_node(&self) -> NodeId {
+        NodeId(self.inner.shared.me)
+    }
+
+    /// The bound listen address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Blocks until the full mesh is up: every outbound link connected
+    /// and a valid `HELLO` received from every peer.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] naming the missing peers.
+    pub fn wait_connected(&self, timeout: Duration) -> io::Result<()> {
+        let s = &self.inner.shared;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut missing = Vec::new();
+            for p in 0..s.nodes() {
+                if p == s.me {
+                    continue;
+                }
+                if !s.peers[p].connected.load(Ordering::Acquire) {
+                    missing.push(format!("out:n{p}"));
+                }
+                if !s.hello_seen[p].load(Ordering::Acquire) {
+                    missing.push(format!("in:n{p}"));
+                }
+            }
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("bootstrap handshake incomplete: [{}]", missing.join(", ")),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Severs the live connections between this endpoint and `peer`, in
+    /// both directions (a dead link). Frames posted while the link is
+    /// down are dropped unless the writer can re-dial — gate re-dialing
+    /// with [`FaultPlan::isolate`] to keep the link down.
+    pub fn sever_peer(&self, peer: NodeId) {
+        let s = &self.inner.shared;
+        if peer.0 == s.me {
+            return;
+        }
+        let p = &s.peers[peer.0];
+        {
+            let mut conn = p.conn.lock().expect("conn lock");
+            if let Some(c) = conn.take() {
+                let _ = c.shutdown(Shutdown::Both);
+            }
+            p.connected.store(false, Ordering::Release);
+        }
+        let mut inb = s.inbound.lock().expect("inbound lock");
+        if let Some(c) = inb[peer.0].take() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Severs every live connection of this endpoint (full link failure).
+    pub fn sever_all(&self) {
+        for p in 0..self.inner.shared.nodes() {
+            self.sever_peer(NodeId(p));
+        }
+    }
+
+    /// The endpoint's wire counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.inner.shared.metrics.snapshot()
+    }
+}
+
+impl Fabric for TcpFabric {
+    fn nodes(&self) -> usize {
+        self.inner.shared.nodes()
+    }
+
+    fn region_arc(&self, node: NodeId) -> Arc<Region> {
+        let s = &self.inner.shared;
+        assert_eq!(
+            node.0, s.me,
+            "TcpFabric only addresses the locally hosted mirror region \
+             (node {node} is remote; this endpoint hosts n{})",
+            s.me
+        );
+        Arc::clone(&s.region)
+    }
+
+    fn post(&self, src: NodeId, op: &WriteOp) {
+        let s = &self.inner.shared;
+        assert_eq!(src.0, s.me, "TcpFabric posts only from its local node");
+        assert!(op.dst.0 < s.nodes(), "destination out of range");
+        assert!(
+            op.range.start < op.range.end && op.range.end <= s.region_words,
+            "write range out of region bounds"
+        );
+        s.writes_posted.fetch_add(1, Ordering::Relaxed);
+        s.bytes_posted
+            .fetch_add(op.wire_bytes as u64, Ordering::Relaxed);
+        s.metrics.add_frame_posted();
+        if op.dst == src {
+            // Loopback never crosses the wire (the mirror is the source).
+            return;
+        }
+        match s.faults.disposition(src, op.dst, &op.range) {
+            Disposition::Drop => return,
+            Disposition::Deliver(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        let words = s.region.snapshot(op.range.start, op.words());
+        let peer = &s.peers[op.dst.0];
+        if peer.tx.len() >= OUTBOUND_QUEUE_CAP {
+            // The peer is unreachable and the backlog is saturated: shed
+            // load like a NIC whose QP errored out.
+            s.metrics.add_frame_dropped();
+            return;
+        }
+        let _ = peer.tx.send(WriteFrame::for_op(op, words));
+    }
+
+    fn faults(&self) -> &FaultPlan {
+        &self.inner.shared.faults
+    }
+
+    fn writes_posted(&self) -> u64 {
+        self.inner.shared.writes_posted.load(Ordering::Relaxed)
+    }
+
+    fn bytes_posted(&self) -> u64 {
+        self.inner.shared.bytes_posted.load(Ordering::Relaxed)
+    }
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            format!("address resolves to nothing: {addr}"),
+        )
+    })
+}
+
+/// Dials `peer`, sends the `HELLO`, and installs the stream. Returns
+/// `true` on success.
+fn try_connect(shared: &Shared, peer: usize) -> bool {
+    if !shared.link_allowed(peer) {
+        return false;
+    }
+    let Ok(stream) = TcpStream::connect_timeout(&shared.addrs[peer], DIAL_TIMEOUT) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut buf = Vec::with_capacity(32);
+    encode_frame(
+        &Frame::Hello(Hello {
+            version: PROTO_VERSION,
+            src: shared.me as u32,
+            nodes: shared.nodes() as u32,
+            region_words: shared.region_words as u64,
+            epoch: shared.epoch,
+        }),
+        &mut buf,
+    );
+    let mut stream = stream;
+    if stream.write_all(&buf).is_err() {
+        return false;
+    }
+    shared.metrics.add_bytes_sent(buf.len() as u64);
+    let p = &shared.peers[peer];
+    *p.conn.lock().expect("conn lock") = Some(stream);
+    p.connected.store(true, Ordering::Release);
+    shared.metrics.add_reconnect();
+    true
+}
+
+/// Sends one frame to `peer`, (re)dialing if allowed; drops the frame
+/// (counted) when the link is down and undialable.
+fn send_frame(shared: &Shared, peer: usize, frame: &WriteFrame, last_dial: &mut Instant) {
+    let p = &shared.peers[peer];
+    if !p.connected.load(Ordering::Acquire) {
+        let now = Instant::now();
+        if now.duration_since(*last_dial) < REDIAL_BACKOFF {
+            shared.metrics.add_frame_dropped();
+            return;
+        }
+        *last_dial = now;
+        if !try_connect(shared, peer) {
+            shared.metrics.add_frame_dropped();
+            return;
+        }
+    }
+    let mut buf = Vec::with_capacity(32 + frame.words.len() * 8);
+    crate::wire::encode_write_frame(frame, &mut buf);
+    let mut conn = p.conn.lock().expect("conn lock");
+    let ok = match conn.as_mut() {
+        Some(stream) => stream.write_all(&buf).is_ok(),
+        None => false, // severed between the check and the lock
+    };
+    if ok {
+        shared.metrics.add_bytes_sent(buf.len() as u64);
+    } else {
+        if let Some(c) = conn.take() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        p.connected.store(false, Ordering::Release);
+        shared.metrics.add_frame_dropped();
+    }
+}
+
+/// The per-peer writer thread: eagerly dials during bootstrap, then
+/// drains the frame queue for the life of the fabric, flushing the
+/// backlog on shutdown.
+fn writer_loop(shared: Arc<Shared>, peer: usize, rx: Receiver<WriteFrame>) {
+    let patience = Instant::now() + shared.connect_patience;
+    while !shared.stop.load(Ordering::Acquire)
+        && Instant::now() < patience
+        && !try_connect(&shared, peer)
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut last_dial = Instant::now() - REDIAL_BACKOFF;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        match rx.recv_timeout(POLL) {
+            Ok(frame) => send_frame(&shared, peer, &frame, &mut last_dial),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Best-effort flush so a clean shutdown does not strand acks the
+    // peers still need.
+    let flush_deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < flush_deadline {
+        match rx.try_recv() {
+            Ok(frame) => send_frame(&shared, peer, &frame, &mut last_dial),
+            Err(_) => break,
+        }
+    }
+}
+
+/// The accept loop: hands every inbound connection to a reader thread.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let _ = stream.set_nodelay(true);
+                let me = shared.me;
+                let s = Arc::clone(&shared);
+                let th = std::thread::Builder::new()
+                    .name(format!("spindle-net-r{me}"))
+                    .spawn(move || reader_loop(s, stream))
+                    .expect("spawn reader thread");
+                let mut readers = shared.reader_threads.lock().expect("reader threads lock");
+                // Reap finished readers (dropped handles detach cleanly)
+                // so a flapping link cannot grow this list unboundedly.
+                readers.retain(|h| !h.is_finished());
+                readers.push(th);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Incremental frame decoding over a read-timeout socket.
+struct StreamDecoder {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl StreamDecoder {
+    fn new(stream: TcpStream) -> StreamDecoder {
+        StreamDecoder {
+            stream,
+            buf: Vec::with_capacity(16 * 1024),
+            pos: 0,
+        }
+    }
+
+    /// The next frame; `Ok(None)` on clean end-of-stream or fabric stop.
+    fn next(&mut self, shared: &Shared) -> io::Result<Option<Frame>> {
+        loop {
+            match decode_frame(&self.buf[self.pos..]) {
+                Ok((frame, used)) => {
+                    self.pos += used;
+                    if self.pos >= 64 * 1024 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    return Ok(Some(frame));
+                }
+                Err(WireError::Truncated { .. }) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return Ok(None);
+            }
+            let mut tmp = [0u8; 16 * 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    shared.metrics.add_bytes_received(n as u64);
+                    self.buf.extend_from_slice(&tmp[..n]);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// One inbound connection: verify the `HELLO`, then place every write
+/// into the local mirror until the stream ends or turns garbage.
+fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
+    let register = stream.try_clone().ok();
+    let mut dec = StreamDecoder::new(stream);
+    let hello = match dec.next(&shared) {
+        Ok(Some(Frame::Hello(h))) => h,
+        _ => return, // no (valid) handshake: drop the connection
+    };
+    let src = hello.src as usize;
+    let valid = src != shared.me
+        && src < shared.nodes()
+        && hello.nodes as usize == shared.nodes()
+        && hello.region_words as usize == shared.region_words
+        && hello.epoch == shared.epoch;
+    if !valid {
+        return;
+    }
+    if let Some(clone) = register {
+        let mut inb = shared.inbound.lock().expect("inbound lock");
+        if let Some(stale) = inb[src].take() {
+            let _ = stale.shutdown(Shutdown::Both);
+        }
+        inb[src] = Some(clone);
+    }
+    shared.hello_seen[src].store(true, Ordering::Release);
+    loop {
+        match dec.next(&shared) {
+            Ok(Some(Frame::Write(w))) => {
+                // Checked arithmetic: a hostile offset near u64::MAX must
+                // fail validation, not wrap and panic the reader.
+                let in_bounds = w
+                    .offset
+                    .checked_add(w.words.len() as u64)
+                    .is_some_and(|end| end <= shared.region_words as u64);
+                if w.words.is_empty() || !in_bounds {
+                    return; // corrupt frame: kill the connection
+                }
+                shared.region.apply_write(w.offset as usize, &w.words);
+                shared.metrics.add_frame_received();
+            }
+            // A second HELLO is a protocol violation; EOF, stop and
+            // garbage all end the connection (the peer re-dials).
+            Ok(Some(Frame::Hello(_))) | Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback_pair(region_words: usize, faults: FaultPlan) -> (TcpFabric, TcpFabric) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let mk = |me: usize, listener: TcpListener, faults: FaultPlan| {
+            let mut cfg = TcpFabricConfig::new(me, addrs.clone(), region_words);
+            cfg.faults = faults;
+            TcpFabric::bootstrap_on_listener(cfg, listener).unwrap()
+        };
+        let a = mk(0, l0, faults.clone());
+        let b = mk(1, l1, faults);
+        a.wait_connected(Duration::from_secs(10)).unwrap();
+        b.wait_connected(Duration::from_secs(10)).unwrap();
+        (a, b)
+    }
+
+    fn eventually(mut f: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        false
+    }
+
+    #[test]
+    fn posts_place_words_into_the_peer_mirror() {
+        let (a, b) = loopback_pair(16, FaultPlan::new());
+        let ra = a.region_arc(NodeId(0));
+        ra.store(3, 111);
+        ra.store(4, 222);
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 3..5));
+        let rb = b.region_arc(NodeId(1));
+        assert!(eventually(|| rb.load(3) == 111 && rb.load(4) == 222));
+        assert_eq!(a.writes_posted(), 1);
+        assert_eq!(a.bytes_posted(), 16);
+        assert!(eventually(|| b.wire_stats().frames_received == 1));
+    }
+
+    #[test]
+    fn per_peer_streams_preserve_posting_order() {
+        let (a, b) = loopback_pair(8, FaultPlan::new());
+        let ra = a.region_arc(NodeId(0));
+        let rb = b.region_arc(NodeId(1));
+        for i in 1..=5_000u64 {
+            ra.store(0, i * 10); // data
+            ra.store(1, i); // guard
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 0..2));
+        }
+        assert!(eventually(|| rb.load(1) == 5_000));
+        // Fencing: any observed guard implies data at least as new.
+        let guard = rb.load(1);
+        let data = rb.load(0);
+        assert!(data >= guard * 10, "fencing violated: {data} < {guard}*10");
+    }
+
+    #[test]
+    fn self_post_is_counted_but_stays_local() {
+        let (a, _b) = loopback_pair(8, FaultPlan::new());
+        a.region_arc(NodeId(0)).store(0, 9);
+        a.post(NodeId(0), &WriteOp::new(NodeId(0), 0..1));
+        assert_eq!(a.writes_posted(), 1);
+        assert_eq!(a.wire_stats().frames_posted, 1);
+        assert_eq!(a.wire_stats().bytes_sent, 31); // the one HELLO frame
+    }
+
+    #[test]
+    fn fault_plan_drops_at_the_wire_layer() {
+        let faults = FaultPlan::new();
+        let (a, b) = loopback_pair(8, faults.clone());
+        faults.isolate(NodeId(1));
+        a.region_arc(NodeId(0)).store(2, 5);
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 2..3));
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(b.region_arc(NodeId(1)).load(2), 0, "isolated write leaked");
+        assert_eq!(faults.writes_dropped(), 1);
+        // Heal: the next post flows again.
+        faults.heal(NodeId(1));
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 2..3));
+        assert!(eventually(|| b.region_arc(NodeId(1)).load(2) == 5));
+    }
+
+    #[test]
+    fn severed_link_reconnects_on_demand() {
+        let (a, b) = loopback_pair(8, FaultPlan::new());
+        a.sever_peer(NodeId(1));
+        b.sever_peer(NodeId(0));
+        // The link re-dials on the next posts; eventually a fresh write
+        // lands even if the first few frames die with the old socket.
+        let ra = a.region_arc(NodeId(0));
+        let rb = b.region_arc(NodeId(1));
+        assert!(eventually(|| {
+            ra.store(1, 42);
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 1..2));
+            std::thread::sleep(Duration::from_millis(2));
+            rb.load(1) == 42
+        }));
+        assert!(a.wire_stats().reconnects >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "locally hosted")]
+    fn remote_region_is_not_addressable() {
+        let (a, _b) = loopback_pair(8, FaultPlan::new());
+        let _ = a.region_arc(NodeId(1));
+    }
+
+    #[test]
+    fn hello_mismatch_is_rejected() {
+        // A peer configured with a different region size must not get its
+        // writes applied: the acceptor drops the connection at handshake.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let mut cfg0 = TcpFabricConfig::new(0, addrs.clone(), 16);
+        cfg0.connect_patience = Duration::from_millis(300);
+        let mut cfg1 = TcpFabricConfig::new(1, addrs, 32); // mismatch
+        cfg1.connect_patience = Duration::from_millis(300);
+        let a = TcpFabric::bootstrap_on_listener(cfg0, l0).unwrap();
+        let b = TcpFabric::bootstrap_on_listener(cfg1, l1).unwrap();
+        assert!(a.wait_connected(Duration::from_millis(700)).is_err());
+        drop(b);
+    }
+}

@@ -1,0 +1,397 @@
+//! The length-prefixed wire codec for fabric frames.
+//!
+//! Layout of one frame (all integers little-endian):
+//!
+//! ```text
+//! len:u32  kind:u8  body...
+//! ```
+//!
+//! `len` counts everything after the length field (kind byte + body).
+//! Two kinds exist:
+//!
+//! * `HELLO` (`0x01`) — the bootstrap handshake, sent once as the first
+//!   frame of every connection: `version:u16 src:u32 nodes:u32
+//!   region_words:u64 epoch:u64`. The receiver verifies that both sides
+//!   agree on the protocol version, cluster size, SST layout size and
+//!   epoch before applying any writes.
+//! * `WRITE` (`0x02`) — one one-sided write: `offset:u64 wire_bytes:u32
+//!   nwords:u32` followed by `nwords` 8-byte words snapshotted from the
+//!   poster's replica at post time. The receiver places the words into its
+//!   local mirror region at `offset`, in increasing word order — because
+//!   each peer pair is one ordered TCP byte stream, two writes posted in
+//!   order arrive in order, which is exactly RDMA's per-QP fencing
+//!   guarantee (§2.2).
+//!
+//! Decoding never panics: truncated, oversized and garbage inputs are all
+//! rejected with a typed [`WireError`], and a [`WireError::Truncated`]
+//! result doubles as the streaming decoder's "need more bytes" signal.
+
+use std::fmt;
+use std::ops::Range;
+
+use spindle_fabric::{NodeId, WriteOp};
+
+/// Protocol version spoken by this build (checked in `HELLO`).
+pub const PROTO_VERSION: u16 = 1;
+
+/// Frame kind byte of [`Frame::Hello`].
+pub const KIND_HELLO: u8 = 0x01;
+/// Frame kind byte of [`Frame::Write`].
+pub const KIND_WRITE: u8 = 0x02;
+
+/// Upper bound on the words carried by one `WRITE` frame (16 MiB of
+/// payload). SST regions are far smaller; anything above this is garbage
+/// or an attack, not a legitimate frame.
+pub const MAX_FRAME_WORDS: usize = 1 << 21;
+
+/// Upper bound on `len` for any frame, implied by [`MAX_FRAME_WORDS`].
+pub const MAX_FRAME_LEN: usize = 17 + MAX_FRAME_WORDS * 8;
+
+/// Decode failure (see the [module docs](self) for the frame layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does. In streaming use this means
+    /// "read more bytes"; at end-of-stream it means the peer died
+    /// mid-frame.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame needs (length prefix included).
+        need: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] — garbage or an
+    /// unframed stream.
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// The declared length does not match the kind's body layout (e.g. a
+    /// `WRITE` whose `nwords` disagrees with `len`).
+    LengthMismatch {
+        /// The offending kind byte.
+        kind: u8,
+        /// The declared length.
+        len: usize,
+    },
+    /// A `HELLO` frame with a protocol version this build does not speak.
+    BadVersion(u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: len {len} > max {MAX_FRAME_LEN}")
+            }
+            WireError::BadKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::LengthMismatch { kind, len } => {
+                write!(f, "frame length {len} inconsistent with kind 0x{kind:02x}")
+            }
+            WireError::BadVersion(v) => {
+                write!(
+                    f,
+                    "peer speaks protocol version {v}, this build speaks {PROTO_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The bootstrap handshake payload (first frame of every connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version of the sender.
+    pub version: u16,
+    /// The sender's node id.
+    pub src: u32,
+    /// Cluster size the sender was configured with.
+    pub nodes: u32,
+    /// SST region size (in words) the sender computed from the view.
+    pub region_words: u64,
+    /// Epoch (view id) the sender is running.
+    pub epoch: u64,
+}
+
+/// One one-sided write on the wire: the covered words of the poster's
+/// replica, snapshotted at post time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteFrame {
+    /// Destination word offset (equals the source offset; see
+    /// [`WriteOp`]).
+    pub offset: u64,
+    /// Bytes accounted on the wire for the logical write (normally
+    /// `words.len() * 8`).
+    pub wire_bytes: u32,
+    /// The snapshotted words.
+    pub words: Vec<u64>,
+}
+
+impl WriteFrame {
+    /// Builds the frame for `op`, snapshotting `words` (the caller reads
+    /// them from its local replica at post time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not cover exactly `op`'s range.
+    pub fn for_op(op: &WriteOp, words: Vec<u64>) -> WriteFrame {
+        assert_eq!(words.len(), op.words(), "snapshot must cover the op range");
+        WriteFrame {
+            offset: op.range.start as u64,
+            wire_bytes: op.wire_bytes as u32,
+            words,
+        }
+    }
+
+    /// The word range this write covers at the destination.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if `offset + words.len()` overflows;
+    /// validate untrusted frames with checked arithmetic against the
+    /// region size before calling (as the reader loop does).
+    pub fn range(&self) -> Range<usize> {
+        let start = self.offset as usize;
+        start..start + self.words.len()
+    }
+
+    /// Reconstructs the logical [`WriteOp`] (for tests and tracing).
+    pub fn to_op(&self, dst: NodeId) -> WriteOp {
+        WriteOp {
+            dst,
+            range: self.range(),
+            wire_bytes: self.wire_bytes as usize,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Handshake.
+    Hello(Hello),
+    /// One-sided write.
+    Write(WriteFrame),
+}
+
+/// Appends the encoding of `frame` to `out`; returns the encoded size.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
+    match frame {
+        Frame::Hello(h) => encode_hello(h, out),
+        Frame::Write(w) => encode_write_frame(w, out),
+    }
+}
+
+/// Appends the encoding of one `HELLO`; returns the encoded size.
+pub fn encode_hello(h: &Hello, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&27u32.to_le_bytes());
+    out.push(KIND_HELLO);
+    out.extend_from_slice(&h.version.to_le_bytes());
+    out.extend_from_slice(&h.src.to_le_bytes());
+    out.extend_from_slice(&h.nodes.to_le_bytes());
+    out.extend_from_slice(&h.region_words.to_le_bytes());
+    out.extend_from_slice(&h.epoch.to_le_bytes());
+    out.len() - start
+}
+
+/// Appends the encoding of one `WRITE`; returns the encoded size. Takes
+/// the frame by reference so the per-post hot path never clones the word
+/// snapshot.
+pub fn encode_write_frame(w: &WriteFrame, out: &mut Vec<u8>) -> usize {
+    assert!(w.words.len() <= MAX_FRAME_WORDS, "write exceeds frame cap");
+    let start = out.len();
+    let len = 17 + w.words.len() * 8;
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(KIND_WRITE);
+    out.extend_from_slice(&w.offset.to_le_bytes());
+    out.extend_from_slice(&w.wire_bytes.to_le_bytes());
+    out.extend_from_slice(&(w.words.len() as u32).to_le_bytes());
+    for word in &w.words {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.len() - start
+}
+
+fn rd_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(b[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn rd_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn rd_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Decodes the first frame in `buf`.
+///
+/// Returns the frame and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when `buf` holds a prefix of a valid frame
+/// (read more and retry); any other [`WireError`] means the stream is
+/// corrupt and must be dropped.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated {
+            have: buf.len(),
+            need: 4,
+        });
+    }
+    let len = rd_u32(buf, 0) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    // A frame always carries at least its kind byte.
+    if len == 0 {
+        return Err(WireError::LengthMismatch { kind: 0, len });
+    }
+    let total = 4 + len;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            have: buf.len(),
+            need: total,
+        });
+    }
+    let kind = buf[4];
+    let body = &buf[5..total];
+    let frame = match kind {
+        KIND_HELLO => {
+            if body.len() != 26 {
+                return Err(WireError::LengthMismatch { kind, len });
+            }
+            let version = rd_u16(body, 0);
+            if version != PROTO_VERSION {
+                return Err(WireError::BadVersion(version));
+            }
+            Frame::Hello(Hello {
+                version,
+                src: rd_u32(body, 2),
+                nodes: rd_u32(body, 6),
+                region_words: rd_u64(body, 10),
+                epoch: rd_u64(body, 18),
+            })
+        }
+        KIND_WRITE => {
+            if body.len() < 16 {
+                return Err(WireError::LengthMismatch { kind, len });
+            }
+            let offset = rd_u64(body, 0);
+            let wire_bytes = rd_u32(body, 8);
+            let nwords = rd_u32(body, 12) as usize;
+            if nwords > MAX_FRAME_WORDS || body.len() != 16 + nwords * 8 {
+                return Err(WireError::LengthMismatch { kind, len });
+            }
+            let words = (0..nwords).map(|i| rd_u64(body, 16 + i * 8)).collect();
+            Frame::Write(WriteFrame {
+                offset,
+                wire_bytes,
+                words,
+            })
+        }
+        other => return Err(WireError::BadKind(other)),
+    };
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) {
+        let mut buf = Vec::new();
+        let n = encode_frame(f, &mut buf);
+        assert_eq!(n, buf.len());
+        let (back, used) = decode_frame(&buf).expect("decode");
+        assert_eq!(used, buf.len());
+        assert_eq!(&back, f);
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(&Frame::Hello(Hello {
+            version: PROTO_VERSION,
+            src: 2,
+            nodes: 5,
+            region_words: 12_345,
+            epoch: 7,
+        }));
+    }
+
+    #[test]
+    fn write_roundtrip_and_op_reconstruction() {
+        let op = WriteOp::new(NodeId(1), 10..14);
+        let frame = WriteFrame::for_op(&op, vec![1, 2, 3, 4]);
+        roundtrip(&Frame::Write(frame.clone()));
+        assert_eq!(frame.range(), 10..14);
+        assert_eq!(frame.to_op(NodeId(1)), op);
+    }
+
+    #[test]
+    fn two_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        let a = Frame::Write(WriteFrame {
+            offset: 0,
+            wire_bytes: 8,
+            words: vec![9],
+        });
+        let b = Frame::Write(WriteFrame {
+            offset: 5,
+            wire_bytes: 16,
+            words: vec![1, 2],
+        });
+        encode_frame(&a, &mut buf);
+        encode_frame(&b, &mut buf);
+        let (f1, used1) = decode_frame(&buf).unwrap();
+        let (f2, used2) = decode_frame(&buf[used1..]).unwrap();
+        assert_eq!(f1, a);
+        assert_eq!(f2, b);
+        assert_eq!(used1 + used2, buf.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_buffers_are_truncated() {
+        assert!(matches!(
+            decode_frame(&[]),
+            Err(WireError::Truncated { have: 0, need: 4 })
+        ));
+        assert!(matches!(
+            decode_frame(&[1, 0]),
+            Err(WireError::Truncated { have: 2, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        assert_eq!(
+            decode_frame(&[0, 0, 0, 0]),
+            Err(WireError::LengthMismatch { kind: 0, len: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Hello(Hello {
+                version: PROTO_VERSION,
+                src: 0,
+                nodes: 2,
+                region_words: 8,
+                epoch: 0,
+            }),
+            &mut buf,
+        );
+        buf[5] = 0xEE; // version low byte
+        assert_eq!(decode_frame(&buf), Err(WireError::BadVersion(0x00EE)));
+    }
+}

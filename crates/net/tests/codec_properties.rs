@@ -1,0 +1,155 @@
+//! Wire-codec properties: arbitrary `WriteOp` frames round-trip across
+//! size boundaries, and truncated / oversized / garbage inputs are
+//! rejected with a typed [`WireError`] — never a panic.
+
+use proptest::prelude::*;
+use spindle_fabric::{NodeId, WriteOp};
+use spindle_net::wire::{
+    decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame, KIND_WRITE, MAX_FRAME_LEN,
+    PROTO_VERSION,
+};
+
+/// Word counts probing the interesting boundaries: single-word acks, the
+/// 16 KiB read-buffer edge, and everything between.
+fn arb_words() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..2050)
+}
+
+fn arb_write_frame() -> impl Strategy<Value = WriteFrame> {
+    (arb_words(), 0u64..1_000_000, any::<u32>()).prop_map(|(words, offset, wire_bytes)| {
+        WriteFrame {
+            offset,
+            wire_bytes,
+            words,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity, and consumes exactly the encoded
+    /// bytes, for arbitrary write frames across size boundaries.
+    #[test]
+    fn write_frames_roundtrip(frame in arb_write_frame()) {
+        let mut buf = Vec::new();
+        let n = encode_frame(&Frame::Write(frame.clone()), &mut buf);
+        prop_assert_eq!(n, buf.len());
+        let (back, used) = decode_frame(&buf).expect("well-formed frame decodes");
+        prop_assert_eq!(used, n);
+        prop_assert_eq!(back, Frame::Write(frame));
+    }
+
+    /// A logical `WriteOp` survives the op → frame → bytes → frame → op
+    /// trip exactly (this is the invariant the TCP fabric rides on).
+    #[test]
+    fn write_ops_roundtrip(start in 0usize..10_000, len in 1usize..512, dst in 0usize..64) {
+        let op = WriteOp::new(NodeId(dst), start..start + len);
+        let words: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let frame = WriteFrame::for_op(&op, words.clone());
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Write(frame), &mut buf);
+        let (decoded, _) = decode_frame(&buf).expect("decodes");
+        let Frame::Write(w) = decoded else {
+            return Err(TestCaseError::fail("decoded to a non-write frame"));
+        };
+        prop_assert_eq!(w.to_op(NodeId(dst)), op);
+        prop_assert_eq!(w.words, words);
+    }
+
+    /// Every strict prefix of a valid frame decodes to `Truncated` (the
+    /// streaming decoder's "read more" signal) — and never panics.
+    #[test]
+    fn every_truncation_is_typed(frame in arb_write_frame(), cut_frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Write(frame), &mut buf);
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        match decode_frame(&buf[..cut]) {
+            Err(WireError::Truncated { have, need }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(need > cut);
+                prop_assert!(need <= buf.len());
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "prefix of {cut}/{} bytes decoded to {other:?}", buf.len()
+            ))),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder: it either reports a
+    /// typed error or (by coincidence) frames something structurally
+    /// valid and consumes no more than the buffer.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok((_, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// An unknown kind byte is rejected as `BadKind`, whatever the body.
+    #[test]
+    fn unknown_kind_is_typed(kind in 3u8..=255, body_len in 0usize..64) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((body_len + 1) as u32).to_le_bytes());
+        buf.push(kind);
+        buf.extend(std::iter::repeat_n(0u8, body_len));
+        prop_assert_eq!(decode_frame(&buf), Err(WireError::BadKind(kind)));
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    // A length prefix claiming 4 GiB must be rejected from the 4-byte
+    // prefix alone — not treated as "read 4 GiB more".
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    buf.push(KIND_WRITE);
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::Oversized {
+            len: u32::MAX as usize
+        })
+    );
+    assert!(u32::MAX as usize > MAX_FRAME_LEN);
+}
+
+#[test]
+fn write_frame_with_inconsistent_word_count_is_rejected() {
+    let frame = WriteFrame {
+        offset: 4,
+        wire_bytes: 16,
+        words: vec![1, 2],
+    };
+    let mut buf = Vec::new();
+    encode_frame(&Frame::Write(frame), &mut buf);
+    // Claim 3 words while carrying 2: LengthMismatch, not a bad read.
+    let nwords_at = 4 + 1 + 8 + 4;
+    buf[nwords_at] = 3;
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::LengthMismatch {
+            kind: KIND_WRITE,
+            len: 17 + 2 * 8
+        })
+    );
+}
+
+#[test]
+fn hello_with_wrong_version_is_rejected() {
+    let mut buf = Vec::new();
+    encode_frame(
+        &Frame::Hello(Hello {
+            version: PROTO_VERSION,
+            src: 1,
+            nodes: 3,
+            region_words: 64,
+            epoch: 0,
+        }),
+        &mut buf,
+    );
+    buf[5] = PROTO_VERSION as u8 + 1;
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::BadVersion(PROTO_VERSION + 1))
+    );
+}

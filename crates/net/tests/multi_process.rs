@@ -1,0 +1,253 @@
+//! The zero-to-cluster proof: three real OS processes, each hosting one
+//! node of the view, multicast over loopback TCP and every process's
+//! delivery trace satisfies the harness's protocol oracles (total order,
+//! per-sender FIFO, no duplicates, completeness of acknowledged sends).
+//!
+//! The test spawns the `spindle-node` binary three times against a shared
+//! TOML config with a pinned seed, waits for all of them, parses the
+//! per-process trace files, and hands the streams to
+//! `spindle_harness::oracle::check_threaded` — the same oracles the
+//! in-process fault scenarios are checked with. On any failure it prints
+//! every node's stderr and trace so CI shows exactly what each process
+//! saw.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use spindle_core::threaded::Delivered;
+use spindle_harness::oracle::{check_threaded, EpochMembers};
+use spindle_membership::SubgroupId;
+
+const NODES: usize = 3;
+const SENDS: u32 = 30;
+const PAYLOAD: usize = 24;
+const SEED: u64 = 42;
+
+/// Mirrors the binary's deterministic payload function, so the driver can
+/// reconstruct every acknowledged payload from `(node, counter)` alone.
+fn payload(node: usize, counter: u32, size: usize, seed: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(size.max(8));
+    p.extend_from_slice(&(node as u32).to_le_bytes());
+    p.extend_from_slice(&counter.to_le_bytes());
+    let mut x = seed ^ ((node as u64) << 32) ^ counter as u64;
+    while p.len() < size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p.push(x as u8);
+    }
+    p
+}
+
+fn free_loopback_ports(n: usize) -> Vec<u16> {
+    // Bind-then-release: a small race window, but loopback CI has no port
+    // pressure, and the caller retries the whole cluster on a collision.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+fn parse_trace(text: &str) -> Vec<Delivered> {
+    text.lines()
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            let mut next = || it.next().expect("trace field");
+            let epoch = next().parse().expect("epoch");
+            let subgroup = SubgroupId(next().parse().expect("subgroup"));
+            let sender_rank = next().parse().expect("rank");
+            let app_index = next().parse().expect("app index");
+            let seq = next().parse().expect("seq");
+            let hex = next();
+            let data = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).expect("hex"))
+                .collect();
+            Delivered {
+                epoch,
+                subgroup,
+                sender_rank,
+                app_index,
+                seq,
+                data,
+            }
+        })
+        .collect()
+}
+
+struct NodeProc {
+    child: Child,
+    trace_path: PathBuf,
+}
+
+fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
+    let ports = free_loopback_ports(NODES);
+    let addrs: Vec<String> = ports.iter().map(|p| format!("\"127.0.0.1:{p}\"")).collect();
+    let config = format!(
+        "# written by multi_process.rs\nnodes = [{}]\nwindow = 16\nmax_msg = 64\n",
+        addrs.join(", ")
+    );
+    let config_path = dir.join("cluster.toml");
+    std::fs::write(&config_path, config).expect("write config");
+
+    (0..NODES)
+        .map(|node| {
+            let trace_path = dir.join(format!("trace-n{node}.txt"));
+            let child = Command::new(env!("CARGO_BIN_EXE_spindle-node"))
+                .arg("--config")
+                .arg(&config_path)
+                .args(["--node", &node.to_string()])
+                .args(["--sends", &SENDS.to_string()])
+                .args(["--payload", &PAYLOAD.to_string()])
+                .args(["--seed", &SEED.to_string()])
+                .args(["--deadline-secs", "60"])
+                .args(["--linger-ms", "1200"])
+                .arg("--trace-out")
+                .arg(&trace_path)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn spindle-node");
+            NodeProc { child, trace_path }
+        })
+        .collect()
+}
+
+/// Waits for every process, collecting `(success, stdout, stderr)`.
+fn wait_all(procs: &mut [NodeProc], deadline: Duration) -> Vec<(bool, String, String)> {
+    let end = Instant::now() + deadline;
+    let mut done: Vec<Option<bool>> = vec![None; procs.len()];
+    while done.iter().any(|d| d.is_none()) && Instant::now() < end {
+        for (i, p) in procs.iter_mut().enumerate() {
+            if done[i].is_none() {
+                if let Ok(Some(status)) = p.child.try_wait() {
+                    done[i] = Some(status.success());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    procs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, p)| {
+            let ok = match done[i] {
+                Some(ok) => ok,
+                None => {
+                    let _ = p.child.kill();
+                    false
+                }
+            };
+            let out = p.child.wait_with_output_ref();
+            (ok, out.0, out.1)
+        })
+        .collect()
+}
+
+/// `wait_with_output` consumes the child; this helper drains the pipes of
+/// an already-finished (or killed) child in place.
+trait OutputRef {
+    fn wait_with_output_ref(&mut self) -> (String, String);
+}
+
+impl OutputRef for Child {
+    fn wait_with_output_ref(&mut self) -> (String, String) {
+        use std::io::Read;
+        let mut out = String::new();
+        let mut err = String::new();
+        if let Some(mut s) = self.stdout.take() {
+            let _ = s.read_to_string(&mut out);
+        }
+        if let Some(mut s) = self.stderr.take() {
+            let _ = s.read_to_string(&mut err);
+        }
+        let _ = self.wait();
+        (out, err)
+    }
+}
+
+#[test]
+fn three_process_loopback_cluster_satisfies_oracles() {
+    let dir = std::env::temp_dir().join(format!("spindle-net-mp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // The bind-then-release port handoff can collide; retry once.
+    let mut last_failure = String::new();
+    for attempt in 0..2 {
+        let mut procs = spawn_cluster(&dir);
+        let results = wait_all(&mut procs, Duration::from_secs(90));
+        if results.iter().all(|(ok, _, _)| *ok) {
+            check_traces(&procs);
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+        last_failure.clear();
+        for (node, ((ok, out, err), p)) in results.iter().zip(&procs).enumerate() {
+            last_failure.push_str(&format!(
+                "--- node {node} (attempt {attempt}, {}) ---\nstdout:\n{out}\nstderr:\n{err}\n",
+                if *ok { "ok" } else { "FAILED" }
+            ));
+            if let Ok(trace) = std::fs::read_to_string(&p.trace_path) {
+                last_failure.push_str(&format!(
+                    "trace ({} deliveries):\n{trace}\n",
+                    trace.lines().count()
+                ));
+            }
+        }
+        eprintln!("{last_failure}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    panic!("3-process loopback cluster failed twice:\n{last_failure}");
+}
+
+fn check_traces(procs: &[NodeProc]) {
+    let mut streams: BTreeMap<usize, Vec<Delivered>> = BTreeMap::new();
+    for (node, p) in procs.iter().enumerate() {
+        let text = std::fs::read_to_string(&p.trace_path).expect("trace file");
+        let stream = parse_trace(&text);
+        assert_eq!(
+            stream.len(),
+            NODES * SENDS as usize,
+            "node {node} trace is incomplete"
+        );
+        streams.insert(node, stream);
+    }
+
+    let survivors: BTreeSet<usize> = (0..NODES).collect();
+    let mut epochs = EpochMembers::new();
+    epochs.insert(0, vec![(0..NODES).collect()]);
+    let mut acked: BTreeMap<(usize, usize), Vec<Vec<u8>>> = BTreeMap::new();
+    for node in 0..NODES {
+        let payloads = (0..SENDS)
+            .map(|c| payload(node, c, PAYLOAD, SEED))
+            .collect();
+        acked.insert((node, 0), payloads);
+    }
+
+    let checks = check_threaded(&streams, &survivors, &epochs, &acked, true);
+    for c in &checks {
+        assert!(
+            c.passed,
+            "oracle {} failed on the 3-process run: {}",
+            c.name, c.detail
+        );
+    }
+    // Belt and braces: the three totally ordered streams are identical.
+    let base: Vec<_> = streams[&0]
+        .iter()
+        .map(|d| (d.sender_rank, d.app_index))
+        .collect();
+    for node in 1..NODES {
+        let this: Vec<_> = streams[&node]
+            .iter()
+            .map(|d| (d.sender_rank, d.app_index))
+            .collect();
+        assert_eq!(base, this, "node {node} delivered a different order");
+    }
+}

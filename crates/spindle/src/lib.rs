@@ -23,6 +23,12 @@
 //!   verifying executor and cost-model analysis;
 //! * [`dds`] — the OMG-DCPS-style avionics DDS with four QoS levels and
 //!   the §4.6 TCP external-client relay ([`ExternalClient`]);
+//! * [`net`] — the real TCP transport fabric and multi-process node
+//!   runtime: a length-prefixed wire codec for one-sided writes, per-peer
+//!   ordered byte streams standing in for RDMA's ordered placement, a
+//!   bootstrap handshake, the in-process loopback group
+//!   ([`TcpFabricGroup`]), and the `spindle-node` binary that brings up
+//!   one process per node from a shared TOML config;
 //! * [`persist`] — the durable log behind the persistent atomic multicast
 //!   of the paper's footnote 2 ([`Cluster::start_persistent`]);
 //! * [`harness`] — the deterministic fault-injection scenario harness:
@@ -72,6 +78,7 @@ pub use spindle_dds as dds;
 pub use spindle_fabric as fabric;
 pub use spindle_harness as harness;
 pub use spindle_membership as membership;
+pub use spindle_net as net;
 pub use spindle_rdmc as rdmc;
 pub use spindle_sim as sim;
 pub use spindle_smc as smc;
@@ -88,8 +95,8 @@ pub use spindle_core::{
 pub use spindle_dds::{
     DdsDomain, DdsExperiment, DomainBuilder, ExternalClient, PublishStatus, QosLevel, TopicId,
 };
-pub use spindle_fabric::FaultPlan;
-pub use spindle_fabric::NodeId;
+pub use spindle_fabric::{Fabric, FaultPlan, NodeId};
 pub use spindle_membership::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};
+pub use spindle_net::{TcpFabric, TcpFabricGroup};
 pub use spindle_persist as persist;
 pub use spindle_rdmc::{Rdmc, ScheduleKind};
