@@ -33,12 +33,14 @@ pub mod plan;
 pub mod proto;
 pub mod sim;
 pub mod threaded;
+pub mod viewchange;
 
 pub use config::{DeliveryTiming, SenderActivity, SpindleConfig, Workload};
 pub use cost::CostModel;
 pub use detector::{DetectorConfig, HeartbeatState};
 pub use metrics::{NodeMetrics, RunReport};
-pub use plan::{Plan, SubgroupCols};
+pub use plan::{Plan, ReconfigCols, SubgroupCols};
 pub use proto::{Delivery, SubgroupProto};
 pub use sim::{SimCluster, SimFault, SimFaultKind};
 pub use threaded::{Cluster, PersistConfig, Suspicion};
+pub use viewchange::{InstallBarrier, VcStep, ViewChangeEngine};

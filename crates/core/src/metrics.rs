@@ -58,6 +58,12 @@ pub struct NodeMetrics {
     /// Null rounds skipped during delivery at this node.
     pub nulls_skipped: u64,
 
+    /// View changes this node installed (SST-driven epoch transitions it
+    /// participated in as a survivor).
+    pub view_changes: u64,
+    /// Cumulative wedge→install wall time across those view changes.
+    pub view_change_time: Duration,
+
     /// Time the application sender(s) spent blocked on a full window
     /// (§4.1.1's "time waiting to find a free buffer").
     pub sender_wait: Duration,
@@ -90,6 +96,8 @@ impl NodeMetrics {
             delivered_bytes: 0,
             nulls_sent: 0,
             nulls_skipped: 0,
+            view_changes: 0,
+            view_change_time: Duration::ZERO,
             sender_wait: Duration::ZERO,
             latency: Summary::new(),
             latency_samples: Decimator::new(2048),
@@ -198,6 +206,23 @@ impl RunReport {
     /// Total posting time across nodes.
     pub fn total_post_time(&self) -> Duration {
         self.nodes.iter().map(|n| n.post_time).sum()
+    }
+
+    /// View changes installed across nodes (each survivor of one epoch
+    /// transition counts it once).
+    pub fn total_view_changes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.view_changes).sum()
+    }
+
+    /// The slowest node's cumulative wedge→install time — what a CI job
+    /// asserts to confirm a failover actually completed (non-zero) and
+    /// stayed bounded.
+    pub fn max_view_change_time(&self) -> Duration {
+        self.nodes
+            .iter()
+            .map(|n| n.view_change_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Fraction of total sender time spent waiting for a free slot,

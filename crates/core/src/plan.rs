@@ -1,9 +1,11 @@
 //! SST layout planning for a view.
 
+use std::ops::Range;
 use std::sync::Arc;
 
+use spindle_membership::reconfig::Proposal;
 use spindle_membership::View;
-use spindle_sst::{CounterCol, LayoutBuilder, SlotsCol, SstLayout};
+use spindle_sst::{CounterCol, LayoutBuilder, ListCol, SlotsCol, SstLayout};
 
 /// The SST column handles of one subgroup.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +25,39 @@ pub struct SubgroupCols {
     pub pers: CounterCol,
     /// The SMC ring slots of this subgroup (per sender row).
     pub slots: SlotsCol,
+}
+
+/// The SST column block of the decentralized reconfiguration protocol
+/// (paper §2.1: membership changes run *through the SST*, driven per node
+/// by [`viewchange`](crate::viewchange)).
+///
+/// The four scalar counters and the per-subgroup frozen frontiers are
+/// registered consecutively, so [`ReconfigCols::scalar_block`] covers
+/// them with **one** write range: a single posted frame places them
+/// all-or-nothing at every peer, which is what makes `wedged = 1` a
+/// valid guard for the frozen frontiers even across reconnects (a frame
+/// carrying the flag always carries the frontiers it guards).
+#[derive(Debug, Clone)]
+pub struct ReconfigCols {
+    /// Bitmap of rows this node suspects (monotonic under OR; bit 62 is
+    /// [`spindle_membership::reconfig::PLANNED_BIT`]).
+    pub suspected: CounterCol,
+    /// 1 once this node has wedged for the current epoch's transition.
+    pub wedged: CounterCol,
+    /// The proposed view id this node has delivered the ragged trim for.
+    pub acked: CounterCol,
+    /// The highest view id this node has installed (published in the
+    /// *new* epoch's SST as the resume barrier).
+    pub installed: CounterCol,
+    /// Per subgroup: `received_num` frozen at wedge time — what the
+    /// leader computes the ragged trim from.
+    pub frozen: Vec<CounterCol>,
+    /// The leader's guarded proposal list
+    /// ([`Proposal`](spindle_membership::reconfig::Proposal) encoding).
+    pub proposal: ListCol,
+    /// Row-relative word range covering every scalar column above (one
+    /// push).
+    pub scalar_block: Range<usize>,
 }
 
 /// The complete SST plan for a view: the layout plus per-subgroup handles.
@@ -53,6 +88,9 @@ pub struct Plan {
     /// The top-level heartbeat counter (one per row, initialized to 0),
     /// used by SST failure detection ([`detector`](crate::detector)).
     pub heartbeat: CounterCol,
+    /// The reconfiguration column block (suspicions, wedge/ack/install
+    /// flags, frozen frontiers, the leader's proposal).
+    pub reconfig: ReconfigCols,
 }
 
 impl Plan {
@@ -81,10 +119,37 @@ impl Plan {
                 slots,
             });
         }
+        // Reconfiguration block: four scalars, then one frozen frontier
+        // per subgroup — consecutive registrations, so one contiguous
+        // write range covers them all.
+        let suspected = b.add_counter("vc.suspected", 0);
+        let wedged = b.add_counter("vc.wedged", 0);
+        let acked = b.add_counter("vc.acked", 0);
+        let installed = b.add_counter("vc.installed", 0);
+        let frozen: Vec<CounterCol> = (0..view.subgroups().len())
+            .map(|g| b.add_counter(format!("vc.g{g}.frozen"), -1))
+            .collect();
+        let proposal = b.add_list(
+            "vc.proposal",
+            Proposal::list_capacity(view.subgroups().len()),
+        );
+        let block_end = frozen
+            .last()
+            .map_or(installed.word_range().end, |c| c.word_range().end);
+        let reconfig = ReconfigCols {
+            suspected,
+            wedged,
+            acked,
+            installed,
+            frozen,
+            proposal,
+            scalar_block: suspected.word_range().start..block_end,
+        };
         Plan {
             layout: Arc::new(b.finish(view.members().len())),
             cols,
             heartbeat,
+            reconfig,
         }
     }
 }
@@ -116,8 +181,13 @@ mod tests {
         let thin = Plan::build(&view, false);
         assert!(fat.layout.row_words() > thin.layout.row_words());
         // Thin plan: heartbeat + (4 counters + 2 control words per slot)
-        // per subgroup.
-        assert_eq!(thin.layout.row_words(), 1 + 4 + 8 * 2 + 4 + 4 * 2);
+        // per subgroup + the reconfiguration block (4 scalars + one
+        // frozen frontier per subgroup + the guarded proposal list).
+        let reconfig_words = 4 + 2 + (2 + Proposal::list_capacity(2));
+        assert_eq!(
+            thin.layout.row_words(),
+            1 + 4 + 8 * 2 + 4 + 4 * 2 + reconfig_words
+        );
     }
 
     #[test]
@@ -125,8 +195,34 @@ mod tests {
         let plan = Plan::build(&view_3x2(), false);
         let inits: Vec<i64> = plan.layout.counters().map(|(_, _, i)| i).collect();
         // Heartbeat first, then per subgroup: recv=-1, deliv=-1,
-        // committed=0, persisted=-1.
-        assert_eq!(inits, vec![0, -1, -1, 0, -1, -1, -1, 0, -1]);
+        // committed=0, persisted=-1; then the reconfiguration scalars
+        // (suspected/wedged/acked/installed = 0) and per-subgroup frozen
+        // frontiers (-1).
+        assert_eq!(
+            inits,
+            vec![0, -1, -1, 0, -1, -1, -1, 0, -1, 0, 0, 0, 0, -1, -1]
+        );
+    }
+
+    #[test]
+    fn reconfig_scalar_block_is_contiguous() {
+        let plan = Plan::build(&view_3x2(), false);
+        let rc = &plan.reconfig;
+        // One write range covers all scalars: suspected..=last frozen.
+        assert_eq!(rc.scalar_block.start, rc.suspected.word_range().start);
+        assert_eq!(rc.scalar_block.end, rc.frozen[1].word_range().end);
+        assert_eq!(rc.scalar_block.len(), 4 + 2);
+        for col in [
+            rc.suspected,
+            rc.wedged,
+            rc.acked,
+            rc.installed,
+            rc.frozen[0],
+            rc.frozen[1],
+        ] {
+            assert!(rc.scalar_block.contains(&col.word_range().start));
+        }
+        assert_eq!(rc.proposal.capacity(), Proposal::list_capacity(2));
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! The per-node, SST-driven view-change engine.
+//!
+//! Reconfiguration in Derecho is not a coordinator RPC: suspicions, the
+//! next-view proposal and the ragged trim are monotonic shared state in
+//! the SST, and every node drives the transition from its *own* mirror
+//! (paper §2.1). [`ViewChangeEngine`] is that per-node protocol:
+//!
+//! 1. **Suspicion propagation** — each node ORs every peer's suspicion
+//!    bitmap into its own and re-publishes; the union spreads epidemically
+//!    and only ever grows (a one-word monotonic column).
+//! 2. **Wedge** — on first suspicion the node freezes its per-subgroup
+//!    receive frontiers into the `frozen` columns and raises `wedged`.
+//!    All five scalars travel in **one** write range
+//!    ([`ReconfigCols::scalar_block`]), so a peer that observes the wedge
+//!    flag always observes the frontiers it guards — even across link
+//!    failures and re-dials, where individually posted words could arrive
+//!    torn.
+//! 3. **Proposal** — the deterministic leader (lowest unsuspected row,
+//!    [`reconfig::leader`]) waits until every survivor shows `wedged`,
+//!    computes the ragged trim per subgroup as the minimum frozen
+//!    frontier over surviving members, and publishes a
+//!    [`Proposal`] through the guarded proposal list.
+//! 4. **Trim acks** — every survivor adopts the proposal verbatim
+//!    (deriving the survivor set from the proposal's failed bitmap, never
+//!    from local suspicion state), delivers exactly through the cut, and
+//!    raises `acked`.
+//! 5. **Install** — once every survivor's ack is visible, the runtime
+//!    installs the next view (fresh layout, fresh fabric/epoch); the
+//!    [`InstallBarrier`] then holds application traffic until every
+//!    survivor has published `installed` in the *new* epoch's SST, so no
+//!    new-epoch protocol write can race a peer still draining the old
+//!    one.
+//!
+//! Every step re-publishes the node's whole scalar block: the columns are
+//! monotonic, so re-pushing is idempotent and heals writes lost to a dead
+//! link mid-transition (one-sided writes are never retransmitted by the
+//! fabric itself).
+//!
+//! The engine is runtime-agnostic: the threaded cluster steps one engine
+//! per local node from its coordinator thread (the degenerate
+//! single-process case), and the distributed runtime steps it from each
+//! node's predicate thread, where the same state machine runs genuinely
+//! concurrently across processes.
+//!
+//! # Known limitation: competing leaders
+//!
+//! The leader rule is deterministic *per suspicion union*, and
+//! [`scan_proposals`](ViewChangeEngine) adopts the lowest-row proposal
+//! visible — but if the true leader is itself falsely suspected by some
+//! survivor whose mirror also never receives the leader's proposal
+//! frames, two same-vid proposals can coexist and the one-word `acked`
+//! column cannot distinguish which one a peer acked. Resolving this
+//! (next-lowest-survivor takeover with proposer-tagged acks, the
+//! classic virtual-synchrony leader handoff) is tracked in ROADMAP.md;
+//! it requires the conjunction of a false suspicion of a live,
+//! connected leader *and* sustained message loss toward the same node,
+//! which the SST's continuous re-pushes make a vanishing window.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use spindle_membership::reconfig::{self, Proposal, PLANNED_BIT};
+use spindle_membership::{SeqNum, View};
+use spindle_sst::{read_list, write_list, Sst};
+
+use crate::plan::ReconfigCols;
+
+/// What the runtime must do after one engine step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcStep {
+    /// Nothing yet — keep stepping (SST posts may have been queued).
+    Pending,
+    /// A proposal was adopted: deliver exactly through its cuts, collect
+    /// this node's undelivered messages for resend, then call
+    /// [`ViewChangeEngine::mark_delivered`]. Returned once.
+    Deliver(Proposal),
+    /// Every survivor acked the trim: install the proposed view (fresh
+    /// layout, fresh fabric/epoch). Returned once; the engine is done.
+    Install(Proposal),
+    /// The cluster evicted *this* node (its bit is in the adopted
+    /// proposal's failed bitmap): close it without installing.
+    Evicted,
+    /// The transition completed earlier; the engine is inert.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Wedged; propagating suspicions and watching for a proposal.
+    Gather,
+    /// Proposal adopted and handed to the runtime; waiting for
+    /// [`ViewChangeEngine::mark_delivered`].
+    Draining,
+    /// Trim delivered and acked; waiting for every survivor's ack.
+    AwaitAcks,
+    Done,
+    Evicted,
+}
+
+/// One node's view-change state machine (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ViewChangeEngine {
+    view: Arc<View>,
+    cols: ReconfigCols,
+    row: usize,
+    /// Rows that belong to at least one subgroup of the old view —
+    /// removed rows have left every subgroup and are ignored entirely
+    /// (their stale columns must not re-trigger transitions).
+    active: Vec<usize>,
+    active_mask: u64,
+    /// This node's suspicion bitmap (may carry [`PLANNED_BIT`]).
+    suspected: u64,
+    wedged: bool,
+    proposal: Option<Proposal>,
+    published: bool,
+    phase: Phase,
+}
+
+impl ViewChangeEngine {
+    /// Creates the engine for `row` of `view`. `initial_suspicions` seeds
+    /// this node's bitmap (a detector verdict, a planned-removal trigger,
+    /// or [`PLANNED_BIT`] for a join); pass 0 for a node that will learn
+    /// of the transition from its peers' columns.
+    pub fn new(view: Arc<View>, cols: ReconfigCols, row: usize, initial_suspicions: u64) -> Self {
+        let active: Vec<usize> = view
+            .members()
+            .iter()
+            .map(|m| m.0)
+            .filter(|&m| !view.subgroups_of(spindle_fabric::NodeId(m)).is_empty())
+            .collect();
+        let active_mask = reconfig::bits_of(active.iter().copied());
+        ViewChangeEngine {
+            view,
+            cols,
+            row,
+            active,
+            active_mask,
+            suspected: initial_suspicions & (active_mask | PLANNED_BIT),
+            wedged: false,
+            proposal: None,
+            published: false,
+            phase: Phase::Gather,
+        }
+    }
+
+    /// Adds suspicion bits (e.g. a detector verdict arriving after the
+    /// engine started). Ignored once a proposal was adopted — the
+    /// proposal's failed bitmap is authoritative from then on.
+    pub fn suspect(&mut self, bits: u64) {
+        if self.proposal.is_none() {
+            self.suspected |= bits & (self.active_mask | PLANNED_BIT);
+        }
+    }
+
+    /// The proposed next view id.
+    pub fn vid(&self) -> u64 {
+        self.view.id() + 1
+    }
+
+    /// The adopted proposal, once one exists.
+    pub fn proposal(&self) -> Option<&Proposal> {
+        self.proposal.as_ref()
+    }
+
+    /// The current phase, for stall diagnostics.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Gather => "gather",
+            Phase::Draining => "draining",
+            Phase::AwaitAcks => "await-acks",
+            Phase::Done => "done",
+            Phase::Evicted => "evicted",
+        }
+    }
+
+    /// The runtime delivered the ragged trim for the adopted proposal;
+    /// the engine acks it on the next step.
+    pub fn mark_delivered(&mut self) {
+        assert_eq!(self.phase, Phase::Draining, "no trim outstanding");
+        self.phase = Phase::AwaitAcks;
+    }
+
+    /// One protocol step against this node's SST mirror. `frontiers[g]`
+    /// is this node's current receive frontier in subgroup `g` (ignored
+    /// for subgroups it is not a member of); the engine freezes them on
+    /// its first step, so the caller must already have stopped protocol
+    /// predicates. `post` posts an absolute word range of this node's row
+    /// to every active peer.
+    pub fn step(
+        &mut self,
+        sst: &Sst,
+        frontiers: &[SeqNum],
+        post: &mut dyn FnMut(Range<usize>),
+    ) -> VcStep {
+        match self.phase {
+            Phase::Done => return VcStep::Done,
+            Phase::Evicted => return VcStep::Evicted,
+            _ => {}
+        }
+        // 1. Suspicion propagation: OR every active peer's bitmap into
+        // our own (masked to active rows — stale bits about removed rows
+        // must not resurrect). Frozen once a proposal exists.
+        if self.proposal.is_none() {
+            let mut union = self.suspected;
+            for &r in &self.active {
+                union |=
+                    (sst.counter(self.cols.suspected, r) as u64) & (self.active_mask | PLANNED_BIT);
+            }
+            self.suspected = union;
+        }
+        if self.suspected == 0 {
+            return VcStep::Pending;
+        }
+        // 2. Wedge: freeze the receive frontiers, then raise the flag.
+        // Both live in the same scalar block, so every push carries them
+        // together.
+        if !self.wedged {
+            for (g, &col) in self.cols.frozen.iter().enumerate() {
+                if self
+                    .view
+                    .subgroup(spindle_membership::SubgroupId(g))
+                    .member_rank(spindle_fabric::NodeId(self.row))
+                    .is_some()
+                {
+                    sst.set_counter(col, frontiers[g]);
+                }
+            }
+            sst.set_counter(self.cols.wedged, 1);
+            self.wedged = true;
+        }
+        sst.set_counter(self.cols.suspected, self.suspected as i64);
+        if self.phase == Phase::AwaitAcks {
+            // Re-assert the ack so a lost frame cannot stall the quorum.
+            sst.set_counter(self.cols.acked, self.vid() as i64);
+        }
+        // Re-publish the whole block every step: monotonic, idempotent,
+        // and self-healing across dead links.
+        post(self.block_range(sst));
+
+        // 3. The deterministic leader proposes once every survivor (by
+        // its own union) shows the wedge flag.
+        if self.proposal.is_none()
+            && reconfig::leader(&self.active, self.suspected) == Some(self.row)
+        {
+            self.try_propose(sst, post);
+        } else if self.published {
+            self.republish(sst, post);
+        }
+
+        // 4. Adopt the lowest-row proposal visible in the mirror.
+        if self.proposal.is_none() {
+            if let Some(p) = self.scan_proposals(sst) {
+                if p.failed & (1 << self.row) != 0 {
+                    self.phase = Phase::Evicted;
+                    return VcStep::Evicted;
+                }
+                self.proposal = Some(p.clone());
+                self.phase = Phase::Draining;
+                return VcStep::Deliver(p);
+            }
+        }
+
+        // 5. Install once every survivor's ack is visible. A survivor
+        // that already *installed* the next epoch implies its ack (it
+        // stops re-publishing old-epoch columns once installed, but its
+        // install barrier keeps pushing `installed`, which lands at the
+        // same offset in our still-old mirror).
+        if self.phase == Phase::AwaitAcks {
+            let p = self.proposal.clone().expect("acking a proposal");
+            let vid = p.vid as i64;
+            let all_acked = self
+                .active
+                .iter()
+                .filter(|&&r| p.failed & (1 << r) == 0)
+                .all(|&r| {
+                    sst.counter(self.cols.acked, r) >= vid
+                        || sst.counter(self.cols.installed, r) >= vid
+                });
+            if all_acked {
+                self.phase = Phase::Done;
+                return VcStep::Install(p);
+            }
+        }
+        VcStep::Pending
+    }
+
+    fn block_range(&self, sst: &Sst) -> Range<usize> {
+        sst.layout()
+            .abs_range(self.row, self.cols.scalar_block.clone())
+    }
+
+    /// Leader only: if every survivor has wedged, compute the ragged trim
+    /// from the frozen columns and publish the proposal.
+    fn try_propose(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) {
+        let failed = self.suspected;
+        let survivors: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&r| failed & (1 << r) == 0)
+            .collect();
+        if survivors.len() < 2 {
+            return; // no quorum to reconfigure; stay wedged
+        }
+        if !survivors
+            .iter()
+            .all(|&r| sst.counter(self.cols.wedged, r) >= 1)
+        {
+            return;
+        }
+        // The frozen frontiers are valid wherever the wedge flag is: they
+        // travel in the same write range.
+        let mut cuts = Vec::with_capacity(self.view.subgroups().len());
+        for (g, sg) in self.view.subgroups().iter().enumerate() {
+            let frozen: Vec<SeqNum> = sg
+                .members
+                .iter()
+                .filter(|m| failed & (1 << m.0) == 0)
+                .map(|m| sst.counter(self.cols.frozen[g], m.0))
+                .collect();
+            if frozen.is_empty() {
+                return; // removal would empty this subgroup: not proposable
+            }
+            cuts.push(reconfig::trim_from_frontiers(&frozen));
+        }
+        let p = Proposal {
+            vid: self.vid(),
+            failed,
+            cuts,
+        };
+        let (data, guard) = write_list(sst, self.cols.proposal, &p.encode());
+        post(data);
+        post(guard);
+        self.published = true;
+    }
+
+    /// Re-publishes the previously computed proposal (identical content;
+    /// the guard version bumps) so a peer that joined the transition late
+    /// or lost the first frames still converges.
+    fn republish(&self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) {
+        if let Ok((v, items)) = read_list(sst, self.cols.proposal, self.row) {
+            if v > 0 {
+                let (data, guard) = write_list(sst, self.cols.proposal, &items);
+                post(data);
+                post(guard);
+            }
+        }
+    }
+
+    /// The lowest-row well-formed proposal for the next epoch, from any
+    /// active row's list column.
+    fn scan_proposals(&self, sst: &Sst) -> Option<Proposal> {
+        let vid = self.vid();
+        for &r in &self.active {
+            let Ok((v, items)) = read_list(sst, self.cols.proposal, r) else {
+                continue; // torn: the writer is mid-publish, retry next step
+            };
+            if v == 0 {
+                continue;
+            }
+            let Some(p) = Proposal::decode(&items, self.view.subgroups().len()) else {
+                continue;
+            };
+            if p.vid == vid {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// The resume barrier of step 5, in two phases.
+///
+/// **Install phase** — after installing the new view, each survivor
+/// publishes `installed = vid` in the **new** epoch's SST until every
+/// survivor's flag is visible, so no new-epoch protocol write can land
+/// in a mirror still draining the old epoch.
+///
+/// **Confirm phase** — seeing a peer's flag only proves the *inbound*
+/// link; this node's *outbound* connection may still be a zombie the
+/// peer accepted before it installed (and severed at its own
+/// transition), and one-shot protocol writes posted over it would
+/// vanish without retransmission. So each survivor then publishes the
+/// fresh epoch's `acked = vid` — "I saw everyone's install flag" — and
+/// resumes only when every survivor confirms. A peer's confirmation
+/// proves it observed *our* flag in its fresh mirror, i.e. a
+/// post-install connection from us to it is live, and per-destination
+/// ordering extends that guarantee to every subsequent post.
+#[derive(Debug, Clone)]
+pub struct InstallBarrier {
+    vid: u64,
+    survivors: Vec<usize>,
+    cols: ReconfigCols,
+    row: usize,
+    confirming: bool,
+}
+
+impl InstallBarrier {
+    /// Barrier for `row` among `survivors` (rows of the new view), with
+    /// the new plan's reconfiguration columns.
+    pub fn new(vid: u64, survivors: Vec<usize>, cols: ReconfigCols, row: usize) -> Self {
+        InstallBarrier {
+            vid,
+            survivors,
+            cols,
+            row,
+            confirming: false,
+        }
+    }
+
+    /// Publishes this node's current phase flag and reports whether every
+    /// survivor has confirmed. Call repeatedly (the pushes are idempotent
+    /// and self-healing) until it returns `true`.
+    ///
+    /// Only the `installed` (then `acked`) words are posted — never the
+    /// whole scalar block: the install push crosses the epoch boundary
+    /// into mirrors that may still be draining the old epoch (same
+    /// offsets), and the fresh block's zeroed columns would *regress*
+    /// the monotonic state a laggard survivor is waiting on.
+    pub fn step(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) -> bool {
+        let vid = self.vid as i64;
+        sst.set_counter(self.cols.installed, vid);
+        if self.confirming {
+            sst.set_counter(self.cols.acked, vid);
+            // acked and installed are adjacent words: one push carries
+            // both flags.
+            let range = self.cols.acked.word_range().start..self.cols.installed.word_range().end;
+            post(sst.layout().abs_range(self.row, range));
+            self.survivors
+                .iter()
+                .all(|&r| sst.counter(self.cols.acked, r) >= vid)
+        } else {
+            post(
+                sst.layout()
+                    .abs_range(self.row, self.cols.installed.word_range()),
+            );
+            if self
+                .survivors
+                .iter()
+                .all(|&r| sst.counter(self.cols.installed, r) >= vid)
+            {
+                self.confirming = true;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use proptest::prelude::*;
+    use spindle_fabric::{MemFabric, NodeId, WriteOp};
+    use spindle_membership::ViewBuilder;
+
+    struct Sim {
+        view: Arc<View>,
+        fabric: MemFabric,
+        ssts: Vec<Sst>,
+        engines: Vec<ViewChangeEngine>,
+    }
+
+    /// All-engine simulation over a MemFabric: every engine reads only
+    /// its own mirror and posts through the fabric, exactly like the
+    /// runtimes drive it.
+    fn sim(view: View, trigger_row: usize, trigger_bits: u64) -> Sim {
+        let view = Arc::new(view);
+        let plan = Plan::build(&view, true);
+        let fabric = MemFabric::new(view.members().len(), plan.layout.region_words());
+        let ssts: Vec<Sst> = (0..view.members().len())
+            .map(|r| {
+                let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(r)), r);
+                sst.init();
+                sst
+            })
+            .collect();
+        let engines: Vec<ViewChangeEngine> = (0..view.members().len())
+            .map(|r| {
+                let bits = if r == trigger_row { trigger_bits } else { 0 };
+                ViewChangeEngine::new(Arc::clone(&view), plan.reconfig.clone(), r, bits)
+            })
+            .collect();
+        Sim {
+            view,
+            fabric,
+            ssts,
+            engines,
+        }
+    }
+
+    /// Steps every participating engine round-robin until each returns
+    /// `Install` or `Evicted`; returns the installed proposals by row.
+    fn converge(s: &mut Sim, frontiers: &[Vec<SeqNum>], dead: &[usize]) -> Vec<Option<Proposal>> {
+        let n = s.view.members().len();
+        let mut out: Vec<Option<Proposal>> = vec![None; n];
+        let mut finished = vec![false; n];
+        for r in dead {
+            finished[*r] = true;
+        }
+        for _round in 0..10_000 {
+            if finished.iter().all(|&f| f) {
+                return out;
+            }
+            for row in 0..n {
+                if finished[row] {
+                    continue;
+                }
+                let sst = s.ssts[row].clone();
+                let fabric = s.fabric.clone();
+                let peers: Vec<usize> = (0..n).filter(|&p| p != row).collect();
+                let mut post = |range: Range<usize>| {
+                    for &p in &peers {
+                        fabric.post(NodeId(row), &WriteOp::new(NodeId(p), range.clone()));
+                    }
+                };
+                match s.engines[row].step(&sst, &frontiers[row], &mut post) {
+                    VcStep::Pending | VcStep::Done => {}
+                    VcStep::Deliver(_) => s.engines[row].mark_delivered(),
+                    VcStep::Install(p) => {
+                        out[row] = Some(p);
+                        finished[row] = true;
+                    }
+                    VcStep::Evicted => finished[row] = true,
+                }
+            }
+        }
+        panic!("engines did not converge");
+    }
+
+    fn all_senders(n: usize) -> View {
+        let m: Vec<usize> = (0..n).collect();
+        ViewBuilder::new(n).subgroup(&m, &m, 8, 64).build().unwrap()
+    }
+
+    #[test]
+    fn single_failure_converges_on_the_minimum_cut() {
+        let mut s = sim(all_senders(3), 0, reconfig::bits_of([2]));
+        let frontiers = vec![vec![7], vec![5], vec![9]];
+        let installed = converge(&mut s, &frontiers, &[2]);
+        for row in [0, 1] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.vid, 1);
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([2]));
+            // Cut = min over survivors {0, 1}: the dead node's frontier
+            // (9, the maximum) must not contribute.
+            assert_eq!(p.cuts, vec![5]);
+        }
+        assert!(installed[2].is_none());
+    }
+
+    #[test]
+    fn suspicion_propagates_from_a_non_leader() {
+        // Node 2 (not the leader) raises the suspicion; node 0 must learn
+        // it through the SST and still propose.
+        let mut s = sim(all_senders(4), 2, reconfig::bits_of([3]));
+        let frontiers = vec![vec![4], vec![6], vec![2], vec![8]];
+        let installed = converge(&mut s, &frontiers, &[3]);
+        for row in [0, 1, 2] {
+            assert_eq!(installed[row].as_ref().unwrap().cuts, vec![2]);
+        }
+    }
+
+    #[test]
+    fn planned_transition_trims_over_all_members() {
+        let mut s = sim(all_senders(3), 0, PLANNED_BIT);
+        let frontiers = vec![vec![3], vec![10], vec![4]];
+        let installed = converge(&mut s, &frontiers, &[]);
+        for p in installed.iter().take(3) {
+            let p = p.as_ref().expect("all members install");
+            assert!(p.failed_rows().is_empty());
+            assert_eq!(p.cuts, vec![3]);
+        }
+    }
+
+    #[test]
+    fn suspected_live_node_is_evicted_not_installed() {
+        // A heartbeat-blackout shape: node 1 is alive (it steps its
+        // engine) but suspected — it must learn of its eviction from the
+        // proposal and never install.
+        let mut s = sim(all_senders(3), 0, reconfig::bits_of([1]));
+        let frontiers = vec![vec![2], vec![8], vec![2]];
+        let installed = converge(&mut s, &frontiers, &[]);
+        assert!(installed[0].is_some());
+        assert!(installed[1].is_none(), "evicted node installed");
+        assert!(installed[2].is_some());
+        assert_eq!(installed[0].as_ref().unwrap().cuts, vec![2]);
+    }
+
+    #[test]
+    fn install_barrier_waits_for_every_survivor() {
+        let view = Arc::new(all_senders(3));
+        let plan = Plan::build(&view, true);
+        let fabric = MemFabric::new(3, plan.layout.region_words());
+        let ssts: Vec<Sst> = (0..3)
+            .map(|r| {
+                let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(r)), r);
+                sst.init();
+                sst
+            })
+            .collect();
+        let post = |row: usize| {
+            let fabric = fabric.clone();
+            move |range: Range<usize>| {
+                for p in 0..3 {
+                    if p != row {
+                        fabric.post(NodeId(row), &WriteOp::new(NodeId(p), range.clone()));
+                    }
+                }
+            }
+        };
+        // Node 0 alone can never pass: neither install nor confirmation
+        // from node 1 arrives.
+        let mut alone = InstallBarrier::new(1, vec![0, 1], plan.reconfig.clone(), 0);
+        for _ in 0..5 {
+            assert!(!alone.step(&ssts[0], &mut post(0)));
+        }
+        // With both survivors stepping, both pass — and only after the
+        // two-phase exchange (install flags, then confirmations), never
+        // on the first round.
+        let mut b0 = InstallBarrier::new(1, vec![0, 1], plan.reconfig.clone(), 0);
+        let mut b1 = InstallBarrier::new(1, vec![0, 1], plan.reconfig.clone(), 1);
+        assert!(!b0.step(&ssts[0], &mut post(0)));
+        assert!(!b1.step(&ssts[1], &mut post(1)));
+        let mut done = (false, false);
+        for _ in 0..10 {
+            done.0 = done.0 || b0.step(&ssts[0], &mut post(0));
+            done.1 = done.1 || b1.step(&ssts[1], &mut post(1));
+            if done == (true, true) {
+                break;
+            }
+        }
+        assert_eq!(done, (true, true), "two live survivors must converge");
+    }
+
+    proptest! {
+        /// The decentralized ragged trim that falls out of the engine
+        /// (frozen columns → leader minimum → proposal) equals the
+        /// centralized computation (the minimum frontier over survivors,
+        /// as `Cluster::remove_node` computed it before this engine
+        /// existed) on the same state — for every survivor, on random
+        /// SST states.
+        #[test]
+        fn decentralized_trim_equals_centralized(
+            frontier_seed in prop::collection::vec(-1i64..500, 8),
+            nodes in 3usize..6,
+            failed in 0usize..6,
+        ) {
+            let failed = failed % nodes;
+            let trigger_row = (failed + 1) % nodes; // a survivor raises it
+            let frontiers: Vec<Vec<SeqNum>> =
+                (0..nodes).map(|r| vec![frontier_seed[r % 8]]).collect();
+            let mut s = sim(all_senders(nodes), trigger_row, reconfig::bits_of([failed]));
+            let installed = converge(&mut s, &frontiers, &[failed]);
+            // The centralized reference: min frontier over survivors.
+            let centralized = (0..nodes)
+                .filter(|&r| r != failed)
+                .map(|r| frontiers[r][0])
+                .min()
+                .unwrap();
+            for row in (0..nodes).filter(|&r| r != failed) {
+                let p = installed[row].as_ref().expect("survivor installed");
+                prop_assert_eq!(p.cuts.clone(), vec![centralized]);
+                prop_assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([failed]));
+            }
+        }
+    }
+}

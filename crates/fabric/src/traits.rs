@@ -61,6 +61,30 @@ pub trait Fabric: Clone + Send + Sync + 'static {
     /// The fault plan consulted on every post.
     fn faults(&self) -> &FaultPlan;
 
+    /// Whether this transport can transition to a later epoch **in
+    /// place** ([`Fabric::begin_epoch`]). Pre-built fabrics that cannot
+    /// (the in-process [`MemFabric`], whose regions are shared state a
+    /// single process rebuilds wholesale through its fabric factory)
+    /// reject in-process view changes instead.
+    fn supports_epoch_advance(&self) -> bool {
+        false
+    }
+
+    /// Transitions the transport to `epoch` for a view connecting the
+    /// `live` rows: the local mirror is replaced by a fresh zeroed region
+    /// (§2.3 — memory is registered per view), stale links are torn down
+    /// (links the peers already re-established at the new epoch may be
+    /// kept), and subsequent handshakes are stamped with the new epoch so
+    /// stale old-epoch peers cannot write into the fresh mirror.
+    /// Idempotent once `epoch` (or a later one) is installed.
+    ///
+    /// Returns `false` when the transport does not support in-place
+    /// transitions (the default) — callers must then rebuild the fabric
+    /// by other means (e.g. a fabric factory).
+    fn begin_epoch(&self, _epoch: u64, _live: &[usize]) -> bool {
+        false
+    }
+
     /// Total writes posted across all nodes (including dropped ones).
     fn writes_posted(&self) -> u64;
 

@@ -71,6 +71,32 @@ fn burst(node: usize, count: u32) -> Event {
     }
 }
 
+/// The shared crash-failover schedule run on *both* transports
+/// (scenarios 16/17): traffic from everyone, node 2 crashes silently
+/// mid-stream, the SST heartbeat detector suspects it, the SST-driven
+/// view-change engine removes it (on TCP: epoch 1 comes up over fresh
+/// sockets), and the survivors' remaining acknowledged traffic must
+/// still satisfy every oracle.
+fn crash_failover_events() -> Vec<Event> {
+    vec![
+        Event::Settle { millis: 30 },
+        burst(0, 10),
+        burst(1, 10),
+        burst(2, 6),
+        Event::Crash { node: 2 },
+        Event::AwaitSuspicion { suspect: 2 },
+        burst(0, 8),
+        burst(1, 8),
+        Event::Settle { millis: 250 },
+    ]
+}
+
+fn crash_failover_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.detector = Some(fast_detector());
+    spec
+}
+
 /// The full corpus for `seed`.
 pub fn corpus(seed: u64) -> Vec<Scenario> {
     let mut out = Vec::new();
@@ -384,6 +410,23 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
             burst(0, 10),
             Event::Settle { millis: 150 },
         ],
+    ));
+
+    // 16/17. The crash-failover twins: a silent crash healed by the
+    // detector-driven, SST-agreed view change — once per transport. The
+    // equivalence test additionally pins that both runs produce the
+    // identical epoch history and verdicts.
+    out.push(threaded(
+        "crash-failover",
+        seed,
+        crash_failover_spec(),
+        crash_failover_events(),
+    ));
+    out.push(threaded_tcp(
+        "loopback-tcp-crash-failover",
+        seed,
+        crash_failover_spec(),
+        crash_failover_events(),
     ));
 
     out

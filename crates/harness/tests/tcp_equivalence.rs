@@ -4,21 +4,19 @@
 //! at the wire layer, so a schedule's verdict does not depend on the
 //! transport.
 
-use spindle_harness::{corpus, run_scenario, ScenarioKind};
+use spindle_harness::{corpus, run_scenario, Scenario, ScenarioKind, ScenarioOutcome};
 
-#[test]
-fn same_fault_schedule_is_oracle_clean_on_both_transports() {
+/// Finds a twin pair, checks the schedules are byte-identical, runs both
+/// and returns the outcomes.
+fn run_twins(mem_name: &str, tcp_name: &str) -> (ScenarioOutcome, ScenarioOutcome) {
     let all = corpus(42);
-    let mem = all
-        .iter()
-        .find(|s| s.name == "isolate-heal-reconnect")
-        .expect("mem twin in corpus");
-    let tcp = all
-        .iter()
-        .find(|s| s.name == "loopback-tcp-isolate-heal")
-        .expect("tcp twin in corpus");
-
-    // The twins share one schedule, byte for byte.
+    let find = |name: &str| -> &Scenario {
+        all.iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from corpus"))
+    };
+    let mem = find(mem_name);
+    let tcp = find(tcp_name);
     let (ScenarioKind::Threaded(m), ScenarioKind::ThreadedTcp(t)) = (&mem.kind, &tcp.kind) else {
         panic!("twin scenarios changed kind");
     };
@@ -33,9 +31,46 @@ fn same_fault_schedule_is_oracle_clean_on_both_transports() {
     assert!(on_mem.passed(), "MemFabric run failed:\n{}", on_mem.trace);
     let on_tcp = run_scenario(tcp);
     assert!(on_tcp.passed(), "TcpFabric run failed:\n{}", on_tcp.trace);
+    (on_mem, on_tcp)
+}
+
+/// The deterministic tail of a trace — everything from the epoch history
+/// on (the leading script necessarily differs: it names the transport).
+fn deterministic_tail(o: &ScenarioOutcome) -> &str {
+    o.trace
+        .split_once("epochs:")
+        .map(|(_, tail)| tail)
+        .expect("threaded traces record an epoch history")
+}
+
+#[test]
+fn same_fault_schedule_is_oracle_clean_on_both_transports() {
+    let (on_mem, on_tcp) = run_twins("isolate-heal-reconnect", "loopback-tcp-isolate-heal");
     // Same oracle set, same verdicts.
-    let names = |o: &spindle_harness::ScenarioOutcome| -> Vec<&'static str> {
-        o.checks.iter().map(|c| c.name).collect()
-    };
+    let names =
+        |o: &ScenarioOutcome| -> Vec<&'static str> { o.checks.iter().map(|c| c.name).collect() };
     assert_eq!(names(&on_mem), names(&on_tcp));
+}
+
+/// The crash-failover twin: a silent crash, a detector verdict, and the
+/// SST-driven view change — on TCP the new epoch comes up over fresh
+/// sockets. Beyond both runs passing every oracle, the deterministic
+/// trace tail (epoch/membership history + verdict lines) must be
+/// bit-identical across the transports under the pinned seed.
+#[test]
+fn crash_failover_twins_are_bit_identical_across_transports() {
+    let (on_mem, on_tcp) = run_twins("crash-failover", "loopback-tcp-crash-failover");
+    assert_eq!(
+        deterministic_tail(&on_mem),
+        deterministic_tail(&on_tcp),
+        "epoch history or verdicts diverged between transports:\n--- mem ---\n{}\n--- tcp ---\n{}",
+        on_mem.trace,
+        on_tcp.trace
+    );
+    // The transition actually happened: epoch 1 exists with node 2 gone.
+    assert!(
+        deterministic_tail(&on_mem).contains("1: g0=[0, 1]"),
+        "epoch 1 missing from the history:\n{}",
+        on_mem.trace
+    );
 }

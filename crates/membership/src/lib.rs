@@ -19,14 +19,20 @@
 //! * [`null_policy`] — the Spindle null-send decision rule (§3.3) and its
 //!   proved invariants;
 //! * [`ragged_trim`] — the view-change cleanup that makes multicast
-//!   failure-atomic (§2.1).
+//!   failure-atomic (§2.1);
+//! * [`reconfig`] — the pure logic of *decentralized* view changes
+//!   (deterministic leader rule, next-view derivation, the leader's
+//!   proposal and its SST encoding), driven per node by
+//!   `spindle_core::viewchange`.
 
 pub mod null_policy;
 pub mod ragged_trim;
+pub mod reconfig;
 pub mod seq;
 pub mod view;
 
 pub use null_policy::nulls_owed;
 pub use ragged_trim::RaggedTrim;
+pub use reconfig::{Proposal, ReconfigError};
 pub use seq::{MsgId, SeqNum, SeqSpace};
 pub use view::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};

@@ -1,0 +1,344 @@
+//! Decentralized reconfiguration: the pure logic of SST-driven view
+//! changes.
+//!
+//! Derecho runs membership changes *through the SST itself* (paper §2.1):
+//! suspicions, the next-view proposal and the ragged trim are monotonic
+//! shared state that every node reads from its own mirror — there is no
+//! coordinator RPC. This module holds everything about that protocol that
+//! is a pure function of plain values (suspicion bitmaps, frozen receive
+//! frontiers, view shapes), so the engine that drives it
+//! (`spindle_core::viewchange`) contains only the SST plumbing:
+//!
+//! * [`leader`] — the deterministic leader rule: the lowest-ranked member
+//!   that no one suspects proposes the next view;
+//! * [`removal_view`] — the next-view derivation shared by the
+//!   centralized trigger and the per-node engine (both must derive the
+//!   *identical* view from `(old view, failed set)`, or survivors would
+//!   install diverging epochs);
+//! * [`Proposal`] — the leader's proposal (next view id, failed bitmap,
+//!   per-subgroup ragged-trim cuts) and its encoding onto the SST's
+//!   guarded list column;
+//! * suspicion bitmaps as `u64` words ([`bits_of`] / [`rows_of`]), which
+//!   is what makes suspicion propagation a monotonic one-word OR.
+
+use std::collections::BTreeSet;
+
+use spindle_fabric::NodeId;
+
+use crate::ragged_trim::RaggedTrim;
+use crate::seq::SeqNum;
+use crate::view::{Subgroup, SubgroupId, View, ViewBuilder};
+
+/// Marker bit for a *planned* reconfiguration (a join or planned leave
+/// with no failure): it wedges and trims like a failure-driven transition
+/// but removes nobody. Bit 62 keeps the bitmap a non-negative `i64` in
+/// the SST's monotonic counter column, which caps clusters at 62 rows —
+/// far above anything the runtimes instantiate.
+pub const PLANNED_BIT: u64 = 1 << 62;
+
+/// Highest row id representable in a suspicion bitmap.
+pub const MAX_BITMAP_ROW: usize = 61;
+
+/// The bitmap with the bits of `rows` set.
+///
+/// # Panics
+///
+/// Panics if a row exceeds [`MAX_BITMAP_ROW`].
+pub fn bits_of(rows: impl IntoIterator<Item = usize>) -> u64 {
+    let mut bits = 0u64;
+    for r in rows {
+        assert!(r <= MAX_BITMAP_ROW, "row {r} exceeds suspicion bitmap");
+        bits |= 1 << r;
+    }
+    bits
+}
+
+/// The rows whose bits are set (marker bits ignored).
+pub fn rows_of(bits: u64) -> Vec<usize> {
+    (0..=MAX_BITMAP_ROW)
+        .filter(|r| bits & (1 << r) != 0)
+        .collect()
+}
+
+/// The deterministic leader among `active` rows under suspicion bitmap
+/// `suspected`: the lowest-ranked row no one suspects. `None` if every
+/// active row is suspected (no quorum to reconfigure).
+pub fn leader(active: &[usize], suspected: u64) -> Option<usize> {
+    active
+        .iter()
+        .copied()
+        .filter(|&r| suspected & (1 << r) == 0)
+        .min()
+}
+
+/// Why a failed set cannot be removed from a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// A failed row is not a current member.
+    UnknownNode(usize),
+    /// Removing the failed set would leave a subgroup with no members.
+    WouldEmptySubgroup(SubgroupId),
+    /// Fewer than two members would remain.
+    TooFewSurvivors,
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::UnknownNode(n) => write!(f, "node {n} is not a member"),
+            ReconfigError::WouldEmptySubgroup(g) => {
+                write!(f, "removal would empty subgroup {g}")
+            }
+            ReconfigError::TooFewSurvivors => write!(f, "a view needs at least two members"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Derives the next view after removing `failed` from `old`: the
+/// top-level member list is preserved (rows keep their ids), every
+/// subgroup drops the failed rows, and a subgroup whose senders all died
+/// keeps its first surviving member as a (quiet) sender so its sequence
+/// space stays defined. The next view id is `old.id() + 1`.
+///
+/// Every node must call this with the identical `(old, failed)` pair —
+/// the proposal carries the failed set for exactly that reason — so all
+/// survivors derive bit-identical views.
+///
+/// # Errors
+///
+/// [`ReconfigError`] when a failed row is unknown, a subgroup would be
+/// emptied, or fewer than two members would survive.
+pub fn removal_view(old: &View, failed: &BTreeSet<usize>) -> Result<View, ReconfigError> {
+    for &f in failed {
+        if !old.contains(NodeId(f)) {
+            return Err(ReconfigError::UnknownNode(f));
+        }
+    }
+    let survivors: Vec<NodeId> = old
+        .members()
+        .iter()
+        .copied()
+        .filter(|m| !failed.contains(&m.0))
+        .collect();
+    if survivors.len() < 2 {
+        return Err(ReconfigError::TooFewSurvivors);
+    }
+    let mut next_subgroups = Vec::with_capacity(old.subgroups().len());
+    for (g, sg) in old.subgroups().iter().enumerate() {
+        let members: Vec<NodeId> = sg
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !failed.contains(&m.0))
+            .collect();
+        if members.is_empty() {
+            return Err(ReconfigError::WouldEmptySubgroup(SubgroupId(g)));
+        }
+        let senders: Vec<NodeId> = sg
+            .senders
+            .iter()
+            .copied()
+            .filter(|m| !failed.contains(&m.0))
+            .collect();
+        let senders = if senders.is_empty() {
+            vec![members[0]]
+        } else {
+            senders
+        };
+        next_subgroups.push(Subgroup {
+            members,
+            senders,
+            window: sg.window,
+            max_msg_size: sg.max_msg_size,
+        });
+    }
+    let next = ViewBuilder::with_members(old.id() + 1, old.members().to_vec())
+        .subgroups_from(next_subgroups)
+        .build()
+        .expect("a validated removal view always builds");
+    Ok(next)
+}
+
+/// The leader's next-view proposal, published once per transition through
+/// the SST's guarded proposal list and adopted verbatim by every
+/// survivor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// The proposed next view id (always the old epoch + 1).
+    pub vid: u64,
+    /// Bitmap of rows leaving the view (plus [`PLANNED_BIT`] for planned
+    /// reconfigurations). The survivor set — and therefore who must ack
+    /// and install — is derived from this word, never from local
+    /// suspicion state, so all survivors agree on it.
+    pub failed: u64,
+    /// Ragged-trim cut per subgroup: the last sequence number delivered
+    /// in the old epoch (−1 when nothing was in flight).
+    pub cuts: Vec<SeqNum>,
+}
+
+impl Proposal {
+    /// The failed rows (marker bits stripped).
+    pub fn failed_rows(&self) -> BTreeSet<usize> {
+        rows_of(self.failed).into_iter().collect()
+    }
+
+    /// Encodes onto the SST guarded-list items: `[vid, failed, cuts…]`.
+    pub fn encode(&self) -> Vec<i64> {
+        let mut items = Vec::with_capacity(2 + self.cuts.len());
+        items.push(self.vid as i64);
+        items.push(self.failed as i64);
+        items.extend_from_slice(&self.cuts);
+        items
+    }
+
+    /// Decodes a guarded-list read; `None` for anything but a well-formed
+    /// proposal with exactly `num_subgroups` cuts.
+    pub fn decode(items: &[i64], num_subgroups: usize) -> Option<Proposal> {
+        if items.len() != 2 + num_subgroups {
+            return None;
+        }
+        Some(Proposal {
+            vid: items[0] as u64,
+            failed: items[1] as u64,
+            cuts: items[2..].to_vec(),
+        })
+    }
+
+    /// The list capacity a view's proposal column needs.
+    pub fn list_capacity(num_subgroups: usize) -> usize {
+        2 + num_subgroups
+    }
+}
+
+/// The decentralized ragged trim for one subgroup: the minimum frozen
+/// receive frontier over the surviving members. Exactly
+/// [`RaggedTrim::compute`] over the frontier values a leader reads from
+/// its mirror; kept here so tests can pin the equivalence with the
+/// centralized computation.
+///
+/// # Panics
+///
+/// Panics if `frozen` is empty (an emptied subgroup is rejected by
+/// [`removal_view`], not trimmed).
+pub fn trim_from_frontiers(frozen: &[SeqNum]) -> SeqNum {
+    RaggedTrim::compute(frozen).deliver_through()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn view5() -> View {
+        ViewBuilder::new(5)
+            .subgroup(&[0, 1, 2], &[0, 1, 2], 4, 32)
+            .subgroup(&[2, 3, 4], &[3, 4], 4, 32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let bits = bits_of([0, 3, 5]);
+        assert_eq!(bits, 0b101001);
+        assert_eq!(rows_of(bits), vec![0, 3, 5]);
+        assert_eq!(rows_of(bits | PLANNED_BIT), vec![0, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitmap_row_bound_enforced() {
+        bits_of([MAX_BITMAP_ROW + 1]);
+    }
+
+    #[test]
+    fn leader_is_lowest_unsuspected() {
+        let active = [0, 1, 2, 3];
+        assert_eq!(leader(&active, 0), Some(0));
+        assert_eq!(leader(&active, bits_of([0])), Some(1));
+        assert_eq!(leader(&active, bits_of([0, 1, 3])), Some(2));
+        assert_eq!(leader(&active, bits_of([0, 1, 2, 3])), None);
+        // Marker bits never shadow a row.
+        assert_eq!(leader(&active, PLANNED_BIT), Some(0));
+    }
+
+    #[test]
+    fn removal_view_drops_failed_from_subgroups_only() {
+        let next = removal_view(&view5(), &BTreeSet::from([2])).unwrap();
+        assert_eq!(next.id(), 1);
+        // Top-level membership keeps all rows (ids are stable)...
+        assert_eq!(next.members().len(), 5);
+        // ...but no subgroup contains the failed node.
+        assert!(next.subgroups().iter().all(|sg| !sg.contains(NodeId(2))));
+        assert_eq!(next.subgroups()[0].members.len(), 2);
+        assert_eq!(next.subgroups()[1].members.len(), 2);
+    }
+
+    #[test]
+    fn removal_view_keeps_quiet_sender_when_all_senders_die() {
+        // Subgroup 1's senders are {3, 4}; removing both keeps node 2 as a
+        // quiet sender so the sequence space stays defined.
+        let next = removal_view(&view5(), &BTreeSet::from([3, 4])).unwrap();
+        assert_eq!(next.subgroups()[1].members, vec![NodeId(2)]);
+        assert_eq!(next.subgroups()[1].senders, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn removal_view_errors() {
+        assert_eq!(
+            removal_view(&view5(), &BTreeSet::from([9])).unwrap_err(),
+            ReconfigError::UnknownNode(9)
+        );
+        assert_eq!(
+            removal_view(&view5(), &BTreeSet::from([0, 1, 2])).unwrap_err(),
+            ReconfigError::WouldEmptySubgroup(SubgroupId(0))
+        );
+        assert_eq!(
+            removal_view(&view5(), &BTreeSet::from([0, 1, 3, 4])).unwrap_err(),
+            ReconfigError::TooFewSurvivors
+        );
+    }
+
+    #[test]
+    fn proposal_roundtrip() {
+        let p = Proposal {
+            vid: 7,
+            failed: bits_of([1, 4]) | PLANNED_BIT,
+            cuts: vec![-1, 42, 0],
+        };
+        let items = p.encode();
+        assert_eq!(items.len(), Proposal::list_capacity(3));
+        assert_eq!(Proposal::decode(&items, 3), Some(p.clone()));
+        assert_eq!(p.failed_rows(), BTreeSet::from([1, 4]));
+        // Wrong arity is rejected, never misparsed.
+        assert_eq!(Proposal::decode(&items, 2), None);
+        assert_eq!(Proposal::decode(&[], 0), None);
+    }
+
+    proptest! {
+        /// The decentralized trim equals the centralized minimum for any
+        /// frontier set.
+        #[test]
+        fn trim_matches_centralized(frontiers in prop::collection::vec(-1i64..1000, 1..12)) {
+            let decentralized = trim_from_frontiers(&frontiers);
+            let centralized = *frontiers.iter().min().unwrap();
+            prop_assert_eq!(decentralized, centralized);
+        }
+
+        /// Any proposal survives the list encoding.
+        #[test]
+        fn proposal_encoding_roundtrip(
+            vid in 1u64..1000,
+            failed_rows in prop::collection::vec(0usize..=MAX_BITMAP_ROW, 0..8),
+            cuts in prop::collection::vec(-1i64..10_000, 0..6),
+            planned in 0u8..2,
+        ) {
+            let mut failed = bits_of(failed_rows);
+            if planned == 1 { failed |= PLANNED_BIT; }
+            let p = Proposal { vid, failed, cuts };
+            prop_assert_eq!(Proposal::decode(&p.encode(), p.cuts.len()), Some(p.clone()));
+        }
+    }
+}

@@ -18,7 +18,8 @@ use spindle_net::{ClusterConfig, TcpFabric, TcpFabricConfig};
 
 const USAGE: &str = "usage: spindle-node --config <cluster.toml> --node <id> \
 [--sends N] [--payload BYTES] [--seed S] [--trace-out PATH] \
-[--deadline-secs T] [--linger-ms L]";
+[--deadline-secs T] [--linger-ms L] [--min-epoch E] [--quiesce-ms Q] \
+[--crash-after-delivered N]";
 
 struct Args {
     config: String,
@@ -29,6 +30,15 @@ struct Args {
     trace_out: Option<String>,
     deadline: Duration,
     linger: Duration,
+    /// Failover mode: instead of a fixed delivery total, finish once the
+    /// epoch reached this value, all own sends were delivered back, and
+    /// the stream stayed quiet for `quiesce` (survivors cannot know how
+    /// much of a crashed peer's tail survives the cut).
+    min_epoch: u64,
+    quiesce: Duration,
+    /// Fault injection for the failover test: abort the process (no
+    /// cleanup, sockets die mid-stream) after this many deliveries.
+    crash_after: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +50,9 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut deadline = Duration::from_secs(60);
     let mut linger = Duration::from_millis(1500);
+    let mut min_epoch = 0u64;
+    let mut quiesce = Duration::from_millis(800);
+    let mut crash_after = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -57,6 +70,11 @@ fn parse_args() -> Result<Args, String> {
                 deadline = Duration::from_secs(parse_num(&next("--deadline-secs")?)?)
             }
             "--linger-ms" => linger = Duration::from_millis(parse_num(&next("--linger-ms")?)?),
+            "--min-epoch" => min_epoch = parse_num(&next("--min-epoch")?)?,
+            "--quiesce-ms" => quiesce = Duration::from_millis(parse_num(&next("--quiesce-ms")?)?),
+            "--crash-after-delivered" => {
+                crash_after = parse_num(&next("--crash-after-delivered")?)? as usize
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -70,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         deadline,
         linger,
+        min_epoch,
+        quiesce,
+        crash_after,
     })
 }
 
@@ -149,7 +170,7 @@ fn run() -> Result<(), String> {
     let cluster = Cluster::start_distributed(
         view,
         SpindleConfig::optimized(),
-        None,
+        cfg.detector(),
         None,
         &[args.node],
         fabric.clone(),
@@ -157,13 +178,19 @@ fn run() -> Result<(), String> {
     let me = cluster.node(args.node);
 
     // Send this node's share of the workload (if it is a sender), while
-    // collecting deliveries; then collect until the full expected total.
+    // collecting deliveries. Completion: the full expected total in the
+    // steady-state mode, or — in failover mode (--min-epoch) — the new
+    // epoch installed, every own send delivered back, and a quiet stream
+    // (a crashed peer's undelivered tail is legitimately lost at the cut,
+    // so survivors cannot predict an exact total).
     let expected = senders.len() as u64 * args.sends as u64;
     let i_send = senders.contains(&args.node);
     let deadline = started + args.deadline;
     let mut sent = 0u32;
+    let mut own_delivered = 0u64;
+    let mut last_delivery = Instant::now();
     let mut got: Vec<Delivered> = Vec::with_capacity(expected as usize);
-    while (got.len() as u64) < expected {
+    loop {
         if i_send && sent < args.sends {
             let p = payload(args.node, sent, args.payload, args.seed);
             match me.try_send(SubgroupId(0), &p) {
@@ -173,16 +200,43 @@ fn run() -> Result<(), String> {
             }
         }
         if let Some(d) = me.recv_timeout(Duration::from_millis(5)) {
+            if d.data.len() >= 4
+                && u32::from_le_bytes(d.data[..4].try_into().expect("4-byte header"))
+                    == args.node as u32
+            {
+                own_delivered += 1;
+            }
             got.push(d);
+            last_delivery = Instant::now();
+            if args.crash_after > 0 && got.len() >= args.crash_after {
+                eprintln!(
+                    "spindle-node: n{} aborting after {} deliveries (--crash-after-delivered)",
+                    args.node,
+                    got.len()
+                );
+                std::process::abort();
+            }
+        }
+        let done = if args.min_epoch > 0 {
+            (!i_send || sent == args.sends)
+                && me.epoch() >= args.min_epoch
+                && own_delivered >= u64::from(if i_send { args.sends } else { 0 })
+                && last_delivery.elapsed() >= args.quiesce
+        } else {
+            got.len() as u64 >= expected
+        };
+        if done {
+            break;
         }
         if Instant::now() > deadline {
             for d in &got {
                 eprintln!("trace n{}: {}", args.node, trace_line(d));
             }
             return Err(format!(
-                "n{}: delivered only {}/{expected} within {:?} (trace above)",
+                "n{}: delivered only {}/{expected} (epoch {}) within {:?} (trace above)",
                 args.node,
                 got.len(),
+                me.epoch(),
                 args.deadline
             ));
         }
@@ -200,6 +254,7 @@ fn run() -> Result<(), String> {
 
     // Surface the wire counters through the standard metrics registry.
     let stats = fabric.wire_stats();
+    let (vc_count, vc_time) = me.view_change_stats();
     let mut node_metrics = NodeMetrics::new();
     node_metrics.delivered_msgs = got.len() as u64;
     node_metrics.delivered_bytes = got.iter().map(|d| d.data.len() as u64).sum();
@@ -209,6 +264,8 @@ fn run() -> Result<(), String> {
     node_metrics.wire_bytes_sent = stats.bytes_sent;
     node_metrics.wire_bytes_received = stats.bytes_received;
     node_metrics.wire_frames_posted = stats.frames_posted;
+    node_metrics.view_changes = vc_count;
+    node_metrics.view_change_time = vc_time;
     let report = RunReport {
         nodes: vec![node_metrics],
         makespan,
@@ -219,8 +276,10 @@ fn run() -> Result<(), String> {
             .collect()],
     };
     println!(
-        "n{} delivered {expected} msgs in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | {:.3} Mmsg/s",
+        "n{} delivered {} msgs (epoch {}) in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | view-changes: {} in {} us | {:.3} Mmsg/s",
         args.node,
+        got.len(),
+        me.epoch(),
         makespan.as_secs_f64(),
         stats.frames_posted,
         stats.frames_received,
@@ -228,6 +287,8 @@ fn run() -> Result<(), String> {
         report.total_wire_bytes_received(),
         stats.frames_dropped,
         stats.reconnects,
+        report.total_view_changes(),
+        report.max_view_change_time().as_micros(),
         report.delivery_mmsgs(),
     );
     let _ = std::io::stdout().flush();

@@ -9,8 +9,16 @@
 //! nodes   = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
 //! window  = 16
 //! max_msg = 64
-//! senders = [0, 1, 2]   # optional; default: every node sends
+//! senders = [0, 1, 2]    # optional; default: every node sends
+//! heartbeat_ms = 5       # optional; enables SST failure detection
+//! suspect_ms   = 500     # optional; suspicion timeout (default 100x beat)
 //! ```
+//!
+//! With `heartbeat_ms` set, every `spindle-node` process runs the SST
+//! heartbeat detector and reacts to a silent peer by driving the
+//! decentralized view-change engine: the survivors wedge, agree on the
+//! ragged trim through the SST, and install the next view over fresh
+//! sockets — the cluster keeps running without the dead process.
 //!
 //! The parser is deliberately a subset (flat `key = value`, integers,
 //! quoted strings, one-level arrays): the build environment is fully
@@ -33,6 +41,11 @@ pub struct ClusterConfig {
     pub max_msg: usize,
     /// Sender node ids; `None` means every node sends.
     pub senders: Option<Vec<usize>>,
+    /// SST heartbeat cadence in milliseconds; `None` disables failure
+    /// detection (and with it, automatic failover).
+    pub heartbeat_ms: Option<u64>,
+    /// Suspicion timeout in milliseconds (defaults to 100 heartbeats).
+    pub suspect_ms: Option<u64>,
 }
 
 /// Config-file rejection, with the offending line where applicable.
@@ -150,6 +163,8 @@ impl ClusterConfig {
         let mut window = 16usize;
         let mut max_msg = 64usize;
         let mut senders: Option<Vec<usize>> = None;
+        let mut heartbeat_ms: Option<u64> = None;
+        let mut suspect_ms: Option<u64> = None;
         for (i, raw_line) in text.lines().enumerate() {
             let line_no = i + 1;
             let line = strip_comment(raw_line).trim();
@@ -169,6 +184,8 @@ impl ClusterConfig {
                 "window" => window = expect_int("window", value)? as usize,
                 "max_msg" => max_msg = expect_int("max_msg", value)? as usize,
                 "senders" => senders = Some(expect_int_array("senders", value)?),
+                "heartbeat_ms" => heartbeat_ms = Some(expect_int("heartbeat_ms", value)?),
+                "suspect_ms" => suspect_ms = Some(expect_int("suspect_ms", value)?),
                 other => {
                     return Err(ConfigError::Syntax {
                         line: line_no,
@@ -198,11 +215,31 @@ impl ClusterConfig {
                 });
             }
         }
+        if heartbeat_ms == Some(0) || suspect_ms == Some(0) {
+            return Err(ConfigError::Invalid {
+                key: "heartbeat_ms",
+                msg: "heartbeat_ms and suspect_ms must be positive".into(),
+            });
+        }
         Ok(ClusterConfig {
             addrs,
             window,
             max_msg,
             senders,
+            heartbeat_ms,
+            suspect_ms,
+        })
+    }
+
+    /// The SST failure-detector settings, when `heartbeat_ms` is
+    /// configured: every process detects silent peers and drives the
+    /// decentralized view change itself.
+    pub fn detector(&self) -> Option<spindle_core::DetectorConfig> {
+        let beat = self.heartbeat_ms?;
+        let timeout = self.suspect_ms.unwrap_or(beat.saturating_mul(100));
+        Some(spindle_core::DetectorConfig {
+            heartbeat_interval: std::time::Duration::from_millis(beat),
+            timeout: std::time::Duration::from_millis(timeout),
         })
     }
 
@@ -312,9 +349,32 @@ senders = [0, 2]
         assert_eq!(c.window, 8);
         assert_eq!(c.max_msg, 48);
         assert_eq!(c.sender_ids(), vec![0, 2]);
+        assert!(c.detector().is_none(), "detector is opt-in");
         let view = c.view().unwrap();
         assert_eq!(view.members().len(), 3);
         assert!(c.region_words() > 0);
+    }
+
+    #[test]
+    fn detector_keys_parse_with_defaulted_timeout() {
+        let c = ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]\nheartbeat_ms = 5").unwrap();
+        let det = c.detector().unwrap();
+        assert_eq!(det.heartbeat_interval, std::time::Duration::from_millis(5));
+        assert_eq!(det.timeout, std::time::Duration::from_millis(500));
+        let c =
+            ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]\nheartbeat_ms = 2\nsuspect_ms = 250")
+                .unwrap();
+        assert_eq!(
+            c.detector().unwrap().timeout,
+            std::time::Duration::from_millis(250)
+        );
+        assert!(matches!(
+            ClusterConfig::parse("nodes = [\"a:1\", \"b:2\"]\nheartbeat_ms = 0"),
+            Err(ConfigError::Invalid {
+                key: "heartbeat_ms",
+                ..
+            })
+        ));
     }
 
     #[test]

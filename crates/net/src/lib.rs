@@ -29,7 +29,17 @@
 //! * [`TcpFabric`] + the **`spindle-node`** binary — one process per
 //!   node, brought up from a shared TOML config ([`bootstrap`]) with a
 //!   `HELLO` handshake that cross-checks protocol version, cluster size,
-//!   SST layout and epoch before any write is applied.
+//!   SST layout and epoch before any write is applied (a peer at a
+//!   *later* epoch is accepted — it installed the next view first and is
+//!   re-dialing; an earlier-epoch laggard is rejected).
+//!
+//! View changes reconfigure the transport **in place**
+//! (`Fabric::begin_epoch`): the mirror is replaced per view (§2.3),
+//! every link is severed, and writers re-dial with a `HELLO` at the new
+//! epoch — which is how a `spindle-node` cluster with `heartbeat_ms`
+//! configured survives losing a process: the survivors' detectors drive
+//! `spindle_core`'s SST view-change engine and the cluster continues in
+//! the next epoch.
 //!
 //! ```sh
 //! # one process per node, shared config

@@ -26,14 +26,35 @@
 //!
 //! Every connection opens with a `HELLO` frame carrying the sender's node
 //! id, cluster size, SST region size and epoch; the acceptor verifies all
-//! of them against its own configuration before applying any write.
-//! [`TcpFabric::wait_connected`] blocks until the full mesh (outbound and
-//! inbound) is up.
+//! of them against its own configuration before applying any write. A
+//! peer at a *later* epoch is accepted (it has already installed the next
+//! view and is re-dialing; during the install window it only posts
+//! idempotent reconfiguration columns, which share their offsets across
+//! the epochs of one membership change); a peer at an *earlier* epoch is
+//! rejected, so a laggard's stale protocol writes can never land in a
+//! fresh mirror. [`TcpFabric::wait_connected`] blocks until the full mesh
+//! (outbound and inbound) is up.
+//!
+//! ## Epoch transitions
+//!
+//! [`Fabric::begin_epoch`] transitions the endpoint in place for a view
+//! change driven by `spindle_core`'s SST view-change engine: the mirror
+//! is replaced by a fresh region (§2.3 — memory is registered per view),
+//! outbound and *stale* inbound connections are severed, and the writers
+//! re-dial on the next posts with a `HELLO` stamped at the new epoch. An
+//! inbound connection whose peer already handshook at the new epoch is
+//! kept — its reader applies every frame to the then-current mirror
+//! (gated on the connection's epoch), so the link a peer's install
+//! barrier and first new-epoch writes ride on survives our own
+//! transition instead of dropping them in a close window. The listener
+//! and its port are reused; only mirror memory and stale sockets are
+//! per-epoch.
 
+use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -101,8 +122,25 @@ struct Shared {
     me: usize,
     addrs: Vec<SocketAddr>,
     region_words: usize,
-    epoch: u64,
-    region: Arc<Region>,
+    /// Current epoch; advanced in place by [`Fabric::begin_epoch`].
+    epoch: AtomicU64,
+    /// The current epoch's mirror. Readers apply every frame to the
+    /// *current* region, gated per frame on `hello.epoch >= epoch`: a
+    /// connection handshaken at a later epoch writes into our old mirror
+    /// until we install (that is how a peer's install flag reaches a
+    /// laggard), then seamlessly into the fresh one — it survives our
+    /// transition, so its one-shot writes cannot die on a severed zombie
+    /// link. A connection handshaken at an earlier epoch goes stale the
+    /// moment we advance and is dropped before it can touch the fresh
+    /// mirror. The epoch is stored *with* the region so the reader's
+    /// per-frame gate and the region it applies to cannot tear across a
+    /// concurrent transition.
+    region: RwLock<(u64, Arc<Region>)>,
+    /// Serializes epoch transitions (idempotence check + swap).
+    transition: Mutex<()>,
+    /// Peers expected in the current epoch's mesh (rows removed by a
+    /// view change drop out, so the connection barrier ignores them).
+    expected: Mutex<BTreeSet<usize>>,
     faults: FaultPlan,
     metrics: WireMetrics,
     writes_posted: AtomicU64,
@@ -110,10 +148,12 @@ struct Shared {
     stop: AtomicBool,
     connect_patience: Duration,
     peers: Vec<PeerState>,
-    /// Per source node: a shutdown handle to the current inbound stream.
-    inbound: Mutex<Vec<Option<TcpStream>>>,
-    /// Set once the first valid `HELLO` from each source arrived
-    /// (bootstrap barrier; never cleared).
+    /// Per source node: a shutdown handle to the current inbound stream,
+    /// tagged with the epoch its `HELLO` carried (epoch transitions keep
+    /// inbound connections that are already at the new epoch).
+    inbound: Mutex<Vec<Option<(TcpStream, u64)>>>,
+    /// Set once the first valid `HELLO` from each source arrived for the
+    /// current epoch (bootstrap barrier; cleared on epoch transitions).
     hello_seen: Vec<AtomicBool>,
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -121,6 +161,21 @@ struct Shared {
 impl Shared {
     fn nodes(&self) -> usize {
         self.addrs.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn region(&self) -> Arc<Region> {
+        Arc::clone(&self.region.read().expect("region lock").1)
+    }
+
+    /// The current mirror together with the epoch it belongs to, read
+    /// atomically (the reader's per-frame staleness gate).
+    fn region_at_epoch(&self) -> (u64, Arc<Region>) {
+        let guard = self.region.read().expect("region lock");
+        (guard.0, Arc::clone(&guard.1))
     }
 
     fn link_allowed(&self, peer: usize) -> bool {
@@ -140,7 +195,7 @@ impl Drop for Inner {
         // Unblock readers stuck on half-open sockets.
         {
             let mut inb = self.shared.inbound.lock().expect("inbound lock");
-            for s in inb.iter_mut().filter_map(|s| s.take()) {
+            for (s, _) in inb.iter_mut().filter_map(|s| s.take()) {
                 let _ = s.shutdown(Shutdown::Both);
             }
         }
@@ -227,12 +282,15 @@ impl TcpFabric {
                 connected: AtomicBool::new(false),
             });
         }
+        let expected: BTreeSet<usize> = (0..n).filter(|&p| p != cfg.me).collect();
         let shared = Arc::new(Shared {
             me: cfg.me,
             addrs,
             region_words: cfg.region_words,
-            epoch: cfg.epoch,
-            region: Arc::new(Region::new(cfg.region_words)),
+            epoch: AtomicU64::new(cfg.epoch),
+            region: RwLock::new((cfg.epoch, Arc::new(Region::new(cfg.region_words)))),
+            transition: Mutex::new(()),
+            expected: Mutex::new(expected),
             faults: cfg.faults,
             metrics: WireMetrics::new(),
             writes_posted: AtomicU64::new(0),
@@ -297,8 +355,15 @@ impl TcpFabric {
         let s = &self.inner.shared;
         let deadline = Instant::now() + timeout;
         loop {
+            let expected: Vec<usize> = s
+                .expected
+                .lock()
+                .expect("expected lock")
+                .iter()
+                .copied()
+                .collect();
             let mut missing = Vec::new();
-            for p in 0..s.nodes() {
+            for p in expected {
                 if p == s.me {
                     continue;
                 }
@@ -340,7 +405,7 @@ impl TcpFabric {
             p.connected.store(false, Ordering::Release);
         }
         let mut inb = s.inbound.lock().expect("inbound lock");
-        if let Some(c) = inb[peer.0].take() {
+        if let Some((c, _)) = inb[peer.0].take() {
             let _ = c.shutdown(Shutdown::Both);
         }
     }
@@ -371,7 +436,7 @@ impl Fabric for TcpFabric {
              (node {node} is remote; this endpoint hosts n{})",
             s.me
         );
-        Arc::clone(&s.region)
+        s.region()
     }
 
     fn post(&self, src: NodeId, op: &WriteOp) {
@@ -398,7 +463,7 @@ impl Fabric for TcpFabric {
                 }
             }
         }
-        let words = s.region.snapshot(op.range.start, op.words());
+        let words = s.region().snapshot(op.range.start, op.words());
         let peer = &s.peers[op.dst.0];
         if peer.tx.len() >= OUTBOUND_QUEUE_CAP {
             // The peer is unreachable and the backlog is saturated: shed
@@ -411,6 +476,63 @@ impl Fabric for TcpFabric {
 
     fn faults(&self) -> &FaultPlan {
         &self.inner.shared.faults
+    }
+
+    fn supports_epoch_advance(&self) -> bool {
+        true
+    }
+
+    /// The in-place epoch transition (see the [module docs](self)): swap
+    /// in a fresh mirror, re-stamp handshakes with `epoch`, narrow the
+    /// connection barrier to `live`, and re-wire connections — every
+    /// *outbound* link is severed (its stream carries the old epoch's
+    /// handshake; the writer re-dials with the new one), but an inbound
+    /// connection whose peer already handshook at `epoch` (or later) is
+    /// **kept**: it is exactly the link the peer's install barrier and
+    /// first new-epoch writes ride on, and killing it would drop those
+    /// one-shot writes in the close window. Only stale inbound
+    /// connections are severed. Idempotent once `epoch` is installed.
+    fn begin_epoch(&self, epoch: u64, live: &[usize]) -> bool {
+        let s = &self.inner.shared;
+        let _guard = s.transition.lock().expect("transition lock");
+        if s.epoch() >= epoch {
+            return true;
+        }
+        // Swap epoch and mirror together: readers gate every frame on the
+        // pair, so no stale frame can land in the fresh region and no
+        // new-epoch frame is lost to the old one.
+        *s.region.write().expect("region lock") = (epoch, Arc::new(Region::new(s.region_words)));
+        s.epoch.store(epoch, Ordering::Release);
+        *s.expected.lock().expect("expected lock") =
+            live.iter().copied().filter(|&p| p != s.me).collect();
+        // Outbound: sever everything; the writers re-dial on demand with
+        // the new epoch's HELLO.
+        for (peer, p) in s.peers.iter().enumerate() {
+            if peer == s.me {
+                continue;
+            }
+            let mut conn = p.conn.lock().expect("conn lock");
+            if let Some(c) = conn.take() {
+                let _ = c.shutdown(Shutdown::Both);
+            }
+            p.connected.store(false, Ordering::Release);
+        }
+        // Inbound: keep connections already at the new epoch (their
+        // handshake stands — no fresh HELLO will come over them), sever
+        // the stale ones.
+        let mut inb = s.inbound.lock().expect("inbound lock");
+        for (src, slot) in inb.iter_mut().enumerate() {
+            match slot {
+                Some((_, e)) if *e >= epoch => {}
+                _ => {
+                    if let Some((c, _)) = slot.take() {
+                        let _ = c.shutdown(Shutdown::Both);
+                    }
+                    s.hello_seen[src].store(false, Ordering::Release);
+                }
+            }
+        }
+        true
     }
 
     fn writes_posted(&self) -> u64 {
@@ -449,7 +571,7 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
             src: shared.me as u32,
             nodes: shared.nodes() as u32,
             region_words: shared.region_words as u64,
-            epoch: shared.epoch,
+            epoch: shared.epoch(),
         }),
         &mut buf,
     );
@@ -462,6 +584,13 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
     *p.conn.lock().expect("conn lock") = Some(stream);
     p.connected.store(true, Ordering::Release);
     shared.metrics.add_reconnect();
+    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
+        eprintln!(
+            "spindle-net: n{} dialed n{peer} (hello epoch {})",
+            shared.me,
+            shared.epoch()
+        );
+    }
     true
 }
 
@@ -620,20 +749,34 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
         _ => return, // no (valid) handshake: drop the connection
     };
     let src = hello.src as usize;
+    // A peer at a *later* epoch is legitimate: it installed the next view
+    // first and is re-dialing (its pre-barrier posts touch only the
+    // idempotent reconfiguration columns). A peer at an *earlier* epoch
+    // is stale — rejecting it here is what keeps a laggard's old-epoch
+    // protocol writes out of the fresh mirror.
     let valid = src != shared.me
         && src < shared.nodes()
         && hello.nodes as usize == shared.nodes()
         && hello.region_words as usize == shared.region_words
-        && hello.epoch == shared.epoch;
+        && hello.epoch >= shared.epoch();
+    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
+        eprintln!(
+            "spindle-net: n{} {} HELLO from n{src} at epoch {} (own epoch {})",
+            shared.me,
+            if valid { "accepted" } else { "REJECTED" },
+            hello.epoch,
+            shared.epoch()
+        );
+    }
     if !valid {
         return;
     }
     if let Some(clone) = register {
         let mut inb = shared.inbound.lock().expect("inbound lock");
-        if let Some(stale) = inb[src].take() {
+        if let Some((stale, _)) = inb[src].take() {
             let _ = stale.shutdown(Shutdown::Both);
         }
-        inb[src] = Some(clone);
+        inb[src] = Some((clone, hello.epoch));
     }
     shared.hello_seen[src].store(true, Ordering::Release);
     loop {
@@ -648,7 +791,19 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
                 if w.words.is_empty() || !in_bounds {
                     return; // corrupt frame: kill the connection
                 }
-                shared.region.apply_write(w.offset as usize, &w.words);
+                // Apply to the *current* mirror, gated per frame: while
+                // we lag the connection's epoch its writes land in our
+                // old region (that is how a peer's install flag reaches
+                // us), after our install they land in the fresh one — the
+                // connection survives our transition, so its one-shot
+                // writes cannot die on a severed zombie link. If *we*
+                // advanced past the connection's epoch, it is stale:
+                // drop it before it can write into the fresh mirror.
+                let (epoch_now, region) = shared.region_at_epoch();
+                if hello.epoch < epoch_now {
+                    return;
+                }
+                region.apply_write(w.offset as usize, &w.words);
                 shared.metrics.add_frame_received();
             }
             // A second HELLO is a protocol violation; EOF, stop and
@@ -772,6 +927,80 @@ mod tests {
     fn remote_region_is_not_addressable() {
         let (a, _b) = loopback_pair(8, FaultPlan::new());
         let _ = a.region_arc(NodeId(1));
+    }
+
+    #[test]
+    fn begin_epoch_swaps_mirror_and_rewires_links() {
+        let (a, b) = loopback_pair(16, FaultPlan::new());
+        // Epoch-0 traffic lands.
+        a.region_arc(NodeId(0)).store(2, 7);
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 2..3));
+        let rb0 = b.region_arc(NodeId(1));
+        assert!(eventually(|| rb0.load(2) == 7));
+
+        // A installs epoch 1 first: fresh zeroed mirror, links severed.
+        assert!(Fabric::begin_epoch(&a, 1, &[0, 1]));
+        assert_eq!(a.region_arc(NodeId(0)).load(2), 0, "mirror not fresh");
+        // Idempotent for an installed epoch.
+        assert!(Fabric::begin_epoch(&a, 1, &[0, 1]));
+
+        // The epoch-skew window: A (epoch 1) re-dials B (still epoch 0)
+        // with a later-epoch HELLO — accepted, frames land in B's
+        // still-current region.
+        let ra = a.region_arc(NodeId(0));
+        assert!(eventually(|| {
+            ra.store(3, 9);
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 3..4));
+            std::thread::sleep(Duration::from_millis(2));
+            b.region_arc(NodeId(1)).load(3) == 9
+        }));
+
+        // B installs too: its stale mirror (with word 3 = 9) is replaced,
+        // and the mesh re-forms at epoch 1.
+        assert!(Fabric::begin_epoch(&b, 1, &[0, 1]));
+        assert_eq!(b.region_arc(NodeId(1)).load(3), 0, "mirror not fresh");
+        assert!(eventually(|| {
+            ra.store(4, 11);
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 4..5));
+            std::thread::sleep(Duration::from_millis(2));
+            b.region_arc(NodeId(1)).load(4) == 11
+        }));
+        // Re-dialing is on-demand: once B posts, the full epoch-1 mesh
+        // (both directions) comes back up.
+        assert!(eventually(|| {
+            b.region_arc(NodeId(1)).store(5, 13);
+            b.post(NodeId(1), &WriteOp::new(NodeId(0), 5..6));
+            std::thread::sleep(Duration::from_millis(2));
+            a.region_arc(NodeId(0)).load(5) == 13
+        }));
+        a.wait_connected(Duration::from_secs(10)).unwrap();
+        b.wait_connected(Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn earlier_epoch_peer_is_rejected() {
+        // A laggard (epoch 0) must not get its writes applied by a node
+        // already at epoch 1 — only the *later*-epoch direction of the
+        // cross-check is relaxed.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let mut cfg0 = TcpFabricConfig::new(0, addrs.clone(), 16);
+        cfg0.epoch = 1;
+        cfg0.connect_patience = Duration::from_millis(300);
+        let mut cfg1 = TcpFabricConfig::new(1, addrs, 16);
+        cfg1.epoch = 0; // stale
+        cfg1.connect_patience = Duration::from_millis(300);
+        let a = TcpFabric::bootstrap_on_listener(cfg0, l0).unwrap();
+        let b = TcpFabric::bootstrap_on_listener(cfg1, l1).unwrap();
+        let err = a
+            .wait_connected(Duration::from_millis(700))
+            .expect_err("stale peer handshake must not complete");
+        assert!(err.to_string().contains("in:n1"), "{err}");
+        drop(b);
     }
 
     #[test]
