@@ -63,6 +63,10 @@ pub struct NodeMetrics {
     pub view_changes: u64,
     /// Cumulative wedge→install wall time across those view changes.
     pub view_change_time: Duration,
+    /// State-transfer bytes this node received as a *joiner* (the
+    /// bootstrap snapshot: durable log tail + frozen frontiers). Zero on
+    /// founding members.
+    pub catchup_bytes: u64,
 
     /// Time the application sender(s) spent blocked on a full window
     /// (§4.1.1's "time waiting to find a free buffer").
@@ -98,6 +102,7 @@ impl NodeMetrics {
             nulls_skipped: 0,
             view_changes: 0,
             view_change_time: Duration::ZERO,
+            catchup_bytes: 0,
             sender_wait: Duration::ZERO,
             latency: Summary::new(),
             latency_samples: Decimator::new(2048),

@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use spindle_fabric::{Fabric, FaultPlan, MemFabric, NodeId, Region, WriteOp};
+use spindle_fabric::{EpochTransition, Fabric, FaultPlan, MemFabric, NodeId, Region, WriteOp};
 use spindle_membership::reconfig::{self, Proposal, ReconfigError, PLANNED_BIT};
 use spindle_membership::{SeqNum, Subgroup, SubgroupId, View, ViewBuilder};
 use spindle_sst::Sst;
@@ -128,9 +128,25 @@ pub enum ViewChangeError {
     /// ([`Cluster::start_distributed`]) whose transport supports neither
     /// a fabric factory nor [`Fabric::begin_epoch`], so epoch transitions
     /// are driven externally (restart with a new bootstrap config).
-    /// Joins on pre-built fabrics are always external — a new row means a
-    /// new process.
     StaticFabric,
+    /// [`Cluster::add_node`] on a distributed, epoch-capable cluster: a
+    /// new row means a new process, and admitting one needs the joiner's
+    /// transport endpoint — use [`Cluster::admit_node`] (driven by
+    /// `spindle-node --join`) instead.
+    JoinerAddressRequired,
+    /// [`Cluster::admit_node`] on a factory-built cluster, which joins
+    /// in process through [`Cluster::add_node`] instead.
+    InProcessJoin,
+    /// A join must be sponsored by the process hosting the leader row
+    /// (only the leader's proposal carries the join intent); redirect
+    /// the joiner there.
+    NotLeader {
+        /// The row whose host must sponsor the join.
+        leader: usize,
+    },
+    /// The joiner's endpoint cannot travel in a join proposal (not an
+    /// IPv4 `host:port`, or the cluster is at the bitmap's row cap).
+    BadJoinAddress(String),
     /// The SST-driven transition did not converge within its deadline
     /// (a survivor stalled or stayed partitioned).
     Stalled,
@@ -148,6 +164,22 @@ impl std::fmt::Display for ViewChangeError {
             ViewChangeError::StaticFabric => {
                 write!(f, "cluster fabric is static; view changes are external")
             }
+            ViewChangeError::JoinerAddressRequired => {
+                write!(
+                    f,
+                    "a distributed join needs the joiner's endpoint: \
+                     use admit_node (spindle-node --join)"
+                )
+            }
+            ViewChangeError::InProcessJoin => {
+                write!(f, "factory-built clusters join in process: use add_node")
+            }
+            ViewChangeError::NotLeader { leader } => {
+                write!(f, "joins must be sponsored by the leader row {leader}")
+            }
+            ViewChangeError::BadJoinAddress(msg) => {
+                write!(f, "bad join address: {msg}")
+            }
             ViewChangeError::Stalled => {
                 write!(f, "view change did not converge within its deadline")
             }
@@ -161,6 +193,9 @@ impl From<ReconfigError> for ViewChangeError {
             ReconfigError::UnknownNode(n) => ViewChangeError::UnknownNode(n),
             ReconfigError::WouldEmptySubgroup(g) => ViewChangeError::WouldEmptySubgroup(g),
             ReconfigError::TooFewSurvivors => ViewChangeError::TooFewSurvivors,
+            ReconfigError::TooManyRows => ViewChangeError::BadJoinAddress(
+                "cluster is at the suspicion bitmap's row cap".into(),
+            ),
         }
     }
 }
@@ -258,6 +293,11 @@ struct NodeShared<F: Fabric> {
     /// planned-removal trigger on a distributed cluster). The thread
     /// drains them into its view-change engine.
     vc_trigger: AtomicU64,
+    /// Packed join word ([`reconfig::encode_join_word`]) this node must
+    /// carry into its next proposal (a sponsored distributed join,
+    /// [`Cluster::admit_node`]); 0 when none. Consumed by the predicate
+    /// thread when it starts the transition.
+    join_intent: AtomicU64,
     /// The report of the last predicate-thread-driven view change.
     vc_report: Mutex<Option<ViewChangeReport>>,
     /// View changes this node installed (predicate-thread driver).
@@ -361,6 +401,24 @@ impl<F: Fabric> NodeHandle<F> {
             QueueOutcome::Queued { .. } => Ok(true),
             QueueOutcome::WindowFull => Ok(false),
         }
+    }
+
+    /// This node's current receive frontier per subgroup of its view
+    /// (−1 where nothing arrived, or for subgroups it is not a member
+    /// of). A join sponsor snapshots these into the state transfer it
+    /// sends the joiner — they mark where the old epoch's total order
+    /// stands at snapshot time.
+    pub fn receive_frontiers(&self) -> Vec<SeqNum> {
+        let inner = self.shared.inner.lock();
+        (0..inner.view.subgroups().len())
+            .map(|g| {
+                inner
+                    .protos
+                    .iter()
+                    .find(|p| p.sg.0 == g)
+                    .map_or(-1, |p| p.received_num)
+            })
+            .collect()
     }
 
     /// The delivery channel: messages arrive in the subgroup's total order
@@ -1003,24 +1061,7 @@ impl<F: Fabric> Cluster<F> {
             .shared
             .vc_trigger
             .fetch_or(bits, Ordering::AcqRel);
-        // Wait for the *report*, not the epoch store: the predicate
-        // thread publishes the epoch at install but writes the report
-        // only after the install barrier and resend requeue complete. A
-        // leftover report from an earlier (detector-driven) transition is
-        // recognizable by its stale epoch and skipped.
-        let deadline = Instant::now() + VC_DEADLINE;
-        let report = loop {
-            {
-                let mut slot = self.nodes[row].shared.vc_report.lock();
-                if slot.as_ref().is_some_and(|r| r.epoch > old_epoch) {
-                    break slot.take().expect("checked above");
-                }
-            }
-            if Instant::now() > deadline {
-                return Err(ViewChangeError::Stalled);
-            }
-            std::thread::sleep(Duration::from_micros(500));
-        };
+        let report = self.await_distributed_report(row, old_epoch)?;
         // Adopt the installed view cluster-side.
         let inner = self.nodes[row].shared.inner.lock();
         self.view = Arc::clone(&inner.view);
@@ -1030,6 +1071,138 @@ impl<F: Fabric> Cluster<F> {
         inner.alive = false;
         drop(inner);
         Ok(report)
+    }
+
+    /// Waits for `row`'s predicate thread to finish a transition past
+    /// `old_epoch` and takes its report. Waits for the *report*, not the
+    /// epoch store: the predicate thread publishes the epoch at install
+    /// but writes the report only after the install barrier and resend
+    /// requeue complete. A leftover report from an earlier
+    /// (detector-driven) transition is recognizable by its stale epoch
+    /// and skipped.
+    fn await_distributed_report(
+        &self,
+        row: usize,
+        old_epoch: u64,
+    ) -> Result<ViewChangeReport, ViewChangeError> {
+        let deadline = Instant::now() + VC_DEADLINE;
+        loop {
+            {
+                let mut slot = self.nodes[row].shared.vc_report.lock();
+                if slot.as_ref().is_some_and(|r| r.epoch > old_epoch) {
+                    return Ok(slot.take().expect("checked above"));
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(ViewChangeError::Stalled);
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Admits a fresh *process* into a distributed cluster (§2.1 treats
+    /// joins and removals as the same epoch transition): the sponsor —
+    /// which must host the leader row — publishes the joiner's endpoint
+    /// through its next planned proposal, every survivor derives the
+    /// identical grown view ([`reconfig::join_view`]) and extends its
+    /// transport in place ([`Fabric::begin_epoch`] with a
+    /// [`EpochTransition::joined`] entry), and the install barrier holds
+    /// application traffic until the joiner's own mirror is connected and
+    /// caught up. Returns the joiner's row id and the transition report;
+    /// the joiner's handle in *this* process is a closed remote stub
+    /// (the real row runs in the joining process).
+    ///
+    /// # Errors
+    ///
+    /// [`ViewChangeError::InProcessJoin`] on factory-built clusters
+    /// (use [`Cluster::add_node`]), [`ViewChangeError::StaticFabric`] on
+    /// transports without [`Fabric::begin_epoch`],
+    /// [`ViewChangeError::BadJoinAddress`] for endpoints that cannot
+    /// travel in a proposal (IPv4 `host:port` only) or when the row cap
+    /// is reached, [`ViewChangeError::NotLeader`] when this process does
+    /// not host the leader row, and [`ViewChangeError::Stalled`] when the
+    /// transition does not converge (or a concurrent failure-driven
+    /// transition won the epoch without the join — safe to retry).
+    pub fn admit_node(
+        &mut self,
+        addr: &str,
+        as_sender: bool,
+    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        let old_view = Arc::clone(&self.view);
+        let old_epoch = self.epoch;
+        // Argument validation first, mirroring remove_node.
+        let join_word = parse_join_addr(addr, as_sender)?;
+        let new_row = old_view.members().len();
+        if new_row > reconfig::MAX_BITMAP_ROW {
+            return Err(ViewChangeError::BadJoinAddress(format!(
+                "cluster is at the {}-row cap of the suspicion bitmap",
+                reconfig::MAX_BITMAP_ROW + 1
+            )));
+        }
+        if self.factory.is_some() {
+            return Err(ViewChangeError::InProcessJoin);
+        }
+        if !self.fabric.supports_epoch_advance() {
+            return Err(ViewChangeError::StaticFabric);
+        }
+        // Only the leader's proposal carries the join intent, so the
+        // sponsor must host the leader row.
+        let leader = self.leader_row().ok_or(ViewChangeError::TooFewSurvivors)?;
+        if !self.local_rows.contains(&leader) {
+            return Err(ViewChangeError::NotLeader { leader });
+        }
+        self.nodes[leader]
+            .shared
+            .join_intent
+            .store(join_word, Ordering::Release);
+        self.nodes[leader]
+            .shared
+            .vc_trigger
+            .fetch_or(PLANNED_BIT, Ordering::AcqRel);
+        let outcome = self.await_distributed_report(leader, old_epoch);
+        // Whatever happened, the intent must not stay armed: a leftover
+        // word would ride the *next* unrelated transition's proposal and
+        // install a row whose process long gave up.
+        self.nodes[leader]
+            .shared
+            .join_intent
+            .store(0, Ordering::Release);
+        let report = outcome?;
+        // Adopt the installed view cluster-side.
+        let inner = self.nodes[leader].shared.inner.lock();
+        self.view = Arc::clone(&inner.view);
+        self.epoch = inner.view.id();
+        drop(inner);
+        if !self.view.contains(NodeId(new_row)) {
+            // A concurrent failure-driven transition won the epoch
+            // without the join (e.g. the sponsor lost leadership to a
+            // suspicion mid-flight). Nothing was corrupted; the caller
+            // may retry against the new view.
+            return Err(ViewChangeError::Stalled);
+        }
+        // The joiner runs remotely; keep row indexing uniform with a
+        // closed stub handle, exactly as start_distributed does.
+        let plan = Plan::build(&self.view, true);
+        let (shared, rx) =
+            build_remote_stub(&self.view, self.epoch, new_row, &plan, &self.suspicion_tx);
+        self.push_handle(new_row, shared, rx);
+        Ok((new_row, report))
+    }
+
+    /// The current deterministic leader row (lowest live active row) —
+    /// the only row whose proposal can carry a join intent, so a join
+    /// sponsor checks this *before* doing any work and redirects the
+    /// joiner when it does not host it. Rows hosted by *other* processes
+    /// are closed stubs here — the view is authoritative for them; the
+    /// participation check only applies to rows this process hosts.
+    pub fn leader_row(&self) -> Option<usize> {
+        self.view
+            .members()
+            .iter()
+            .map(|m| m.0)
+            .filter(|&m| !self.view.subgroups_of(NodeId(m)).is_empty())
+            .filter(|&m| !self.local_rows.contains(&m) || self.participating(m))
+            .min()
     }
 
     /// Steps every local participating node's [`ViewChangeEngine`] round
@@ -1187,8 +1360,15 @@ impl<F: Fabric> Cluster<F> {
             }
         }
         if self.factory.is_none() {
-            // A new row means a new process on a pre-built transport;
-            // joins stay external there.
+            // A new row means a new process on a pre-built transport. An
+            // epoch-capable fabric *can* grow — but through
+            // [`Cluster::admit_node`], which carries the joiner's
+            // endpoint; a truly static fabric cannot reconfigure at all.
+            // Either way the argument errors above surface first,
+            // mirroring remove_node's validation ordering.
+            if self.fabric.supports_epoch_advance() {
+                return Err(ViewChangeError::JoinerAddressRequired);
+            }
             return Err(ViewChangeError::StaticFabric);
         }
         let started = Instant::now();
@@ -1257,6 +1437,53 @@ impl<F: Fabric> Cluster<F> {
                 resent,
             },
         ))
+    }
+
+    /// The *joiner's* half of the install/catch-up barrier: a process
+    /// that entered a distributed cluster at its current epoch (the
+    /// `--join` bootstrap) publishes its `installed`/`acked` flags in the
+    /// fresh SST and blocks until every survivor confirms — the same
+    /// two-phase [`InstallBarrier`] the survivors hold, so application
+    /// traffic resumes cluster-wide only once the joiner's mirror is up,
+    /// connected, and confirmed on every link. Returns `false` on
+    /// timeout (a survivor died mid-barrier) — the joiner should give
+    /// up rather than serve traffic on a half-formed mesh.
+    pub fn join_barrier(&self, row: usize, timeout: Duration) -> bool {
+        let shared = &self.nodes[row].shared;
+        let (sst, fabric, view, cols) = {
+            let inner = shared.inner.lock();
+            (
+                inner.sst.clone(),
+                inner.fabric.clone().expect("joiner hosts a live row"),
+                Arc::clone(&inner.view),
+                inner.reconfig.clone(),
+            )
+        };
+        // The barrier parties are exactly the rows of the installed view
+        // that belong to a subgroup — the survivors' own barrier lists
+        // the identical set (old active rows minus failed, plus us).
+        let live: Vec<usize> = view
+            .members()
+            .iter()
+            .map(|m| m.0)
+            .filter(|&m| !view.subgroups_of(NodeId(m)).is_empty())
+            .collect();
+        let mut barrier = InstallBarrier::new(view.id(), live.clone(), cols, row);
+        let mut post = |range: std::ops::Range<usize>| {
+            for &peer in &live {
+                if peer != row {
+                    fabric.post(NodeId(row), &WriteOp::new(NodeId(peer), range.clone()));
+                }
+            }
+        };
+        let deadline = Instant::now() + timeout;
+        while !barrier.step(&sst, &mut post) {
+            if Instant::now() > deadline || self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        true
     }
 
     /// Wedges all nodes and waits for live predicate threads to park.
@@ -1381,6 +1608,30 @@ impl<F: Fabric> Drop for Cluster<F> {
 
 type SharedAndRx<F> = (Arc<NodeShared<F>>, Receiver<Delivered>);
 
+/// Packs a joiner's `host:port` endpoint into a proposal join word.
+/// Only IPv4 endpoints fit the one-word encoding the SST guarded list
+/// carries.
+fn parse_join_addr(addr: &str, as_sender: bool) -> Result<u64, ViewChangeError> {
+    let parsed: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| ViewChangeError::BadJoinAddress(format!("{addr}: {e}")))?;
+    let std::net::SocketAddr::V4(v4) = parsed else {
+        return Err(ViewChangeError::BadJoinAddress(format!(
+            "{addr}: only IPv4 endpoints fit a join proposal"
+        )));
+    };
+    if v4.port() == 0 {
+        return Err(ViewChangeError::BadJoinAddress(format!(
+            "{addr}: a joiner must advertise a concrete port"
+        )));
+    }
+    Ok(reconfig::encode_join_word(
+        v4.ip().octets(),
+        v4.port(),
+        as_sender,
+    ))
+}
+
 /// Rows `row` exchanges heartbeats with: members of at least one subgroup
 /// of `view`, excluding `row` itself. (Removed nodes belong to no subgroup
 /// and drop out of monitoring automatically.)
@@ -1430,6 +1681,7 @@ fn build_node_shared<F: Fabric>(
         paused: AtomicBool::new(false),
         suspicion_tx: suspicion_tx.clone(),
         vc_trigger: AtomicU64::new(0),
+        join_intent: AtomicU64::new(0),
         vc_report: Mutex::new(None),
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
@@ -1473,6 +1725,7 @@ fn build_remote_stub<F: Fabric>(
         paused: AtomicBool::new(false),
         suspicion_tx: suspicion_tx.clone(),
         vc_trigger: AtomicU64::new(0),
+        join_intent: AtomicU64::new(0),
         vc_report: Mutex::new(None),
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
@@ -1820,6 +2073,12 @@ fn distributed_view_change<F: Fabric>(
         .filter(|&m| !view.subgroups_of(NodeId(m)).is_empty())
         .collect();
     let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols.clone(), row, initial_bits);
+    // A sponsored join travels in this node's proposal if it turns out
+    // to be the leader (admit_node only triggers the leader's host).
+    let join_word = shared.join_intent.swap(0, Ordering::AcqRel);
+    if join_word != 0 {
+        engine.set_join_intent(join_word);
+    }
     let deadline = Instant::now() + VC_DEADLINE;
     let mut resend: Vec<(SubgroupId, Vec<u8>)> = Vec::new();
     let mut last_report = Instant::now();
@@ -1904,27 +2163,50 @@ fn distributed_view_change<F: Fabric>(
     };
 
     // Install the agreed view: every survivor derives the identical next
-    // view from the proposal's failed set, transitions the transport in
-    // place, and rebuilds its protocol state over the fresh mirror.
+    // view from the proposal's failed set (and join word, for a grow
+    // transition), transitions the transport in place, and rebuilds its
+    // protocol state over the fresh mirror.
     let gone = proposal.failed_rows();
-    let Ok(next_view) = reconfig::removal_view(&view, &gone) else {
-        // The agreed removal is not installable (it would empty a
-        // subgroup): stay wedged rather than diverge.
-        return;
+    let (next_view, joined) = match proposal.join_endpoint() {
+        Some((ip, port, as_sender)) => {
+            let Ok((v, new_row)) = reconfig::join_view(&view, &gone, as_sender) else {
+                // Not installable (it would empty a subgroup): stay
+                // wedged rather than diverge.
+                return;
+            };
+            let addr = format!("{}.{}.{}.{}:{port}", ip[0], ip[1], ip[2], ip[3]);
+            (v, vec![(new_row, addr)])
+        }
+        None => {
+            let Ok(v) = reconfig::removal_view(&view, &gone) else {
+                return;
+            };
+            (v, Vec::new())
+        }
     };
     let next_view = Arc::new(next_view);
     let plan = Plan::build(&next_view, true);
-    let survivors: Vec<usize> = active
+    // The new epoch's mesh: old survivors plus any joiner. The joiner
+    // also participates in the install barrier below — that is the
+    // catch-up barrier which holds application traffic until the
+    // joiner's mirror is up, connected, and confirmed on every link.
+    let mut survivors: Vec<usize> = active
         .iter()
         .copied()
         .filter(|&r| !gone.contains(&r))
         .collect();
+    survivors.extend(joined.iter().map(|&(r, _)| r));
     let fabric = {
         let inner = shared.inner.lock();
         inner.fabric.clone().expect("live node has a fabric")
     };
     assert!(
-        fabric.begin_epoch(proposal.vid, &survivors),
+        fabric.begin_epoch(&EpochTransition {
+            epoch: proposal.vid,
+            live: survivors.clone(),
+            region_words: plan.layout.region_words(),
+            joined,
+        }),
         "distributed view change requires an epoch-advancing transport"
     );
     let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(row)), row);
@@ -1944,6 +2226,20 @@ fn distributed_view_change<F: Fabric>(
         inner.reconfig = plan.reconfig.clone();
         inner.hb_peers = hb_peers(&next_view, row);
         shared.epoch.store(proposal.vid, Ordering::Release);
+    }
+
+    // A grow transition's report must be visible *now*, not after the
+    // barrier: the sponsor's admit_node waits on it to send the joiner
+    // its commit, and the barrier below waits on the joiner — gating
+    // the report on the barrier would deadlock the three. The wedge
+    // stays up until the barrier completes, so no application traffic
+    // races this early publication.
+    if !survivors.iter().all(|r| active.contains(r)) {
+        *shared.vc_report.lock() = Some(ViewChangeReport {
+            epoch: proposal.vid,
+            cuts: proposal.cuts.clone(),
+            resent: 0,
+        });
     }
 
     // Resume barrier: no application traffic until every survivor has

@@ -42,5 +42,5 @@ pub use cost::{MemcpyModel, NetModel, SsdModel};
 pub use fault::{Disposition, FaultPlan};
 pub use mem::MemFabric;
 pub use region::Region;
-pub use traits::Fabric;
+pub use traits::{EpochTransition, Fabric};
 pub use types::{MirrorMap, NodeId, WriteOp};

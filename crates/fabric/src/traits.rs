@@ -32,6 +32,41 @@ use crate::mem::MemFabric;
 use crate::region::Region;
 use crate::types::{NodeId, WriteOp};
 
+/// Everything a transport needs to transition to a new epoch in place
+/// ([`Fabric::begin_epoch`]). Removals only shrink the live set; a join
+/// additionally *grows* the transport — the fresh mirror is larger
+/// (`region_words` covers the new row, appended at the end of the
+/// row-major layout so existing rows keep their offsets) and `joined`
+/// names the rows entering at this epoch together with their transport
+/// addresses, so every survivor extends its peer set identically from
+/// the agreed proposal, without a coordinator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochTransition {
+    /// The epoch (view id) being installed.
+    pub epoch: u64,
+    /// Rows connected in the new epoch's mesh (survivors plus joiners).
+    pub live: Vec<usize>,
+    /// Region size (in words) of the new epoch's SST layout.
+    pub region_words: usize,
+    /// Rows entering the cluster at this epoch: `(row, listen address)`.
+    /// Rows are appended in order; a transport may assume `row` equals
+    /// its current node count when the entry is processed.
+    pub joined: Vec<(usize, String)>,
+}
+
+impl EpochTransition {
+    /// A transition that only shrinks (or keeps) the membership — the
+    /// common removal case.
+    pub fn shrink(epoch: u64, live: Vec<usize>, region_words: usize) -> EpochTransition {
+        EpochTransition {
+            epoch,
+            live,
+            region_words,
+            joined: Vec::new(),
+        }
+    }
+}
+
 /// A transport connecting the `n` nodes of one view (see the
 /// [module docs](self) for the semantics contract).
 ///
@@ -70,18 +105,20 @@ pub trait Fabric: Clone + Send + Sync + 'static {
         false
     }
 
-    /// Transitions the transport to `epoch` for a view connecting the
-    /// `live` rows: the local mirror is replaced by a fresh zeroed region
-    /// (§2.3 — memory is registered per view), stale links are torn down
-    /// (links the peers already re-established at the new epoch may be
-    /// kept), and subsequent handshakes are stamped with the new epoch so
-    /// stale old-epoch peers cannot write into the fresh mirror.
-    /// Idempotent once `epoch` (or a later one) is installed.
+    /// Transitions the transport in place for the epoch described by
+    /// `transition`: the local mirror is replaced by a fresh zeroed
+    /// region of the new layout's size (§2.3 — memory is registered per
+    /// view), rows named in [`EpochTransition::joined`] are added to the
+    /// peer set (a resizable transition — the mesh *grows*), stale links
+    /// are torn down (links the peers already re-established at the new
+    /// epoch may be kept), and subsequent handshakes are stamped with the
+    /// new epoch so stale old-epoch peers cannot write into the fresh
+    /// mirror. Idempotent once the epoch (or a later one) is installed.
     ///
     /// Returns `false` when the transport does not support in-place
     /// transitions (the default) — callers must then rebuild the fabric
     /// by other means (e.g. a fabric factory).
-    fn begin_epoch(&self, _epoch: u64, _live: &[usize]) -> bool {
+    fn begin_epoch(&self, _transition: &EpochTransition) -> bool {
         false
     }
 

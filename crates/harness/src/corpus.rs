@@ -97,6 +97,28 @@ fn crash_failover_spec() -> ClusterSpec {
     spec
 }
 
+/// The shared join-catchup schedule run on *both* transports (scenarios
+/// 18/19): sustained sends from the founding members, a mid-stream join
+/// (on TCP: the next epoch's sockets connect the grown mesh), then
+/// traffic *from the joiner* interleaved with the founders'. The oracles
+/// pin virtual synchrony for growth: the joiner's stream starts at its
+/// join epoch (membership-scope), and from there on it is byte-identical
+/// to every founder's (failure-atomicity per epoch).
+fn join_catchup_events() -> Vec<Event> {
+    vec![
+        burst(0, 12),
+        burst(1, 12),
+        burst(2, 8),
+        Event::Join {
+            joins: vec![(0, true)],
+        },
+        burst(3, 10),
+        burst(0, 8),
+        burst(2, 6),
+        Event::Settle { millis: 250 },
+    ]
+}
+
 /// The full corpus for `seed`.
 pub fn corpus(seed: u64) -> Vec<Scenario> {
     let mut out = Vec::new();
@@ -427,6 +449,23 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
         seed,
         crash_failover_spec(),
         crash_failover_events(),
+    ));
+
+    // 18/19. The join-catchup twins: mid-stream membership *growth*
+    // under sustained sends — once per transport. The equivalence test
+    // additionally pins that both runs produce the identical epoch
+    // history and verdicts.
+    out.push(threaded(
+        "join-catchup",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        join_catchup_events(),
+    ));
+    out.push(threaded_tcp(
+        "loopback-tcp-join-catchup",
+        seed,
+        ClusterSpec::all_senders(3, 16, 64),
+        join_catchup_events(),
     ));
 
     out

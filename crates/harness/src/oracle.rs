@@ -106,6 +106,7 @@ pub fn check_threaded(
             "failure-atomicity",
             atomicity(&per_scope, survivors, epochs),
         ),
+        OracleCheck::from("membership-scope", membership_scope(streams, epochs)),
         OracleCheck::from("null-invisibility", nulls(streams)),
         OracleCheck::from("no-duplicates", duplicates(streams)),
     ];
@@ -234,6 +235,39 @@ fn atomicity(
                         b.len()
                     ));
                 }
+            }
+        }
+    }
+    None
+}
+
+/// Mid-run membership growth (and shrinkage) must scope deliveries: a
+/// node may deliver in `(epoch, subgroup)` only while the recorded
+/// membership of that epoch contains it. In particular a *joiner*
+/// observes nothing from before its join epoch (virtual synchrony: the
+/// state transfer, not the multicast, brings it up to the cut), and a
+/// removed row observes nothing after its eviction epoch.
+fn membership_scope(
+    streams: &BTreeMap<usize, Vec<Delivered>>,
+    epochs: &EpochMembers,
+) -> Option<String> {
+    for (&node, stream) in streams {
+        for d in stream {
+            let Some(subgroups) = epochs.get(&d.epoch) else {
+                return Some(format!(
+                    "node {node} delivered in unrecorded epoch {}",
+                    d.epoch
+                ));
+            };
+            let member = subgroups
+                .get(d.subgroup.0)
+                .is_some_and(|m| m.contains(&node));
+            if !member {
+                return Some(format!(
+                    "node {node} delivered in epoch {} g{} without being a member \
+                     (a joiner leaked pre-join traffic, or an evictee outlived its cut)",
+                    d.epoch, d.subgroup.0
+                ));
             }
         }
     }
@@ -451,6 +485,37 @@ mod tests {
             !checks
                 .iter()
                 .find(|c| c.name == "failure-atomicity")
+                .unwrap()
+                .passed
+        );
+    }
+
+    #[test]
+    fn joiner_delivering_pre_join_traffic_detected() {
+        // Epoch 0 members {0, 1}; node 2 joins at epoch 1. A delivery by
+        // node 2 stamped epoch 0 is a virtual-synchrony leak.
+        let mut epochs = EpochMembers::new();
+        epochs.insert(0, vec![vec![0, 1]]);
+        epochs.insert(1, vec![vec![0, 1, 2]]);
+        let mut streams = BTreeMap::new();
+        streams.insert(0, vec![d(0, 0, 0, 0, 0, b"a"), d(1, 0, 0, 0, 0, b"b")]);
+        streams.insert(2, vec![d(0, 0, 0, 0, 0, b"a")]); // leaked
+        let survivors: BTreeSet<usize> = [0, 2].into();
+        let checks = check_threaded(&streams, &survivors, &epochs, &BTreeMap::new(), false);
+        let scope = checks
+            .iter()
+            .find(|c| c.name == "membership-scope")
+            .unwrap();
+        assert!(!scope.passed, "{checks:?}");
+        // The clean shape passes: the joiner only sees epoch 1.
+        let mut streams = BTreeMap::new();
+        streams.insert(0, vec![d(0, 0, 0, 0, 0, b"a"), d(1, 0, 0, 0, 0, b"b")]);
+        streams.insert(2, vec![d(1, 0, 0, 0, 0, b"b")]);
+        let checks = check_threaded(&streams, &survivors, &epochs, &BTreeMap::new(), false);
+        assert!(
+            checks
+                .iter()
+                .find(|c| c.name == "membership-scope")
                 .unwrap()
                 .passed
         );

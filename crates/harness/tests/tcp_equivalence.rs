@@ -52,6 +52,39 @@ fn same_fault_schedule_is_oracle_clean_on_both_transports() {
     assert_eq!(names(&on_mem), names(&on_tcp));
 }
 
+/// The join-catchup twin: mid-stream membership *growth* under
+/// sustained sends. The deterministic trace tail must be bit-identical
+/// across the transports, and the epoch history must show the grown
+/// subgroup — the elasticity contract of the resizable epoch
+/// transition.
+#[test]
+fn join_catchup_twins_are_bit_identical_across_transports() {
+    let (on_mem, on_tcp) = run_twins("join-catchup", "loopback-tcp-join-catchup");
+    assert_eq!(
+        deterministic_tail(&on_mem),
+        deterministic_tail(&on_tcp),
+        "epoch history or verdicts diverged between transports:\n--- mem ---\n{}\n--- tcp ---\n{}",
+        on_mem.trace,
+        on_tcp.trace
+    );
+    // The membership really grew: epoch 1 contains the joiner row 3.
+    assert!(
+        deterministic_tail(&on_mem).contains("1: g0=[0, 1, 2, 3]"),
+        "grown epoch 1 missing from the history:\n{}",
+        on_mem.trace
+    );
+    // The mid-run-growth oracle ran on both transports.
+    for o in [&on_mem, &on_tcp] {
+        assert!(
+            o.checks
+                .iter()
+                .any(|c| c.name == "membership-scope" && c.passed),
+            "membership-scope oracle missing:\n{}",
+            o.trace
+        );
+    }
+}
+
 /// The crash-failover twin: a silent crash, a detector verdict, and the
 /// SST-driven view change — on TCP the new epoch comes up over fresh
 /// sockets. Beyond both runs passing every oracle, the deterministic

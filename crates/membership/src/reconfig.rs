@@ -39,6 +39,36 @@ pub const PLANNED_BIT: u64 = 1 << 62;
 /// Highest row id representable in a suspicion bitmap.
 pub const MAX_BITMAP_ROW: usize = 61;
 
+/// Presence bit of a packed join word (see [`encode_join_word`]).
+const JOIN_PRESENT: u64 = 1 << 49;
+/// `as_sender` bit of a packed join word.
+const JOIN_SENDER: u64 = 1 << 48;
+
+/// Packs a joiner's IPv4 endpoint and sender flag into one non-negative
+/// word, so a join intent travels inside the leader's [`Proposal`] (the
+/// SST guarded list carries `i64` items). Layout: bits 0..16 port,
+/// 16..48 IPv4 address (big-endian octets), bit 48 the sender flag,
+/// bit 49 the presence marker (a zero word means "no join").
+pub fn encode_join_word(ip: [u8; 4], port: u16, as_sender: bool) -> u64 {
+    let ip = u32::from_be_bytes(ip) as u64;
+    let mut w = JOIN_PRESENT | (ip << 16) | port as u64;
+    if as_sender {
+        w |= JOIN_SENDER;
+    }
+    w
+}
+
+/// Unpacks a join word; `None` for 0 (no join) or a word without the
+/// presence marker.
+pub fn decode_join_word(w: u64) -> Option<([u8; 4], u16, bool)> {
+    if w & JOIN_PRESENT == 0 {
+        return None;
+    }
+    let ip = ((w >> 16) as u32).to_be_bytes();
+    let port = w as u16;
+    Some((ip, port, w & JOIN_SENDER != 0))
+}
+
 /// The bitmap with the bits of `rows` set.
 ///
 /// # Panics
@@ -80,6 +110,8 @@ pub enum ReconfigError {
     WouldEmptySubgroup(SubgroupId),
     /// Fewer than two members would remain.
     TooFewSurvivors,
+    /// A join would push the new row past [`MAX_BITMAP_ROW`].
+    TooManyRows,
 }
 
 impl std::fmt::Display for ReconfigError {
@@ -90,6 +122,9 @@ impl std::fmt::Display for ReconfigError {
                 write!(f, "removal would empty subgroup {g}")
             }
             ReconfigError::TooFewSurvivors => write!(f, "a view needs at least two members"),
+            ReconfigError::TooManyRows => {
+                write!(f, "a join would exceed the suspicion bitmap's row capacity")
+            }
         }
     }
 }
@@ -111,6 +146,21 @@ impl std::error::Error for ReconfigError {}
 /// [`ReconfigError`] when a failed row is unknown, a subgroup would be
 /// emptied, or fewer than two members would survive.
 pub fn removal_view(old: &View, failed: &BTreeSet<usize>) -> Result<View, ReconfigError> {
+    let next_subgroups = surviving_subgroups(old, failed)?;
+    let next = ViewBuilder::with_members(old.id() + 1, old.members().to_vec())
+        .subgroups_from(next_subgroups)
+        .build()
+        .expect("a validated removal view always builds");
+    Ok(next)
+}
+
+/// The subgroup list of the next view after dropping `failed`, validated
+/// exactly as [`removal_view`] does (shared by the removal and join
+/// derivations, which must filter identically).
+fn surviving_subgroups(
+    old: &View,
+    failed: &BTreeSet<usize>,
+) -> Result<Vec<Subgroup>, ReconfigError> {
     for &f in failed {
         if !old.contains(NodeId(f)) {
             return Err(ReconfigError::UnknownNode(f));
@@ -154,11 +204,48 @@ pub fn removal_view(old: &View, failed: &BTreeSet<usize>) -> Result<View, Reconf
             max_msg_size: sg.max_msg_size,
         });
     }
-    let next = ViewBuilder::with_members(old.id() + 1, old.members().to_vec())
+    Ok(next_subgroups)
+}
+
+/// Derives the next view when a fresh node joins (paper §2.1 treats joins
+/// and removals as the same epoch transition): the failed rows are
+/// filtered exactly as in [`removal_view`], then one new row — id
+/// `old.members().len()`, the next never-used row — is appended to the
+/// top-level membership and to **every** subgroup (as a sender when
+/// `as_sender`). Returns the view together with the joiner's row id.
+///
+/// Every survivor must call this with the identical `(old, failed,
+/// as_sender)` triple — all three travel in the leader's [`Proposal`]
+/// (the join endpoint and sender flag inside the packed join word) — so
+/// the whole cluster derives bit-identical views.
+///
+/// # Errors
+///
+/// The [`removal_view`] errors, plus [`ReconfigError::TooManyRows`] when
+/// the new row would not fit the suspicion bitmap.
+pub fn join_view(
+    old: &View,
+    failed: &BTreeSet<usize>,
+    as_sender: bool,
+) -> Result<(View, usize), ReconfigError> {
+    let new_row = old.members().len();
+    if new_row > MAX_BITMAP_ROW {
+        return Err(ReconfigError::TooManyRows);
+    }
+    let mut next_subgroups = surviving_subgroups(old, failed)?;
+    for sg in &mut next_subgroups {
+        sg.members.push(NodeId(new_row));
+        if as_sender {
+            sg.senders.push(NodeId(new_row));
+        }
+    }
+    let mut members = old.members().to_vec();
+    members.push(NodeId(new_row));
+    let next = ViewBuilder::with_members(old.id() + 1, members)
         .subgroups_from(next_subgroups)
         .build()
-        .expect("a validated removal view always builds");
-    Ok(next)
+        .expect("a validated join view always builds");
+    Ok((next, new_row))
 }
 
 /// The leader's next-view proposal, published once per transition through
@@ -173,6 +260,11 @@ pub struct Proposal {
     /// and install — is derived from this word, never from local
     /// suspicion state, so all survivors agree on it.
     pub failed: u64,
+    /// Packed join word ([`encode_join_word`]) when this transition also
+    /// admits a fresh row; 0 for pure removals. Carrying the joiner's
+    /// endpoint in the proposal is what lets every survivor grow its
+    /// transport identically without a coordinator RPC.
+    pub join: u64,
     /// Ragged-trim cut per subgroup: the last sequence number delivered
     /// in the old epoch (−1 when nothing was in flight).
     pub cuts: Vec<SeqNum>,
@@ -184,11 +276,18 @@ impl Proposal {
         rows_of(self.failed).into_iter().collect()
     }
 
-    /// Encodes onto the SST guarded-list items: `[vid, failed, cuts…]`.
+    /// The decoded join intent, when the transition admits a fresh row.
+    pub fn join_endpoint(&self) -> Option<([u8; 4], u16, bool)> {
+        decode_join_word(self.join)
+    }
+
+    /// Encodes onto the SST guarded-list items: `[vid, failed, join,
+    /// cuts…]`.
     pub fn encode(&self) -> Vec<i64> {
-        let mut items = Vec::with_capacity(2 + self.cuts.len());
+        let mut items = Vec::with_capacity(3 + self.cuts.len());
         items.push(self.vid as i64);
         items.push(self.failed as i64);
+        items.push(self.join as i64);
         items.extend_from_slice(&self.cuts);
         items
     }
@@ -196,19 +295,20 @@ impl Proposal {
     /// Decodes a guarded-list read; `None` for anything but a well-formed
     /// proposal with exactly `num_subgroups` cuts.
     pub fn decode(items: &[i64], num_subgroups: usize) -> Option<Proposal> {
-        if items.len() != 2 + num_subgroups {
+        if items.len() != 3 + num_subgroups {
             return None;
         }
         Some(Proposal {
             vid: items[0] as u64,
             failed: items[1] as u64,
-            cuts: items[2..].to_vec(),
+            join: items[2] as u64,
+            cuts: items[3..].to_vec(),
         })
     }
 
     /// The list capacity a view's proposal column needs.
     pub fn list_capacity(num_subgroups: usize) -> usize {
-        2 + num_subgroups
+        3 + num_subgroups
     }
 }
 
@@ -306,15 +406,70 @@ mod tests {
         let p = Proposal {
             vid: 7,
             failed: bits_of([1, 4]) | PLANNED_BIT,
+            join: 0,
             cuts: vec![-1, 42, 0],
         };
         let items = p.encode();
         assert_eq!(items.len(), Proposal::list_capacity(3));
         assert_eq!(Proposal::decode(&items, 3), Some(p.clone()));
         assert_eq!(p.failed_rows(), BTreeSet::from([1, 4]));
+        assert_eq!(p.join_endpoint(), None);
         // Wrong arity is rejected, never misparsed.
         assert_eq!(Proposal::decode(&items, 2), None);
         assert_eq!(Proposal::decode(&[], 0), None);
+    }
+
+    #[test]
+    fn join_word_roundtrip() {
+        let w = encode_join_word([127, 0, 0, 1], 7143, true);
+        assert_eq!(decode_join_word(w), Some(([127, 0, 0, 1], 7143, true)));
+        let quiet = encode_join_word([10, 1, 2, 3], 80, false);
+        assert_eq!(decode_join_word(quiet), Some(([10, 1, 2, 3], 80, false)));
+        // 0 is the reserved "no join" word, and join words stay i64-safe
+        // (the SST counter columns hold non-negative i64).
+        assert_eq!(decode_join_word(0), None);
+        assert!(w < PLANNED_BIT && (w as i64) > 0);
+    }
+
+    #[test]
+    fn join_view_appends_row_to_every_subgroup() {
+        let (next, row) = join_view(&view5(), &BTreeSet::new(), true).unwrap();
+        assert_eq!(row, 5);
+        assert_eq!(next.id(), 1);
+        assert_eq!(next.members().len(), 6);
+        for sg in next.subgroups() {
+            assert!(sg.contains(NodeId(5)));
+            assert!(sg.senders.contains(&NodeId(5)));
+        }
+        // A quiet joiner is a member but not a sender.
+        let (quiet, _) = join_view(&view5(), &BTreeSet::new(), false).unwrap();
+        assert!(quiet
+            .subgroups()
+            .iter()
+            .all(|sg| { sg.contains(NodeId(5)) && !sg.senders.contains(&NodeId(5)) }));
+    }
+
+    #[test]
+    fn join_view_filters_failed_rows_like_removal() {
+        let failed = BTreeSet::from([2]);
+        let (next, row) = join_view(&view5(), &failed, true).unwrap();
+        let removal = removal_view(&view5(), &failed).unwrap();
+        assert_eq!(row, 5);
+        // Identical filtering of the old rows; the joiner rides on top.
+        for (j, r) in next.subgroups().iter().zip(removal.subgroups()) {
+            let mut members = j.members.clone();
+            assert_eq!(members.pop(), Some(NodeId(5)));
+            assert_eq!(members, r.members);
+        }
+        // Same errors as removal for bad failed sets.
+        assert_eq!(
+            join_view(&view5(), &BTreeSet::from([9]), true).unwrap_err(),
+            ReconfigError::UnknownNode(9)
+        );
+        assert_eq!(
+            join_view(&view5(), &BTreeSet::from([0, 1, 2]), true).unwrap_err(),
+            ReconfigError::WouldEmptySubgroup(SubgroupId(0))
+        );
     }
 
     proptest! {
@@ -327,18 +482,60 @@ mod tests {
             prop_assert_eq!(decentralized, centralized);
         }
 
-        /// Any proposal survives the list encoding.
+        /// Any proposal — including one carrying a join intent — survives
+        /// the guarded-list encoding bit for bit.
         #[test]
         fn proposal_encoding_roundtrip(
             vid in 1u64..1000,
             failed_rows in prop::collection::vec(0usize..=MAX_BITMAP_ROW, 0..8),
             cuts in prop::collection::vec(-1i64..10_000, 0..6),
             planned in 0u8..2,
+            has_join in any::<bool>(),
+            join_ip in any::<u32>(),
+            join_port in any::<u16>(),
+            join_sender in any::<bool>(),
         ) {
             let mut failed = bits_of(failed_rows);
             if planned == 1 { failed |= PLANNED_BIT; }
-            let p = Proposal { vid, failed, cuts };
-            prop_assert_eq!(Proposal::decode(&p.encode(), p.cuts.len()), Some(p.clone()));
+            let join = has_join.then(|| (join_ip.to_be_bytes(), join_port, join_sender));
+            let join_word = join.map_or(0, |(ip, port, s)| encode_join_word(ip, port, s));
+            let p = Proposal { vid, failed, join: join_word, cuts };
+            let back = Proposal::decode(&p.encode(), p.cuts.len());
+            prop_assert_eq!(back.as_ref(), Some(&p));
+            prop_assert_eq!(p.join_endpoint(), join);
+        }
+
+        /// Leader derivation is stable under interleaved join and removal
+        /// markers: the PLANNED_BIT of a join and any set of genuine
+        /// removal suspicions never change *which unsuspected row* leads,
+        /// and ORing the same bitmaps in any order converges to the same
+        /// leader (the suspicion union is a monotonic OR).
+        #[test]
+        fn leader_stable_under_interleaved_join_and_removal_bitmaps(
+            nodes in 2usize..12,
+            suspected_rows in prop::collection::vec(0usize..12, 0..6),
+            or_order in prop::collection::vec(0usize..6, 0..6),
+        ) {
+            let active: Vec<usize> = (0..nodes).collect();
+            let suspected: Vec<usize> =
+                suspected_rows.into_iter().filter(|&r| r < nodes).collect();
+            let removal_bits = bits_of(suspected.iter().copied());
+            // The planned (join) marker must not shadow any row.
+            prop_assert_eq!(
+                leader(&active, removal_bits),
+                leader(&active, removal_bits | PLANNED_BIT)
+            );
+            // Any interleaving of partial unions lands on the same leader
+            // once the union is complete.
+            let mut union = PLANNED_BIT;
+            for &i in &or_order {
+                if let Some(&r) = suspected.get(i) {
+                    union |= 1 << r;
+                }
+            }
+            union |= removal_bits;
+            let expect = active.iter().copied().find(|&r| removal_bits & (1 << r) == 0);
+            prop_assert_eq!(leader(&active, union), expect);
         }
     }
 }

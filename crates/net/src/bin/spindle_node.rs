@@ -6,6 +6,14 @@
 //! means the node delivered the full expected workload; on a timeout the
 //! partial trace goes to stderr so a failing CI run shows exactly what
 //! this node saw.
+//!
+//! With `--join <seed-addr>` the process instead *joins a live cluster*:
+//! it binds `--listen`, runs the join handshake against the seed
+//! (state-transfer snapshot, resizable epoch transition, catch-up
+//! barrier), and then runs the same workload as row `N` of the grown
+//! view. Founding members sponsor joins automatically: any `JOIN` that
+//! lands on their listener is served from the main loop (the leader
+//! commits it; everyone else redirects).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -14,16 +22,18 @@ use std::time::{Duration, Instant};
 use spindle_core::threaded::{Cluster, Delivered};
 use spindle_core::{NodeMetrics, RunReport, SpindleConfig};
 use spindle_membership::SubgroupId;
-use spindle_net::{ClusterConfig, TcpFabric, TcpFabricConfig};
+use spindle_net::{join, ClusterConfig, TcpFabric, TcpFabricConfig};
 
-const USAGE: &str = "usage: spindle-node --config <cluster.toml> --node <id> \
-[--sends N] [--payload BYTES] [--seed S] [--trace-out PATH] \
-[--deadline-secs T] [--linger-ms L] [--min-epoch E] [--quiesce-ms Q] \
-[--crash-after-delivered N]";
+const USAGE: &str = "usage: spindle-node --config <cluster.toml> (--node <id> | \
+--join <seed-addr> [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
+[--trace-out PATH] [--deadline-secs T] [--linger-ms L] [--min-epoch E] \
+[--quiesce-ms Q] [--crash-after-delivered N]";
 
 struct Args {
     config: String,
-    node: usize,
+    node: Option<usize>,
+    join: Option<String>,
+    listen: String,
     sends: u32,
     payload: usize,
     seed: u64,
@@ -44,6 +54,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut config = None;
     let mut node = None;
+    let mut join = None;
+    let mut listen = "127.0.0.1:0".to_string();
     let mut sends = 20u32;
     let mut payload = 24usize;
     let mut seed = 42u64;
@@ -62,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--config" => config = Some(next("--config")?),
             "--node" => node = Some(parse_num(&next("--node")?)?),
+            "--join" => join = Some(next("--join")?),
+            "--listen" => listen = next("--listen")?,
             "--sends" => sends = parse_num(&next("--sends")?)? as u32,
             "--payload" => payload = parse_num(&next("--payload")?)? as usize,
             "--seed" => seed = parse_num(&next("--seed")?)?,
@@ -79,9 +93,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
+    if node.is_none() == join.is_none() {
+        return Err(format!(
+            "exactly one of --node / --join is required\n{USAGE}"
+        ));
+    }
     Ok(Args {
         config: config.ok_or_else(|| format!("--config is required\n{USAGE}"))?,
-        node: node.ok_or_else(|| format!("--node is required\n{USAGE}"))? as usize,
+        node: node.map(|n| n as usize),
+        join,
+        listen,
         sends,
         payload,
         seed,
@@ -139,10 +160,20 @@ fn run() -> Result<(), String> {
     let text = std::fs::read_to_string(&args.config)
         .map_err(|e| format!("cannot read {}: {e}", args.config))?;
     let cfg = ClusterConfig::parse(&text).map_err(|e| e.to_string())?;
-    if args.node >= cfg.nodes() {
+    if let Some(seed) = args.join.clone() {
+        run_joiner(&args, &cfg, seed)
+    } else {
+        run_member(&args, &cfg)
+    }
+}
+
+/// A founding member: bootstrap the full-mesh handshake at epoch 0 and
+/// host the configured row.
+fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
+    let node = args.node.expect("member mode has --node");
+    if node >= cfg.nodes() {
         return Err(format!(
-            "--node {} out of range (cluster has {} nodes)",
-            args.node,
+            "--node {node} out of range (cluster has {} nodes)",
             cfg.nodes()
         ));
     }
@@ -152,19 +183,18 @@ fn run() -> Result<(), String> {
     let region_words = cfg.region_words();
     let senders = cfg.sender_ids();
 
-    let mut net = TcpFabricConfig::new(args.node, cfg.addrs.clone(), region_words);
+    let mut net = TcpFabricConfig::new(node, cfg.addrs.clone(), region_words);
     net.epoch = view.id();
     let fabric = TcpFabric::bootstrap(net).map_err(|e| format!("bootstrap: {e}"))?;
     eprintln!(
-        "spindle-node: n{} listening on {}, awaiting {} peers",
-        args.node,
+        "spindle-node: n{node} listening on {}, awaiting {} peers",
         fabric.local_addr(),
         cfg.nodes() - 1
     );
     fabric
         .wait_connected(Duration::from_secs(30))
         .map_err(|e| format!("handshake: {e}"))?;
-    eprintln!("spindle-node: n{} mesh up", args.node);
+    eprintln!("spindle-node: n{node} mesh up");
 
     let started = Instant::now();
     let cluster = Cluster::start_distributed(
@@ -172,37 +202,117 @@ fn run() -> Result<(), String> {
         SpindleConfig::optimized(),
         cfg.detector(),
         None,
-        &[args.node],
+        &[node],
         fabric.clone(),
     );
-    let me = cluster.node(args.node);
-
-    // Send this node's share of the workload (if it is a sender), while
-    // collecting deliveries. Completion: the full expected total in the
-    // steady-state mode, or — in failover mode (--min-epoch) — the new
-    // epoch installed, every own send delivered back, and a quiet stream
-    // (a crashed peer's undelivered tail is legitimately lost at the cut,
-    // so survivors cannot predict an exact total).
+    let i_send = senders.contains(&node);
     let expected = senders.len() as u64 * args.sends as u64;
-    let i_send = senders.contains(&args.node);
+    workload(
+        args,
+        cluster,
+        fabric,
+        node,
+        i_send,
+        expected,
+        started,
+        args.min_epoch,
+        0,
+    )
+}
+
+/// A joiner: run the admission handshake against the seed, then host the
+/// assigned row of the grown view from its join epoch onward.
+fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), String> {
+    let started = Instant::now();
+    let listener = std::net::TcpListener::bind(&args.listen)
+        .map_err(|e| format!("cannot bind --listen {}: {e}", args.listen))?;
+    let advertise = listener
+        .local_addr()
+        .map_err(|e| format!("listen addr: {e}"))?
+        .to_string();
+    eprintln!("spindle-node: joiner listening on {advertise}, dialing seed {seed}");
+    let joined = spindle_net::join_cluster(join::JoinConfig {
+        seeds: vec![seed],
+        listener,
+        advertise,
+        as_sender: true,
+        config: SpindleConfig::optimized(),
+        detector: cfg.detector(),
+        deadline: args.deadline,
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "spindle-node: joined as n{} at epoch {} (catch-up {} B: {} log records, \
+         frontiers {:?})",
+        joined.row,
+        joined.epoch,
+        joined.catchup_bytes,
+        joined.snapshot.records.len(),
+        joined.snapshot.frontiers,
+    );
+    let row = joined.row;
+    let min_epoch = args.min_epoch.max(joined.epoch);
+    let catchup = joined.catchup_bytes;
+    workload(
+        args,
+        joined.cluster,
+        joined.fabric,
+        row,
+        true,
+        0,
+        started,
+        min_epoch,
+        catchup,
+    )
+}
+
+/// The shared workload loop: send this node's share (if it is a sender)
+/// while collecting deliveries and sponsoring any `JOIN` that lands on
+/// the listener. Completion: the full expected total in the steady-state
+/// mode, or — with a `min_epoch` (failover and join modes) — the epoch
+/// installed, every own send delivered back, and a quiet stream
+/// (a crashed peer's undelivered tail is legitimately lost at the cut,
+/// and joins change the total, so an exact count is not predictable).
+#[allow(clippy::too_many_arguments)]
+fn workload(
+    args: &Args,
+    mut cluster: Cluster<TcpFabric>,
+    fabric: TcpFabric,
+    row: usize,
+    i_send: bool,
+    expected: u64,
+    started: Instant,
+    min_epoch: u64,
+    catchup_bytes: u64,
+) -> Result<(), String> {
     let deadline = started + args.deadline;
     let mut sent = 0u32;
     let mut own_delivered = 0u64;
     let mut last_delivery = Instant::now();
     let mut got: Vec<Delivered> = Vec::with_capacity(expected as usize);
     loop {
+        // Sponsor duty: serve joiners that dialed our listener. The
+        // leader commits them (blocking this loop through the epoch
+        // transition — the predicate thread does the protocol work);
+        // everyone else redirects.
+        while let Ok(req) = fabric.join_requests().try_recv() {
+            let joiner = req.addr.clone();
+            match join::serve_join(req, &mut cluster, row, &[]) {
+                Ok(out) => eprintln!("spindle-node: n{row} served join of {joiner}: {out:?}"),
+                Err(e) => eprintln!("spindle-node: n{row} join control to {joiner} failed: {e}"),
+            }
+        }
         if i_send && sent < args.sends {
-            let p = payload(args.node, sent, args.payload, args.seed);
-            match me.try_send(SubgroupId(0), &p) {
+            let p = payload(row, sent, args.payload, args.seed);
+            match cluster.node(row).try_send(SubgroupId(0), &p) {
                 Ok(true) => sent += 1,
                 Ok(false) => {}
                 Err(e) => return Err(format!("send failed: {e}")),
             }
         }
-        if let Some(d) = me.recv_timeout(Duration::from_millis(5)) {
+        if let Some(d) = cluster.node(row).recv_timeout(Duration::from_millis(5)) {
             if d.data.len() >= 4
-                && u32::from_le_bytes(d.data[..4].try_into().expect("4-byte header"))
-                    == args.node as u32
+                && u32::from_le_bytes(d.data[..4].try_into().expect("4-byte header")) == row as u32
             {
                 own_delivered += 1;
             }
@@ -210,16 +320,15 @@ fn run() -> Result<(), String> {
             last_delivery = Instant::now();
             if args.crash_after > 0 && got.len() >= args.crash_after {
                 eprintln!(
-                    "spindle-node: n{} aborting after {} deliveries (--crash-after-delivered)",
-                    args.node,
+                    "spindle-node: n{row} aborting after {} deliveries (--crash-after-delivered)",
                     got.len()
                 );
                 std::process::abort();
             }
         }
-        let done = if args.min_epoch > 0 {
+        let done = if min_epoch > 0 {
             (!i_send || sent == args.sends)
-                && me.epoch() >= args.min_epoch
+                && cluster.node(row).epoch() >= min_epoch
                 && own_delivered >= u64::from(if i_send { args.sends } else { 0 })
                 && last_delivery.elapsed() >= args.quiesce
         } else {
@@ -230,13 +339,12 @@ fn run() -> Result<(), String> {
         }
         if Instant::now() > deadline {
             for d in &got {
-                eprintln!("trace n{}: {}", args.node, trace_line(d));
+                eprintln!("trace n{row}: {}", trace_line(d));
             }
             return Err(format!(
-                "n{}: delivered only {}/{expected} (epoch {}) within {:?} (trace above)",
-                args.node,
+                "n{row}: delivered only {}/{expected} (epoch {}) within {:?} (trace above)",
                 got.len(),
-                me.epoch(),
+                cluster.node(row).epoch(),
                 args.deadline
             ));
         }
@@ -254,7 +362,7 @@ fn run() -> Result<(), String> {
 
     // Surface the wire counters through the standard metrics registry.
     let stats = fabric.wire_stats();
-    let (vc_count, vc_time) = me.view_change_stats();
+    let (vc_count, vc_time) = cluster.node(row).view_change_stats();
     let mut node_metrics = NodeMetrics::new();
     node_metrics.delivered_msgs = got.len() as u64;
     node_metrics.delivered_bytes = got.iter().map(|d| d.data.len() as u64).sum();
@@ -266,6 +374,7 @@ fn run() -> Result<(), String> {
     node_metrics.wire_frames_posted = stats.frames_posted;
     node_metrics.view_changes = vc_count;
     node_metrics.view_change_time = vc_time;
+    node_metrics.catchup_bytes = catchup_bytes;
     let report = RunReport {
         nodes: vec![node_metrics],
         makespan,
@@ -276,10 +385,9 @@ fn run() -> Result<(), String> {
             .collect()],
     };
     println!(
-        "n{} delivered {} msgs (epoch {}) in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | view-changes: {} in {} us | {:.3} Mmsg/s",
-        args.node,
+        "n{row} delivered {} msgs (epoch {}) in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | view-changes: {} in {} us | catch-up: {} B | {:.3} Mmsg/s",
         got.len(),
-        me.epoch(),
+        cluster.node(row).epoch(),
         makespan.as_secs_f64(),
         stats.frames_posted,
         stats.frames_received,
@@ -289,6 +397,7 @@ fn run() -> Result<(), String> {
         stats.reconnects,
         report.total_view_changes(),
         report.max_view_change_time().as_micros(),
+        catchup_bytes,
         report.delivery_mmsgs(),
     );
     let _ = std::io::stdout().flush();

@@ -50,12 +50,14 @@
 
 pub mod bootstrap;
 pub mod group;
+pub mod join;
 pub mod metrics;
 pub mod tcp;
 pub mod wire;
 
 pub use bootstrap::{ClusterConfig, ConfigError};
 pub use group::TcpFabricGroup;
+pub use join::{join_cluster, serve_join, JoinConfig, JoinError, Joined, ServeOutcome};
 pub use metrics::{WireMetrics, WireStats};
-pub use tcp::{TcpFabric, TcpFabricConfig};
+pub use tcp::{JoinRequest, TcpFabric, TcpFabricConfig};
 pub use wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame};

@@ -48,21 +48,38 @@
 //! barrier and first new-epoch writes ride on survives our own
 //! transition instead of dropping them in a close window. The listener
 //! and its port are reused; only mirror memory and stale sockets are
-//! per-epoch.
+//! per-epoch. Queued outbound frames are stamped with the epoch they
+//! were snapshotted from and dropped once the endpoint moves on — on
+//! real RDMA the per-view queue pairs die with the view, and a stale
+//! epoch's words must never smear into a peer's fresh mirror.
+//!
+//! Transitions are **resizable**: an [`EpochTransition`] whose `joined`
+//! list names fresh rows *grows* the endpoint in place — the mirror is
+//! reallocated at the new layout's size (the new row appends at the end
+//! of the row-major SST, so existing offsets are stable), a writer
+//! thread and address slot are added per joiner, and the connection
+//! barrier covers the grown mesh. A connection that opens with a `JOIN`
+//! frame instead of a `HELLO` is a joiner's control conversation,
+//! surfaced through [`TcpFabric::join_requests`] for the sponsor
+//! runtime ([`join`](crate::join)).
 
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use spindle_fabric::{Disposition, Fabric, FaultPlan, NodeId, Region, WriteOp};
+use spindle_fabric::{Disposition, EpochTransition, Fabric, FaultPlan, NodeId, Region, WriteOp};
 
 use crate::metrics::{WireMetrics, WireStats};
 use crate::wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame, PROTO_VERSION};
+
+/// Hard cap on the rows a hostile `HELLO` can make the endpoint track
+/// (the protocol itself caps clusters at the suspicion bitmap's 62 rows).
+const MAX_ROWS: usize = 62;
 
 /// Frames queued to one unreachable peer before posts start dropping.
 const OUTBOUND_QUEUE_CAP: usize = 65_536;
@@ -111,17 +128,46 @@ impl TcpFabricConfig {
     }
 }
 
+/// One queued outbound write, stamped with the epoch whose mirror it was
+/// snapshotted from. The writer drops frames older than the endpoint's
+/// current epoch: on real RDMA the per-view queue pairs die with the
+/// view, and transmitting a stale epoch's words over a fresh-epoch
+/// connection would smear old protocol state (e.g. a finished
+/// transition's PLANNED_BIT) into peers' fresh mirrors.
+struct QueuedWrite {
+    epoch: u64,
+    frame: WriteFrame,
+}
+
 struct PeerState {
-    tx: Sender<WriteFrame>,
+    tx: Sender<QueuedWrite>,
     /// The writer-side stream; also reachable by [`TcpFabric::sever_peer`].
     conn: Mutex<Option<TcpStream>>,
     connected: AtomicBool,
 }
 
+/// A joiner's control conversation, surfaced by the accept path when a
+/// fresh process dials the listener with a `JOIN` frame instead of a
+/// fabric `HELLO`. The sponsor runtime answers over the same stream
+/// (state snapshot, then commit — or a redirect to the leader).
+#[derive(Debug)]
+pub struct JoinRequest {
+    /// The joiner's advertised listen address (`host:port`).
+    pub addr: String,
+    /// Whether the joiner wants to multicast (join as a sender).
+    pub as_sender: bool,
+    /// The joiner's control connection.
+    pub stream: TcpStream,
+}
+
 struct Shared {
     me: usize,
-    addrs: Vec<SocketAddr>,
-    region_words: usize,
+    /// Listen address per row; grows when an epoch transition admits a
+    /// joiner ([`Fabric::begin_epoch`] with a joined entry).
+    addrs: RwLock<Vec<SocketAddr>>,
+    /// The current epoch's region size in words (grows on joins: the new
+    /// row is appended at the end of the row-major SST layout).
+    region_words: AtomicUsize,
     /// Current epoch; advanced in place by [`Fabric::begin_epoch`].
     epoch: AtomicU64,
     /// The current epoch's mirror. Readers apply every frame to the
@@ -147,20 +193,39 @@ struct Shared {
     bytes_posted: AtomicU64,
     stop: AtomicBool,
     connect_patience: Duration,
-    peers: Vec<PeerState>,
+    /// Per-destination writer state; grows on resizable transitions.
+    peers: RwLock<Vec<Arc<PeerState>>>,
     /// Per source node: a shutdown handle to the current inbound stream,
     /// tagged with the epoch its `HELLO` carried (epoch transitions keep
     /// inbound connections that are already at the new epoch).
     inbound: Mutex<Vec<Option<(TcpStream, u64)>>>,
     /// Set once the first valid `HELLO` from each source arrived for the
     /// current epoch (bootstrap barrier; cleared on epoch transitions).
-    hello_seen: Vec<AtomicBool>,
+    hello_seen: Mutex<Vec<bool>>,
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Writer threads spawned for rows that joined after bootstrap.
+    grown_writers: Mutex<Vec<JoinHandle<()>>>,
+    /// Joiner control conversations (`JOIN` first frames) awaiting the
+    /// sponsor runtime.
+    join_tx: Sender<JoinRequest>,
+    join_rx: Receiver<JoinRequest>,
 }
 
 impl Shared {
     fn nodes(&self) -> usize {
-        self.addrs.len()
+        self.addrs.read().expect("addrs lock").len()
+    }
+
+    fn addr_of(&self, row: usize) -> SocketAddr {
+        self.addrs.read().expect("addrs lock")[row]
+    }
+
+    fn region_words(&self) -> usize {
+        self.region_words.load(Ordering::Acquire)
+    }
+
+    fn peer(&self, row: usize) -> Option<Arc<PeerState>> {
+        self.peers.read().expect("peers lock").get(row).cloned()
     }
 
     fn epoch(&self) -> u64 {
@@ -176,6 +241,30 @@ impl Shared {
     fn region_at_epoch(&self) -> (u64, Arc<Region>) {
         let guard = self.region.read().expect("region lock");
         (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// Makes the inbound/handshake bookkeeping cover `row` (a source that
+    /// is ahead of us — e.g. the joiner of an epoch we have not installed
+    /// yet — may connect before our own transition grows the vectors).
+    fn ensure_inbound_slot(&self, row: usize) {
+        let mut inb = self.inbound.lock().expect("inbound lock");
+        if inb.len() <= row {
+            inb.resize_with(row + 1, || None);
+        }
+        drop(inb);
+        let mut seen = self.hello_seen.lock().expect("hello_seen lock");
+        if seen.len() <= row {
+            seen.resize(row + 1, false);
+        }
+    }
+
+    fn hello_seen_get(&self, row: usize) -> bool {
+        self.hello_seen
+            .lock()
+            .expect("hello_seen lock")
+            .get(row)
+            .copied()
+            .unwrap_or(false)
     }
 
     fn link_allowed(&self, peer: usize) -> bool {
@@ -212,6 +301,15 @@ impl Drop for Inner {
             .reader_threads
             .lock()
             .expect("reader threads lock")
+            .drain(..)
+        {
+            let _ = th.join();
+        }
+        for th in self
+            .shared
+            .grown_writers
+            .lock()
+            .expect("grown writers lock")
             .drain(..)
         {
             let _ = th.join();
@@ -271,22 +369,23 @@ impl TcpFabric {
             .map(|a| resolve(a))
             .collect::<io::Result<_>>()?;
         let local_addr = listener.local_addr()?;
-        let mut rxs: Vec<Option<Receiver<WriteFrame>>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Option<Receiver<QueuedWrite>>> = Vec::with_capacity(n);
         let mut peers = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             rxs.push(Some(rx));
-            peers.push(PeerState {
+            peers.push(Arc::new(PeerState {
                 tx,
                 conn: Mutex::new(None),
                 connected: AtomicBool::new(false),
-            });
+            }));
         }
         let expected: BTreeSet<usize> = (0..n).filter(|&p| p != cfg.me).collect();
+        let (join_tx, join_rx) = unbounded();
         let shared = Arc::new(Shared {
             me: cfg.me,
-            addrs,
-            region_words: cfg.region_words,
+            addrs: RwLock::new(addrs),
+            region_words: AtomicUsize::new(cfg.region_words),
             epoch: AtomicU64::new(cfg.epoch),
             region: RwLock::new((cfg.epoch, Arc::new(Region::new(cfg.region_words)))),
             transition: Mutex::new(()),
@@ -297,10 +396,13 @@ impl TcpFabric {
             bytes_posted: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             connect_patience: cfg.connect_patience,
-            peers,
+            peers: RwLock::new(peers),
             inbound: Mutex::new((0..n).map(|_| None).collect()),
-            hello_seen: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            hello_seen: Mutex::new(vec![false; n]),
             reader_threads: Mutex::new(Vec::new()),
+            grown_writers: Mutex::new(Vec::new()),
+            join_tx,
+            join_rx,
         });
         let mut service = Vec::new();
         listener.set_nonblocking(true)?;
@@ -367,10 +469,13 @@ impl TcpFabric {
                 if p == s.me {
                     continue;
                 }
-                if !s.peers[p].connected.load(Ordering::Acquire) {
+                if !s
+                    .peer(p)
+                    .is_some_and(|ps| ps.connected.load(Ordering::Acquire))
+                {
                     missing.push(format!("out:n{p}"));
                 }
-                if !s.hello_seen[p].load(Ordering::Acquire) {
+                if !s.hello_seen_get(p) {
                     missing.push(format!("in:n{p}"));
                 }
             }
@@ -396,8 +501,7 @@ impl TcpFabric {
         if peer.0 == s.me {
             return;
         }
-        let p = &s.peers[peer.0];
-        {
+        if let Some(p) = s.peer(peer.0) {
             let mut conn = p.conn.lock().expect("conn lock");
             if let Some(c) = conn.take() {
                 let _ = c.shutdown(Shutdown::Both);
@@ -405,9 +509,34 @@ impl TcpFabric {
             p.connected.store(false, Ordering::Release);
         }
         let mut inb = s.inbound.lock().expect("inbound lock");
-        if let Some((c, _)) = inb[peer.0].take() {
+        if let Some(Some((c, _))) = inb.get_mut(peer.0).map(|slot| slot.take()) {
             let _ = c.shutdown(Shutdown::Both);
         }
+    }
+
+    /// Joiner control conversations: a fresh process that dialed this
+    /// endpoint's listener with a `JOIN` frame. The hosting runtime
+    /// (e.g. `spindle-node`) drains this and runs the sponsor side of
+    /// the join protocol (`spindle_net::join::serve_join`).
+    pub fn join_requests(&self) -> &Receiver<JoinRequest> {
+        &self.inner.shared.join_rx
+    }
+
+    /// The listen address of every row this endpoint knows, indexed by
+    /// row id. This is the *authoritative* per-epoch list — it grows
+    /// with every join the cluster installs (each survivor's
+    /// [`Fabric::begin_epoch`] appends the proposal's endpoint), so a
+    /// sponsor building a join commit sees rows admitted by *other*
+    /// sponsors too, not just its own.
+    pub fn peer_addrs(&self) -> Vec<String> {
+        self.inner
+            .shared
+            .addrs
+            .read()
+            .expect("addrs lock")
+            .iter()
+            .map(|a| a.to_string())
+            .collect()
     }
 
     /// Severs every live connection of this endpoint (full link failure).
@@ -444,7 +573,7 @@ impl Fabric for TcpFabric {
         assert_eq!(src.0, s.me, "TcpFabric posts only from its local node");
         assert!(op.dst.0 < s.nodes(), "destination out of range");
         assert!(
-            op.range.start < op.range.end && op.range.end <= s.region_words,
+            op.range.start < op.range.end && op.range.end <= s.region_words(),
             "write range out of region bounds"
         );
         s.writes_posted.fetch_add(1, Ordering::Relaxed);
@@ -463,15 +592,21 @@ impl Fabric for TcpFabric {
                 }
             }
         }
-        let words = s.region().snapshot(op.range.start, op.words());
-        let peer = &s.peers[op.dst.0];
+        // Snapshot atomically with the epoch the words belong to: the
+        // writer refuses to transmit them once the endpoint has moved on.
+        let (epoch, region) = s.region_at_epoch();
+        let words = region.snapshot(op.range.start, op.words());
+        let peer = s.peer(op.dst.0).expect("destination peer exists");
         if peer.tx.len() >= OUTBOUND_QUEUE_CAP {
             // The peer is unreachable and the backlog is saturated: shed
             // load like a NIC whose QP errored out.
             s.metrics.add_frame_dropped();
             return;
         }
-        let _ = peer.tx.send(WriteFrame::for_op(op, words));
+        let _ = peer.tx.send(QueuedWrite {
+            epoch,
+            frame: WriteFrame::for_op(op, words),
+        });
     }
 
     fn faults(&self) -> &FaultPlan {
@@ -483,31 +618,60 @@ impl Fabric for TcpFabric {
     }
 
     /// The in-place epoch transition (see the [module docs](self)): swap
-    /// in a fresh mirror, re-stamp handshakes with `epoch`, narrow the
-    /// connection barrier to `live`, and re-wire connections — every
-    /// *outbound* link is severed (its stream carries the old epoch's
-    /// handshake; the writer re-dials with the new one), but an inbound
-    /// connection whose peer already handshook at `epoch` (or later) is
+    /// in a fresh mirror of the new layout's size, re-stamp handshakes
+    /// with the new epoch, narrow (or *grow* — a join appends rows to
+    /// the peer set, each with its own writer thread) the mesh to the
+    /// transition's live set, and re-wire connections — every *outbound*
+    /// link is severed (its stream carries the old epoch's handshake;
+    /// the writer re-dials with the new one), but an inbound connection
+    /// whose peer already handshook at the new epoch (or later) is
     /// **kept**: it is exactly the link the peer's install barrier and
     /// first new-epoch writes ride on, and killing it would drop those
     /// one-shot writes in the close window. Only stale inbound
-    /// connections are severed. Idempotent once `epoch` is installed.
-    fn begin_epoch(&self, epoch: u64, live: &[usize]) -> bool {
+    /// connections are severed. Idempotent once the epoch is installed.
+    fn begin_epoch(&self, t: &EpochTransition) -> bool {
         let s = &self.inner.shared;
         let _guard = s.transition.lock().expect("transition lock");
-        if s.epoch() >= epoch {
+        if s.epoch() >= t.epoch {
             return true;
+        }
+        // Grow first: a joined row becomes dialable the moment the new
+        // epoch exists, so the install barrier's pushes can reach it.
+        for (row, addr) in &t.joined {
+            let sock = resolve(addr).expect("join proposals carry numeric IPv4 endpoints");
+            let mut addrs = s.addrs.write().expect("addrs lock");
+            assert_eq!(*row, addrs.len(), "joined rows are appended in row order");
+            addrs.push(sock);
+            drop(addrs);
+            let (tx, rx) = unbounded();
+            s.peers
+                .write()
+                .expect("peers lock")
+                .push(Arc::new(PeerState {
+                    tx,
+                    conn: Mutex::new(None),
+                    connected: AtomicBool::new(false),
+                }));
+            s.ensure_inbound_slot(*row);
+            let shared = Arc::clone(&self.inner.shared);
+            let peer = *row;
+            let th = std::thread::Builder::new()
+                .name(format!("spindle-net-w{}-to-{peer}", s.me))
+                .spawn(move || writer_loop(shared, peer, rx))
+                .expect("spawn writer thread");
+            s.grown_writers.lock().expect("grown writers lock").push(th);
         }
         // Swap epoch and mirror together: readers gate every frame on the
         // pair, so no stale frame can land in the fresh region and no
         // new-epoch frame is lost to the old one.
-        *s.region.write().expect("region lock") = (epoch, Arc::new(Region::new(s.region_words)));
-        s.epoch.store(epoch, Ordering::Release);
+        *s.region.write().expect("region lock") = (t.epoch, Arc::new(Region::new(t.region_words)));
+        s.region_words.store(t.region_words, Ordering::Release);
+        s.epoch.store(t.epoch, Ordering::Release);
         *s.expected.lock().expect("expected lock") =
-            live.iter().copied().filter(|&p| p != s.me).collect();
+            t.live.iter().copied().filter(|&p| p != s.me).collect();
         // Outbound: sever everything; the writers re-dial on demand with
         // the new epoch's HELLO.
-        for (peer, p) in s.peers.iter().enumerate() {
+        for (peer, p) in s.peers.read().expect("peers lock").iter().enumerate() {
             if peer == s.me {
                 continue;
             }
@@ -521,14 +685,17 @@ impl Fabric for TcpFabric {
         // handshake stands — no fresh HELLO will come over them), sever
         // the stale ones.
         let mut inb = s.inbound.lock().expect("inbound lock");
+        let mut seen = s.hello_seen.lock().expect("hello_seen lock");
         for (src, slot) in inb.iter_mut().enumerate() {
             match slot {
-                Some((_, e)) if *e >= epoch => {}
+                Some((_, e)) if *e >= t.epoch => {}
                 _ => {
                     if let Some((c, _)) = slot.take() {
                         let _ = c.shutdown(Shutdown::Both);
                     }
-                    s.hello_seen[src].store(false, Ordering::Release);
+                    if let Some(flag) = seen.get_mut(src) {
+                        *flag = false;
+                    }
                 }
             }
         }
@@ -559,7 +726,7 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
     if !shared.link_allowed(peer) {
         return false;
     }
-    let Ok(stream) = TcpStream::connect_timeout(&shared.addrs[peer], DIAL_TIMEOUT) else {
+    let Ok(stream) = TcpStream::connect_timeout(&shared.addr_of(peer), DIAL_TIMEOUT) else {
         return false;
     };
     let _ = stream.set_nodelay(true);
@@ -570,7 +737,7 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
             version: PROTO_VERSION,
             src: shared.me as u32,
             nodes: shared.nodes() as u32,
-            region_words: shared.region_words as u64,
+            region_words: shared.region_words() as u64,
             epoch: shared.epoch(),
         }),
         &mut buf,
@@ -580,7 +747,9 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
         return false;
     }
     shared.metrics.add_bytes_sent(buf.len() as u64);
-    let p = &shared.peers[peer];
+    let Some(p) = shared.peer(peer) else {
+        return false;
+    };
     *p.conn.lock().expect("conn lock") = Some(stream);
     p.connected.store(true, Ordering::Release);
     shared.metrics.add_reconnect();
@@ -596,8 +765,20 @@ fn try_connect(shared: &Shared, peer: usize) -> bool {
 
 /// Sends one frame to `peer`, (re)dialing if allowed; drops the frame
 /// (counted) when the link is down and undialable.
-fn send_frame(shared: &Shared, peer: usize, frame: &WriteFrame, last_dial: &mut Instant) {
-    let p = &shared.peers[peer];
+fn send_frame(shared: &Shared, peer: usize, qw: &QueuedWrite, last_dial: &mut Instant) {
+    if qw.epoch < shared.epoch() {
+        // The frame was snapshotted from an epoch this endpoint already
+        // left: its queue pair died with the view. Transmitting it over
+        // a fresh-epoch connection would plant stale protocol columns in
+        // the peer's new mirror.
+        shared.metrics.add_frame_dropped();
+        return;
+    }
+    let frame = &qw.frame;
+    let Some(p) = shared.peer(peer) else {
+        shared.metrics.add_frame_dropped();
+        return;
+    };
     if !p.connected.load(Ordering::Acquire) {
         let now = Instant::now();
         if now.duration_since(*last_dial) < REDIAL_BACKOFF {
@@ -631,7 +812,7 @@ fn send_frame(shared: &Shared, peer: usize, frame: &WriteFrame, last_dial: &mut 
 /// The per-peer writer thread: eagerly dials during bootstrap, then
 /// drains the frame queue for the life of the fabric, flushing the
 /// backlog on shutdown.
-fn writer_loop(shared: Arc<Shared>, peer: usize, rx: Receiver<WriteFrame>) {
+fn writer_loop(shared: Arc<Shared>, peer: usize, rx: Receiver<QueuedWrite>) {
     let patience = Instant::now() + shared.connect_patience;
     while !shared.stop.load(Ordering::Acquire)
         && Instant::now() < patience
@@ -740,37 +921,58 @@ impl StreamDecoder {
 }
 
 /// One inbound connection: verify the `HELLO`, then place every write
-/// into the local mirror until the stream ends or turns garbage.
+/// into the local mirror until the stream ends or turns garbage. A
+/// connection that opens with a `JOIN` frame instead is not a fabric
+/// link at all — it is a joiner's control conversation, handed to the
+/// sponsor runtime through [`TcpFabric::join_requests`].
 fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
     let register = stream.try_clone().ok();
     let mut dec = StreamDecoder::new(stream);
     let hello = match dec.next(&shared) {
         Ok(Some(Frame::Hello(h))) => h,
+        Ok(Some(Frame::Join(j))) => {
+            // The joiner writes nothing after its JOIN; the sponsor
+            // answers over the same stream.
+            let _ = shared.join_tx.send(JoinRequest {
+                addr: j.addr,
+                as_sender: j.as_sender,
+                stream: dec.stream,
+            });
+            return;
+        }
         _ => return, // no (valid) handshake: drop the connection
     };
     let src = hello.src as usize;
     // A peer at a *later* epoch is legitimate: it installed the next view
     // first and is re-dialing (its pre-barrier posts touch only the
-    // idempotent reconfiguration columns). A peer at an *earlier* epoch
-    // is stale — rejecting it here is what keeps a laggard's old-epoch
-    // protocol writes out of the fresh mirror.
+    // idempotent reconfiguration columns). Its cluster size and region
+    // size describe a layout we may not have installed yet — e.g. the
+    // *joiner* of the next epoch dialing a laggard — so those checks are
+    // enforced only against a same-epoch handshake. A peer at an
+    // *earlier* epoch is stale — rejecting it here is what keeps a
+    // laggard's old-epoch protocol writes out of the fresh mirror.
+    let epoch_at_hello = shared.epoch();
+    let ahead = hello.epoch > epoch_at_hello;
     let valid = src != shared.me
-        && src < shared.nodes()
-        && hello.nodes as usize == shared.nodes()
-        && hello.region_words as usize == shared.region_words
-        && hello.epoch >= shared.epoch();
+        && src < MAX_ROWS
+        && hello.epoch >= epoch_at_hello
+        && (ahead
+            || (src < shared.nodes()
+                && hello.nodes as usize == shared.nodes()
+                && hello.region_words as usize == shared.region_words()));
     if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
         eprintln!(
             "spindle-net: n{} {} HELLO from n{src} at epoch {} (own epoch {})",
             shared.me,
             if valid { "accepted" } else { "REJECTED" },
             hello.epoch,
-            shared.epoch()
+            epoch_at_hello
         );
     }
     if !valid {
         return;
     }
+    shared.ensure_inbound_slot(src);
     if let Some(clone) = register {
         let mut inb = shared.inbound.lock().expect("inbound lock");
         if let Some((stale, _)) = inb[src].take() {
@@ -778,17 +980,18 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
         }
         inb[src] = Some((clone, hello.epoch));
     }
-    shared.hello_seen[src].store(true, Ordering::Release);
+    shared.hello_seen.lock().expect("hello_seen lock")[src] = true;
     loop {
         match dec.next(&shared) {
             Ok(Some(Frame::Write(w))) => {
                 // Checked arithmetic: a hostile offset near u64::MAX must
-                // fail validation, not wrap and panic the reader.
-                let in_bounds = w
-                    .offset
-                    .checked_add(w.words.len() as u64)
-                    .is_some_and(|end| end <= shared.region_words as u64);
-                if w.words.is_empty() || !in_bounds {
+                // fail validation, not wrap and panic the reader. The
+                // bound is the *connection's* declared region (>= ours
+                // for an ahead-of-us peer).
+                let own_words = shared.region_words() as u64;
+                let bound = own_words.max(hello.region_words);
+                let end = w.offset.checked_add(w.words.len() as u64);
+                if w.words.is_empty() || end.is_none_or(|e| e > bound) {
                     return; // corrupt frame: kill the connection
                 }
                 // Apply to the *current* mirror, gated per frame: while
@@ -803,12 +1006,23 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
                 if hello.epoch < epoch_now {
                     return;
                 }
-                region.apply_write(w.offset as usize, &w.words);
-                shared.metrics.add_frame_received();
+                let end = end.expect("bounds-checked above") as usize;
+                if end <= region.len() {
+                    region.apply_write(w.offset as usize, &w.words);
+                    shared.metrics.add_frame_received();
+                } else {
+                    // A write into rows of a later layout than ours —
+                    // e.g. the joiner's install flag reaching a laggard
+                    // that has not grown its mirror yet. Skip it (never
+                    // kill the link): monotonic protocol columns are
+                    // re-pushed, so it lands once we install.
+                    debug_assert!(hello.epoch > epoch_now);
+                }
             }
-            // A second HELLO is a protocol violation; EOF, stop and
-            // garbage all end the connection (the peer re-dials).
-            Ok(Some(Frame::Hello(_))) | Ok(None) | Err(_) => return,
+            // A second HELLO (or any control frame) is a protocol
+            // violation; EOF, stop and garbage all end the connection
+            // (the peer re-dials).
+            Ok(Some(_)) | Ok(None) | Err(_) => return,
         }
     }
 }
@@ -939,10 +1153,16 @@ mod tests {
         assert!(eventually(|| rb0.load(2) == 7));
 
         // A installs epoch 1 first: fresh zeroed mirror, links severed.
-        assert!(Fabric::begin_epoch(&a, 1, &[0, 1]));
+        assert!(Fabric::begin_epoch(
+            &a,
+            &EpochTransition::shrink(1, vec![0, 1], 16)
+        ));
         assert_eq!(a.region_arc(NodeId(0)).load(2), 0, "mirror not fresh");
         // Idempotent for an installed epoch.
-        assert!(Fabric::begin_epoch(&a, 1, &[0, 1]));
+        assert!(Fabric::begin_epoch(
+            &a,
+            &EpochTransition::shrink(1, vec![0, 1], 16)
+        ));
 
         // The epoch-skew window: A (epoch 1) re-dials B (still epoch 0)
         // with a later-epoch HELLO — accepted, frames land in B's
@@ -957,7 +1177,10 @@ mod tests {
 
         // B installs too: its stale mirror (with word 3 = 9) is replaced,
         // and the mesh re-forms at epoch 1.
-        assert!(Fabric::begin_epoch(&b, 1, &[0, 1]));
+        assert!(Fabric::begin_epoch(
+            &b,
+            &EpochTransition::shrink(1, vec![0, 1], 16)
+        ));
         assert_eq!(b.region_arc(NodeId(1)).load(3), 0, "mirror not fresh");
         assert!(eventually(|| {
             ra.store(4, 11);

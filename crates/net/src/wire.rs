@@ -7,7 +7,9 @@
 //! ```
 //!
 //! `len` counts everything after the length field (kind byte + body).
-//! Two kinds exist:
+//! Two fabric kinds exist, plus four control kinds for the distributed
+//! join handshake (`JOIN` 0x03 / `JOIN_STATE` 0x04 / `JOIN_COMMIT` 0x05
+//! / `JOIN_REDIRECT` 0x06 — see [`join`](crate::join)):
 //!
 //! * `HELLO` (`0x01`) — the bootstrap handshake, sent once as the first
 //!   frame of every connection: `version:u16 src:u32 nodes:u32
@@ -31,13 +33,25 @@ use std::ops::Range;
 
 use spindle_fabric::{NodeId, WriteOp};
 
-/// Protocol version spoken by this build (checked in `HELLO`).
+/// Protocol version spoken by this build (checked in `HELLO` and `JOIN`).
 pub const PROTO_VERSION: u16 = 1;
 
 /// Frame kind byte of [`Frame::Hello`].
 pub const KIND_HELLO: u8 = 0x01;
 /// Frame kind byte of [`Frame::Write`].
 pub const KIND_WRITE: u8 = 0x02;
+/// Frame kind byte of [`Frame::Join`].
+pub const KIND_JOIN: u8 = 0x03;
+/// Frame kind byte of [`Frame::JoinState`].
+pub const KIND_JOIN_STATE: u8 = 0x04;
+/// Frame kind byte of [`Frame::JoinCommit`].
+pub const KIND_JOIN_COMMIT: u8 = 0x05;
+/// Frame kind byte of [`Frame::JoinRedirect`].
+pub const KIND_JOIN_REDIRECT: u8 = 0x06;
+
+/// Upper bound on any length-prefixed string in a join frame (addresses
+/// are `host:port`; anything longer is garbage).
+pub const MAX_JOIN_STR: usize = 256;
 
 /// Upper bound on the words carried by one `WRITE` frame (16 MiB of
 /// payload). SST regions are far smaller; anything above this is garbage
@@ -171,6 +185,71 @@ impl WriteFrame {
     }
 }
 
+/// A joiner's opening frame: the first (and only) frame a fresh process
+/// sends when it dials a cluster member's listener to request admission.
+/// The sponsor answers over the same stream with [`Frame::JoinState`]
+/// and [`Frame::JoinCommit`] — or [`Frame::JoinRedirect`] when it does
+/// not host the leader row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinFrame {
+    /// Protocol version of the joiner.
+    pub version: u16,
+    /// Whether the joiner wants to multicast (join as a sender).
+    pub as_sender: bool,
+    /// The joiner's advertised listen address (`host:port`).
+    pub addr: String,
+}
+
+/// The state-transfer snapshot the sponsor sends a joiner before the
+/// epoch transition: the sponsor's current epoch, the frozen per-subgroup
+/// receive frontiers (where the old epoch's total order stands), and the
+/// tail of the sponsor's durable log (encoded `spindle_persist`
+/// records; empty in non-persistent clusters). The joiner enters at the
+/// *next* epoch and delivers nothing older — the snapshot is what brings
+/// its application state up to the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStateFrame {
+    /// The sponsor's epoch at snapshot time.
+    pub epoch: u64,
+    /// The row id the joiner will occupy.
+    pub new_row: u32,
+    /// Per-subgroup receive frontiers at snapshot time.
+    pub frontiers: Vec<i64>,
+    /// Encoded durable-log records (the state-transfer payload).
+    pub records: Vec<Vec<u8>>,
+}
+
+/// One subgroup's shape inside a [`JoinCommitFrame`] — enough for the
+/// joiner to rebuild the installed view bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgroupShape {
+    /// Member rows.
+    pub members: Vec<u32>,
+    /// Sender rows.
+    pub senders: Vec<u32>,
+    /// SMC ring window.
+    pub window: u32,
+    /// Maximum payload bytes.
+    pub max_msg: u32,
+}
+
+/// The sponsor's commit: the cluster installed the epoch that admits the
+/// joiner. Carries everything the joiner needs to bring up its endpoint
+/// — the new view id, its row, every row's listen address, and the
+/// installed subgroup shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCommitFrame {
+    /// The installed view id (the joiner's first epoch).
+    pub vid: u64,
+    /// The joiner's row.
+    pub new_row: u32,
+    /// Listen address per row of the new view (the joiner's own address
+    /// echoed back at index `new_row`).
+    pub addrs: Vec<String>,
+    /// The installed view's subgroups.
+    pub subgroups: Vec<SubgroupShape>,
+}
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -178,6 +257,14 @@ pub enum Frame {
     Hello(Hello),
     /// One-sided write.
     Write(WriteFrame),
+    /// A joiner's admission request.
+    Join(JoinFrame),
+    /// Sponsor → joiner: the state-transfer snapshot.
+    JoinState(JoinStateFrame),
+    /// Sponsor → joiner: the epoch admitting the joiner is installed.
+    JoinCommit(JoinCommitFrame),
+    /// Sponsor → joiner: re-dial the leader at this address.
+    JoinRedirect(String),
 }
 
 /// Appends the encoding of `frame` to `out`; returns the encoded size.
@@ -185,7 +272,85 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
     match frame {
         Frame::Hello(h) => encode_hello(h, out),
         Frame::Write(w) => encode_write_frame(w, out),
+        Frame::Join(j) => encode_join(j, out),
+        Frame::JoinState(s) => encode_join_state(s, out),
+        Frame::JoinCommit(c) => encode_join_commit(c, out),
+        Frame::JoinRedirect(addr) => encode_join_redirect(addr, out),
     }
+}
+
+/// Encodes a frame with kind byte + body builder, fixing up the length
+/// prefix afterwards.
+fn encode_with_body(kind: u8, out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes()); // patched below
+    out.push(kind);
+    body(out);
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out.len() - start
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= MAX_JOIN_STR, "join string exceeds cap");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the encoding of one `JOIN`; returns the encoded size.
+pub fn encode_join(j: &JoinFrame, out: &mut Vec<u8>) -> usize {
+    encode_with_body(KIND_JOIN, out, |b| {
+        b.extend_from_slice(&j.version.to_le_bytes());
+        b.push(j.as_sender as u8);
+        put_str(b, &j.addr);
+    })
+}
+
+/// Appends the encoding of one `JOIN_STATE`; returns the encoded size.
+pub fn encode_join_state(s: &JoinStateFrame, out: &mut Vec<u8>) -> usize {
+    encode_with_body(KIND_JOIN_STATE, out, |b| {
+        b.extend_from_slice(&s.epoch.to_le_bytes());
+        b.extend_from_slice(&s.new_row.to_le_bytes());
+        b.extend_from_slice(&(s.frontiers.len() as u32).to_le_bytes());
+        for f in &s.frontiers {
+            b.extend_from_slice(&f.to_le_bytes());
+        }
+        b.extend_from_slice(&(s.records.len() as u32).to_le_bytes());
+        for r in &s.records {
+            b.extend_from_slice(&(r.len() as u32).to_le_bytes());
+            b.extend_from_slice(r);
+        }
+    })
+}
+
+/// Appends the encoding of one `JOIN_COMMIT`; returns the encoded size.
+pub fn encode_join_commit(c: &JoinCommitFrame, out: &mut Vec<u8>) -> usize {
+    encode_with_body(KIND_JOIN_COMMIT, out, |b| {
+        b.extend_from_slice(&c.vid.to_le_bytes());
+        b.extend_from_slice(&c.new_row.to_le_bytes());
+        b.extend_from_slice(&(c.addrs.len() as u32).to_le_bytes());
+        for a in &c.addrs {
+            put_str(b, a);
+        }
+        b.extend_from_slice(&(c.subgroups.len() as u32).to_le_bytes());
+        for sg in &c.subgroups {
+            b.extend_from_slice(&sg.window.to_le_bytes());
+            b.extend_from_slice(&sg.max_msg.to_le_bytes());
+            b.extend_from_slice(&(sg.members.len() as u32).to_le_bytes());
+            for m in &sg.members {
+                b.extend_from_slice(&m.to_le_bytes());
+            }
+            b.extend_from_slice(&(sg.senders.len() as u32).to_le_bytes());
+            for s in &sg.senders {
+                b.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+    })
+}
+
+/// Appends the encoding of one `JOIN_REDIRECT`; returns the encoded size.
+pub fn encode_join_redirect(addr: &str, out: &mut Vec<u8>) -> usize {
+    encode_with_body(KIND_JOIN_REDIRECT, out, |b| put_str(b, addr))
 }
 
 /// Appends the encoding of one `HELLO`; returns the encoded size.
@@ -217,6 +382,140 @@ pub fn encode_write_frame(w: &WriteFrame, out: &mut Vec<u8>) -> usize {
         out.extend_from_slice(&word.to_le_bytes());
     }
     out.len() - start
+}
+
+/// A bounds-checked body cursor for the variable-length join frames:
+/// every read returns `None` past the end, mapped to
+/// [`WireError::LengthMismatch`] by the decoder.
+struct Cursor<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(b: &'a [u8]) -> Cursor<'a> {
+        Cursor { b, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.b.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(self.u64()? as i64)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        if len > MAX_JOIN_STR {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.b.len()
+    }
+}
+
+fn decode_join(body: &[u8]) -> Option<JoinFrame> {
+    let mut c = Cursor::new(body);
+    let version = c.u16()?;
+    let as_sender = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let addr = c.str()?;
+    (c.done() && version == PROTO_VERSION).then_some(JoinFrame {
+        version,
+        as_sender,
+        addr,
+    })
+}
+
+fn decode_join_state(body: &[u8]) -> Option<JoinStateFrame> {
+    let mut c = Cursor::new(body);
+    let epoch = c.u64()?;
+    let new_row = c.u32()?;
+    let nf = c.u32()? as usize;
+    if nf > 1024 {
+        return None;
+    }
+    let frontiers = (0..nf).map(|_| c.i64()).collect::<Option<Vec<_>>>()?;
+    let nr = c.u32()? as usize;
+    let mut records = Vec::new();
+    for _ in 0..nr {
+        let len = c.u32()? as usize;
+        records.push(c.take(len)?.to_vec());
+    }
+    c.done().then_some(JoinStateFrame {
+        epoch,
+        new_row,
+        frontiers,
+        records,
+    })
+}
+
+fn decode_join_commit(body: &[u8]) -> Option<JoinCommitFrame> {
+    let mut c = Cursor::new(body);
+    let vid = c.u64()?;
+    let new_row = c.u32()?;
+    let na = c.u32()? as usize;
+    if na > 1024 {
+        return None;
+    }
+    let addrs = (0..na).map(|_| c.str()).collect::<Option<Vec<_>>>()?;
+    let ng = c.u32()? as usize;
+    if ng > 1024 {
+        return None;
+    }
+    let mut subgroups = Vec::with_capacity(ng);
+    for _ in 0..ng {
+        let window = c.u32()?;
+        let max_msg = c.u32()?;
+        let nm = c.u32()? as usize;
+        if nm > 1024 {
+            return None;
+        }
+        let members = (0..nm).map(|_| c.u32()).collect::<Option<Vec<_>>>()?;
+        let ns = c.u32()? as usize;
+        if ns > 1024 {
+            return None;
+        }
+        let senders = (0..ns).map(|_| c.u32()).collect::<Option<Vec<_>>>()?;
+        subgroups.push(SubgroupShape {
+            members,
+            senders,
+            window,
+            max_msg,
+        });
+    }
+    c.done().then_some(JoinCommitFrame {
+        vid,
+        new_row,
+        addrs,
+        subgroups,
+    })
 }
 
 fn rd_u16(b: &[u8], at: usize) -> u16 {
@@ -298,6 +597,31 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
                 words,
             })
         }
+        KIND_JOIN => {
+            // JOIN carries its own version word (a joiner has no HELLO);
+            // report a version skew as BadVersion, not a length error.
+            if body.len() >= 2 {
+                let version = rd_u16(body, 0);
+                if version != PROTO_VERSION {
+                    return Err(WireError::BadVersion(version));
+                }
+            }
+            Frame::Join(decode_join(body).ok_or(WireError::LengthMismatch { kind, len })?)
+        }
+        KIND_JOIN_STATE => Frame::JoinState(
+            decode_join_state(body).ok_or(WireError::LengthMismatch { kind, len })?,
+        ),
+        KIND_JOIN_COMMIT => Frame::JoinCommit(
+            decode_join_commit(body).ok_or(WireError::LengthMismatch { kind, len })?,
+        ),
+        KIND_JOIN_REDIRECT => {
+            let mut c = Cursor::new(body);
+            let addr = c
+                .str()
+                .filter(|_| c.done())
+                .ok_or(WireError::LengthMismatch { kind, len })?;
+            Frame::JoinRedirect(addr)
+        }
         other => return Err(WireError::BadKind(other)),
     };
     Ok((frame, total))
@@ -334,6 +658,70 @@ mod tests {
         roundtrip(&Frame::Write(frame.clone()));
         assert_eq!(frame.range(), 10..14);
         assert_eq!(frame.to_op(NodeId(1)), op);
+    }
+
+    #[test]
+    fn join_frames_roundtrip() {
+        roundtrip(&Frame::Join(JoinFrame {
+            version: PROTO_VERSION,
+            as_sender: true,
+            addr: "127.0.0.1:7144".into(),
+        }));
+        roundtrip(&Frame::JoinState(JoinStateFrame {
+            epoch: 3,
+            new_row: 4,
+            frontiers: vec![-1, 42],
+            records: vec![vec![1, 2, 3], Vec::new(), vec![0xFF; 64]],
+        }));
+        roundtrip(&Frame::JoinCommit(JoinCommitFrame {
+            vid: 4,
+            new_row: 3,
+            addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            subgroups: vec![SubgroupShape {
+                members: vec![0, 1, 2, 3],
+                senders: vec![0, 3],
+                window: 16,
+                max_msg: 64,
+            }],
+        }));
+        roundtrip(&Frame::JoinRedirect("10.0.0.1:7101".into()));
+    }
+
+    #[test]
+    fn join_decode_rejects_garbage() {
+        // A truncated JOIN body is a length mismatch, not a panic.
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Join(JoinFrame {
+                version: PROTO_VERSION,
+                as_sender: false,
+                addr: "a:1".into(),
+            }),
+            &mut buf,
+        );
+        // Chop one byte off the body and fix the length prefix.
+        buf.pop();
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) - 1;
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::LengthMismatch {
+                kind: KIND_JOIN,
+                ..
+            })
+        ));
+        // A version-skewed joiner is told so explicitly.
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Join(JoinFrame {
+                version: PROTO_VERSION,
+                as_sender: false,
+                addr: "a:1".into(),
+            }),
+            &mut buf,
+        );
+        buf[5] = 0xEE;
+        assert_eq!(decode_frame(&buf), Err(WireError::BadVersion(0x00EE)));
     }
 
     #[test]

@@ -86,9 +86,10 @@ proptest! {
         }
     }
 
-    /// An unknown kind byte is rejected as `BadKind`, whatever the body.
+    /// An unknown kind byte is rejected as `BadKind`, whatever the body
+    /// (0x03–0x06 are the join control frames now).
     #[test]
-    fn unknown_kind_is_typed(kind in 3u8..=255, body_len in 0usize..64) {
+    fn unknown_kind_is_typed(kind in 7u8..=255, body_len in 0usize..64) {
         let mut buf = Vec::new();
         buf.extend_from_slice(&((body_len + 1) as u32).to_le_bytes());
         buf.push(kind);

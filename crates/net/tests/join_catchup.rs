@@ -1,0 +1,407 @@
+//! The distributed-join acceptance test: three real OS processes form a
+//! loopback TCP cluster under sustained sends, then a **fourth process
+//! joins mid-stream** (`spindle-node --join`): it dials a seed, receives
+//! the state-transfer snapshot, the founders drive the resizable epoch
+//! transition through the SST (the join intent travels in the leader's
+//! proposal; every survivor grows its mirror and peer set in place), and
+//! the joiner enters at epoch 1 behind the catch-up barrier — no process
+//! restarts. Every process's delivery trace must satisfy the harness
+//! oracles (total order, completeness, no duplicates, and
+//! membership-scope: the joiner observes nothing older than its join
+//! epoch), the joiner's first delivery must be seq 0 of epoch 1, and all
+//! four epoch-1 streams must be byte-identical.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use spindle_core::threaded::{Cluster, Delivered, ViewChangeError};
+use spindle_core::{Plan, SpindleConfig};
+use spindle_harness::oracle::{check_threaded, EpochMembers};
+use spindle_membership::{SubgroupId, ViewBuilder};
+use spindle_net::{TcpFabric, TcpFabricConfig};
+
+const FOUNDERS: usize = 3;
+const SENDS: u32 = 30;
+const JOINER_SENDS: u32 = 12;
+const PAYLOAD: usize = 24;
+const SEED: u64 = 7;
+const JOINER_ROW: usize = 3;
+
+/// Mirrors the binary's deterministic payload function.
+fn payload(node: usize, counter: u32, size: usize, seed: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(size.max(8));
+    p.extend_from_slice(&(node as u32).to_le_bytes());
+    p.extend_from_slice(&counter.to_le_bytes());
+    let mut x = seed ^ ((node as u64) << 32) ^ counter as u64;
+    while p.len() < size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p.push(x as u8);
+    }
+    p
+}
+
+fn free_loopback_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+fn parse_trace(text: &str) -> Vec<Delivered> {
+    text.lines()
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            let mut next = || it.next().expect("trace field");
+            let epoch = next().parse().expect("epoch");
+            let subgroup = SubgroupId(next().parse().expect("subgroup"));
+            let sender_rank = next().parse().expect("rank");
+            let app_index = next().parse().expect("app index");
+            let seq = next().parse().expect("seq");
+            let hex = next();
+            let data = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).expect("hex"))
+                .collect();
+            Delivered {
+                epoch,
+                subgroup,
+                sender_rank,
+                app_index,
+                seq,
+                data,
+            }
+        })
+        .collect()
+}
+
+struct NodeProc {
+    child: Child,
+    trace_path: PathBuf,
+}
+
+fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
+    let ports = free_loopback_ports(FOUNDERS + 1);
+    let addrs: Vec<String> = ports[..FOUNDERS]
+        .iter()
+        .map(|p| format!("\"127.0.0.1:{p}\""))
+        .collect();
+    let config = format!(
+        "# written by join_catchup.rs\nnodes = [{}]\nwindow = 16\nmax_msg = 64\n",
+        addrs.join(", ")
+    );
+    let config_path = dir.join("cluster.toml");
+    std::fs::write(&config_path, config).expect("write config");
+
+    let mut procs: Vec<NodeProc> = (0..FOUNDERS)
+        .map(|node| {
+            let trace_path = dir.join(format!("trace-n{node}.txt"));
+            let child = Command::new(env!("CARGO_BIN_EXE_spindle-node"))
+                .arg("--config")
+                .arg(&config_path)
+                .args(["--node", &node.to_string()])
+                .args(["--sends", &SENDS.to_string()])
+                .args(["--payload", &PAYLOAD.to_string()])
+                .args(["--seed", &SEED.to_string()])
+                .args(["--deadline-secs", "90"])
+                .args(["--linger-ms", "1500"])
+                // Founders finish only once the join epoch installed and
+                // their own sends came back — a joiner changes the total,
+                // so a fixed count cannot be the finish line.
+                .args(["--min-epoch", "1"])
+                .args(["--quiesce-ms", "900"])
+                .arg("--trace-out")
+                .arg(&trace_path)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn spindle-node");
+            NodeProc { child, trace_path }
+        })
+        .collect();
+
+    // Let the founders' mesh come up and traffic start flowing, then
+    // join a fourth process mid-stream through founder 0's listener.
+    std::thread::sleep(Duration::from_millis(400));
+    let joiner_trace = dir.join(format!("trace-n{JOINER_ROW}.txt"));
+    let joiner = Command::new(env!("CARGO_BIN_EXE_spindle-node"))
+        .arg("--config")
+        .arg(&config_path)
+        .args(["--join", &format!("127.0.0.1:{}", ports[0])])
+        .args(["--listen", &format!("127.0.0.1:{}", ports[FOUNDERS])])
+        .args(["--sends", &JOINER_SENDS.to_string()])
+        .args(["--payload", &PAYLOAD.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--deadline-secs", "90"])
+        .args(["--linger-ms", "1500"])
+        .args(["--quiesce-ms", "900"])
+        .arg("--trace-out")
+        .arg(&joiner_trace)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn joiner spindle-node");
+    procs.push(NodeProc {
+        child: joiner,
+        trace_path: joiner_trace,
+    });
+    procs
+}
+
+fn wait_all(procs: &mut [NodeProc], deadline: Duration) -> Vec<(bool, String, String)> {
+    let end = Instant::now() + deadline;
+    let mut done: Vec<Option<bool>> = vec![None; procs.len()];
+    while done.iter().any(|d| d.is_none()) && Instant::now() < end {
+        for (i, p) in procs.iter_mut().enumerate() {
+            if done[i].is_none() {
+                if let Ok(Some(status)) = p.child.try_wait() {
+                    done[i] = Some(status.success());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    procs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, p)| {
+            let ok = match done[i] {
+                Some(ok) => ok,
+                None => {
+                    let _ = p.child.kill();
+                    false
+                }
+            };
+            let out = p.child.wait_with_output_ref();
+            (ok, out.0, out.1)
+        })
+        .collect()
+}
+
+trait OutputRef {
+    fn wait_with_output_ref(&mut self) -> (String, String);
+}
+
+impl OutputRef for Child {
+    fn wait_with_output_ref(&mut self) -> (String, String) {
+        use std::io::Read;
+        let mut out = String::new();
+        let mut err = String::new();
+        if let Some(mut s) = self.stdout.take() {
+            let _ = s.read_to_string(&mut out);
+        }
+        if let Some(mut s) = self.stderr.take() {
+            let _ = s.read_to_string(&mut err);
+        }
+        let _ = self.wait();
+        (out, err)
+    }
+}
+
+fn render_failure(results: &[(bool, String, String)], procs: &[NodeProc]) -> String {
+    let mut out = String::new();
+    for (node, ((ok, stdout, stderr), p)) in results.iter().zip(procs).enumerate() {
+        let role = if node == JOINER_ROW {
+            "joiner"
+        } else {
+            "founder"
+        };
+        out.push_str(&format!(
+            "--- node {node} ({role}, {}) ---\nstdout:\n{stdout}\nstderr:\n{stderr}\n",
+            if *ok { "ok" } else { "FAILED" }
+        ));
+        if let Ok(trace) = std::fs::read_to_string(&p.trace_path) {
+            out.push_str(&format!(
+                "trace ({} deliveries):\n{trace}\n",
+                trace.lines().count()
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn live_cluster_accepts_a_fourth_process_mid_stream() {
+    let dir = std::env::temp_dir().join(format!("spindle-net-join-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // The bind-then-release port handoff can collide; retry once.
+    let mut last_failure = String::new();
+    for attempt in 0..2 {
+        let mut procs = spawn_cluster(&dir);
+        let results = wait_all(&mut procs, Duration::from_secs(120));
+        if results.iter().all(|(ok, _, _)| *ok) {
+            check_run(&procs, &results);
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+        last_failure = format!("attempt {attempt}:\n{}", render_failure(&results, &procs));
+        eprintln!("{last_failure}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    panic!("join-catchup cluster failed twice:\n{last_failure}");
+}
+
+fn check_run(procs: &[NodeProc], results: &[(bool, String, String)]) {
+    let mut streams: BTreeMap<usize, Vec<Delivered>> = BTreeMap::new();
+    for (node, p) in procs.iter().enumerate() {
+        let text = std::fs::read_to_string(&p.trace_path).expect("trace file");
+        streams.insert(node, parse_trace(&text));
+    }
+
+    // Epoch history: the founders in epoch 0, everyone in epoch 1.
+    let all: BTreeSet<usize> = (0..=JOINER_ROW).collect();
+    let mut epochs = EpochMembers::new();
+    epochs.insert(0, vec![(0..FOUNDERS).collect()]);
+    epochs.insert(1, vec![all.iter().copied().collect()]);
+
+    let mut acked: BTreeMap<(usize, usize), Vec<Vec<u8>>> = BTreeMap::new();
+    for node in 0..FOUNDERS {
+        let payloads = (0..SENDS)
+            .map(|c| payload(node, c, PAYLOAD, SEED))
+            .collect();
+        acked.insert((node, 0), payloads);
+    }
+    acked.insert(
+        (JOINER_ROW, 0),
+        (0..JOINER_SENDS)
+            .map(|c| payload(JOINER_ROW, c, PAYLOAD, SEED))
+            .collect(),
+    );
+
+    let checks = check_threaded(&streams, &all, &epochs, &acked, true);
+    for c in &checks {
+        assert!(
+            c.passed,
+            "oracle {} failed on the join-catchup run: {}\n{}",
+            c.name,
+            c.detail,
+            render_failure(results, procs)
+        );
+    }
+
+    // The joiner entered at epoch 1, and its very first delivery is the
+    // head of the new epoch's total order — the same (sender, index,
+    // seq) every founder delivers first in epoch 1. (The seq is not 0:
+    // the founders' null rounds consume sequence numbers invisibly, so
+    // with three founding senders the head lands at seq 3 under this
+    // pinned seed.)
+    let joiner = &streams[&JOINER_ROW];
+    assert!(
+        !joiner.is_empty(),
+        "joiner delivered nothing\n{}",
+        render_failure(results, procs)
+    );
+    assert_eq!(joiner[0].epoch, 1, "joiner's first delivery is not epoch 1");
+
+    // Epoch-1 agreement, byte for byte, across all four processes.
+    let epoch1 = |node: usize| -> Vec<&Delivered> {
+        streams[&node].iter().filter(|d| d.epoch == 1).collect()
+    };
+    let base = epoch1(0);
+    assert!(
+        !base.is_empty(),
+        "no epoch-1 deliveries: the join transition never completed\n{}",
+        render_failure(results, procs)
+    );
+    assert_eq!(
+        (base[0].epoch, base[0].seq),
+        (joiner[0].epoch, joiner[0].seq),
+        "joiner's first delivery is not the head of the epoch-1 order\n{}",
+        render_failure(results, procs)
+    );
+    for node in 1..=JOINER_ROW {
+        assert_eq!(
+            base,
+            epoch1(node),
+            "node {node} delivered a different epoch-1 stream\n{}",
+            render_failure(results, procs)
+        );
+    }
+
+    // Every founder installed exactly one view change and says so; the
+    // joiner reports its state-transfer bytes.
+    for (node, (_, stdout, _)) in results.iter().enumerate().take(FOUNDERS) {
+        assert!(
+            stdout.contains("view-changes: 1 in"),
+            "founder {node} did not report the join transition:\n{stdout}"
+        );
+    }
+    assert!(
+        results[JOINER_ROW].1.contains("catch-up: ")
+            && !results[JOINER_ROW].1.contains("catch-up: 0 B"),
+        "joiner did not report its catch-up bytes:\n{}",
+        results[JOINER_ROW].1
+    );
+}
+
+/// `add_node` on an epoch-capable distributed cluster names the real
+/// requirement (a joiner endpoint) instead of claiming the fabric is
+/// static — with argument validation still first, exactly like
+/// `remove_node` — and `admit_node` enforces the leader-sponsor rule
+/// and endpoint validation.
+#[test]
+fn distributed_join_error_surface() {
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addrs = vec![
+        l0.local_addr().unwrap().to_string(),
+        l1.local_addr().unwrap().to_string(),
+    ];
+    let view = ViewBuilder::new(2)
+        .subgroup(&[0, 1], &[0, 1], 8, 64)
+        .build()
+        .unwrap();
+    let words = Plan::build(&view, true).layout.region_words();
+    let fab = |me: usize, l: TcpListener| {
+        TcpFabric::bootstrap_on_listener(TcpFabricConfig::new(me, addrs.clone(), words), l).unwrap()
+    };
+    let a = fab(0, l0);
+    let b = fab(1, l1);
+    a.wait_connected(Duration::from_secs(10)).unwrap();
+    b.wait_connected(Duration::from_secs(10)).unwrap();
+    let mut ca = Cluster::start_distributed(
+        view.clone(),
+        SpindleConfig::optimized(),
+        None,
+        None,
+        &[0],
+        a,
+    );
+    let mut cb = Cluster::start_distributed(view, SpindleConfig::optimized(), None, None, &[1], b);
+
+    // Argument validation precedes the capability verdict.
+    assert_eq!(
+        ca.add_node(&[(SubgroupId(9), true)]).unwrap_err(),
+        ViewChangeError::UnknownSubgroup(SubgroupId(9))
+    );
+    // The capability verdict itself: epoch-capable, but joins need the
+    // joiner's endpoint (admit_node / --join), not an in-process row.
+    assert_eq!(
+        ca.add_node(&[(SubgroupId(0), true)]).unwrap_err(),
+        ViewChangeError::JoinerAddressRequired
+    );
+    // admit_node: endpoint validation first...
+    assert!(matches!(
+        ca.admit_node("not-an-endpoint", true),
+        Err(ViewChangeError::BadJoinAddress(_))
+    ));
+    assert!(matches!(
+        ca.admit_node("127.0.0.1:0", true),
+        Err(ViewChangeError::BadJoinAddress(_))
+    ));
+    // ...then the leader-sponsor rule: node 1's host must redirect.
+    assert_eq!(
+        cb.admit_node("127.0.0.1:9999", true).unwrap_err(),
+        ViewChangeError::NotLeader { leader: 0 }
+    );
+    ca.shutdown();
+    cb.shutdown();
+}

@@ -74,6 +74,20 @@ pub struct LogRecord {
 }
 
 impl LogRecord {
+    /// Encodes the record body for transport (the joiner state-transfer
+    /// snapshot ships log tails over the wire in exactly the on-disk
+    /// body layout, without the per-frame magic/CRC that
+    /// [`DurableLog::append`] adds).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_body()
+    }
+
+    /// Decodes a record body produced by [`LogRecord::encode`]; `None`
+    /// for anything malformed.
+    pub fn decode(body: &[u8]) -> Option<LogRecord> {
+        LogRecord::decode_body(body)
+    }
+
     fn encode_body(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(BODY_HEADER + self.data.len());
         b.extend_from_slice(&self.epoch.to_le_bytes());
@@ -109,6 +123,24 @@ impl LogRecord {
             data: body[BODY_HEADER..].to_vec(),
         })
     }
+}
+
+/// The longest suffix of `records` whose encoded bodies fit `max_bytes`
+/// — the byte budget of a joiner's state-transfer snapshot (the newest
+/// records matter most; older history is reachable by replaying a
+/// survivor's full log offline).
+pub fn tail_within(records: &[LogRecord], max_bytes: usize) -> &[LogRecord] {
+    let mut budget = max_bytes;
+    let mut start = records.len();
+    for (i, r) in records.iter().enumerate().rev() {
+        let bytes = BODY_HEADER + r.data.len();
+        if bytes > budget {
+            break;
+        }
+        budget -= bytes;
+        start = i;
+    }
+    &records[start..]
 }
 
 /// CRC-32 (IEEE 802.3, reflected), table-driven.
@@ -341,6 +373,21 @@ mod tests {
             app_index: seq as u64 / 3,
             data: data.to_vec(),
         }
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_and_tail_respects_budget() {
+        let r = rec(7, b"payload");
+        assert_eq!(LogRecord::decode(&r.encode()), Some(r.clone()));
+        assert_eq!(LogRecord::decode(&[]), None);
+        assert_eq!(LogRecord::decode(&r.encode()[..10]), None);
+        let records: Vec<LogRecord> = (0..5).map(|i| rec(i, b"xxxxxxxx")).collect();
+        let each = BODY_HEADER + 8;
+        assert_eq!(tail_within(&records, 5 * each).len(), 5);
+        assert_eq!(tail_within(&records, 2 * each + 3).len(), 2);
+        assert_eq!(tail_within(&records, 0).len(), 0);
+        // The tail keeps the *newest* records.
+        assert_eq!(tail_within(&records, each)[0].seq, 4);
     }
 
     #[test]
