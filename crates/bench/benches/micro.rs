@@ -220,8 +220,12 @@ fn bench_net(c: &mut Criterion) {
             }
         })
     });
-    // The poster-side cost alone (enqueue to the writer thread): what the
-    // predicate thread actually pays per posted write.
+    // The poster-side cost alone, without waiting for placement: what
+    // the predicate thread actually pays per posted write. On an idle
+    // connected peer this is the latency-greedy inline flush (encode +
+    // vectored write from the posting thread); once the kernel buffer
+    // pushes back, posts degrade to queue appends that the poller
+    // drains as coalesced vectored writes.
     g.bench_function("tcp_post_enqueue_8B", |b| {
         b.iter(|| {
             v += 1;
@@ -229,9 +233,14 @@ fn bench_net(c: &mut Criterion) {
             fabric.post(NodeId(0), black_box(&WriteOp::new(NodeId(1), 0..1)));
         })
     });
-    // Let the writer drain before tearing the sockets down.
+    // Settle before tearing the sockets down. The flood above can
+    // outrun loopback drain far enough to hit the outbound queue cap,
+    // where the fabric sheds frames — so the last post may never land.
+    // Repost (never enqueuing more than one frame per settle step)
+    // until the final value is visible.
     while r1.load(0) != v {
-        std::thread::yield_now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        fabric.post(NodeId(0), &WriteOp::new(NodeId(1), 0..1));
     }
     g.finish();
 }

@@ -1,0 +1,146 @@
+//! Bench regression gate: compare a fresh criterion summary against the
+//! committed baseline and fail on meaningful regressions.
+//!
+//! Usage: `bench_gate <baseline.json> <current.json> [prefix]`
+//!
+//! Both files are the flat `{"group/bench": mean_ns}` summaries the
+//! criterion harness writes when `SPINDLE_BENCH_JSON` is set. The gate
+//! compares every baseline key (optionally restricted to a `prefix`,
+//! e.g. `net/`) and exits nonzero if any benchmark's mean regressed by
+//! more than [`TOLERANCE`] over its baseline. Keys present only in the
+//! current run are reported but never fail the gate — new benchmarks
+//! land first, then get baselined.
+//!
+//! Refreshing the baseline after an intentional perf change:
+//!
+//! ```text
+//! SPINDLE_BENCH_JSON=BENCH_net.json \
+//!   cargo bench -p spindle-bench --bench micro -- \
+//!   --measurement-time 1 --warm-up-time 1 net/
+//! ```
+//!
+//! then commit the updated `BENCH_net.json` in the same PR as the
+//! change that moved the numbers, with the before/after noted in the
+//! commit message. Baselines are host-specific by nature; CI compares
+//! runner against runner, so refresh from the CI runner's numbers (or
+//! the high end of several local runs) — not from a faster laptop.
+
+use std::process::ExitCode;
+
+/// Relative slowdown over baseline that fails the gate. Generous on
+/// purpose: shared CI runners jitter, and the gate exists to catch
+/// structural regressions (a lost fast path, an extra syscall per op),
+/// not scheduler noise.
+const TOLERANCE: f64 = 0.20;
+
+/// Parse the flat `{"key": number}` JSON the criterion stand-in emits.
+/// Hand-rolled on purpose — the workspace takes no serde dependency,
+/// and the grammar here is a single object of string→number pairs.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a top-level JSON object")?;
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, val) = part
+            .split_once(':')
+            .ok_or_else(|| format!("expected \"key\": value, got {part:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in {part:?}"))?;
+        let val: f64 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric value in {part:?}"))?;
+        out.push((key.to_string(), val));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path, prefix) = match args.as_slice() {
+        [b, c] => (b.as_str(), c.as_str(), ""),
+        [b, c, p] => (b.as_str(), c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <current.json> [prefix]");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    for (key, base) in baseline.iter().filter(|(k, _)| k.starts_with(prefix)) {
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            eprintln!("FAIL  {key}: in baseline but missing from current run");
+            failures += 1;
+            continue;
+        };
+        let delta = (cur - base) / base;
+        let verdict = if delta > TOLERANCE { "FAIL" } else { "ok" };
+        println!(
+            "{verdict:<5} {key}: {base:.0} ns -> {cur:.0} ns ({delta:+.1}%)",
+            delta = delta * 100.0
+        );
+        if delta > TOLERANCE {
+            failures += 1;
+        }
+    }
+    for (key, cur) in current.iter().filter(|(k, _)| k.starts_with(prefix)) {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            println!("new   {key}: {cur:.0} ns (not in baseline; add it on the next refresh)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed more than {:.0}% — \
+             if intentional, refresh the baseline (see crate docs)",
+            TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: all benchmarks within {:.0}% of baseline",
+        TOLERANCE * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flat_json;
+
+    #[test]
+    fn parses_the_criterion_summary_shape() {
+        let parsed = parse_flat_json("{\n  \"net/a\": 1.500,\n  \"net/b\": 4822.343\n}\n").unwrap();
+        assert_eq!(
+            parsed,
+            vec![("net/a".into(), 1.5), ("net/b".into(), 4822.343)]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{\"k\": nope}").is_err());
+        assert!(parse_flat_json("{k: 1}").is_err());
+    }
+}

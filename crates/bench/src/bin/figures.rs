@@ -1221,7 +1221,12 @@ fn membership(opts: &Opts) {
             remove.record(t0.elapsed().as_secs_f64() * 1e3);
 
             let t0 = Instant::now();
-            cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+            cluster
+                .admit(spindle_core::AdmitRequest::in_process(&[(
+                    SubgroupId(0),
+                    true,
+                )]))
+                .unwrap();
             join.record(t0.elapsed().as_secs_f64() * 1e3);
             cluster.shutdown();
         }

@@ -42,5 +42,5 @@ pub use metrics::{NodeMetrics, RunReport};
 pub use plan::{Plan, ReconfigCols, SubgroupCols};
 pub use proto::{Delivery, SubgroupProto};
 pub use sim::{SimCluster, SimFault, SimFaultKind};
-pub use threaded::{Cluster, PersistConfig, Suspicion};
+pub use threaded::{AdmitRequest, Cluster, PersistConfig, Suspicion};
 pub use viewchange::{InstallBarrier, VcStep, ViewChangeEngine};

@@ -34,7 +34,7 @@
 //! Two drivers execute that engine:
 //!
 //! * clusters built over a fabric *factory* step every local node's engine
-//!   from the [`Cluster::remove_node`] / [`Cluster::add_node`] caller —
+//!   from the [`Cluster::remove_node`] / [`Cluster::admit`] caller —
 //!   the degenerate single-process schedule of the same protocol;
 //! * clusters on a pre-built transport that supports
 //!   [`Fabric::begin_epoch`] (the multi-process `spindle-node` runtime
@@ -113,7 +113,52 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
-/// Errors from [`Cluster::remove_node`].
+/// One admission for [`Cluster::admit`] — the single entry point for
+/// growing a cluster, whether the joiner is a fresh *process* on a
+/// distributed transport (carry its [`endpoint`](AdmitRequest::endpoint))
+/// or an in-process node on a factory-built cluster (no endpoint; pick
+/// its subgroups).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmitRequest {
+    /// The joiner's advertised transport endpoint (`host:port`; IPv6
+    /// literals bracketed). Present for distributed admissions — the
+    /// endpoint travels in the leader's proposal so every survivor
+    /// extends its mesh identically. Absent for in-process joins.
+    pub endpoint: Option<String>,
+    /// Whether the joiner enters subgroups as a sender, wherever
+    /// [`subgroups`](AdmitRequest::subgroups) does not say per subgroup.
+    pub as_sender: bool,
+    /// Subgroups the joiner enters, with per-subgroup sender status
+    /// (in-process joins only; a distributed joiner's row is appended
+    /// to every subgroup by [`reconfig::join_view`]). `None` means
+    /// every subgroup, with [`as_sender`](AdmitRequest::as_sender)
+    /// deciding sender status.
+    pub subgroups: Option<Vec<(SubgroupId, bool)>>,
+}
+
+impl AdmitRequest {
+    /// A distributed admission: the fresh process listening at
+    /// `endpoint` joins every subgroup (as a sender when `as_sender`).
+    pub fn remote(endpoint: impl Into<String>, as_sender: bool) -> AdmitRequest {
+        AdmitRequest {
+            endpoint: Some(endpoint.into()),
+            as_sender,
+            subgroups: None,
+        }
+    }
+
+    /// An in-process admission on a factory-built cluster: the new
+    /// node enters exactly the listed subgroups.
+    pub fn in_process(joins: &[(SubgroupId, bool)]) -> AdmitRequest {
+        AdmitRequest {
+            endpoint: None,
+            as_sender: false,
+            subgroups: Some(joins.to_vec()),
+        }
+    }
+}
+
+/// Errors from [`Cluster::remove_node`] and [`Cluster::admit`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ViewChangeError {
     /// The node id is not a current member.
@@ -129,13 +174,15 @@ pub enum ViewChangeError {
     /// a fabric factory nor [`Fabric::begin_epoch`], so epoch transitions
     /// are driven externally (restart with a new bootstrap config).
     StaticFabric,
-    /// [`Cluster::add_node`] on a distributed, epoch-capable cluster: a
-    /// new row means a new process, and admitting one needs the joiner's
-    /// transport endpoint — use [`Cluster::admit_node`] (driven by
+    /// An endpoint-less [`Cluster::admit`] on a distributed,
+    /// epoch-capable cluster: a new row means a new process, and
+    /// admitting one needs the joiner's transport endpoint — pass an
+    /// [`AdmitRequest`] with the endpoint set (driven by
     /// `spindle-node --join`) instead.
     JoinerAddressRequired,
-    /// [`Cluster::admit_node`] on a factory-built cluster, which joins
-    /// in process through [`Cluster::add_node`] instead.
+    /// An [`AdmitRequest`] carrying an endpoint on a factory-built
+    /// cluster, which joins in process ([`AdmitRequest::in_process`])
+    /// instead.
     InProcessJoin,
     /// A join must be sponsored by the process hosting the leader row
     /// (only the leader's proposal carries the join intent); redirect
@@ -144,8 +191,9 @@ pub enum ViewChangeError {
         /// The row whose host must sponsor the join.
         leader: usize,
     },
-    /// The joiner's endpoint cannot travel in a join proposal (not an
-    /// IPv4 `host:port`, or the cluster is at the bitmap's row cap).
+    /// The joiner's endpoint cannot travel in a join proposal (not a
+    /// `host:port`, host longer than the proposal's byte bound, or the
+    /// cluster is at the bitmap's row cap).
     BadJoinAddress(String),
     /// The SST-driven transition did not converge within its deadline
     /// (a survivor stalled or stayed partitioned).
@@ -168,11 +216,14 @@ impl std::fmt::Display for ViewChangeError {
                 write!(
                     f,
                     "a distributed join needs the joiner's endpoint: \
-                     use admit_node (spindle-node --join)"
+                     admit with an endpoint (spindle-node --join)"
                 )
             }
             ViewChangeError::InProcessJoin => {
-                write!(f, "factory-built clusters join in process: use add_node")
+                write!(
+                    f,
+                    "factory-built clusters join in process: admit without an endpoint"
+                )
             }
             ViewChangeError::NotLeader { leader } => {
                 write!(f, "joins must be sponsored by the leader row {leader}")
@@ -293,11 +344,11 @@ struct NodeShared<F: Fabric> {
     /// planned-removal trigger on a distributed cluster). The thread
     /// drains them into its view-change engine.
     vc_trigger: AtomicU64,
-    /// Packed join word ([`reconfig::encode_join_word`]) this node must
+    /// The joiner's endpoint ([`reconfig::JoinEndpoint`]) this node must
     /// carry into its next proposal (a sponsored distributed join,
-    /// [`Cluster::admit_node`]); 0 when none. Consumed by the predicate
+    /// [`Cluster::admit`]); `None` when none. Consumed by the predicate
     /// thread when it starts the transition.
-    join_intent: AtomicU64,
+    join_intent: Mutex<Option<reconfig::JoinEndpoint>>,
     /// The report of the last predicate-thread-driven view change.
     vc_report: Mutex<Option<ViewChangeReport>>,
     /// View changes this node installed (predicate-thread driver).
@@ -754,7 +805,7 @@ impl<F: Fabric> Cluster<F> {
         // On a pre-built transport that can transition epochs in place,
         // each predicate thread drives the SST view-change engine itself
         // (the multi-process deployment); factory-built clusters drive it
-        // from the remove_node/add_node caller instead.
+        // from the remove_node/admit caller instead.
         let vc_enabled = self.factory.is_none() && self.fabric.supports_epoch_advance();
         let th = {
             let cfg = self.cfg.clone();
@@ -895,7 +946,7 @@ impl<F: Fabric> Cluster<F> {
     }
 
     /// Wedge→install duration of every view change this cluster's caller
-    /// drove ([`Cluster::remove_node`] / [`Cluster::add_node`]), in
+    /// drove ([`Cluster::remove_node`] / [`Cluster::admit`]), in
     /// order. Distributed clusters report per node instead
     /// ([`NodeHandle::view_change_stats`]).
     pub fn view_change_durations(&self) -> &[Duration] {
@@ -1100,38 +1151,74 @@ impl<F: Fabric> Cluster<F> {
         }
     }
 
-    /// Admits a fresh *process* into a distributed cluster (§2.1 treats
-    /// joins and removals as the same epoch transition): the sponsor —
-    /// which must host the leader row — publishes the joiner's endpoint
-    /// through its next planned proposal, every survivor derives the
-    /// identical grown view ([`reconfig::join_view`]) and extends its
-    /// transport in place ([`Fabric::begin_epoch`] with a
-    /// [`EpochTransition::joined`] entry), and the install barrier holds
-    /// application traffic until the joiner's own mirror is connected and
-    /// caught up. Returns the joiner's row id and the transition report;
-    /// the joiner's handle in *this* process is a closed remote stub
-    /// (the real row runs in the joining process).
+    /// Admits one joiner into the cluster — the single entry point for
+    /// growth (§2.1 treats joins and removals as the same epoch
+    /// transition). The [`AdmitRequest`] decides the mechanism:
+    ///
+    /// * **With an endpoint** ([`AdmitRequest::remote`]): a fresh
+    ///   *process* joins a distributed cluster. The sponsor — which must
+    ///   host the leader row — publishes the joiner's endpoint through
+    ///   its next planned proposal, every survivor derives the identical
+    ///   grown view ([`reconfig::join_view`]) and extends its transport
+    ///   in place ([`Fabric::begin_epoch`] with a
+    ///   [`EpochTransition::joined`] entry), and the install barrier
+    ///   holds application traffic until the joiner's own mirror is
+    ///   connected and caught up. The joiner's handle in *this* process
+    ///   is a closed remote stub (the real row runs in the joining
+    ///   process).
+    /// * **Without** ([`AdmitRequest::in_process`]): a new in-process
+    ///   node joins a factory-built cluster, entering the requested
+    ///   subgroups; its live handle is at [`Cluster::node`].
+    ///
+    /// Returns the joiner's row id and the transition report.
     ///
     /// # Errors
     ///
-    /// [`ViewChangeError::InProcessJoin`] on factory-built clusters
-    /// (use [`Cluster::add_node`]), [`ViewChangeError::StaticFabric`] on
-    /// transports without [`Fabric::begin_epoch`],
+    /// [`ViewChangeError::UnknownSubgroup`] if the request names a
+    /// subgroup outside the view, and
     /// [`ViewChangeError::BadJoinAddress`] for endpoints that cannot
-    /// travel in a proposal (IPv4 `host:port` only) or when the row cap
-    /// is reached, [`ViewChangeError::NotLeader`] when this process does
-    /// not host the leader row, and [`ViewChangeError::Stalled`] when the
-    /// transition does not converge (or a concurrent failure-driven
-    /// transition won the epoch without the join — safe to retry).
-    pub fn admit_node(
+    /// travel in a proposal or when the row cap is reached — argument
+    /// validation surfaces first, on any transport, mirroring
+    /// [`Cluster::remove_node`]. Then, by transport:
+    /// [`ViewChangeError::InProcessJoin`] for an endpoint on a
+    /// factory-built cluster, [`ViewChangeError::JoinerAddressRequired`]
+    /// for a missing endpoint on a distributed epoch-capable cluster,
+    /// [`ViewChangeError::StaticFabric`] on transports without
+    /// [`Fabric::begin_epoch`], [`ViewChangeError::NotLeader`] when this
+    /// process does not host the leader row, and
+    /// [`ViewChangeError::Stalled`] when the transition does not
+    /// converge (or a concurrent failure-driven transition won the epoch
+    /// without the join — safe to retry).
+    pub fn admit(
         &mut self,
-        addr: &str,
-        as_sender: bool,
+        req: AdmitRequest,
+    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        // Argument validation first — even on a static fabric.
+        if let Some(joins) = &req.subgroups {
+            for &(g, _) in joins {
+                if g.0 >= self.view.subgroups().len() {
+                    return Err(ViewChangeError::UnknownSubgroup(g));
+                }
+            }
+        }
+        match &req.endpoint {
+            Some(addr) => {
+                let join = parse_join_addr(addr, req.as_sender)?;
+                self.admit_remote(join)
+            }
+            None => self.admit_in_process(&req),
+        }
+    }
+
+    /// The distributed half of [`Cluster::admit`]: arms the leader's
+    /// join intent and drives the SST transition through
+    /// [`Cluster::await_distributed_report`].
+    fn admit_remote(
+        &mut self,
+        join: reconfig::JoinEndpoint,
     ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
         let old_view = Arc::clone(&self.view);
         let old_epoch = self.epoch;
-        // Argument validation first, mirroring remove_node.
-        let join_word = parse_join_addr(addr, as_sender)?;
         let new_row = old_view.members().len();
         if new_row > reconfig::MAX_BITMAP_ROW {
             return Err(ViewChangeError::BadJoinAddress(format!(
@@ -1151,22 +1238,16 @@ impl<F: Fabric> Cluster<F> {
         if !self.local_rows.contains(&leader) {
             return Err(ViewChangeError::NotLeader { leader });
         }
-        self.nodes[leader]
-            .shared
-            .join_intent
-            .store(join_word, Ordering::Release);
+        *self.nodes[leader].shared.join_intent.lock() = Some(join);
         self.nodes[leader]
             .shared
             .vc_trigger
             .fetch_or(PLANNED_BIT, Ordering::AcqRel);
         let outcome = self.await_distributed_report(leader, old_epoch);
         // Whatever happened, the intent must not stay armed: a leftover
-        // word would ride the *next* unrelated transition's proposal and
-        // install a row whose process long gave up.
-        self.nodes[leader]
-            .shared
-            .join_intent
-            .store(0, Ordering::Release);
+        // endpoint would ride the *next* unrelated transition's proposal
+        // and install a row whose process long gave up.
+        self.nodes[leader].shared.join_intent.lock().take();
         let report = outcome?;
         // Adopt the installed view cluster-side.
         let inner = self.nodes[leader].shared.inner.lock();
@@ -1334,47 +1415,41 @@ impl<F: Fabric> Cluster<F> {
         }
     }
 
-    /// Adds a fresh node to the cluster (§2.1 "node joins"): the epoch
-    /// transition wedges the old view, trims and delivers exactly as for a
-    /// removal, then installs a view whose top-level membership gains one
-    /// node, appended to the members (and optionally senders) of the
-    /// subgroups listed in `joins`. Returns the new node's id alongside
-    /// the view-change report; its handle is at [`Cluster::node`] with that
-    /// id, delivering from the new epoch onward (virtual synchrony: the
-    /// joiner observes no old-epoch traffic — higher layers such as the DDS
-    /// volatile store handle catch-up).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ViewChangeError::UnknownSubgroup`] if a join references a
-    /// subgroup id outside the view. The cluster is unchanged on error.
-    pub fn add_node(
+    /// The in-process half of [`Cluster::admit`] (§2.1 "node joins"):
+    /// the epoch transition wedges the old view, trims and delivers
+    /// exactly as for a removal, then installs a view whose top-level
+    /// membership gains one node, appended to the members (and
+    /// optionally senders) of the requested subgroups. The joiner's
+    /// handle delivers from the new epoch onward (virtual synchrony:
+    /// the joiner observes no old-epoch traffic — higher layers such as
+    /// the DDS volatile store handle catch-up).
+    fn admit_in_process(
         &mut self,
-        joins: &[(SubgroupId, bool)],
+        req: &AdmitRequest,
     ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
         let old_view = Arc::clone(&self.view);
-        // Argument validation first — even on a static fabric.
-        for &(g, _) in joins {
-            if g.0 >= old_view.subgroups().len() {
-                return Err(ViewChangeError::UnknownSubgroup(g));
-            }
-        }
         if self.factory.is_none() {
             // A new row means a new process on a pre-built transport. An
-            // epoch-capable fabric *can* grow — but through
-            // [`Cluster::admit_node`], which carries the joiner's
-            // endpoint; a truly static fabric cannot reconfigure at all.
-            // Either way the argument errors above surface first,
-            // mirroring remove_node's validation ordering.
+            // epoch-capable fabric *can* grow — but the request must
+            // then carry the joiner's endpoint; a truly static fabric
+            // cannot reconfigure at all. Either way admit's argument
+            // errors surface first, mirroring remove_node's validation
+            // ordering.
             if self.fabric.supports_epoch_advance() {
                 return Err(ViewChangeError::JoinerAddressRequired);
             }
             return Err(ViewChangeError::StaticFabric);
         }
+        let joins: Vec<(SubgroupId, bool)> = match &req.subgroups {
+            Some(joins) => joins.clone(),
+            None => (0..old_view.subgroups().len())
+                .map(|g| (SubgroupId(g), req.as_sender))
+                .collect(),
+        };
         let started = Instant::now();
         let new_row = self.nodes.len();
         let mut next_subgroups: Vec<Subgroup> = old_view.subgroups().to_vec();
-        for &(g, as_sender) in joins {
+        for &(g, as_sender) in &joins {
             let sg = &mut next_subgroups[g.0];
             sg.members.push(NodeId(new_row));
             if as_sender {
@@ -1437,6 +1512,27 @@ impl<F: Fabric> Cluster<F> {
                 resent,
             },
         ))
+    }
+
+    /// Thin alias for [`Cluster::admit`] with
+    /// [`AdmitRequest::in_process`], kept for source compatibility.
+    #[deprecated(note = "use Cluster::admit(AdmitRequest::in_process(joins))")]
+    pub fn add_node(
+        &mut self,
+        joins: &[(SubgroupId, bool)],
+    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        self.admit(AdmitRequest::in_process(joins))
+    }
+
+    /// Thin alias for [`Cluster::admit`] with [`AdmitRequest::remote`],
+    /// kept for source compatibility.
+    #[deprecated(note = "use Cluster::admit(AdmitRequest::remote(addr, as_sender))")]
+    pub fn admit_node(
+        &mut self,
+        addr: &str,
+        as_sender: bool,
+    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        self.admit(AdmitRequest::remote(addr, as_sender))
     }
 
     /// The *joiner's* half of the install/catch-up barrier: a process
@@ -1608,28 +1704,12 @@ impl<F: Fabric> Drop for Cluster<F> {
 
 type SharedAndRx<F> = (Arc<NodeShared<F>>, Receiver<Delivered>);
 
-/// Packs a joiner's `host:port` endpoint into a proposal join word.
-/// Only IPv4 endpoints fit the one-word encoding the SST guarded list
-/// carries.
-fn parse_join_addr(addr: &str, as_sender: bool) -> Result<u64, ViewChangeError> {
-    let parsed: std::net::SocketAddr = addr
-        .parse()
-        .map_err(|e| ViewChangeError::BadJoinAddress(format!("{addr}: {e}")))?;
-    let std::net::SocketAddr::V4(v4) = parsed else {
-        return Err(ViewChangeError::BadJoinAddress(format!(
-            "{addr}: only IPv4 endpoints fit a join proposal"
-        )));
-    };
-    if v4.port() == 0 {
-        return Err(ViewChangeError::BadJoinAddress(format!(
-            "{addr}: a joiner must advertise a concrete port"
-        )));
-    }
-    Ok(reconfig::encode_join_word(
-        v4.ip().octets(),
-        v4.port(),
-        as_sender,
-    ))
+/// Validates a joiner's `host:port` endpoint for travel in a proposal's
+/// guarded-list join block: any hostname, IPv4 literal, or bracketed
+/// IPv6 literal with a concrete port, as long as the host fits the
+/// block's byte bound ([`reconfig::MAX_JOIN_HOST_BYTES`]).
+fn parse_join_addr(addr: &str, as_sender: bool) -> Result<reconfig::JoinEndpoint, ViewChangeError> {
+    reconfig::JoinEndpoint::parse(addr, as_sender).map_err(ViewChangeError::BadJoinAddress)
 }
 
 /// Rows `row` exchanges heartbeats with: members of at least one subgroup
@@ -1681,7 +1761,7 @@ fn build_node_shared<F: Fabric>(
         paused: AtomicBool::new(false),
         suspicion_tx: suspicion_tx.clone(),
         vc_trigger: AtomicU64::new(0),
-        join_intent: AtomicU64::new(0),
+        join_intent: Mutex::new(None),
         vc_report: Mutex::new(None),
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
@@ -1725,7 +1805,7 @@ fn build_remote_stub<F: Fabric>(
         paused: AtomicBool::new(false),
         suspicion_tx: suspicion_tx.clone(),
         vc_trigger: AtomicU64::new(0),
-        join_intent: AtomicU64::new(0),
+        join_intent: Mutex::new(None),
         vc_report: Mutex::new(None),
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
@@ -2074,10 +2154,9 @@ fn distributed_view_change<F: Fabric>(
         .collect();
     let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols.clone(), row, initial_bits);
     // A sponsored join travels in this node's proposal if it turns out
-    // to be the leader (admit_node only triggers the leader's host).
-    let join_word = shared.join_intent.swap(0, Ordering::AcqRel);
-    if join_word != 0 {
-        engine.set_join_intent(join_word);
+    // to be the leader (admit only triggers the leader's host).
+    if let Some(join) = shared.join_intent.lock().take() {
+        engine.set_join_intent(join);
     }
     let deadline = Instant::now() + VC_DEADLINE;
     let mut resend: Vec<(SubgroupId, Vec<u8>)> = Vec::new();
@@ -2168,14 +2247,13 @@ fn distributed_view_change<F: Fabric>(
     // protocol state over the fresh mirror.
     let gone = proposal.failed_rows();
     let (next_view, joined) = match proposal.join_endpoint() {
-        Some((ip, port, as_sender)) => {
-            let Ok((v, new_row)) = reconfig::join_view(&view, &gone, as_sender) else {
+        Some(join) => {
+            let Ok((v, new_row)) = reconfig::join_view(&view, &gone, join.as_sender) else {
                 // Not installable (it would empty a subgroup): stay
                 // wedged rather than diverge.
                 return;
             };
-            let addr = format!("{}.{}.{}.{}:{port}", ip[0], ip[1], ip[2], ip[3]);
-            (v, vec![(new_row, addr)])
+            (v, vec![(new_row, join.addr())])
         }
         None => {
             let Ok(v) = reconfig::removal_view(&view, &gone) else {
@@ -2229,7 +2307,7 @@ fn distributed_view_change<F: Fabric>(
     }
 
     // A grow transition's report must be visible *now*, not after the
-    // barrier: the sponsor's admit_node waits on it to send the joiner
+    // barrier: the sponsor's admit waits on it to send the joiner
     // its commit, and the barrier below waits on the joiner — gating
     // the report on the barrier would deadlock the three. The wedge
     // stays up until the barrier completes, so no application traffic
@@ -2676,7 +2754,8 @@ mod tests {
         );
         assert_eq!(c.remove_node(2).unwrap_err(), ViewChangeError::StaticFabric);
         assert_eq!(
-            c.add_node(&[(SubgroupId(0), true)]).unwrap_err(),
+            c.admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+                .unwrap_err(),
             ViewChangeError::StaticFabric
         );
         c.shutdown();
@@ -2717,7 +2796,8 @@ mod tests {
             ViewChangeError::UnknownNode(9)
         );
         assert_eq!(
-            c.add_node(&[(SubgroupId(7), true)]).unwrap_err(),
+            c.admit(AdmitRequest::in_process(&[(SubgroupId(7), true)]))
+                .unwrap_err(),
             ViewChangeError::UnknownSubgroup(SubgroupId(7))
         );
         // Removing either of the two survivors of a pair would leave a
@@ -2796,7 +2876,9 @@ mod tests {
         let mut cluster = Cluster::start(view(4, 4, 8, 64), SpindleConfig::optimized());
         assert!(cluster.view_change_durations().is_empty());
         cluster.remove_node(3).unwrap();
-        cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+        cluster
+            .admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+            .unwrap();
         let durations = cluster.view_change_durations();
         assert_eq!(durations.len(), 2);
         assert!(durations.iter().all(|d| *d > Duration::ZERO));

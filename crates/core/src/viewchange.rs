@@ -110,10 +110,10 @@ pub struct ViewChangeEngine {
     active_mask: u64,
     /// This node's suspicion bitmap (may carry [`PLANNED_BIT`]).
     suspected: u64,
-    /// Packed join word ([`reconfig::encode_join_word`]) this node will
-    /// carry into its proposal if it turns out to be the leader; 0 when
-    /// no join is sponsored here.
-    join_intent: u64,
+    /// The joiner's endpoint ([`reconfig::JoinEndpoint`]) this node will
+    /// carry into its proposal if it turns out to be the leader; `None`
+    /// when no join is sponsored here.
+    join_intent: Option<reconfig::JoinEndpoint>,
     wedged: bool,
     proposal: Option<Proposal>,
     published: bool,
@@ -140,7 +140,7 @@ impl ViewChangeEngine {
             active,
             active_mask,
             suspected: initial_suspicions & (active_mask | PLANNED_BIT),
-            join_intent: 0,
+            join_intent: None,
             wedged: false,
             proposal: None,
             published: false,
@@ -148,16 +148,16 @@ impl ViewChangeEngine {
         }
     }
 
-    /// Registers a join intent (a packed
-    /// [`reconfig::encode_join_word`]) this node sponsors: if this node
-    /// ends up the proposing leader, the word travels in its proposal so
-    /// every survivor derives the identical grown view and extends its
-    /// transport to the joiner's endpoint. A non-leader's intent is
+    /// Registers a join intent (the joiner's
+    /// [`reconfig::JoinEndpoint`]) this node sponsors: if this node
+    /// ends up the proposing leader, the endpoint travels in its
+    /// proposal so every survivor derives the identical grown view and
+    /// extends its transport to the joiner. A non-leader's intent is
     /// simply never published (the sponsor must be the leader — see
-    /// `Cluster::admit_node`). Ignored once a proposal was adopted.
-    pub fn set_join_intent(&mut self, join_word: u64) {
+    /// `Cluster::admit`). Ignored once a proposal was adopted.
+    pub fn set_join_intent(&mut self, join: reconfig::JoinEndpoint) {
         if self.proposal.is_none() {
-            self.join_intent = join_word;
+            self.join_intent = Some(join);
         }
     }
 
@@ -344,7 +344,7 @@ impl ViewChangeEngine {
         let p = Proposal {
             vid: self.vid(),
             failed,
-            join: self.join_intent,
+            join: self.join_intent.clone(),
             cuts,
         };
         let (data, guard) = write_list(sst, self.cols.proposal, &p.encode());
@@ -595,16 +595,18 @@ mod tests {
     #[test]
     fn join_intent_travels_in_the_leaders_proposal() {
         let mut s = sim(all_senders(3), 0, PLANNED_BIT);
-        let join = reconfig::encode_join_word([127, 0, 0, 1], 7144, true);
+        // An IPv6 endpoint: exactly what the packed-word predecessor of
+        // the JoinEndpoint codec could not carry.
+        let join = reconfig::JoinEndpoint::parse("[fe80::7]:7144", true).unwrap();
         // The sponsor is the leader (row 0): its intent must reach every
         // member through the adopted proposal.
-        s.engines[0].set_join_intent(join);
+        s.engines[0].set_join_intent(join.clone());
         let frontiers = vec![vec![5], vec![5], vec![5]];
         let installed = converge(&mut s, &frontiers, &[]);
         for p in installed.iter().take(3) {
             let p = p.as_ref().expect("all members install");
-            assert_eq!(p.join, join);
-            assert_eq!(p.join_endpoint(), Some(([127, 0, 0, 1], 7144, true)));
+            assert_eq!(p.join_endpoint(), Some(&join));
+            assert_eq!(p.join_endpoint().unwrap().addr(), "[fe80::7]:7144");
             assert!(p.failed_rows().is_empty());
         }
     }

@@ -18,8 +18,9 @@
 //!
 //! Backends: [`MemFabric`](crate::MemFabric) (in-process, immediate
 //! placement), `spindle_net::TcpFabric` (per-peer ordered TCP byte streams
-//! standing in for RDMA's ordered one-sided writes), and the discrete-event
-//! backend in `spindle-core`'s simulated runtime.
+//! standing in for RDMA's ordered one-sided writes, served by one poller
+//! thread per process), and the discrete-event backend in `spindle-core`'s
+//! simulated runtime.
 //!
 //! All backends consult a shared [`FaultPlan`] on every post, so fault
 //! injection (isolate / drop ranges / throttle) behaves identically across
@@ -87,6 +88,14 @@ pub trait Fabric: Clone + Send + Sync + 'static {
     /// Posts a one-sided write from `src`: places the covered word range of
     /// `src`'s replica into `op.dst`'s replica. Posting to oneself is a
     /// counted no-op (the poster's replica is already authoritative).
+    ///
+    /// The words to transmit are snapshotted from the poster's replica
+    /// *at post time* (when an RDMA NIC would DMA them), but placement at
+    /// the destination may complete later: a transport is free to queue
+    /// and **coalesce** consecutive posts to one destination into a
+    /// single wire operation, as long as the per-destination fencing
+    /// above is preserved — coalescing batches frames, never reorders or
+    /// merges them.
     ///
     /// # Panics
     ///

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use spindle_core::threaded::{Cluster, Delivered};
+use spindle_core::threaded::{AdmitRequest, Cluster, Delivered};
 use spindle_core::{PersistConfig, SimCluster, Workload};
 use spindle_fabric::{Fabric, NodeId};
 use spindle_membership::{SubgroupId, View, ViewBuilder};
@@ -178,7 +178,7 @@ impl ThreadedRun {
             Event::Join { joins } => {
                 let j: Vec<(SubgroupId, bool)> =
                     joins.iter().map(|&(g, s)| (SubgroupId(g), s)).collect();
-                match cluster.add_node(&j) {
+                match cluster.admit(AdmitRequest::in_process(&j)) {
                     Ok((id, _)) => {
                         self.live.insert(id);
                         record_epoch(&mut self.epochs, cluster.view());

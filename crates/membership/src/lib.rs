@@ -33,6 +33,6 @@ pub mod view;
 
 pub use null_policy::nulls_owed;
 pub use ragged_trim::RaggedTrim;
-pub use reconfig::{Proposal, ReconfigError};
+pub use reconfig::{JoinEndpoint, Proposal, ReconfigError};
 pub use seq::{MsgId, SeqNum, SeqSpace};
 pub use view::{Subgroup, SubgroupId, View, ViewBuilder, ViewError};

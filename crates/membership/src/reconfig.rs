@@ -39,34 +39,159 @@ pub const PLANNED_BIT: u64 = 1 << 62;
 /// Highest row id representable in a suspicion bitmap.
 pub const MAX_BITMAP_ROW: usize = 61;
 
-/// Presence bit of a packed join word (see [`encode_join_word`]).
+/// Longest joiner host a proposal can carry: covers every IPv6 literal
+/// (at most 45 bytes) and any practical DNS name; the bound is what
+/// makes the guarded-list join block fixed-width, so proposals keep
+/// their exact-arity misparse protection.
+pub const MAX_JOIN_HOST_BYTES: usize = 63;
+/// Guarded-list words holding the host bytes, 7 per word (7 bytes keep
+/// every word a non-negative `i64`, like all SST counter columns).
+const JOIN_HOST_WORDS: usize = MAX_JOIN_HOST_BYTES.div_ceil(7);
+/// Presence bit of the join meta word (a zero block means "no join").
 const JOIN_PRESENT: u64 = 1 << 49;
-/// `as_sender` bit of a packed join word.
+/// `as_sender` bit of the join meta word.
 const JOIN_SENDER: u64 = 1 << 48;
+/// Host byte length of the join meta word: bits 16..22.
+const JOIN_LEN_SHIFT: u32 = 16;
+/// Every meta bit the codec defines; anything else set is a misparse.
+const JOIN_META_MASK: u64 = JOIN_PRESENT | JOIN_SENDER | (0x3f << JOIN_LEN_SHIFT) | 0xffff;
 
-/// Packs a joiner's IPv4 endpoint and sender flag into one non-negative
-/// word, so a join intent travels inside the leader's [`Proposal`] (the
-/// SST guarded list carries `i64` items). Layout: bits 0..16 port,
-/// 16..48 IPv4 address (big-endian octets), bit 48 the sender flag,
-/// bit 49 the presence marker (a zero word means "no join").
-pub fn encode_join_word(ip: [u8; 4], port: u16, as_sender: bool) -> u64 {
-    let ip = u32::from_be_bytes(ip) as u64;
-    let mut w = JOIN_PRESENT | (ip << 16) | port as u64;
-    if as_sender {
-        w |= JOIN_SENDER;
-    }
-    w
+/// A joiner's advertised endpoint as it travels in the leader's
+/// [`Proposal`]: any `host:port` — IPv4, bracketed IPv6 literal, or DNS
+/// name — plus the sender flag of the row it will occupy. (The packed
+/// predecessor of this codec carried IPv4 octets only.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEndpoint {
+    /// Hostname, IPv4 dotted quad, or IPv6 literal (no brackets).
+    pub host: String,
+    /// The joiner's concrete listen port (never 0).
+    pub port: u16,
+    /// Whether the joiner enters as a multicast sender.
+    pub as_sender: bool,
 }
 
-/// Unpacks a join word; `None` for 0 (no join) or a word without the
-/// presence marker.
-pub fn decode_join_word(w: u64) -> Option<([u8; 4], u16, bool)> {
-    if w & JOIN_PRESENT == 0 {
+impl JoinEndpoint {
+    /// Parses `host:port` (IPv6 literals bracketed: `[::1]:7000`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: missing/invalid port, port 0, empty
+    /// host, or a host longer than [`MAX_JOIN_HOST_BYTES`].
+    pub fn parse(addr: &str, as_sender: bool) -> Result<JoinEndpoint, String> {
+        let (host, port_str) = if let Some(rest) = addr.strip_prefix('[') {
+            let (host, after) = rest
+                .split_once(']')
+                .ok_or_else(|| format!("{addr}: unclosed IPv6 bracket"))?;
+            let port_str = after
+                .strip_prefix(':')
+                .ok_or_else(|| format!("{addr}: missing port after IPv6 literal"))?;
+            (host, port_str)
+        } else {
+            addr.rsplit_once(':')
+                .ok_or_else(|| format!("{addr}: missing port (expected host:port)"))?
+        };
+        let port: u16 = port_str
+            .parse()
+            .map_err(|_| format!("{addr}: invalid port"))?;
+        if port == 0 {
+            return Err(format!("{addr}: a joiner must advertise a concrete port"));
+        }
+        if host.is_empty() {
+            return Err(format!("{addr}: empty host"));
+        }
+        if host.len() > MAX_JOIN_HOST_BYTES {
+            return Err(format!(
+                "{addr}: host exceeds the {MAX_JOIN_HOST_BYTES}-byte proposal bound"
+            ));
+        }
+        Ok(JoinEndpoint {
+            host: host.to_string(),
+            port,
+            as_sender,
+        })
+    }
+
+    /// The dialable `host:port` form (IPv6 literals re-bracketed).
+    pub fn addr(&self) -> String {
+        if self.host.contains(':') {
+            format!("[{}]:{}", self.host, self.port)
+        } else {
+            format!("{}:{}", self.host, self.port)
+        }
+    }
+}
+
+/// Appends the fixed-width join block (`1 + JOIN_HOST_WORDS` words) to a
+/// proposal encoding: a meta word carrying presence, the sender flag,
+/// the host byte length and the port, then the host bytes packed 7 per
+/// word. An absent join is the all-zero block, so "no join" costs
+/// nothing to distinguish and old-style pure-removal proposals stay
+/// visually obvious in a region dump.
+fn encode_join_block(join: Option<&JoinEndpoint>, out: &mut Vec<i64>) {
+    let Some(j) = join else {
+        out.extend(std::iter::repeat_n(0, 1 + JOIN_HOST_WORDS));
+        return;
+    };
+    let bytes = j.host.as_bytes();
+    assert!(
+        !bytes.is_empty() && bytes.len() <= MAX_JOIN_HOST_BYTES,
+        "join host must be 1..={MAX_JOIN_HOST_BYTES} bytes (validated at parse)"
+    );
+    let mut meta = JOIN_PRESENT | ((bytes.len() as u64) << JOIN_LEN_SHIFT) | j.port as u64;
+    if j.as_sender {
+        meta |= JOIN_SENDER;
+    }
+    out.push(meta as i64);
+    for chunk in 0..JOIN_HOST_WORDS {
+        let mut w = 0u64;
+        for (i, &b) in bytes.iter().skip(chunk * 7).take(7).enumerate() {
+            w |= (b as u64) << (8 * i);
+        }
+        out.push(w as i64);
+    }
+}
+
+/// Decodes a join block. `Some(None)` is a well-formed absent join (the
+/// all-zero block); `None` rejects anything malformed — presence bit
+/// missing on a non-zero block, undefined meta bits, a length outside
+/// `1..=MAX_JOIN_HOST_BYTES`, non-zero padding past the host bytes, or
+/// host bytes that are not UTF-8 — so a torn or hostile list read can
+/// never install a garbage endpoint.
+fn decode_join_block(items: &[i64]) -> Option<Option<JoinEndpoint>> {
+    debug_assert_eq!(items.len(), 1 + JOIN_HOST_WORDS);
+    let meta = items[0] as u64;
+    if meta == 0 {
+        return if items[1..].iter().all(|&w| w == 0) {
+            Some(None)
+        } else {
+            None
+        };
+    }
+    if meta & JOIN_PRESENT == 0 || meta & !JOIN_META_MASK != 0 {
         return None;
     }
-    let ip = ((w >> 16) as u32).to_be_bytes();
-    let port = w as u16;
-    Some((ip, port, w & JOIN_SENDER != 0))
+    let len = ((meta >> JOIN_LEN_SHIFT) & 0x3f) as usize;
+    if len == 0 || len > MAX_JOIN_HOST_BYTES {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(JOIN_HOST_WORDS * 7);
+    for &w in &items[1..] {
+        let w = w as u64;
+        if w >> 56 != 0 {
+            return None; // packed words carry at most 7 host bytes
+        }
+        bytes.extend((0..7).map(|i| (w >> (8 * i)) as u8));
+    }
+    if bytes[len..].iter().any(|&b| b != 0) {
+        return None; // canonical encodings zero-pad past the host
+    }
+    bytes.truncate(len);
+    let host = String::from_utf8(bytes).ok()?;
+    Some(Some(JoinEndpoint {
+        host,
+        port: meta as u16,
+        as_sender: meta & JOIN_SENDER != 0,
+    }))
 }
 
 /// The bitmap with the bits of `rows` set.
@@ -216,7 +341,7 @@ fn surviving_subgroups(
 ///
 /// Every survivor must call this with the identical `(old, failed,
 /// as_sender)` triple — all three travel in the leader's [`Proposal`]
-/// (the join endpoint and sender flag inside the packed join word) — so
+/// (the endpoint and sender flag inside its [`JoinEndpoint`] block) — so
 /// the whole cluster derives bit-identical views.
 ///
 /// # Errors
@@ -260,11 +385,11 @@ pub struct Proposal {
     /// and install — is derived from this word, never from local
     /// suspicion state, so all survivors agree on it.
     pub failed: u64,
-    /// Packed join word ([`encode_join_word`]) when this transition also
-    /// admits a fresh row; 0 for pure removals. Carrying the joiner's
-    /// endpoint in the proposal is what lets every survivor grow its
-    /// transport identically without a coordinator RPC.
-    pub join: u64,
+    /// The joiner's endpoint when this transition also admits a fresh
+    /// row; `None` for pure removals. Carrying the endpoint in the
+    /// proposal is what lets every survivor grow its transport
+    /// identically without a coordinator RPC.
+    pub join: Option<JoinEndpoint>,
     /// Ragged-trim cut per subgroup: the last sequence number delivered
     /// in the old epoch (−1 when nothing was in flight).
     pub cuts: Vec<SeqNum>,
@@ -276,39 +401,41 @@ impl Proposal {
         rows_of(self.failed).into_iter().collect()
     }
 
-    /// The decoded join intent, when the transition admits a fresh row.
-    pub fn join_endpoint(&self) -> Option<([u8; 4], u16, bool)> {
-        decode_join_word(self.join)
+    /// The join intent, when the transition admits a fresh row.
+    pub fn join_endpoint(&self) -> Option<&JoinEndpoint> {
+        self.join.as_ref()
     }
 
-    /// Encodes onto the SST guarded-list items: `[vid, failed, join,
-    /// cuts…]`.
+    /// Encodes onto the SST guarded-list items: `[vid, failed,
+    /// join-block…, cuts…]` (the join block is fixed-width — see
+    /// [`JoinEndpoint`] — so the arity stays exact).
     pub fn encode(&self) -> Vec<i64> {
-        let mut items = Vec::with_capacity(3 + self.cuts.len());
+        let mut items = Vec::with_capacity(Proposal::list_capacity(self.cuts.len()));
         items.push(self.vid as i64);
         items.push(self.failed as i64);
-        items.push(self.join as i64);
+        encode_join_block(self.join.as_ref(), &mut items);
         items.extend_from_slice(&self.cuts);
         items
     }
 
     /// Decodes a guarded-list read; `None` for anything but a well-formed
-    /// proposal with exactly `num_subgroups` cuts.
+    /// proposal with exactly `num_subgroups` cuts and a valid join block.
     pub fn decode(items: &[i64], num_subgroups: usize) -> Option<Proposal> {
-        if items.len() != 3 + num_subgroups {
+        if items.len() != Proposal::list_capacity(num_subgroups) {
             return None;
         }
+        let join = decode_join_block(&items[2..3 + JOIN_HOST_WORDS])?;
         Some(Proposal {
             vid: items[0] as u64,
             failed: items[1] as u64,
-            join: items[2] as u64,
-            cuts: items[3..].to_vec(),
+            join,
+            cuts: items[3 + JOIN_HOST_WORDS..].to_vec(),
         })
     }
 
     /// The list capacity a view's proposal column needs.
     pub fn list_capacity(num_subgroups: usize) -> usize {
-        3 + num_subgroups
+        2 + 1 + JOIN_HOST_WORDS + num_subgroups
     }
 }
 
@@ -406,7 +533,7 @@ mod tests {
         let p = Proposal {
             vid: 7,
             failed: bits_of([1, 4]) | PLANNED_BIT,
-            join: 0,
+            join: None,
             cuts: vec![-1, 42, 0],
         };
         let items = p.encode();
@@ -420,15 +547,84 @@ mod tests {
     }
 
     #[test]
-    fn join_word_roundtrip() {
-        let w = encode_join_word([127, 0, 0, 1], 7143, true);
-        assert_eq!(decode_join_word(w), Some(([127, 0, 0, 1], 7143, true)));
-        let quiet = encode_join_word([10, 1, 2, 3], 80, false);
-        assert_eq!(decode_join_word(quiet), Some(([10, 1, 2, 3], 80, false)));
-        // 0 is the reserved "no join" word, and join words stay i64-safe
-        // (the SST counter columns hold non-negative i64).
-        assert_eq!(decode_join_word(0), None);
-        assert!(w < PLANNED_BIT && (w as i64) > 0);
+    fn join_endpoint_parse_and_addr() {
+        let v4 = JoinEndpoint::parse("127.0.0.1:7143", true).unwrap();
+        assert_eq!(
+            (v4.host.as_str(), v4.port, v4.as_sender),
+            ("127.0.0.1", 7143, true)
+        );
+        assert_eq!(v4.addr(), "127.0.0.1:7143");
+        let v6 = JoinEndpoint::parse("[::1]:80", false).unwrap();
+        assert_eq!(
+            (v6.host.as_str(), v6.port, v6.as_sender),
+            ("::1", 80, false)
+        );
+        assert_eq!(v6.addr(), "[::1]:80"); // re-bracketed, dialable
+        let name = JoinEndpoint::parse("node-3.cluster.internal:9000", true).unwrap();
+        assert_eq!(name.host, "node-3.cluster.internal");
+
+        for bad in [
+            "no-port",
+            "port-not-a-number:x",
+            "empty-port:",
+            ":7000",
+            "127.0.0.1:0", // a joiner must advertise a concrete port
+            "[::1:7000",   // unclosed bracket
+            "[::1]7000",   // no colon after the bracket
+        ] {
+            assert!(JoinEndpoint::parse(bad, true).is_err(), "accepted {bad:?}");
+        }
+        let long = format!("{}:1", "h".repeat(MAX_JOIN_HOST_BYTES + 1));
+        assert!(JoinEndpoint::parse(&long, true).is_err());
+        let fits = format!("{}:1", "h".repeat(MAX_JOIN_HOST_BYTES));
+        assert!(JoinEndpoint::parse(&fits, true).is_ok());
+    }
+
+    #[test]
+    fn join_block_rejects_malformed_encodings() {
+        let j = JoinEndpoint::parse("[fe80::1]:7143", true).unwrap();
+        let mut block = Vec::new();
+        encode_join_block(Some(&j), &mut block);
+        assert_eq!(block.len(), 1 + JOIN_HOST_WORDS);
+        // Every word stays a non-negative i64 (SST counter columns).
+        assert!(block.iter().all(|&w| w >= 0));
+        assert_eq!(decode_join_block(&block), Some(Some(j.clone())));
+
+        // Presence bit missing on a non-zero block.
+        let mut bad = block.clone();
+        bad[0] &= !(JOIN_PRESENT as i64);
+        assert_eq!(decode_join_block(&bad), None);
+        // Undefined meta bits.
+        let mut bad = block.clone();
+        bad[0] |= 1 << 40;
+        assert_eq!(decode_join_block(&bad), None);
+        // Zero length with presence.
+        let mut bad = block.clone();
+        bad[0] &= !((0x3f << JOIN_LEN_SHIFT) as i64);
+        assert_eq!(decode_join_block(&bad), None);
+        // Non-zero padding past the host bytes.
+        let mut bad = block.clone();
+        bad[1 + JOIN_HOST_WORDS - 1] |= (0xffu64 << 48) as i64;
+        assert_eq!(decode_join_block(&bad), None);
+        // A packed word claiming an 8th byte.
+        let mut bad = block.clone();
+        bad[1] |= 1 << 56;
+        assert_eq!(decode_join_block(&bad), None);
+        // Host bytes that are not UTF-8.
+        let mut bad = block.clone();
+        bad[1] = 0xff; // lone 0xff is invalid UTF-8
+        let len = 1u64;
+        bad[0] = (JOIN_PRESENT | (len << JOIN_LEN_SHIFT) | 7143) as i64;
+        for w in &mut bad[2..] {
+            *w = 0;
+        }
+        assert_eq!(decode_join_block(&bad), None);
+        // A non-zero tail behind a zero meta word (torn absent block).
+        let mut bad = vec![0i64; 1 + JOIN_HOST_WORDS];
+        bad[3] = 5;
+        assert_eq!(decode_join_block(&bad), None);
+        // The all-zero block is the canonical absent join.
+        assert_eq!(decode_join_block(&[0i64; 1 + JOIN_HOST_WORDS]), Some(None));
     }
 
     #[test]
@@ -472,6 +668,10 @@ mod tests {
         );
     }
 
+    /// The alphabet join-endpoint proptests draw hosts from: hostname
+    /// characters plus `:` so IPv6-literal bracketing is exercised.
+    const HOST_CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.:-";
+
     proptest! {
         /// The decentralized trim equals the centralized minimum for any
         /// frontier set.
@@ -482,27 +682,51 @@ mod tests {
             prop_assert_eq!(decentralized, centralized);
         }
 
-        /// Any proposal — including one carrying a join intent — survives
-        /// the guarded-list encoding bit for bit.
+        /// Any proposal — including one carrying a join intent with an
+        /// arbitrary UTF-8 host (DNS name, IPv6 literal, anything up to
+        /// the byte bound) — survives the guarded-list encoding bit for
+        /// bit.
         #[test]
         fn proposal_encoding_roundtrip(
             vid in 1u64..1000,
             failed_rows in prop::collection::vec(0usize..=MAX_BITMAP_ROW, 0..8),
             cuts in prop::collection::vec(-1i64..10_000, 0..6),
             planned in 0u8..2,
-            has_join in any::<bool>(),
-            join_ip in any::<u32>(),
-            join_port in any::<u16>(),
+            host_chars in prop::collection::vec(0usize..HOST_CHARSET.len(), 0..=MAX_JOIN_HOST_BYTES),
+            join_port in 1u16..=u16::MAX,
             join_sender in any::<bool>(),
         ) {
             let mut failed = bits_of(failed_rows);
             if planned == 1 { failed |= PLANNED_BIT; }
-            let join = has_join.then(|| (join_ip.to_be_bytes(), join_port, join_sender));
-            let join_word = join.map_or(0, |(ip, port, s)| encode_join_word(ip, port, s));
-            let p = Proposal { vid, failed, join: join_word, cuts };
-            let back = Proposal::decode(&p.encode(), p.cuts.len());
+            // An empty charset draw means "no join" — the option case.
+            let join = (!host_chars.is_empty()).then(|| JoinEndpoint {
+                host: host_chars.iter().map(|&i| HOST_CHARSET[i] as char).collect(),
+                port: join_port,
+                as_sender: join_sender,
+            });
+            let p = Proposal { vid, failed, join, cuts };
+            let items = p.encode();
+            prop_assert_eq!(items.len(), Proposal::list_capacity(p.cuts.len()));
+            // Guarded-list items must stay non-negative i64 counters.
+            prop_assert!(items[2..3 + JOIN_HOST_WORDS].iter().all(|&w| w >= 0));
+            let back = Proposal::decode(&items, p.cuts.len());
             prop_assert_eq!(back.as_ref(), Some(&p));
-            prop_assert_eq!(p.join_endpoint(), join);
+        }
+
+        /// The dialable `addr()` form re-parses to the identical endpoint
+        /// for any host — including IPv6-style hosts with colons, which
+        /// `addr()` must bracket for the parse to split correctly.
+        #[test]
+        fn join_endpoint_addr_reparses(
+            host_chars in prop::collection::vec(0usize..HOST_CHARSET.len(), 1..=40),
+            port in 1u16..=u16::MAX,
+            as_sender in any::<bool>(),
+        ) {
+            let host: String =
+                host_chars.iter().map(|&i| HOST_CHARSET[i] as char).collect();
+            let j = JoinEndpoint { host, port, as_sender };
+            let back = JoinEndpoint::parse(&j.addr(), as_sender).unwrap();
+            prop_assert_eq!(back, j);
         }
 
         /// Leader derivation is stable under interleaved join and removal

@@ -7,8 +7,9 @@
 //! partial trace goes to stderr so a failing CI run shows exactly what
 //! this node saw.
 //!
-//! With `--join <seed-addr>` the process instead *joins a live cluster*:
-//! it binds `--listen`, runs the join handshake against the seed
+//! With `--join <seed-addrs>` (comma-separated) the process instead
+//! *joins a live cluster*: it binds `--listen`, runs the join handshake
+//! against the seeds, cycled round-robin until one sponsors it
 //! (state-transfer snapshot, resizable epoch transition, catch-up
 //! barrier), and then runs the same workload as row `N` of the grown
 //! view. Founding members sponsor joins automatically: any `JOIN` that
@@ -25,7 +26,7 @@ use spindle_membership::SubgroupId;
 use spindle_net::{join, ClusterConfig, TcpFabric, TcpFabricConfig};
 
 const USAGE: &str = "usage: spindle-node --config <cluster.toml> (--node <id> | \
---join <seed-addr> [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
+--join <seed-addr>[,<seed-addr>...] [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
 [--trace-out PATH] [--deadline-secs T] [--linger-ms L] [--min-epoch E] \
 [--quiesce-ms Q] [--crash-after-delivered N]";
 
@@ -220,8 +221,9 @@ fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
     )
 }
 
-/// A joiner: run the admission handshake against the seed, then host the
-/// assigned row of the grown view from its join epoch onward.
+/// A joiner: run the admission handshake against the seeds (dialed
+/// round-robin until one admits us), then host the assigned row of the
+/// grown view from its join epoch onward.
 fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), String> {
     let started = Instant::now();
     let listener = std::net::TcpListener::bind(&args.listen)
@@ -230,9 +232,15 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
         .local_addr()
         .map_err(|e| format!("listen addr: {e}"))?
         .to_string();
-    eprintln!("spindle-node: joiner listening on {advertise}, dialing seed {seed}");
+    let seeds: Vec<String> = seed
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    eprintln!("spindle-node: joiner listening on {advertise}, dialing seeds {seeds:?}");
     let joined = spindle_net::join_cluster(join::JoinConfig {
-        seeds: vec![seed],
+        seeds,
         listener,
         advertise,
         as_sender: true,
@@ -384,6 +392,7 @@ fn workload(
             .map(|d| (d.subgroup.0, d.sender_rank, d.app_index))
             .collect()],
     };
+    println!("n{row} wire-threads: {}", wire_thread_count());
     println!(
         "n{row} delivered {} msgs (epoch {}) in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | view-changes: {} in {} us | catch-up: {} B | {:.3} Mmsg/s",
         got.len(),
@@ -411,4 +420,22 @@ fn workload(
 fn fabric_bytes(fabric: &TcpFabric) -> u64 {
     use spindle_fabric::Fabric as _;
     fabric.bytes_posted()
+}
+
+/// How many wire service threads this *process* runs, counted from the
+/// kernel's thread list (`/proc/self/task/*/comm`) rather than any
+/// fabric-internal bookkeeping — the acceptance tests assert the O(1)
+/// single-poller contract against this. `comm` truncates names to 15
+/// bytes, so the match is on the `spindle-net` prefix.
+fn wire_thread_count() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|t| {
+            std::fs::read_to_string(t.path().join("comm"))
+                .is_ok_and(|comm| comm.trim_end().starts_with("spindle-net"))
+        })
+        .count()
 }

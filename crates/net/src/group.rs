@@ -8,6 +8,8 @@
 //! protocol stack over *real sockets* inside one process: the harness's
 //! loopback-TCP scenarios and the micro benches use it, and every byte
 //! crosses the kernel's TCP stack exactly as it would between processes.
+//! Each endpoint runs its single poller thread, so a group of `n`
+//! endpoints adds exactly `n` wire threads to the process.
 
 use std::io;
 use std::net::TcpListener;
@@ -78,7 +80,7 @@ impl TcpFabricGroup {
     /// Severs every live connection touching `node`, in both directions
     /// (the dead-link half of a one-node partition). Pair with
     /// [`FaultPlan::isolate`] to keep the links down; after
-    /// [`FaultPlan::heal`], the writers re-dial on the next posts.
+    /// [`FaultPlan::heal`], the pollers re-dial on the next posts.
     pub fn sever(&self, node: NodeId) {
         for (i, e) in self.endpoints.iter().enumerate() {
             if i == node.0 {

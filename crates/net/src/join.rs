@@ -7,9 +7,11 @@
 //! implements both halves of that handshake over the [`wire`](crate::wire)
 //! control frames:
 //!
-//! * **Joiner** ([`join_cluster`]) — binds its own listener, dials any
-//!   member (`JOIN` carries its advertised address and sender flag,
-//!   redirects are followed to the leader), receives the state-transfer
+//! * **Joiner** ([`join_cluster`]) — binds its own listener, dials its
+//!   seed members round-robin until one admits it (`JOIN` carries its
+//!   advertised address and sender flag, redirects are followed to the
+//!   leader, and a sponsor that dies mid-join only costs one attempt —
+//!   the ring is retried with backoff), receives the state-transfer
 //!   snapshot (`JOIN_STATE`: the sponsor's durable-log tail plus its
 //!   per-subgroup receive frontiers), waits for the commit
 //!   (`JOIN_COMMIT`: the installed view, every row's address), brings up
@@ -19,7 +21,7 @@
 //! * **Sponsor** ([`serve_join`]) — the member whose listener received
 //!   the `JOIN` ([`TcpFabric::join_requests`]). It answers with the
 //!   snapshot, drives the resizable epoch transition through
-//!   [`Cluster::admit_node`] (the join intent travels in the leader's
+//!   [`Cluster::admit`] (the join intent travels in the leader's
 //!   SST proposal, so every survivor grows its mesh identically), and
 //!   commits — or redirects the joiner to the leader's address when it
 //!   does not host the leader row.
@@ -34,7 +36,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use spindle_core::threaded::{Cluster, ViewChangeError};
+use spindle_core::threaded::{AdmitRequest, Cluster, ViewChangeError};
 use spindle_core::{DetectorConfig, Plan, SpindleConfig};
 use spindle_fabric::NodeId;
 use spindle_membership::{Subgroup, View, ViewBuilder};
@@ -84,7 +86,9 @@ impl From<io::Error> for JoinError {
 
 /// Everything the joiner side needs (see [`join_cluster`]).
 pub struct JoinConfig {
-    /// Member endpoints to try, in order (redirects are followed).
+    /// Member endpoints to dial, cycled round-robin with backoff until
+    /// the deadline (redirects are followed; a sponsor dying mid-join
+    /// only costs one attempt, not the seed).
     pub seeds: Vec<String>,
     /// The joiner's pre-bound listener — its address travels in the
     /// `JOIN` frame and the fabric endpoint reuses the socket.
@@ -202,31 +206,54 @@ pub fn join_cluster(cfg: JoinConfig) -> Result<Joined, JoinError> {
         &mut join_frame,
     );
 
-    // Dial seeds in order (following redirects) until a sponsor commits.
-    // A seed that refuses mid-conversation — the documented
-    // "close the stream" signal — or times out only disqualifies *that*
-    // seed; the remaining ones are still tried.
-    let mut targets: Vec<String> = cfg.seeds.clone();
+    // Dial seeds round-robin (following redirects) until a sponsor
+    // commits or the deadline passes. A failure — refused dial, a
+    // sponsor that dies mid-conversation, a per-attempt timeout — moves
+    // on to the next seed but does *not* disqualify this one: the
+    // cluster may be reconfiguring around a dead sponsor right now, and
+    // the surviving seeds answer once the transition settles. Each full
+    // pass over the ring without progress backs off (doubling, capped)
+    // so a down cluster is not hammered.
+    if cfg.seeds.is_empty() {
+        return Err(JoinError::Protocol("no seeds to dial".into()));
+    }
+    let mut redirect: Option<String> = None;
+    let mut next_seed = 0usize;
+    let mut backoff = Duration::from_millis(50);
     let mut redirects = 0usize;
     let mut last_err: Option<JoinError> = None;
     let mut snapshot: Option<JoinStateFrame> = None;
     let mut catchup_bytes = 0u64;
     let mut commit: Option<JoinCommitFrame> = None;
-    'seeds: while let Some(target) = targets.first().cloned() {
-        if Instant::now() > deadline {
-            break;
-        }
+    'attempts: while Instant::now() <= deadline {
+        // A redirect target is tried immediately (it names the leader's
+        // host); otherwise take the next seed in the ring.
+        let from_ring = redirect.is_none();
+        let target = redirect.take().unwrap_or_else(|| {
+            let t = cfg.seeds[next_seed % cfg.seeds.len()].clone();
+            next_seed += 1;
+            t
+        });
+        let mut fail = |e: JoinError, last_err: &mut Option<JoinError>| {
+            *last_err = Some(e);
+            // Completed a pass over every seed without progress: let the
+            // cluster breathe before the next one.
+            if from_ring && next_seed.is_multiple_of(cfg.seeds.len()) {
+                let left = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(backoff.min(left));
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        };
         let mut stream = match TcpStream::connect(&target) {
             Ok(s) => s,
             Err(e) => {
-                last_err = Some(JoinError::Io(e));
-                targets.remove(0);
+                fail(JoinError::Io(e), &mut last_err);
                 continue;
             }
         };
         let _ = stream.set_nodelay(true);
-        if stream.write_all(&join_frame).is_err() {
-            targets.remove(0);
+        if let Err(e) = stream.write_all(&join_frame) {
+            fail(JoinError::Io(e), &mut last_err);
             continue;
         }
         let mut buf = Vec::new();
@@ -240,15 +267,15 @@ pub fn join_cluster(cfg: JoinConfig) -> Result<Joined, JoinError> {
                 }
                 Ok(Frame::JoinCommit(c)) => {
                     commit = Some(c);
-                    break 'seeds;
+                    break 'attempts;
                 }
                 Ok(Frame::JoinRedirect(addr)) => {
                     redirects += 1;
                     if redirects > MAX_REDIRECTS {
                         return Err(JoinError::Protocol("redirect loop".into()));
                     }
-                    targets.insert(0, addr);
-                    continue 'seeds;
+                    redirect = Some(addr);
+                    continue 'attempts;
                 }
                 Ok(other) => {
                     return Err(JoinError::Protocol(format!(
@@ -256,9 +283,12 @@ pub fn join_cluster(cfg: JoinConfig) -> Result<Joined, JoinError> {
                     )))
                 }
                 Err(e) => {
-                    last_err = Some(e);
-                    targets.remove(0);
-                    continue 'seeds;
+                    // The sponsor died (or refused) mid-join: any state
+                    // snapshot it sent is void — the next sponsor sends
+                    // its own, matched to the epoch it admits us at.
+                    snapshot = None;
+                    fail(e, &mut last_err);
+                    continue 'attempts;
                 }
             }
         }
@@ -385,7 +415,7 @@ pub fn serve_join(
     encode_join_state(&state, &mut buf);
     stream.write_all(&buf)?;
 
-    match cluster.admit_node(&req.addr, req.as_sender) {
+    match cluster.admit(AdmitRequest::remote(&req.addr, req.as_sender)) {
         Ok((row, _report)) => {
             let view = cluster.view();
             // Post-install, the transport's list covers the joiner too.

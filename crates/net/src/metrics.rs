@@ -11,6 +11,7 @@ struct Counters {
     frames_received: AtomicU64,
     frames_dropped: AtomicU64,
     reconnects: AtomicU64,
+    flushes: AtomicU64,
 }
 
 /// Shared wire counters of one TCP endpoint. Clones share state; take a
@@ -50,6 +51,10 @@ impl WireMetrics {
         self.c.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_flush(&self) {
+        self.c.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> WireStats {
         WireStats {
@@ -59,6 +64,7 @@ impl WireMetrics {
             frames_received: self.c.frames_received.load(Ordering::Relaxed),
             frames_dropped: self.c.frames_dropped.load(Ordering::Relaxed),
             reconnects: self.c.reconnects.load(Ordering::Relaxed),
+            flushes: self.c.flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,6 +87,12 @@ pub struct WireStats {
     /// Successful outbound connection establishments (the first connect
     /// counts too).
     pub reconnects: u64,
+    /// Vectored socket writes (`writev` batches). `frames_received /
+    /// flushes` across the cluster is the wire's effective coalescing
+    /// factor: 1.0 when latency-greedy (every frame flushed the moment it
+    /// is posted), rising under load as the poller drains whole per-peer
+    /// backlogs in single scatter writes.
+    pub flushes: u64,
 }
 
 impl WireStats {
@@ -93,5 +105,6 @@ impl WireStats {
         self.frames_received += other.frames_received;
         self.frames_dropped += other.frames_dropped;
         self.reconnects += other.reconnects;
+        self.flushes += other.flushes;
     }
 }

@@ -1,15 +1,22 @@
 //! The TCP fabric endpoint: one node's view of the transport.
 //!
 //! Each process hosts one [`TcpFabric`] endpoint holding the node's full
-//! SST mirror [`Region`]. Posting a [`WriteOp`] snapshots the covered
-//! words from the local mirror (exactly when an RDMA NIC would DMA them),
-//! hands the resulting [`WriteFrame`] to the destination's dedicated
-//! writer thread, and returns — the poster's CPU never blocks on the
-//! wire. The peer's reader thread places arriving frames into its mirror
-//! in increasing word order. Because each `(src, dst)` pair is a single
-//! ordered TCP byte stream served by a single writer and a single reader,
-//! two writes posted in order are placed in order: RDMA's per-QP fencing
-//! guarantee (§2.2) holds by construction.
+//! SST mirror [`Region`], served by **one poller thread** — a
+//! readiness-driven event loop (`poll(2)` over nonblocking sockets, see
+//! the vendored [`netpoll`]) that owns the listener, every inbound
+//! stream, dial completions and outbound backlog flushes. Posting a
+//! [`WriteOp`] snapshots the covered words from the local mirror
+//! (exactly when an RDMA NIC would DMA them), encodes them straight into
+//! the destination's [`ScatterQueue`], and — when the link is up and
+//! idle — writes them to the socket *inline* from the posting thread
+//! (latency-greedy: no handoff, no wakeup). When the kernel pushes back
+//! or the link is down, frames accumulate in the queue and the poller
+//! drains the whole backlog as **one vectored write** per readiness
+//! (batch-greedy: the per-frame syscall cost amortizes away under load,
+//! the adaptive cadence the paper applies to SST pushes). Because each
+//! `(src, dst)` pair is a single ordered TCP byte stream fed from a
+//! single FIFO queue, two writes posted in order are placed in order:
+//! RDMA's per-QP fencing guarantee (§2.2) holds by construction.
 //!
 //! ## Faults at the wire layer
 //!
@@ -18,9 +25,10 @@
 //! the in-process [`MemFabric`](spindle_fabric::MemFabric): dropped
 //! writes simply never reach the wire (one-sided writes are never
 //! retransmitted), and a throttle stalls the poster. Severed connections
-//! ([`TcpFabric::sever_peer`]) model a dead link: frames posted while the
-//! link is down and undialable are discarded, and the writer re-dials
-//! once the fault plan allows it again.
+//! ([`TcpFabric::sever_peer`]) model a dead link: frames posted while
+//! the link is down queue up to a cap (then shed, like a NIC whose QP
+//! errored out) and flush once the poller re-dials — gate re-dialing
+//! with [`FaultPlan::isolate`] to keep the link down.
 //!
 //! ## Bootstrap handshake
 //!
@@ -40,60 +48,67 @@
 //! [`Fabric::begin_epoch`] transitions the endpoint in place for a view
 //! change driven by `spindle_core`'s SST view-change engine: the mirror
 //! is replaced by a fresh region (§2.3 — memory is registered per view),
-//! outbound and *stale* inbound connections are severed, and the writers
-//! re-dial on the next posts with a `HELLO` stamped at the new epoch. An
-//! inbound connection whose peer already handshook at the new epoch is
-//! kept — its reader applies every frame to the then-current mirror
-//! (gated on the connection's epoch), so the link a peer's install
-//! barrier and first new-epoch writes ride on survives our own
-//! transition instead of dropping them in a close window. The listener
-//! and its port are reused; only mirror memory and stale sockets are
-//! per-epoch. Queued outbound frames are stamped with the epoch they
-//! were snapshotted from and dropped once the endpoint moves on — on
-//! real RDMA the per-view queue pairs die with the view, and a stale
-//! epoch's words must never smear into a peer's fresh mirror.
+//! outbound and *stale* inbound connections are severed, and the poller
+//! re-dials with a `HELLO` stamped at the new epoch. An inbound
+//! connection whose peer already handshook at the new epoch is kept —
+//! its frames apply to the then-current mirror (gated per frame on the
+//! connection's epoch), so the link a peer's install barrier and first
+//! new-epoch writes ride on survives our own transition instead of
+//! dropping them in a close window. The listener and its port are
+//! reused; only mirror memory and stale sockets are per-epoch. Queued
+//! outbound frames are stamped with the epoch they were snapshotted from
+//! and purged once the endpoint moves on — on real RDMA the per-view
+//! queue pairs die with the view, and a stale epoch's words must never
+//! smear into a peer's fresh mirror.
 //!
 //! Transitions are **resizable**: an [`EpochTransition`] whose `joined`
 //! list names fresh rows *grows* the endpoint in place — the mirror is
 //! reallocated at the new layout's size (the new row appends at the end
-//! of the row-major SST, so existing offsets are stable), a writer
-//! thread and address slot are added per joiner, and the connection
-//! barrier covers the grown mesh. A connection that opens with a `JOIN`
-//! frame instead of a `HELLO` is a joiner's control conversation,
-//! surfaced through [`TcpFabric::join_requests`] for the sponsor
-//! runtime ([`join`](crate::join)).
+//! of the row-major SST, so existing offsets are stable), an address
+//! slot and scatter queue are added per joiner (no new threads: the
+//! poller's fd set simply grows), and the connection barrier covers the
+//! grown mesh. A connection that opens with a `JOIN` frame instead of a
+//! `HELLO` is a joiner's control conversation, surfaced through
+//! [`TcpFabric::join_requests`] for the sponsor runtime
+//! ([`join`](crate::join)).
 
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netpoll::{connect_nonblocking, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use spindle_fabric::{Disposition, EpochTransition, Fabric, FaultPlan, NodeId, Region, WriteOp};
 
 use crate::metrics::{WireMetrics, WireStats};
-use crate::wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame, PROTO_VERSION};
+use crate::wire::{
+    encode_hello, encode_write_frame, Frame, FrameAssembler, Hello, ScatterQueue, WriteFrame,
+    PROTO_VERSION,
+};
 
 /// Hard cap on the rows a hostile `HELLO` can make the endpoint track
 /// (the protocol itself caps clusters at the suspicion bitmap's 62 rows).
 const MAX_ROWS: usize = 62;
 
-/// Frames queued to one unreachable peer before posts start dropping.
+/// Default for [`TcpFabricConfig::outbound_queue_cap`].
 const OUTBOUND_QUEUE_CAP: usize = 65_536;
 /// Minimum gap between reconnect attempts on a dead link.
 const REDIAL_BACKOFF: Duration = Duration::from_millis(40);
-/// Per-attempt dial timeout.
+/// Gap between eager (bootstrap-patience) dial attempts.
+const EAGER_DIAL_GAP: Duration = Duration::from_millis(20);
+/// How long a nonblocking dial may sit unresolved before it is abandoned.
 const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
-/// Socket write timeout: bounds how long a writer thread can sit inside
-/// `write_all` holding the per-peer connection lock, so a peer that
-/// stops reading (full send buffer) cannot wedge `sever_peer` or
-/// shutdown — the timed-out write is treated as a dead link.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
-/// Poll granularity for stop/wedge checks in the service threads.
+/// The poller's maximum sleep (stop-flag latency bound).
 const POLL: Duration = Duration::from_millis(50);
+/// Zero-timeout re-polls after wire activity: while traffic flows the
+/// poller stays hot (no sleep/wake futex round trip per frame), widening
+/// batches under load yet going latency-greedy the moment it idles.
+const HOT_SPINS: u32 = 32;
 
 /// Configuration of one endpoint (see [`TcpFabric::bootstrap`]).
 #[derive(Debug, Clone)]
@@ -108,9 +123,11 @@ pub struct TcpFabricConfig {
     pub epoch: u64,
     /// Shared fault switches, consulted on every post.
     pub faults: FaultPlan,
-    /// How long the writer threads keep re-dialing during bootstrap
-    /// before falling back to drop-on-unreachable.
+    /// How long the poller keeps eagerly re-dialing the expected mesh
+    /// after bootstrap before falling back to dial-on-demand.
     pub connect_patience: Duration,
+    /// Frames queued to one unreachable peer before posts start shedding.
+    pub outbound_queue_cap: usize,
 }
 
 impl TcpFabricConfig {
@@ -124,26 +141,44 @@ impl TcpFabricConfig {
             epoch: 0,
             faults: FaultPlan::new(),
             connect_patience: Duration::from_secs(10),
+            outbound_queue_cap: OUTBOUND_QUEUE_CAP,
         }
     }
 }
 
-/// One queued outbound write, stamped with the epoch whose mirror it was
-/// snapshotted from. The writer drops frames older than the endpoint's
-/// current epoch: on real RDMA the per-view queue pairs die with the
-/// view, and transmitting a stale epoch's words over a fresh-epoch
-/// connection would smear old protocol state (e.g. a finished
-/// transition's PLANNED_BIT) into peers' fresh mirrors.
-struct QueuedWrite {
-    epoch: u64,
-    frame: WriteFrame,
+/// One peer's outbound half, owned jointly by posters (inline flush) and
+/// the poller (dials, backlog drains) under the mutex.
+struct PeerOut {
+    /// Encoded frames awaiting the wire, each stamped with its epoch.
+    queue: ScatterQueue,
+    /// The established stream (nonblocking).
+    conn: Option<TcpStream>,
+    /// A dial in flight (nonblocking connect awaiting `POLLOUT`).
+    connecting: Option<TcpStream>,
+    /// When `connecting` was started (abandoned after [`DIAL_TIMEOUT`]).
+    dial_started: Instant,
+    /// Last dial attempt (successful or not), for backoff gating.
+    last_dial: Option<Instant>,
 }
 
 struct PeerState {
-    tx: Sender<QueuedWrite>,
-    /// The writer-side stream; also reachable by [`TcpFabric::sever_peer`].
-    conn: Mutex<Option<TcpStream>>,
+    out: Mutex<PeerOut>,
     connected: AtomicBool,
+}
+
+impl PeerState {
+    fn new() -> Arc<PeerState> {
+        Arc::new(PeerState {
+            out: Mutex::new(PeerOut {
+                queue: ScatterQueue::new(),
+                conn: None,
+                connecting: None,
+                dial_started: Instant::now(),
+                last_dial: None,
+            }),
+            connected: AtomicBool::new(false),
+        })
+    }
 }
 
 /// A joiner's control conversation, surfaced by the accept path when a
@@ -170,30 +205,36 @@ struct Shared {
     region_words: AtomicUsize,
     /// Current epoch; advanced in place by [`Fabric::begin_epoch`].
     epoch: AtomicU64,
-    /// The current epoch's mirror. Readers apply every frame to the
-    /// *current* region, gated per frame on `hello.epoch >= epoch`: a
-    /// connection handshaken at a later epoch writes into our old mirror
-    /// until we install (that is how a peer's install flag reaches a
-    /// laggard), then seamlessly into the fresh one — it survives our
-    /// transition, so its one-shot writes cannot die on a severed zombie
-    /// link. A connection handshaken at an earlier epoch goes stale the
-    /// moment we advance and is dropped before it can touch the fresh
-    /// mirror. The epoch is stored *with* the region so the reader's
-    /// per-frame gate and the region it applies to cannot tear across a
-    /// concurrent transition.
+    /// The current epoch's mirror. Frames apply to the *current* region,
+    /// gated per frame on `hello.epoch >= epoch`: a connection
+    /// handshaken at a later epoch writes into our old mirror until we
+    /// install (that is how a peer's install flag reaches a laggard),
+    /// then seamlessly into the fresh one — it survives our transition,
+    /// so its one-shot writes cannot die on a severed zombie link. A
+    /// connection handshaken at an earlier epoch goes stale the moment
+    /// we advance and is dropped before it can touch the fresh mirror.
+    /// The epoch is stored *with* the region so the per-frame gate and
+    /// the region it applies to cannot tear across a transition.
     region: RwLock<(u64, Arc<Region>)>,
     /// Serializes epoch transitions (idempotence check + swap).
     transition: Mutex<()>,
     /// Peers expected in the current epoch's mesh (rows removed by a
     /// view change drop out, so the connection barrier ignores them).
     expected: Mutex<BTreeSet<usize>>,
+    /// Bumped whenever the mesh shape changes (`peers` / `expected` —
+    /// i.e. on epoch transitions), so the poller's hot loop can keep a
+    /// cached snapshot instead of cloning both under locks every spin.
+    mesh_gen: AtomicU64,
     faults: FaultPlan,
     metrics: WireMetrics,
     writes_posted: AtomicU64,
     bytes_posted: AtomicU64,
     stop: AtomicBool,
     connect_patience: Duration,
-    /// Per-destination writer state; grows on resizable transitions.
+    queue_cap: usize,
+    /// Interrupts a blocked poller (new backlog, shutdown, transitions).
+    waker: Waker,
+    /// Per-destination outbound state; grows on resizable transitions.
     peers: RwLock<Vec<Arc<PeerState>>>,
     /// Per source node: a shutdown handle to the current inbound stream,
     /// tagged with the epoch its `HELLO` carried (epoch transitions keep
@@ -202,9 +243,6 @@ struct Shared {
     /// Set once the first valid `HELLO` from each source arrived for the
     /// current epoch (bootstrap barrier; cleared on epoch transitions).
     hello_seen: Mutex<Vec<bool>>,
-    reader_threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Writer threads spawned for rows that joined after bootstrap.
-    grown_writers: Mutex<Vec<JoinHandle<()>>>,
     /// Joiner control conversations (`JOIN` first frames) awaiting the
     /// sponsor runtime.
     join_tx: Sender<JoinRequest>,
@@ -237,10 +275,21 @@ impl Shared {
     }
 
     /// The current mirror together with the epoch it belongs to, read
-    /// atomically (the reader's per-frame staleness gate).
+    /// atomically (the per-frame staleness gate).
     fn region_at_epoch(&self) -> (u64, Arc<Region>) {
         let guard = self.region.read().expect("region lock");
         (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// The `HELLO` this endpoint currently speaks.
+    fn hello(&self) -> Hello {
+        Hello {
+            version: PROTO_VERSION,
+            src: self.me as u32,
+            nodes: self.nodes() as u32,
+            region_words: self.region_words() as u64,
+            epoch: self.epoch(),
+        }
     }
 
     /// Makes the inbound/handshake bookkeeping cover `row` (a source that
@@ -272,46 +321,79 @@ impl Shared {
     }
 }
 
+/// Tears down a peer's outbound streams (established and in-flight) and
+/// rewinds the queue to a frame boundary, so the next connection's byte
+/// stream starts clean. Queued frames survive for the redial.
+fn kill_outbound(peer: &PeerState, out: &mut PeerOut) {
+    if let Some(c) = out.conn.take() {
+        let _ = c.shutdown(Shutdown::Both);
+    }
+    if let Some(c) = out.connecting.take() {
+        let _ = c.shutdown(Shutdown::Both);
+    }
+    peer.connected.store(false, Ordering::Release);
+    out.queue.rewind_head();
+}
+
+/// Drains the peer's scatter queue into its live stream with vectored
+/// writes until empty or the kernel pushes back. Caller holds the peer
+/// lock (posters and the poller both flush through here, so the stream
+/// stays a single ordered FIFO). Frames whose epoch died with the view
+/// are purged first. On a write error the connection is torn down; the
+/// queued frames survive for the redial.
+fn drain_outbound(shared: &Shared, peer: &PeerState, out: &mut PeerOut) {
+    let purged = out.queue.purge_stale(shared.epoch());
+    for _ in 0..purged {
+        shared.metrics.add_frame_dropped();
+    }
+    loop {
+        if out.queue.is_empty() || out.conn.is_none() {
+            return;
+        }
+        let res = {
+            let conn = out.conn.as_ref().expect("checked above");
+            let slices = out.queue.io_slices();
+            let mut w: &TcpStream = conn;
+            w.write_vectored(&slices)
+        };
+        match res {
+            Ok(0) => {
+                kill_outbound(peer, out);
+                return;
+            }
+            Ok(n) => {
+                shared.metrics.add_bytes_sent(n as u64);
+                shared.metrics.add_flush();
+                out.queue.advance(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                kill_outbound(peer, out);
+                return;
+            }
+        }
+    }
+}
+
 struct Inner {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    service_threads: Mutex<Vec<JoinHandle<()>>>,
+    poller: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
-        // Unblock readers stuck on half-open sockets.
+        self.shared.waker.wake();
+        // Unblock anything parked on half-open inbound sockets.
         {
             let mut inb = self.shared.inbound.lock().expect("inbound lock");
             for (s, _) in inb.iter_mut().filter_map(|s| s.take()) {
                 let _ = s.shutdown(Shutdown::Both);
             }
         }
-        for th in self
-            .service_threads
-            .lock()
-            .expect("service threads lock")
-            .drain(..)
-        {
-            let _ = th.join();
-        }
-        for th in self
-            .shared
-            .reader_threads
-            .lock()
-            .expect("reader threads lock")
-            .drain(..)
-        {
-            let _ = th.join();
-        }
-        for th in self
-            .shared
-            .grown_writers
-            .lock()
-            .expect("grown writers lock")
-            .drain(..)
-        {
+        if let Some(th) = self.poller.lock().expect("poller lock").take() {
             let _ = th.join();
         }
     }
@@ -319,7 +401,7 @@ impl Drop for Inner {
 
 /// One node's endpoint of the TCP transport fabric (see the
 /// [module docs](self)). Cheap to clone; the last clone dropped shuts the
-/// service threads down.
+/// poller thread down.
 #[derive(Clone)]
 pub struct TcpFabric {
     inner: Arc<Inner>,
@@ -337,9 +419,8 @@ impl std::fmt::Debug for TcpFabric {
 
 impl TcpFabric {
     /// Brings the endpoint up: binds `cfg.addrs[cfg.me]`, starts the
-    /// accept loop and one writer thread per peer, and begins dialing the
-    /// full mesh. Use [`TcpFabric::wait_connected`] to barrier on the
-    /// handshake.
+    /// poller thread and begins dialing the full mesh. Use
+    /// [`TcpFabric::wait_connected`] to barrier on the handshake.
     ///
     /// # Errors
     ///
@@ -369,17 +450,7 @@ impl TcpFabric {
             .map(|a| resolve(a))
             .collect::<io::Result<_>>()?;
         let local_addr = listener.local_addr()?;
-        let mut rxs: Vec<Option<Receiver<QueuedWrite>>> = Vec::with_capacity(n);
-        let mut peers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            rxs.push(Some(rx));
-            peers.push(Arc::new(PeerState {
-                tx,
-                conn: Mutex::new(None),
-                connected: AtomicBool::new(false),
-            }));
-        }
+        let peers: Vec<Arc<PeerState>> = (0..n).map(|_| PeerState::new()).collect();
         let expected: BTreeSet<usize> = (0..n).filter(|&p| p != cfg.me).collect();
         let (join_tx, join_rx) = unbounded();
         let shared = Arc::new(Shared {
@@ -390,49 +461,34 @@ impl TcpFabric {
             region: RwLock::new((cfg.epoch, Arc::new(Region::new(cfg.region_words)))),
             transition: Mutex::new(()),
             expected: Mutex::new(expected),
+            mesh_gen: AtomicU64::new(0),
             faults: cfg.faults,
             metrics: WireMetrics::new(),
             writes_posted: AtomicU64::new(0),
             bytes_posted: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             connect_patience: cfg.connect_patience,
+            queue_cap: cfg.outbound_queue_cap,
+            waker: Waker::new()?,
             peers: RwLock::new(peers),
             inbound: Mutex::new((0..n).map(|_| None).collect()),
             hello_seen: Mutex::new(vec![false; n]),
-            reader_threads: Mutex::new(Vec::new()),
-            grown_writers: Mutex::new(Vec::new()),
             join_tx,
             join_rx,
         });
-        let mut service = Vec::new();
         listener.set_nonblocking(true)?;
-        {
+        let poller = {
             let shared = Arc::clone(&shared);
-            service.push(
-                std::thread::Builder::new()
-                    .name(format!("spindle-net-accept-{}", cfg.me))
-                    .spawn(move || accept_loop(listener, shared))
-                    .expect("spawn accept thread"),
-            );
-        }
-        for (peer, rx) in rxs.into_iter().enumerate() {
-            if peer == cfg.me {
-                continue;
-            }
-            let rx = rx.expect("receiver present");
-            let shared = Arc::clone(&shared);
-            service.push(
-                std::thread::Builder::new()
-                    .name(format!("spindle-net-w{}-to-{peer}", cfg.me))
-                    .spawn(move || writer_loop(shared, peer, rx))
-                    .expect("spawn writer thread"),
-            );
-        }
+            std::thread::Builder::new()
+                .name(format!("spindle-net-poll-{}", cfg.me))
+                .spawn(move || poller_loop(listener, shared))
+                .expect("spawn poller thread")
+        };
         Ok(TcpFabric {
             inner: Arc::new(Inner {
                 shared,
                 local_addr,
-                service_threads: Mutex::new(service),
+                poller: Mutex::new(Some(poller)),
             }),
         })
     }
@@ -445,6 +501,18 @@ impl TcpFabric {
     /// The bound listen address (useful with ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr
+    }
+
+    /// How many wire service threads this endpoint runs: always 1 (the
+    /// poller), independent of cluster size — the O(1)-threads contract
+    /// of the single-poller design.
+    pub fn wire_threads(&self) -> usize {
+        self.inner
+            .poller
+            .lock()
+            .expect("poller lock")
+            .iter()
+            .count()
     }
 
     /// Blocks until the full mesh is up: every outbound link connected
@@ -494,19 +562,17 @@ impl TcpFabric {
 
     /// Severs the live connections between this endpoint and `peer`, in
     /// both directions (a dead link). Frames posted while the link is
-    /// down are dropped unless the writer can re-dial — gate re-dialing
-    /// with [`FaultPlan::isolate`] to keep the link down.
+    /// down queue (shedding at the cap) and flush once the poller can
+    /// re-dial — gate re-dialing with [`FaultPlan::isolate`] to keep the
+    /// link down.
     pub fn sever_peer(&self, peer: NodeId) {
         let s = &self.inner.shared;
         if peer.0 == s.me {
             return;
         }
         if let Some(p) = s.peer(peer.0) {
-            let mut conn = p.conn.lock().expect("conn lock");
-            if let Some(c) = conn.take() {
-                let _ = c.shutdown(Shutdown::Both);
-            }
-            p.connected.store(false, Ordering::Release);
+            let mut out = p.out.lock().expect("peer out lock");
+            kill_outbound(&p, &mut out);
         }
         let mut inb = s.inbound.lock().expect("inbound lock");
         if let Some(Some((c, _))) = inb.get_mut(peer.0).map(|slot| slot.take()) {
@@ -593,20 +659,37 @@ impl Fabric for TcpFabric {
             }
         }
         // Snapshot atomically with the epoch the words belong to: the
-        // writer refuses to transmit them once the endpoint has moved on.
+        // frame is purged unsent once the endpoint has moved on.
         let (epoch, region) = s.region_at_epoch();
-        let words = region.snapshot(op.range.start, op.words());
-        let peer = s.peer(op.dst.0).expect("destination peer exists");
-        if peer.tx.len() >= OUTBOUND_QUEUE_CAP {
+        let Some(peer) = s.peer(op.dst.0) else {
+            s.metrics.add_frame_dropped();
+            return;
+        };
+        let mut out = peer.out.lock().expect("peer out lock");
+        if out.queue.len() >= s.queue_cap {
             // The peer is unreachable and the backlog is saturated: shed
             // load like a NIC whose QP errored out.
             s.metrics.add_frame_dropped();
             return;
         }
-        let _ = peer.tx.send(QueuedWrite {
-            epoch,
-            frame: WriteFrame::for_op(op, words),
-        });
+        let words = region.snapshot(op.range.start, op.words());
+        let mut buf = out.queue.take_buf();
+        encode_write_frame(&WriteFrame::for_op(op, words), &mut buf);
+        let was_idle = out.queue.is_empty();
+        out.queue.push(epoch, buf);
+        if out.conn.is_some() {
+            // Latency-greedy: the link is up, so flush from the posting
+            // thread — no handoff, no wakeup. Under load the kernel
+            // pushes back (WouldBlock) and frames accumulate for the
+            // poller's next vectored drain: batching emerges adaptively.
+            drain_outbound(s, &peer, &mut out);
+            if !out.queue.is_empty() {
+                s.waker.wake();
+            }
+        } else if was_idle && out.connecting.is_none() {
+            // Link down and this is fresh backlog: have the poller dial.
+            s.waker.wake();
+        }
     }
 
     fn faults(&self) -> &FaultPlan {
@@ -620,15 +703,16 @@ impl Fabric for TcpFabric {
     /// The in-place epoch transition (see the [module docs](self)): swap
     /// in a fresh mirror of the new layout's size, re-stamp handshakes
     /// with the new epoch, narrow (or *grow* — a join appends rows to
-    /// the peer set, each with its own writer thread) the mesh to the
-    /// transition's live set, and re-wire connections — every *outbound*
-    /// link is severed (its stream carries the old epoch's handshake;
-    /// the writer re-dials with the new one), but an inbound connection
-    /// whose peer already handshook at the new epoch (or later) is
-    /// **kept**: it is exactly the link the peer's install barrier and
-    /// first new-epoch writes ride on, and killing it would drop those
-    /// one-shot writes in the close window. Only stale inbound
-    /// connections are severed. Idempotent once the epoch is installed.
+    /// the peer set; the poller's fd set covers them with no new
+    /// threads) the mesh to the transition's live set, and re-wire
+    /// connections — every *outbound* link is severed (its stream
+    /// carries the old epoch's handshake; the poller re-dials with the
+    /// new one), but an inbound connection whose peer already handshook
+    /// at the new epoch (or later) is **kept**: it is exactly the link
+    /// the peer's install barrier and first new-epoch writes ride on,
+    /// and killing it would drop those one-shot writes in the close
+    /// window. Only stale inbound connections are severed. Idempotent
+    /// once the epoch is installed.
     fn begin_epoch(&self, t: &EpochTransition) -> bool {
         let s = &self.inner.shared;
         let _guard = s.transition.lock().expect("transition lock");
@@ -638,48 +722,36 @@ impl Fabric for TcpFabric {
         // Grow first: a joined row becomes dialable the moment the new
         // epoch exists, so the install barrier's pushes can reach it.
         for (row, addr) in &t.joined {
-            let sock = resolve(addr).expect("join proposals carry numeric IPv4 endpoints");
+            let sock = resolve(addr).expect("join proposals carry resolvable endpoints");
             let mut addrs = s.addrs.write().expect("addrs lock");
             assert_eq!(*row, addrs.len(), "joined rows are appended in row order");
             addrs.push(sock);
             drop(addrs);
-            let (tx, rx) = unbounded();
-            s.peers
-                .write()
-                .expect("peers lock")
-                .push(Arc::new(PeerState {
-                    tx,
-                    conn: Mutex::new(None),
-                    connected: AtomicBool::new(false),
-                }));
+            s.peers.write().expect("peers lock").push(PeerState::new());
             s.ensure_inbound_slot(*row);
-            let shared = Arc::clone(&self.inner.shared);
-            let peer = *row;
-            let th = std::thread::Builder::new()
-                .name(format!("spindle-net-w{}-to-{peer}", s.me))
-                .spawn(move || writer_loop(shared, peer, rx))
-                .expect("spawn writer thread");
-            s.grown_writers.lock().expect("grown writers lock").push(th);
         }
-        // Swap epoch and mirror together: readers gate every frame on the
-        // pair, so no stale frame can land in the fresh region and no
+        // Swap epoch and mirror together: the per-frame gate pairs them,
+        // so no stale frame can land in the fresh region and no
         // new-epoch frame is lost to the old one.
         *s.region.write().expect("region lock") = (t.epoch, Arc::new(Region::new(t.region_words)));
         s.region_words.store(t.region_words, Ordering::Release);
         s.epoch.store(t.epoch, Ordering::Release);
         *s.expected.lock().expect("expected lock") =
             t.live.iter().copied().filter(|&p| p != s.me).collect();
-        // Outbound: sever everything; the writers re-dial on demand with
-        // the new epoch's HELLO.
+        s.mesh_gen.fetch_add(1, Ordering::Release);
+        // Outbound: sever everything and purge frames snapshotted from
+        // the dead epoch (their queue pairs died with the view); the
+        // poller re-dials on demand with the new epoch's HELLO.
         for (peer, p) in s.peers.read().expect("peers lock").iter().enumerate() {
             if peer == s.me {
                 continue;
             }
-            let mut conn = p.conn.lock().expect("conn lock");
-            if let Some(c) = conn.take() {
-                let _ = c.shutdown(Shutdown::Both);
+            let mut out = p.out.lock().expect("peer out lock");
+            kill_outbound(p, &mut out);
+            let purged = out.queue.purge_stale(t.epoch);
+            for _ in 0..purged {
+                s.metrics.add_frame_dropped();
             }
-            p.connected.store(false, Ordering::Release);
         }
         // Inbound: keep connections already at the new epoch (their
         // handshake stands — no fresh HELLO will come over them), sever
@@ -699,6 +771,9 @@ impl Fabric for TcpFabric {
                 }
             }
         }
+        drop(seen);
+        drop(inb);
+        s.waker.wake();
         true
     }
 
@@ -720,237 +795,146 @@ fn resolve(addr: &str) -> io::Result<SocketAddr> {
     })
 }
 
-/// Dials `peer`, sends the `HELLO`, and installs the stream. Returns
-/// `true` on success.
-fn try_connect(shared: &Shared, peer: usize) -> bool {
-    if !shared.link_allowed(peer) {
-        return false;
-    }
-    let Ok(stream) = TcpStream::connect_timeout(&shared.addr_of(peer), DIAL_TIMEOUT) else {
-        return false;
-    };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut buf = Vec::with_capacity(32);
-    encode_frame(
-        &Frame::Hello(Hello {
-            version: PROTO_VERSION,
-            src: shared.me as u32,
-            nodes: shared.nodes() as u32,
-            region_words: shared.region_words() as u64,
-            epoch: shared.epoch(),
-        }),
-        &mut buf,
-    );
-    let mut stream = stream;
-    if stream.write_all(&buf).is_err() {
-        return false;
-    }
-    shared.metrics.add_bytes_sent(buf.len() as u64);
-    let Some(p) = shared.peer(peer) else {
-        return false;
-    };
-    *p.conn.lock().expect("conn lock") = Some(stream);
-    p.connected.store(true, Ordering::Release);
-    shared.metrics.add_reconnect();
-    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
-        eprintln!(
-            "spindle-net: n{} dialed n{peer} (hello epoch {})",
-            shared.me,
-            shared.epoch()
-        );
-    }
-    true
-}
-
-/// Sends one frame to `peer`, (re)dialing if allowed; drops the frame
-/// (counted) when the link is down and undialable.
-fn send_frame(shared: &Shared, peer: usize, qw: &QueuedWrite, last_dial: &mut Instant) {
-    if qw.epoch < shared.epoch() {
-        // The frame was snapshotted from an epoch this endpoint already
-        // left: its queue pair died with the view. Transmitting it over
-        // a fresh-epoch connection would plant stale protocol columns in
-        // the peer's new mirror.
-        shared.metrics.add_frame_dropped();
-        return;
-    }
-    let frame = &qw.frame;
-    let Some(p) = shared.peer(peer) else {
-        shared.metrics.add_frame_dropped();
-        return;
-    };
-    if !p.connected.load(Ordering::Acquire) {
-        let now = Instant::now();
-        if now.duration_since(*last_dial) < REDIAL_BACKOFF {
-            shared.metrics.add_frame_dropped();
-            return;
-        }
-        *last_dial = now;
-        if !try_connect(shared, peer) {
-            shared.metrics.add_frame_dropped();
-            return;
-        }
-    }
-    let mut buf = Vec::with_capacity(32 + frame.words.len() * 8);
-    crate::wire::encode_write_frame(frame, &mut buf);
-    let mut conn = p.conn.lock().expect("conn lock");
-    let ok = match conn.as_mut() {
-        Some(stream) => stream.write_all(&buf).is_ok(),
-        None => false, // severed between the check and the lock
-    };
-    if ok {
-        shared.metrics.add_bytes_sent(buf.len() as u64);
-    } else {
-        if let Some(c) = conn.take() {
-            let _ = c.shutdown(Shutdown::Both);
-        }
-        p.connected.store(false, Ordering::Release);
-        shared.metrics.add_frame_dropped();
-    }
-}
-
-/// The per-peer writer thread: eagerly dials during bootstrap, then
-/// drains the frame queue for the life of the fabric, flushing the
-/// backlog on shutdown.
-fn writer_loop(shared: Arc<Shared>, peer: usize, rx: Receiver<QueuedWrite>) {
-    let patience = Instant::now() + shared.connect_patience;
-    while !shared.stop.load(Ordering::Acquire)
-        && Instant::now() < patience
-        && !try_connect(&shared, peer)
-    {
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    let mut last_dial = Instant::now() - REDIAL_BACKOFF;
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            break;
-        }
-        match rx.recv_timeout(POLL) {
-            Ok(frame) => send_frame(&shared, peer, &frame, &mut last_dial),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    // Best-effort flush so a clean shutdown does not strand acks the
-    // peers still need.
-    let flush_deadline = Instant::now() + Duration::from_millis(500);
-    while Instant::now() < flush_deadline {
-        match rx.try_recv() {
-            Ok(frame) => send_frame(&shared, peer, &frame, &mut last_dial),
-            Err(_) => break,
-        }
-    }
-}
-
-/// The accept loop: hands every inbound connection to a reader thread.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(POLL));
-                let _ = stream.set_nodelay(true);
-                let me = shared.me;
-                let s = Arc::clone(&shared);
-                let th = std::thread::Builder::new()
-                    .name(format!("spindle-net-r{me}"))
-                    .spawn(move || reader_loop(s, stream))
-                    .expect("spawn reader thread");
-                let mut readers = shared.reader_threads.lock().expect("reader threads lock");
-                // Reap finished readers (dropped handles detach cleanly)
-                // so a flapping link cannot grow this list unboundedly.
-                readers.retain(|h| !h.is_finished());
-                readers.push(th);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Incremental frame decoding over a read-timeout socket.
-struct StreamDecoder {
+/// One inbound connection owned by the poller.
+struct InboundConn {
     stream: TcpStream,
-    buf: Vec<u8>,
-    pos: usize,
+    asm: FrameAssembler,
+    /// The validated handshake; `None` until the first frame arrives.
+    hello: Option<Hello>,
+    /// Kill the connection at the next compaction.
+    dead: bool,
+    /// Hand the stream to the sponsor runtime at the next compaction.
+    handoff: Option<(String, bool)>,
 }
 
-impl StreamDecoder {
-    fn new(stream: TcpStream) -> StreamDecoder {
-        StreamDecoder {
-            stream,
-            buf: Vec::with_capacity(16 * 1024),
-            pos: 0,
+/// Reads everything currently available on one inbound connection and
+/// applies the complete frames (see [`process_inbound_frames`]).
+/// Returns whether any bytes arrived.
+fn service_inbound(shared: &Shared, ic: &mut InboundConn) -> bool {
+    let mut tmp = [0u8; 16 * 1024];
+    let mut any = false;
+    loop {
+        if ic.dead || ic.handoff.is_some() {
+            return any;
+        }
+        match ic.stream.read(&mut tmp) {
+            Ok(0) => {
+                ic.dead = true;
+                return any;
+            }
+            Ok(n) => {
+                any = true;
+                shared.metrics.add_bytes_received(n as u64);
+                ic.asm.feed(&tmp[..n]);
+                process_inbound_frames(shared, ic);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return any,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                ic.dead = true;
+                return any;
+            }
         }
     }
+}
 
-    /// The next frame; `Ok(None)` on clean end-of-stream or fabric stop.
-    fn next(&mut self, shared: &Shared) -> io::Result<Option<Frame>> {
-        loop {
-            match decode_frame(&self.buf[self.pos..]) {
-                Ok((frame, used)) => {
-                    self.pos += used;
-                    if self.pos >= 64 * 1024 {
-                        self.buf.drain(..self.pos);
-                        self.pos = 0;
+/// Applies every complete frame buffered on `ic`: verify the `HELLO`,
+/// then place writes into the local mirror until the stream ends or
+/// turns garbage. A connection that opens with a `JOIN` frame instead is
+/// not a fabric link at all — it is a joiner's control conversation,
+/// marked for handoff to [`TcpFabric::join_requests`].
+fn process_inbound_frames(shared: &Shared, ic: &mut InboundConn) {
+    loop {
+        let frame = match ic.asm.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => {
+                ic.dead = true;
+                return;
+            }
+        };
+        let Some(hello) = ic.hello.as_ref() else {
+            match frame {
+                Frame::Hello(h) => {
+                    if !accept_hello(shared, ic, &h) {
+                        ic.dead = true;
+                        return;
                     }
-                    return Ok(Some(frame));
+                    ic.hello = Some(h);
+                    continue;
                 }
-                Err(WireError::Truncated { .. }) => {}
-                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
-            }
-            if shared.stop.load(Ordering::Acquire) {
-                return Ok(None);
-            }
-            let mut tmp = [0u8; 16 * 1024];
-            match self.stream.read(&mut tmp) {
-                Ok(0) => return Ok(None),
-                Ok(n) => {
-                    shared.metrics.add_bytes_received(n as u64);
-                    self.buf.extend_from_slice(&tmp[..n]);
+                Frame::Join(j) => {
+                    // The joiner writes nothing after its JOIN; the
+                    // sponsor answers over the same stream.
+                    ic.handoff = Some((j.addr, j.as_sender));
+                    return;
                 }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut => {}
-                Err(e) => return Err(e),
+                _ => {
+                    ic.dead = true;
+                    return;
+                }
+            }
+        };
+        match frame {
+            Frame::Write(w) => {
+                // Checked arithmetic: a hostile offset near u64::MAX must
+                // fail validation, not wrap and panic the poller. The
+                // bound is the *connection's* declared region (>= ours
+                // for an ahead-of-us peer).
+                let own_words = shared.region_words() as u64;
+                let bound = own_words.max(hello.region_words);
+                let end = w.offset.checked_add(w.words.len() as u64);
+                if w.words.is_empty() || end.is_none_or(|e| e > bound) {
+                    ic.dead = true; // corrupt frame: kill the connection
+                    return;
+                }
+                // Apply to the *current* mirror, gated per frame: while
+                // we lag the connection's epoch its writes land in our
+                // old region (that is how a peer's install flag reaches
+                // us), after our install they land in the fresh one — the
+                // connection survives our transition, so its one-shot
+                // writes cannot die on a severed zombie link. If *we*
+                // advanced past the connection's epoch, it is stale:
+                // drop it before it can write into the fresh mirror.
+                let (epoch_now, region) = shared.region_at_epoch();
+                if hello.epoch < epoch_now {
+                    ic.dead = true;
+                    return;
+                }
+                let end = end.expect("bounds-checked above") as usize;
+                if end <= region.len() {
+                    region.apply_write(w.offset as usize, &w.words);
+                    shared.metrics.add_frame_received();
+                } else {
+                    // A write into rows of a later layout than ours —
+                    // e.g. the joiner's install flag reaching a laggard
+                    // that has not grown its mirror yet. Skip it (never
+                    // kill the link): monotonic protocol columns are
+                    // re-pushed, so it lands once we install.
+                    debug_assert!(hello.epoch > epoch_now);
+                }
+            }
+            // A second HELLO (or any control frame) is a protocol
+            // violation; the connection ends (the peer re-dials).
+            _ => {
+                ic.dead = true;
+                return;
             }
         }
     }
 }
 
-/// One inbound connection: verify the `HELLO`, then place every write
-/// into the local mirror until the stream ends or turns garbage. A
-/// connection that opens with a `JOIN` frame instead is not a fabric
-/// link at all — it is a joiner's control conversation, handed to the
-/// sponsor runtime through [`TcpFabric::join_requests`].
-fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
-    let register = stream.try_clone().ok();
-    let mut dec = StreamDecoder::new(stream);
-    let hello = match dec.next(&shared) {
-        Ok(Some(Frame::Hello(h))) => h,
-        Ok(Some(Frame::Join(j))) => {
-            // The joiner writes nothing after its JOIN; the sponsor
-            // answers over the same stream.
-            let _ = shared.join_tx.send(JoinRequest {
-                addr: j.addr,
-                as_sender: j.as_sender,
-                stream: dec.stream,
-            });
-            return;
-        }
-        _ => return, // no (valid) handshake: drop the connection
-    };
+/// Validates a handshake and registers the connection. A peer at a
+/// *later* epoch is legitimate: it installed the next view first and is
+/// re-dialing (its pre-barrier posts touch only the idempotent
+/// reconfiguration columns). Its cluster size and region size describe a
+/// layout we may not have installed yet — e.g. the *joiner* of the next
+/// epoch dialing a laggard — so those checks are enforced only against a
+/// same-epoch handshake. A peer at an *earlier* epoch is stale —
+/// rejecting it here is what keeps a laggard's old-epoch protocol writes
+/// out of the fresh mirror.
+fn accept_hello(shared: &Shared, ic: &InboundConn, hello: &Hello) -> bool {
     let src = hello.src as usize;
-    // A peer at a *later* epoch is legitimate: it installed the next view
-    // first and is re-dialing (its pre-barrier posts touch only the
-    // idempotent reconfiguration columns). Its cluster size and region
-    // size describe a layout we may not have installed yet — e.g. the
-    // *joiner* of the next epoch dialing a laggard — so those checks are
-    // enforced only against a same-epoch handshake. A peer at an
-    // *earlier* epoch is stale — rejecting it here is what keeps a
-    // laggard's old-epoch protocol writes out of the fresh mirror.
     let epoch_at_hello = shared.epoch();
     let ahead = hello.epoch > epoch_at_hello;
     let valid = src != shared.me
@@ -970,10 +954,10 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
         );
     }
     if !valid {
-        return;
+        return false;
     }
     shared.ensure_inbound_slot(src);
-    if let Some(clone) = register {
+    if let Ok(clone) = ic.stream.try_clone() {
         let mut inb = shared.inbound.lock().expect("inbound lock");
         if let Some((stale, _)) = inb[src].take() {
             let _ = stale.shutdown(Shutdown::Both);
@@ -981,49 +965,247 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
         inb[src] = Some((clone, hello.epoch));
     }
     shared.hello_seen.lock().expect("hello_seen lock")[src] = true;
-    loop {
-        match dec.next(&shared) {
-            Ok(Some(Frame::Write(w))) => {
-                // Checked arithmetic: a hostile offset near u64::MAX must
-                // fail validation, not wrap and panic the reader. The
-                // bound is the *connection's* declared region (>= ours
-                // for an ahead-of-us peer).
-                let own_words = shared.region_words() as u64;
-                let bound = own_words.max(hello.region_words);
-                let end = w.offset.checked_add(w.words.len() as u64);
-                if w.words.is_empty() || end.is_none_or(|e| e > bound) {
-                    return; // corrupt frame: kill the connection
-                }
-                // Apply to the *current* mirror, gated per frame: while
-                // we lag the connection's epoch its writes land in our
-                // old region (that is how a peer's install flag reaches
-                // us), after our install they land in the fresh one — the
-                // connection survives our transition, so its one-shot
-                // writes cannot die on a severed zombie link. If *we*
-                // advanced past the connection's epoch, it is stale:
-                // drop it before it can write into the fresh mirror.
-                let (epoch_now, region) = shared.region_at_epoch();
-                if hello.epoch < epoch_now {
-                    return;
-                }
-                let end = end.expect("bounds-checked above") as usize;
-                if end <= region.len() {
-                    region.apply_write(w.offset as usize, &w.words);
-                    shared.metrics.add_frame_received();
-                } else {
-                    // A write into rows of a later layout than ours —
-                    // e.g. the joiner's install flag reaching a laggard
-                    // that has not grown its mirror yet. Skip it (never
-                    // kill the link): monotonic protocol columns are
-                    // re-pushed, so it lands once we install.
-                    debug_assert!(hello.epoch > epoch_now);
+    true
+}
+
+/// Compact the inbound set: drop dead connections, hand join
+/// conversations to the sponsor runtime (back in blocking mode —
+/// `serve_join` speaks a plain request/response protocol over the
+/// stream).
+fn compact_inbound(shared: &Shared, inbound: &mut Vec<InboundConn>) {
+    let mut i = 0;
+    while i < inbound.len() {
+        if inbound[i].dead {
+            inbound.swap_remove(i);
+        } else if inbound[i].handoff.is_some() {
+            let ic = inbound.swap_remove(i);
+            let (addr, as_sender) = ic.handoff.expect("checked above");
+            let _ = ic.stream.set_nonblocking(false);
+            let _ = ic.stream.set_read_timeout(Some(POLL));
+            let _ = shared.join_tx.send(JoinRequest {
+                addr,
+                as_sender,
+                stream: ic.stream,
+            });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The single poller thread: one readiness loop owning the listener,
+/// every inbound stream, dial completions and outbound backlog drains.
+/// This is the only wire service thread an endpoint runs, whatever the
+/// cluster size.
+fn poller_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let patience_deadline = Instant::now() + shared.connect_patience;
+    let mut inbound: Vec<InboundConn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut out_rows: Vec<usize> = Vec::new();
+    let mut hot: u32 = 0;
+    // Mesh snapshot, cached across spins: refreshed only when an epoch
+    // transition bumps the generation. The hot window re-runs this loop
+    // at sub-microsecond cadence, so per-spin clones (and their
+    // allocations) would dominate the receive latency they exist to cut.
+    let mut peers: Vec<Arc<PeerState>> = Vec::new();
+    let mut expected: BTreeSet<usize> = BTreeSet::new();
+    let mut cached_gen = u64::MAX;
+    while !shared.stop.load(Ordering::Acquire) {
+        // Hot fast path: while traffic is flowing, skip the fd rebuild
+        // and the poll syscall entirely and greedily try nonblocking
+        // reads on the inbound streams — one `read` per live stream is
+        // the whole wake cost, which is what bounds post→placement
+        // latency on an active link. The budget decrements every spin
+        // (activity does NOT renew it here), so accepts, dials, waker
+        // drains and POLLOUT backlog service are never starved longer
+        // than `HOT_SPINS` spins: the slow pass below runs at least
+        // once per window and re-arms the window if traffic continues.
+        if hot > 0 {
+            hot -= 1;
+            let mut moved = false;
+            for ic in inbound.iter_mut() {
+                if service_inbound(&shared, ic) {
+                    moved = true;
                 }
             }
-            // A second HELLO (or any control frame) is a protocol
-            // violation; EOF, stop and garbage all end the connection
-            // (the peer re-dials).
-            Ok(Some(_)) | Ok(None) | Err(_) => return,
+            compact_inbound(&shared, &mut inbound);
+            if !moved {
+                // Nothing pending: give the core to the posters that
+                // feed this loop (single-core friendliness).
+                std::thread::yield_now();
+            }
+            continue;
         }
+        let now = Instant::now();
+        let in_patience = now < patience_deadline;
+        let gen = shared.mesh_gen.load(Ordering::Acquire);
+        if gen != cached_gen {
+            peers = shared.peers.read().expect("peers lock").clone();
+            expected = shared.expected.lock().expect("expected lock").clone();
+            cached_gen = gen;
+        }
+        // One pass over the peers, under one lock each: run dial policy
+        // (eager toward the expected mesh during bootstrap patience, on
+        // demand — queued backlog — afterwards; backoff-gated always)
+        // and collect the POLLOUT set (dials in flight, backlog behind
+        // a live stream) while the fd list is built below.
+        fds.clear();
+        fds.push(PollFd::new(shared.waker.fd(), POLLIN));
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        for ic in &inbound {
+            fds.push(PollFd::new(ic.stream.as_raw_fd(), POLLIN));
+        }
+        let n_inb = inbound.len();
+        out_rows.clear();
+        let mut timed = false;
+        for (row, p) in peers.iter().enumerate() {
+            if row == shared.me {
+                continue;
+            }
+            let mut out = p.out.lock().expect("peer out lock");
+            if out.connecting.is_some() && now.duration_since(out.dial_started) > DIAL_TIMEOUT {
+                if let Some(c) = out.connecting.take() {
+                    let _ = c.shutdown(Shutdown::Both);
+                }
+            }
+            if out.connecting.is_some() {
+                timed = true;
+            }
+            let want = (in_patience && expected.contains(&row)) || !out.queue.is_empty();
+            if want && out.conn.is_none() {
+                timed = true;
+                if out.connecting.is_none() {
+                    let gap = if out.queue.is_empty() {
+                        EAGER_DIAL_GAP
+                    } else {
+                        REDIAL_BACKOFF
+                    };
+                    let due = out.last_dial.is_none_or(|t| now.duration_since(t) >= gap);
+                    if due && shared.link_allowed(row) {
+                        out.last_dial = Some(now);
+                        if let Ok(s) = connect_nonblocking(&shared.addr_of(row)) {
+                            out.dial_started = now;
+                            out.connecting = Some(s);
+                        }
+                    }
+                }
+            }
+            let fd = if let Some(c) = &out.connecting {
+                Some(c.as_raw_fd())
+            } else {
+                match &out.conn {
+                    Some(c) if !out.queue.is_empty() => Some(c.as_raw_fd()),
+                    _ => None,
+                }
+            };
+            if let Some(fd) = fd {
+                out_rows.push(row);
+                fds.push(PollFd::new(fd, POLLOUT));
+            }
+        }
+        // Adaptive cadence: the hot fast path above owns the traffic
+        // case (this pass only runs with the window closed or spent),
+        // so block at millisecond granularity while dials are pending
+        // and for the full tick when idle — a pending readiness event
+        // still returns immediately.
+        let timeout = if timed { EAGER_DIAL_GAP } else { POLL };
+        let n_ready = match poll_fds(&mut fds, Some(timeout)) {
+            Ok(n) => n,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        if n_ready == 0 {
+            continue;
+        }
+        let mut activity = false;
+        if fds[0].readable() {
+            shared.waker.drain();
+            activity = true;
+        }
+        if fds[1].readable() {
+            loop {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nonblocking(true);
+                        let _ = s.set_nodelay(true);
+                        inbound.push(InboundConn {
+                            stream: s,
+                            asm: FrameAssembler::new(),
+                            hello: None,
+                            dead: false,
+                            handoff: None,
+                        });
+                        activity = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        for i in 0..n_inb {
+            if fds[2 + i].readable() && service_inbound(&shared, &mut inbound[i]) {
+                activity = true;
+            }
+        }
+        compact_inbound(&shared, &mut inbound);
+        // Outbound readiness: resolve dial completions (HELLO goes first
+        // on the fresh stream), then drain backlogs as vectored writes.
+        for (k, &row) in out_rows.iter().enumerate() {
+            if !fds[2 + n_inb + k].writable() {
+                continue;
+            }
+            let p = &peers[row];
+            let mut out = p.out.lock().expect("peer out lock");
+            if let Some(c) = out.connecting.take() {
+                // A failed dial (refused / unreachable) falls through:
+                // the backlog stays queued for the backoff-gated retry.
+                if let Ok(None) = c.take_error() {
+                    let _ = c.set_nodelay(true);
+                    out.conn = Some(c);
+                    p.connected.store(true, Ordering::Release);
+                    shared.metrics.add_reconnect();
+                    out.queue.rewind_head(); // fresh stream, frame boundary
+                    let hello = shared.hello();
+                    let mut buf = out.queue.take_buf();
+                    encode_hello(&hello, &mut buf);
+                    out.queue.push_front(hello.epoch, buf);
+                    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
+                        eprintln!(
+                            "spindle-net: n{} dialed n{row} (hello epoch {})",
+                            shared.me, hello.epoch
+                        );
+                    }
+                }
+            }
+            drain_outbound(&shared, p, &mut out);
+            activity = true;
+        }
+        if activity {
+            hot = HOT_SPINS;
+        }
+    }
+    // Best-effort flush so a clean shutdown does not strand acks the
+    // peers still need.
+    let flush_deadline = Instant::now() + Duration::from_millis(500);
+    loop {
+        let peers: Vec<Arc<PeerState>> = shared.peers.read().expect("peers lock").clone();
+        let mut pending = false;
+        for (row, p) in peers.iter().enumerate() {
+            if row == shared.me {
+                continue;
+            }
+            let mut out = p.out.lock().expect("peer out lock");
+            drain_outbound(&shared, p, &mut out);
+            if !out.queue.is_empty() && out.conn.is_some() {
+                pending = true;
+            }
+        }
+        if !pending || Instant::now() > flush_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -1244,5 +1426,87 @@ mod tests {
         let b = TcpFabric::bootstrap_on_listener(cfg1, l1).unwrap();
         assert!(a.wait_connected(Duration::from_millis(700)).is_err());
         drop(b);
+    }
+
+    /// An endpoint whose single peer has no listener yet: every dial is
+    /// refused, so posted frames accumulate in the scatter queue.
+    fn undialable_single(region_words: usize, queue_cap: usize) -> (TcpFabric, SocketAddr) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let addrs = vec![l0.local_addr().unwrap().to_string(), peer_addr.to_string()];
+        let mut cfg = TcpFabricConfig::new(0, addrs, region_words);
+        cfg.connect_patience = Duration::ZERO; // dial on demand only
+        cfg.outbound_queue_cap = queue_cap;
+        let a = TcpFabric::bootstrap_on_listener(cfg, l0).unwrap();
+        (a, peer_addr)
+    }
+
+    #[test]
+    fn backlog_drains_as_one_vectored_write_after_redial() {
+        let (a, peer_addr) = undialable_single(8, OUTBOUND_QUEUE_CAP);
+        let ra = a.region_arc(NodeId(0));
+        for i in 1..=32u64 {
+            ra.store(0, i);
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 0..1));
+        }
+        assert_eq!(
+            a.wire_stats().flushes,
+            0,
+            "nothing can flush while the peer is undialable"
+        );
+        // The peer comes up on the promised port: the next backoff-gated
+        // redial succeeds and the whole backlog (HELLO first) drains as
+        // a single scatter write.
+        let listener = TcpListener::bind(peer_addr).unwrap();
+        let (mut s, _) = listener.accept().unwrap();
+        let mut buf = vec![0u8; 31 + 32 * 29]; // HELLO + 32 one-word WRITEs
+        s.read_exact(&mut buf).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.feed(&buf);
+        match asm.next_frame() {
+            Ok(Some(Frame::Hello(h))) => assert_eq!(h.src, 0),
+            other => panic!("expected HELLO first on the fresh stream: {other:?}"),
+        }
+        for i in 1..=32u64 {
+            match asm.next_frame() {
+                Ok(Some(Frame::Write(w))) => {
+                    assert_eq!(w.offset, 0);
+                    assert_eq!(w.words, vec![i], "frames reordered or torn");
+                }
+                other => panic!("expected WRITE {i}: {other:?}"),
+            }
+        }
+        let stats = a.wire_stats();
+        assert!(
+            stats.flushes <= 3,
+            "backlog flushed frame-at-a-time: {} vectored writes",
+            stats.flushes
+        );
+        assert_eq!(stats.frames_dropped, 0);
+    }
+
+    #[test]
+    fn queue_cap_sheds_posts_to_an_unreachable_peer() {
+        let (a, _peer_addr) = undialable_single(8, 8);
+        let ra = a.region_arc(NodeId(0));
+        for i in 1..=40u64 {
+            ra.store(0, i);
+            a.post(NodeId(0), &WriteOp::new(NodeId(1), 0..1));
+        }
+        let stats = a.wire_stats();
+        assert_eq!(stats.frames_posted, 40);
+        assert_eq!(
+            stats.frames_dropped, 32,
+            "the cap admits 8 frames and sheds the rest"
+        );
+    }
+
+    #[test]
+    fn endpoint_runs_exactly_one_wire_thread() {
+        let (a, b) = loopback_pair(8, FaultPlan::new());
+        assert_eq!(a.wire_threads(), 1);
+        assert_eq!(b.wire_threads(), 1);
     }
 }

@@ -34,7 +34,15 @@ use std::ops::Range;
 use spindle_fabric::{NodeId, WriteOp};
 
 /// Protocol version spoken by this build (checked in `HELLO` and `JOIN`).
-pub const PROTO_VERSION: u16 = 1;
+///
+/// Version 2: the batched single-poller wire path (frames may arrive
+/// coalesced into one TCP segment — already legal under v1 framing) and
+/// `JoinEndpoint`-encoded join proposals on the guarded SST list, which
+/// changed the proposal word layout every member must agree on. The
+/// frame layouts themselves are unchanged; the bump is what keeps a v1
+/// build from interpreting a v2 proposal's endpoint words as a packed
+/// IPv4 join word.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Frame kind byte of [`Frame::Hello`].
 pub const KIND_HELLO: u8 = 0x01;
@@ -627,6 +635,207 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     Ok((frame, total))
 }
 
+/// Linux caps one `writev` at 1024 iovecs; staying under it means a
+/// drain call never splits for silly reasons.
+const MAX_IOVECS: usize = 1024;
+
+/// The per-peer outbound queue of the single-poller wire path: encoded
+/// frames accumulate here (each stamped with the epoch its words were
+/// snapshotted from) and drain as **one vectored write** per readiness —
+/// the §3 batching insight applied at the wire layer. The queue owns its
+/// buffers and recycles them through a small pool, so the steady-state
+/// hot path allocates nothing.
+///
+/// Partial writes are first-class: [`ScatterQueue::advance`] consumes
+/// what the kernel accepted, keeping the head frame's unwritten tail at
+/// the front so the byte stream stays framed. On a reconnect the caller
+/// [`ScatterQueue::rewind_head`]s so the fresh stream starts at a frame
+/// boundary, and [`ScatterQueue::purge_stale`] drops frames whose epoch
+/// died with the view.
+#[derive(Debug, Default)]
+pub struct ScatterQueue {
+    /// Encoded frames awaiting the wire: `(epoch, bytes)`.
+    frames: std::collections::VecDeque<(u64, Vec<u8>)>,
+    /// Bytes of the head frame already written to the current stream.
+    head_written: usize,
+    /// Total unwritten bytes across the queue.
+    pending_bytes: usize,
+    /// Recycled frame buffers.
+    pool: Vec<Vec<u8>>,
+}
+
+impl ScatterQueue {
+    /// An empty queue.
+    pub fn new() -> ScatterQueue {
+        ScatterQueue::default()
+    }
+
+    /// Queued frames (including a partially written head).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unwritten bytes across all queued frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// A cleared buffer from the pool (or a fresh one): encode into this,
+    /// then [`ScatterQueue::push`] it back.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        let mut b = self.pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Returns a no-longer-needed buffer to the pool.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        if self.pool.len() < 64 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Queues one encoded frame stamped with `epoch`.
+    pub fn push(&mut self, epoch: u64, buf: Vec<u8>) {
+        self.pending_bytes += buf.len();
+        self.frames.push_back((epoch, buf));
+    }
+
+    /// Queues one encoded frame at the *front* (the `HELLO` of a fresh
+    /// connection must precede any already-queued writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head frame is partially written — a caller must
+    /// [`ScatterQueue::rewind_head`] (fresh stream) first.
+    pub fn push_front(&mut self, epoch: u64, buf: Vec<u8>) {
+        assert_eq!(self.head_written, 0, "cannot preempt a half-sent frame");
+        self.pending_bytes += buf.len();
+        self.frames.push_front((epoch, buf));
+    }
+
+    /// The unwritten byte ranges, ready for `write_vectored` (capped at
+    /// the kernel's iovec limit; a later drain picks up the rest).
+    pub fn io_slices(&self) -> Vec<std::io::IoSlice<'_>> {
+        let mut out = Vec::with_capacity(self.frames.len().min(MAX_IOVECS));
+        for (i, (_, buf)) in self.frames.iter().enumerate() {
+            if out.len() == MAX_IOVECS {
+                break;
+            }
+            let skip = if i == 0 { self.head_written } else { 0 };
+            out.push(std::io::IoSlice::new(&buf[skip..]));
+        }
+        out
+    }
+
+    /// Consumes `n` written bytes from the front, recycling fully-sent
+    /// frame buffers. Returns how many frames completed.
+    pub fn advance(&mut self, mut n: usize) -> usize {
+        assert!(n <= self.pending_bytes, "advanced past the queued bytes");
+        self.pending_bytes -= n;
+        let mut completed = 0;
+        while n > 0 {
+            let head_left = self.frames[0].1.len() - self.head_written;
+            if n >= head_left {
+                n -= head_left;
+                self.head_written = 0;
+                let (_, buf) = self.frames.pop_front().expect("head exists");
+                self.recycle(buf);
+                completed += 1;
+            } else {
+                self.head_written += n;
+                n = 0;
+            }
+        }
+        completed
+    }
+
+    /// Forgets any partial progress on the head frame: the stream it was
+    /// written to is gone, and the next connection must start at a frame
+    /// boundary (the peer never applied the half-frame — its decoder
+    /// needs the whole frame).
+    pub fn rewind_head(&mut self) {
+        self.pending_bytes += self.head_written;
+        self.head_written = 0;
+    }
+
+    /// Drops queued frames stamped older than `epoch` (their queue pairs
+    /// died with the view). A partially written head is kept — dropping
+    /// it would tear the live stream's framing. Returns the drop count.
+    pub fn purge_stale(&mut self, epoch: u64) -> usize {
+        let mut dropped = 0;
+        // The head is special only while partially written.
+        let keep_head = self.head_written > 0;
+        let mut i = 0;
+        while i < self.frames.len() {
+            if (i > 0 || !keep_head) && self.frames[i].0 < epoch {
+                let skip = if i == 0 { self.head_written } else { 0 };
+                self.pending_bytes -= self.frames[i].1.len() - skip;
+                let (_, buf) = self.frames.remove(i).expect("index in range");
+                self.recycle(buf);
+                dropped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        dropped
+    }
+}
+
+/// Incremental frame reassembly, agnostic of where the bytes come from:
+/// the poller [`FrameAssembler::feed`]s whatever a nonblocking read
+/// returned and pulls complete frames out one by one — exactly the
+/// "interleaved partial writes reassemble to the identical frame
+/// stream" contract the codec property tests pin down.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame, or `Ok(None)` until more bytes arrive.
+    ///
+    /// # Errors
+    ///
+    /// Any non-[`WireError::Truncated`] decode failure: the stream is
+    /// corrupt and must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match decode_frame(&self.buf[self.pos..]) {
+            Ok((frame, used)) => {
+                self.pos += used;
+                if self.pos >= 64 * 1024 {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                Ok(Some(frame))
+            }
+            Err(WireError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -781,5 +990,121 @@ mod tests {
         );
         buf[5] = 0xEE; // version low byte
         assert_eq!(decode_frame(&buf), Err(WireError::BadVersion(0x00EE)));
+    }
+
+    fn write_bytes(offset: u64, words: &[u64]) -> Vec<u8> {
+        let mut b = Vec::new();
+        encode_write_frame(
+            &WriteFrame {
+                offset,
+                wire_bytes: (words.len() * 8) as u32,
+                words: words.to_vec(),
+            },
+            &mut b,
+        );
+        b
+    }
+
+    #[test]
+    fn scatter_queue_coalesces_frames_into_one_slice_list() {
+        let mut q = ScatterQueue::new();
+        for i in 0..5u64 {
+            let mut b = q.take_buf();
+            b.extend_from_slice(&write_bytes(i, &[i]));
+            q.push(7, b);
+        }
+        assert_eq!(q.len(), 5);
+        let slices = q.io_slices();
+        assert_eq!(slices.len(), 5, "every queued frame drains in one call");
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(total, q.pending_bytes());
+        // Full drain completes all frames and recycles the buffers.
+        assert_eq!(q.advance(total), 5);
+        assert!(q.is_empty());
+        assert_eq!(q.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn scatter_queue_partial_write_keeps_framing() {
+        let mut q = ScatterQueue::new();
+        let a = write_bytes(0, &[1, 2]);
+        let b = write_bytes(2, &[3]);
+        let (alen, blen) = (a.len(), b.len());
+        q.push(0, a);
+        q.push(0, b);
+        // The kernel took frame A and 3 bytes of frame B.
+        assert_eq!(q.advance(alen + 3), 1);
+        assert_eq!(q.pending_bytes(), blen - 3);
+        let slices = q.io_slices();
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].len(), blen - 3, "resumes at the partial point");
+        // The stream died: a fresh connection restarts frame B whole.
+        q.rewind_head();
+        assert_eq!(q.pending_bytes(), blen);
+        assert_eq!(q.io_slices()[0].len(), blen);
+    }
+
+    #[test]
+    fn scatter_queue_purges_stale_epochs_but_not_a_half_sent_head() {
+        let mut q = ScatterQueue::new();
+        q.push(1, write_bytes(0, &[1]));
+        q.push(1, write_bytes(1, &[2]));
+        q.push(2, write_bytes(2, &[3]));
+        // 2 bytes of the head are on the wire; purging it would tear the
+        // stream mid-frame.
+        q.advance(2);
+        assert_eq!(q.purge_stale(2), 1, "only the unsent stale frame drops");
+        assert_eq!(q.len(), 2);
+        // Head finished (and dequeued): the rest is purgeable.
+        let head_left = q.io_slices()[0].len();
+        q.advance(head_left);
+        assert_eq!(q.purge_stale(3), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn assembler_reassembles_across_arbitrary_chunk_boundaries() {
+        let frames = vec![
+            Frame::Write(WriteFrame {
+                offset: 0,
+                wire_bytes: 8,
+                words: vec![11],
+            }),
+            Frame::Hello(Hello {
+                version: PROTO_VERSION,
+                src: 1,
+                nodes: 3,
+                region_words: 64,
+                epoch: 2,
+            }),
+            Frame::Write(WriteFrame {
+                offset: 9,
+                wire_bytes: 24,
+                words: vec![1, 2, 3],
+            }),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        // Feed one byte at a time: the worst possible interleaving.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            asm.feed(&[byte]);
+            while let Some(f) = asm.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_surfaces_corruption_as_an_error() {
+        let mut asm = FrameAssembler::new();
+        asm.feed(&[255, 255, 255, 255, 0, 0]); // absurd length prefix
+        assert!(matches!(asm.next_frame(), Err(WireError::Oversized { .. })));
     }
 }

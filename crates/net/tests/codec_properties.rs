@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use spindle_fabric::{NodeId, WriteOp};
 use spindle_net::wire::{
-    decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame, KIND_WRITE, MAX_FRAME_LEN,
-    PROTO_VERSION,
+    decode_frame, encode_frame, Frame, FrameAssembler, Hello, WireError, WriteFrame, KIND_WRITE,
+    MAX_FRAME_LEN, PROTO_VERSION,
 };
 
 /// Word counts probing the interesting boundaries: single-word acks, the
@@ -74,6 +74,60 @@ proptest! {
                 "prefix of {cut}/{} bytes decoded to {other:?}", buf.len()
             ))),
         }
+    }
+
+    /// Partial-write reassembly: a stream of frames, delivered in
+    /// arbitrary chunk sizes (the receiver's view of short `writev`s —
+    /// any byte may land on a read boundary), reassembles through
+    /// [`FrameAssembler`] into the *identical* frame sequence. This is
+    /// the invariant that lets the poller flush a backlog as one
+    /// vectored write and resume mid-frame after a short write.
+    #[test]
+    fn interleaved_partial_writes_reassemble_identically(
+        specs in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(any::<u64>(), 1..32), 0u64..10_000, any::<u32>()),
+            1..20,
+        ),
+        chunks in proptest::collection::vec(1usize..29, 1..64),
+    ) {
+        let frames: Vec<Frame> = specs
+            .into_iter()
+            .map(|(is_hello, words, offset, wire_bytes)| {
+                if is_hello {
+                    Frame::Hello(Hello {
+                        version: PROTO_VERSION,
+                        src: offset as u32 % 64,
+                        nodes: 1 + wire_bytes % 62,
+                        region_words: 1 + offset,
+                        epoch: wire_bytes as u64 >> 16,
+                    })
+                } else {
+                    Frame::Write(WriteFrame { offset, wire_bytes, words })
+                }
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        // Feed the byte stream in the generated chunk sizes (cycled),
+        // draining after every feed — exactly what the inbound path
+        // does per readiness event.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut at = 0usize;
+        let mut i = 0usize;
+        while at < stream.len() {
+            let n = chunks[i % chunks.len()].min(stream.len() - at);
+            i += 1;
+            asm.feed(&stream[at..at + n]);
+            at += n;
+            while let Some(f) = asm.next_frame().expect("a cut of a valid stream never errors") {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(asm.buffered(), 0);
     }
 
     /// Arbitrary garbage never panics the decoder: it either reports a

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use spindle_core::threaded::{Cluster, Delivered, ViewChangeError};
+use spindle_core::threaded::{AdmitRequest, Cluster, Delivered, ViewChangeError};
 use spindle_core::{Plan, SpindleConfig};
 use spindle_harness::oracle::{check_threaded, EpochMembers};
 use spindle_membership::{SubgroupId, ViewBuilder};
@@ -334,6 +334,17 @@ fn check_run(procs: &[NodeProc], results: &[(bool, String, String)]) {
             "founder {node} did not report the join transition:\n{stdout}"
         );
     }
+
+    // The single-poller contract: each process runs exactly ONE wire
+    // service thread (counted from /proc/self/task), whatever the
+    // cluster size — and that stays true across the resizable epoch
+    // transition that grew the mesh from 3 to 4 rows.
+    for (node, (_, stdout, _)) in results.iter().enumerate() {
+        assert!(
+            stdout.contains(&format!("n{node} wire-threads: 1")),
+            "node {node} does not run exactly one wire thread:\n{stdout}"
+        );
+    }
     assert!(
         results[JOINER_ROW].1.contains("catch-up: ")
             && !results[JOINER_ROW].1.contains("catch-up: 0 B"),
@@ -342,12 +353,14 @@ fn check_run(procs: &[NodeProc], results: &[(bool, String, String)]) {
     );
 }
 
-/// `add_node` on an epoch-capable distributed cluster names the real
-/// requirement (a joiner endpoint) instead of claiming the fabric is
-/// static — with argument validation still first, exactly like
-/// `remove_node` — and `admit_node` enforces the leader-sponsor rule
-/// and endpoint validation.
+/// An endpoint-less `admit` on an epoch-capable distributed cluster
+/// names the real requirement (a joiner endpoint) instead of claiming
+/// the fabric is static — with argument validation still first, exactly
+/// like `remove_node` — and an endpoint-carrying `admit` enforces the
+/// leader-sponsor rule and endpoint validation. The deprecated
+/// `add_node`/`admit_node` shims surface identical errors.
 #[test]
+#[allow(deprecated)]
 fn distributed_join_error_surface() {
     let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
     let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -379,29 +392,171 @@ fn distributed_join_error_surface() {
 
     // Argument validation precedes the capability verdict.
     assert_eq!(
-        ca.add_node(&[(SubgroupId(9), true)]).unwrap_err(),
+        ca.admit(AdmitRequest::in_process(&[(SubgroupId(9), true)]))
+            .unwrap_err(),
         ViewChangeError::UnknownSubgroup(SubgroupId(9))
     );
     // The capability verdict itself: epoch-capable, but joins need the
-    // joiner's endpoint (admit_node / --join), not an in-process row.
+    // joiner's endpoint (AdmitRequest::remote / --join), not an
+    // in-process row.
     assert_eq!(
-        ca.add_node(&[(SubgroupId(0), true)]).unwrap_err(),
+        ca.admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+            .unwrap_err(),
         ViewChangeError::JoinerAddressRequired
     );
-    // admit_node: endpoint validation first...
+    // Endpoint-carrying admit: endpoint validation first...
     assert!(matches!(
-        ca.admit_node("not-an-endpoint", true),
+        ca.admit(AdmitRequest::remote("not-an-endpoint", true)),
         Err(ViewChangeError::BadJoinAddress(_))
     ));
     assert!(matches!(
-        ca.admit_node("127.0.0.1:0", true),
+        ca.admit(AdmitRequest::remote("127.0.0.1:0", true)),
         Err(ViewChangeError::BadJoinAddress(_))
+    ));
+    // ...and IPv6 / hostname endpoints pass validation now that the
+    // proposal's join block carries host bytes, so the next verdict is
+    // the leader-sponsor rule, not the codec.
+    assert!(matches!(
+        cb.admit(AdmitRequest::remote("[::1]:9999", true)),
+        Err(ViewChangeError::NotLeader { leader: 0 })
     ));
     // ...then the leader-sponsor rule: node 1's host must redirect.
+    assert_eq!(
+        cb.admit(AdmitRequest::remote("127.0.0.1:9999", true))
+            .unwrap_err(),
+        ViewChangeError::NotLeader { leader: 0 }
+    );
+    // The deprecated shims delegate to admit and surface the same
+    // errors, so pre-redesign callers keep compiling and behaving.
+    assert_eq!(
+        ca.add_node(&[(SubgroupId(9), true)]).unwrap_err(),
+        ViewChangeError::UnknownSubgroup(SubgroupId(9))
+    );
     assert_eq!(
         cb.admit_node("127.0.0.1:9999", true).unwrap_err(),
         ViewChangeError::NotLeader { leader: 0 }
     );
+    ca.shutdown();
+    cb.shutdown();
+}
+
+/// A sponsor dying mid-join costs one attempt, not the seed: the joiner
+/// keeps cycling its seed ring (with backoff) until the deadline, so a
+/// cluster reconfiguring around a dead sponsor can still admit it on a
+/// later pass instead of giving up after one failure per seed.
+#[test]
+fn joiner_retries_seeds_after_mid_join_sponsor_death() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let killer = TcpListener::bind("127.0.0.1:0").unwrap();
+    let killer_addr = killer.local_addr().unwrap().to_string();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let counted = Arc::clone(&accepts);
+    // Accept and immediately drop every control conversation — a
+    // sponsor that dies right after the joiner's JOIN frame.
+    std::thread::spawn(move || {
+        for stream in killer.incoming() {
+            let Ok(stream) = stream else { break };
+            counted.fetch_add(1, Ordering::SeqCst);
+            drop(stream);
+        }
+    });
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let advertise = listener.local_addr().unwrap().to_string();
+    spindle_net::join_cluster(spindle_net::JoinConfig {
+        seeds: vec![killer_addr],
+        listener,
+        advertise,
+        as_sender: true,
+        config: SpindleConfig::optimized(),
+        detector: None,
+        deadline: Duration::from_millis(1200),
+    })
+    .map(|j| j.row)
+    .unwrap_err();
+    // The single seed was re-dialed across backoff passes, not
+    // disqualified by its first death.
+    let dials = accepts.load(Ordering::SeqCst);
+    assert!(dials >= 3, "expected repeated re-dials, saw {dials}");
+}
+
+/// The documented sponsor-failover path: the first seed dies mid-join,
+/// the joiner re-dials the next seed, and that sponsor drives the real
+/// admission (`serve_join`) — the joiner still enters the cluster.
+#[test]
+fn joiner_falls_through_dead_sponsor_to_live_seed() {
+    // Seed one accepts the JOIN and dies on the spot.
+    let killer = TcpListener::bind("127.0.0.1:0").unwrap();
+    let killer_addr = killer.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in killer.incoming() {
+            drop(stream);
+        }
+    });
+
+    // Seed two is row 0 of a live two-member cluster.
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addrs = vec![
+        l0.local_addr().unwrap().to_string(),
+        l1.local_addr().unwrap().to_string(),
+    ];
+    let view = ViewBuilder::new(2)
+        .subgroup(&[0, 1], &[0, 1], 8, 64)
+        .build()
+        .unwrap();
+    let words = Plan::build(&view, true).layout.region_words();
+    let fa = TcpFabric::bootstrap_on_listener(TcpFabricConfig::new(0, addrs.clone(), words), l0)
+        .unwrap();
+    let fb = TcpFabric::bootstrap_on_listener(TcpFabricConfig::new(1, addrs.clone(), words), l1)
+        .unwrap();
+    fa.wait_connected(Duration::from_secs(10)).unwrap();
+    fb.wait_connected(Duration::from_secs(10)).unwrap();
+    let mut ca = Cluster::start_distributed(
+        view.clone(),
+        SpindleConfig::optimized(),
+        None,
+        None,
+        &[0],
+        fa.clone(),
+    );
+    let cb = Cluster::start_distributed(view, SpindleConfig::optimized(), None, None, &[1], fb);
+
+    let jl = TcpListener::bind("127.0.0.1:0").unwrap();
+    let jaddr = jl.local_addr().unwrap().to_string();
+    let seeds = vec![killer_addr, addrs[0].clone()];
+    let joiner = std::thread::spawn(move || {
+        spindle_net::join_cluster(spindle_net::JoinConfig {
+            seeds,
+            listener: jl,
+            advertise: jaddr,
+            as_sender: true,
+            config: SpindleConfig::optimized(),
+            detector: None,
+            deadline: Duration::from_secs(60),
+        })
+    });
+
+    // Sponsor duty on the live seed: the JOIN lands on row 0's listener
+    // once the dead seed drops the first attempt.
+    let req = fa
+        .join_requests()
+        .recv_timeout(Duration::from_secs(30))
+        .expect("the joiner re-dialed the live seed");
+    let outcome = spindle_net::serve_join(req, &mut ca, 0, &[]).unwrap();
+    assert!(
+        matches!(outcome, spindle_net::ServeOutcome::Admitted { row: 2, .. }),
+        "unexpected serve outcome: {outcome:?}"
+    );
+    let joined = joiner
+        .join()
+        .unwrap()
+        .expect("join succeeds through the second seed");
+    assert_eq!(joined.row, 2);
+    assert_eq!(joined.addrs.len(), 3);
+    joined.cluster.shutdown();
     ca.shutdown();
     cb.shutdown();
 }

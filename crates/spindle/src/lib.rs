@@ -41,8 +41,9 @@
 //! The threaded runtime also carries the membership machinery the paper
 //! assumes: SST heartbeat failure detection
 //! ([`Cluster::start_with_detector`], [`Suspicion`]), removal
-//! ([`Cluster::remove_node`]) and joins ([`Cluster::add_node`]) via the
-//! §2.1 epoch transition.
+//! ([`Cluster::remove_node`]) and joins ([`Cluster::admit`], whose
+//! [`AdmitRequest`] covers both in-process rows and fresh processes
+//! advertising an endpoint) via the §2.1 epoch transition.
 //!
 //! # Quickstart
 //!
@@ -86,7 +87,8 @@ pub use spindle_sst as sst;
 
 pub use spindle_core::detector::DetectorConfig;
 pub use spindle_core::threaded::{
-    Delivered, NodeHandle, PersistConfig, SendError, Suspicion, ViewChangeError, ViewChangeReport,
+    AdmitRequest, Delivered, NodeHandle, PersistConfig, SendError, Suspicion, ViewChangeError,
+    ViewChangeReport,
 };
 pub use spindle_core::{
     Cluster, CostModel, DeliveryTiming, RunReport, SenderActivity, SimCluster, SimFault,

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use proptest::prelude::*;
-use spindle::{Cluster, Delivered, SpindleConfig, SubgroupId, ViewBuilder};
+use spindle::{AdmitRequest, Cluster, Delivered, SpindleConfig, SubgroupId, ViewBuilder};
 
 fn all_senders(n: usize, window: usize) -> spindle::View {
     let members: Vec<usize> = (0..n).collect();
@@ -70,7 +70,7 @@ proptest! {
                 }
                 Step::Join => {
                     if live.len() < 6 {
-                        let (id, _) = cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+                        let (id, _) = cluster.admit(AdmitRequest::in_process(&[(SubgroupId(0), true)])).unwrap();
                         live.push(id);
                     }
                 }

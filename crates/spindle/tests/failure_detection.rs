@@ -4,7 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use spindle::{Cluster, DetectorConfig, SpindleConfig, SubgroupId, ViewBuilder};
+use spindle::{AdmitRequest, Cluster, DetectorConfig, SpindleConfig, SubgroupId, ViewBuilder};
 
 fn det() -> DetectorConfig {
     DetectorConfig {
@@ -153,7 +153,9 @@ fn join_adds_receiver_that_sees_new_epoch_traffic() {
             .unwrap();
     }
     drain(&cluster, 1, 5);
-    let (joiner, report) = cluster.add_node(&[(SubgroupId(0), false)]).unwrap();
+    let (joiner, report) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(0), false)]))
+        .unwrap();
     assert_eq!(joiner, 2);
     assert_eq!(report.epoch, 1);
     assert_eq!(cluster.view().subgroups()[0].members.len(), 3);
@@ -171,7 +173,9 @@ fn join_adds_receiver_that_sees_new_epoch_traffic() {
 #[test]
 fn join_as_sender_participates_in_total_order() {
     let mut cluster = Cluster::start(all_senders(2), SpindleConfig::optimized());
-    let (joiner, _) = cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+    let (joiner, _) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+        .unwrap();
     assert_eq!(cluster.view().subgroups()[0].senders.len(), 3);
 
     for i in 0..10u32 {
@@ -202,7 +206,9 @@ fn join_into_one_of_several_subgroups_only() {
         .build()
         .unwrap();
     let mut cluster = Cluster::start(v, SpindleConfig::optimized());
-    let (joiner, _) = cluster.add_node(&[(SubgroupId(1), false)]).unwrap();
+    let (joiner, _) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(1), false)]))
+        .unwrap();
 
     cluster.node(0).send(SubgroupId(0), b"sg0").unwrap();
     cluster.node(2).send(SubgroupId(1), b"sg1").unwrap();
@@ -223,7 +229,9 @@ fn join_into_one_of_several_subgroups_only() {
 #[test]
 fn join_rejects_unknown_subgroup() {
     let mut cluster = Cluster::start(all_senders(2), SpindleConfig::optimized());
-    let err = cluster.add_node(&[(SubgroupId(9), false)]).unwrap_err();
+    let err = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(9), false)]))
+        .unwrap_err();
     assert_eq!(
         err,
         spindle::ViewChangeError::UnknownSubgroup(SubgroupId(9))
@@ -237,9 +245,13 @@ fn join_rejects_unknown_subgroup() {
 #[test]
 fn join_then_remove_then_join_again() {
     let mut cluster = Cluster::start(all_senders(2), SpindleConfig::optimized());
-    let (a, _) = cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+    let (a, _) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+        .unwrap();
     cluster.remove_node(0).unwrap();
-    let (b, r) = cluster.add_node(&[(SubgroupId(0), true)]).unwrap();
+    let (b, r) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(0), true)]))
+        .unwrap();
     assert_eq!((a, b), (2, 3));
     assert_eq!(r.epoch, 3, "join, remove, join = three epoch transitions");
 
@@ -299,7 +311,9 @@ fn in_flight_messages_survive_join() {
             .send(SubgroupId(0), &i.to_le_bytes())
             .unwrap();
     }
-    let (_, _) = cluster.add_node(&[(SubgroupId(0), false)]).unwrap();
+    let (_, _) = cluster
+        .admit(AdmitRequest::in_process(&[(SubgroupId(0), false)]))
+        .unwrap();
     let got = drain(&cluster, 1, 50);
     let mut indices: Vec<u32> = got
         .iter()

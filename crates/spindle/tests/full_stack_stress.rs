@@ -7,7 +7,9 @@
 use std::time::{Duration, Instant};
 
 use spindle::persist::read_records;
-use spindle::{Cluster, DetectorConfig, PersistConfig, SpindleConfig, SubgroupId, ViewBuilder};
+use spindle::{
+    AdmitRequest, Cluster, DetectorConfig, PersistConfig, SpindleConfig, SubgroupId, ViewBuilder,
+};
 
 #[test]
 fn durable_cluster_survives_crash_removal_and_join() {
@@ -68,7 +70,9 @@ fn durable_cluster_survives_crash_removal_and_join() {
     }
 
     // A replacement joins as a sender and participates.
-    let (joiner, report) = cluster.add_node(&[(sg, true)]).unwrap();
+    let (joiner, report) = cluster
+        .admit(AdmitRequest::in_process(&[(sg, true)]))
+        .unwrap();
     assert_eq!(report.epoch, 2);
     send_burst(&cluster, &[0, joiner], 200);
     for _ in 0..20 {

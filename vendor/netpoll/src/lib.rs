@@ -1,0 +1,299 @@
+//! Minimal readiness multiplexing over `poll(2)`, vendored like the
+//! workspace's other offline dependencies.
+//!
+//! The build environment has no registry access, so instead of `mio`
+//! this crate binds the three kernel entry points a single-threaded
+//! poller actually needs:
+//!
+//! * [`poll`] — wait for readiness on a set of [`PollFd`]s;
+//! * [`Waker`] — a loopback UDP pair whose receive side sits in the poll
+//!   set, so other threads can interrupt a blocked poller;
+//! * [`connect_nonblocking`] — start a TCP dial without blocking; the
+//!   caller polls the returned stream for `POLLOUT` and then checks
+//!   [`std::net::TcpStream::take_error`] for the `SO_ERROR` verdict.
+//!
+//! Everything else (nonblocking accept/read/write, vectored writes,
+//! socket options) is already covered by safe `std` APIs. Linux-only,
+//! matching the workspace's CI targets.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::time::Duration;
+
+/// Readiness: data to read (or a peer's close) will not block `read`.
+pub const POLLIN: i16 = 0x001;
+/// Readiness: writing will not block (or a nonblocking connect resolved).
+pub const POLLOUT: i16 = 0x004;
+/// Result-only: error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// Result-only: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Result-only: the descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const EINPROGRESS: i32 = 115;
+const EINTR: i32 = 4;
+
+// The kernel's `struct pollfd` / sockaddr layouts for x86_64 Linux; the
+// bindings are written out here instead of pulling in `libc`.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+}
+
+/// One entry of a `poll(2)` set: a descriptor, the events of interest,
+/// and (after a call) the events that fired. Layout-compatible with the
+/// kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for `events` (a `POLLIN` / `POLLOUT` mask).
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// The raw result mask of the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Reading will not block (includes a peer's close: the read returns
+    /// 0). Error conditions count — the read surfaces the error.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Writing (or a pending connect's resolution) will not block.
+    /// Error conditions count — the write/`take_error` surfaces them.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Blocks until at least one of `fds` is ready, `timeout` elapses
+/// (`None` = forever), or a signal interrupts (retried internally).
+/// Returns how many entries have a non-zero result mask.
+///
+/// # Errors
+///
+/// Propagates the OS error (other than `EINTR`).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                // Round up so a sub-millisecond timeout still sleeps.
+                i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX)
+            }
+        }
+    };
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // repr(C) `PollFd` entries matching the kernel's `struct
+        // pollfd`; the kernel writes only within the `nfds` entries
+        // passed.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINTR) {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+/// Interrupts a poller blocked in [`poll_fds`]: a connected loopback UDP
+/// pair whose receive side is added to the poll set. Any thread may call
+/// [`Waker::wake`]; the poller drains with [`Waker::drain`] when its
+/// [`Waker::fd`] turns readable.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UdpSocket,
+    rx: UdpSocket,
+}
+
+impl Waker {
+    /// Binds the loopback pair (two ephemeral UDP ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/connect failures.
+    pub fn new() -> io::Result<Waker> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        rx.set_nonblocking(true)?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.set_nonblocking(true)?;
+        tx.connect(rx.local_addr()?)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The descriptor to watch with `POLLIN`.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Makes the poller's next (or current) [`poll_fds`] return. Cheap,
+    /// non-blocking, callable from any thread; coalesces naturally (a
+    /// full socket buffer means wake-ups are already pending).
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1u8]);
+    }
+
+    /// Consumes pending wake-ups so the next poll blocks again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+/// Starts a TCP dial without blocking. The returned stream is in
+/// nonblocking mode with the connect in flight (or already complete —
+/// loopback dials often resolve immediately): poll it for `POLLOUT`,
+/// then check [`TcpStream::take_error`] — `None` means connected.
+///
+/// # Errors
+///
+/// Propagates socket-creation failures and synchronously detected
+/// connect errors. (`EINPROGRESS` is the expected success path.)
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
+    // Encoded sockaddr: the kernel's sockaddr_in / sockaddr_in6 layouts.
+    let (domain, sa): (i32, Vec<u8>) = match addr {
+        SocketAddr::V4(v4) => {
+            let mut sa = Vec::with_capacity(16);
+            sa.extend_from_slice(&(AF_INET as u16).to_ne_bytes());
+            sa.extend_from_slice(&v4.port().to_be_bytes());
+            sa.extend_from_slice(&v4.ip().octets());
+            sa.extend_from_slice(&[0u8; 8]); // sin_zero
+            (AF_INET, sa)
+        }
+        SocketAddr::V6(v6) => {
+            let mut sa = Vec::with_capacity(28);
+            sa.extend_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            sa.extend_from_slice(&v6.port().to_be_bytes());
+            sa.extend_from_slice(&v6.flowinfo().to_ne_bytes());
+            sa.extend_from_slice(&v6.ip().octets());
+            sa.extend_from_slice(&v6.scope_id().to_ne_bytes());
+            (AF_INET6, sa)
+        }
+    };
+    // SAFETY: plain syscall with constant arguments; the returned fd is
+    // checked before use.
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` is a freshly created, valid, unowned socket; the
+    // TcpStream takes ownership, so every exit path below closes it.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    // SAFETY: `sa` outlives the call and holds an initialized sockaddr
+    // of the length passed; `fd` is valid (owned by `stream`).
+    let rc = unsafe { connect(fd, sa.as_ptr(), sa.len() as u32) };
+    if rc == 0 {
+        return Ok(stream); // resolved synchronously (loopback fast path)
+    }
+    let err = io::Error::last_os_error();
+    match err.raw_os_error() {
+        // In flight (or interrupted: the kernel keeps connecting).
+        Some(EINPROGRESS) | Some(EINTR) => Ok(stream),
+        _ => Err(err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn poll_times_out_on_idle_fd() {
+        let idle = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(idle.as_raw_fd(), POLLIN)];
+        let t0 = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        let waker = Waker::new().unwrap();
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        waker.wake();
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        waker.drain();
+        // Drained: the next zero-timeout poll reports nothing.
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::ZERO)).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_against_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_nonblocking(&addr).unwrap();
+        let mut fds = [PollFd::new(stream.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+        assert!(stream.take_error().unwrap().is_none(), "SO_ERROR set");
+        // The link is real: bytes flow end to end.
+        let (mut accepted, _) = listener.accept().unwrap();
+        let mut s = stream;
+        s.set_nonblocking(false).unwrap();
+        s.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_a_dead_port_reports_the_error() {
+        // Bind-then-drop: the port is (very likely) closed again.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        let Ok(stream) = connect_nonblocking(&addr) else {
+            return; // synchronous refusal is also a correct outcome
+        };
+        let mut fds = [PollFd::new(stream.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(
+            stream.take_error().unwrap().is_some() || stream.peer_addr().is_err(),
+            "dial of a closed port reported success"
+        );
+    }
+}
