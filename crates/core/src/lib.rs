@@ -43,4 +43,4 @@ pub use plan::{Plan, ReconfigCols, SubgroupCols};
 pub use proto::{Delivery, SubgroupProto};
 pub use sim::{SimCluster, SimFault, SimFaultKind};
 pub use threaded::{AdmitRequest, Cluster, PersistConfig, Suspicion};
-pub use viewchange::{InstallBarrier, VcStep, ViewChangeEngine};
+pub use viewchange::{InstallBarrier, VcBoundary, VcStep, ViewChangeEngine};

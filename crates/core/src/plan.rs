@@ -31,7 +31,7 @@ pub struct SubgroupCols {
 /// (paper §2.1: membership changes run *through the SST*, driven per node
 /// by [`viewchange`](crate::viewchange)).
 ///
-/// The four scalar counters and the per-subgroup frozen frontiers are
+/// The five scalar counters and the per-subgroup frozen frontiers are
 /// registered consecutively, so [`ReconfigCols::scalar_block`] covers
 /// them with **one** write range: a single posted frame places them
 /// all-or-nothing at every peer, which is what makes `wedged = 1` a
@@ -44,6 +44,14 @@ pub struct ReconfigCols {
     pub suspected: CounterCol,
     /// 1 once this node has wedged for the current epoch's transition.
     pub wedged: CounterCol,
+    /// The packed `(vid, turn, proposer)` ack tag
+    /// ([`spindle_membership::reconfig::pack_ack_tag`]) naming the ballot
+    /// this node adopted — written the moment a proposal is adopted
+    /// (before the trim is delivered), so a takeover leader reads every
+    /// adoption that happened before its own suspicion became visible.
+    /// Lexicographic packing keeps the word monotone along the handoff
+    /// chain; it sits in the same one-push scalar block as `acked`.
+    pub ack_tag: CounterCol,
     /// The proposed view id this node has delivered the ragged trim for.
     pub acked: CounterCol,
     /// The highest view id this node has installed (published in the
@@ -119,11 +127,14 @@ impl Plan {
                 slots,
             });
         }
-        // Reconfiguration block: four scalars, then one frozen frontier
+        // Reconfiguration block: five scalars, then one frozen frontier
         // per subgroup — consecutive registrations, so one contiguous
-        // write range covers them all.
+        // write range covers them all. `ack_tag` sits directly before
+        // `acked` so the install barrier's cross-epoch `acked..installed`
+        // push stays a two-word range that never touches the tag.
         let suspected = b.add_counter("vc.suspected", 0);
         let wedged = b.add_counter("vc.wedged", 0);
+        let ack_tag = b.add_counter("vc.ack_tag", 0);
         let acked = b.add_counter("vc.acked", 0);
         let installed = b.add_counter("vc.installed", 0);
         let frozen: Vec<CounterCol> = (0..view.subgroups().len())
@@ -139,6 +150,7 @@ impl Plan {
         let reconfig = ReconfigCols {
             suspected,
             wedged,
+            ack_tag,
             acked,
             installed,
             frozen,
@@ -181,9 +193,9 @@ mod tests {
         let thin = Plan::build(&view, false);
         assert!(fat.layout.row_words() > thin.layout.row_words());
         // Thin plan: heartbeat + (4 counters + 2 control words per slot)
-        // per subgroup + the reconfiguration block (4 scalars + one
+        // per subgroup + the reconfiguration block (5 scalars + one
         // frozen frontier per subgroup + the guarded proposal list).
-        let reconfig_words = 4 + 2 + (2 + Proposal::list_capacity(2));
+        let reconfig_words = 5 + 2 + (2 + Proposal::list_capacity(2));
         assert_eq!(
             thin.layout.row_words(),
             1 + 4 + 8 * 2 + 4 + 4 * 2 + reconfig_words
@@ -196,11 +208,11 @@ mod tests {
         let inits: Vec<i64> = plan.layout.counters().map(|(_, _, i)| i).collect();
         // Heartbeat first, then per subgroup: recv=-1, deliv=-1,
         // committed=0, persisted=-1; then the reconfiguration scalars
-        // (suspected/wedged/acked/installed = 0) and per-subgroup frozen
-        // frontiers (-1).
+        // (suspected/wedged/ack_tag/acked/installed = 0) and per-subgroup
+        // frozen frontiers (-1).
         assert_eq!(
             inits,
-            vec![0, -1, -1, 0, -1, -1, -1, 0, -1, 0, 0, 0, 0, -1, -1]
+            vec![0, -1, -1, 0, -1, -1, -1, 0, -1, 0, 0, 0, 0, 0, -1, -1]
         );
     }
 
@@ -211,10 +223,11 @@ mod tests {
         // One write range covers all scalars: suspected..=last frozen.
         assert_eq!(rc.scalar_block.start, rc.suspected.word_range().start);
         assert_eq!(rc.scalar_block.end, rc.frozen[1].word_range().end);
-        assert_eq!(rc.scalar_block.len(), 4 + 2);
+        assert_eq!(rc.scalar_block.len(), 5 + 2);
         for col in [
             rc.suspected,
             rc.wedged,
+            rc.ack_tag,
             rc.acked,
             rc.installed,
             rc.frozen[0],
@@ -222,6 +235,8 @@ mod tests {
         ] {
             assert!(rc.scalar_block.contains(&col.word_range().start));
         }
+        // The barrier's cross-epoch push range stays two adjacent words.
+        assert_eq!(rc.acked.word_range().end, rc.installed.word_range().start);
         assert_eq!(rc.proposal.capacity(), Proposal::list_capacity(2));
     }
 

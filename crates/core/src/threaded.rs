@@ -61,7 +61,7 @@ use crate::config::{DeliveryTiming, SpindleConfig};
 use crate::detector::{DetectorConfig, HeartbeatState};
 use crate::plan::{Plan, ReconfigCols};
 use crate::proto::{QueueOutcome, SubgroupProto};
-use crate::viewchange::{InstallBarrier, VcStep, ViewChangeEngine};
+use crate::viewchange::{InstallBarrier, VcBoundary, VcStep, ViewChangeEngine};
 
 /// How long an SST-driven transition may take to converge before the
 /// driver gives up (a participant stalled forever — a harness bug or a
@@ -574,6 +574,16 @@ pub struct Cluster<F: Fabric = MemFabric> {
     /// (for the distributed driver, see
     /// [`NodeHandle::view_change_stats`]).
     vc_durations: Vec<Duration>,
+    /// Fault injection: nodes whose next view-change engine halts at the
+    /// armed [`VcBoundary`], emulating a crash at exactly that protocol
+    /// point ([`Cluster::arm_vc_crash`]). Consumed when the engine is
+    /// built.
+    vc_crash: Mutex<std::collections::HashMap<usize, VcBoundary>>,
+    /// Every view this in-process cluster has installed, in order
+    /// (starting with the initial one). A takeover transition can chain
+    /// two installs inside one `remove_node` call; harnesses need the
+    /// intermediate epoch's membership too.
+    epoch_views: Vec<Arc<View>>,
 }
 
 /// Builds a fabric for one epoch: `(nodes, region_words, faults)`.
@@ -767,6 +777,8 @@ impl<F: Fabric> Cluster<F> {
             hb_dropped: std::collections::BTreeSet::new(),
             hb_registered: std::collections::BTreeSet::new(),
             vc_durations: Vec::new(),
+            vc_crash: Mutex::new(std::collections::HashMap::new()),
+            epoch_views: vec![Arc::clone(&view)],
         };
         for row in 0..view.members().len() {
             if cluster.local_rows.contains(&row) {
@@ -842,6 +854,23 @@ impl<F: Fabric> Cluster<F> {
             .shared
             .killed
             .store(true, Ordering::Release);
+    }
+
+    /// Fault injection: `node`'s *next* view-change engine halts —
+    /// exactly as if its process crashed — immediately after the writes
+    /// of `boundary` are posted. The survivors must then complete the
+    /// transition without it (the leader-handoff protocol when `node`
+    /// was the proposer). Consumed by the next transition; in-process
+    /// (factory-built) clusters only — distributed processes arm the
+    /// same fault through the `SPINDLE_VC_CRASH_AT` environment
+    /// variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn arm_vc_crash(&self, node: usize, boundary: VcBoundary) {
+        assert!(node < self.nodes.len(), "node {node} out of range");
+        self.vc_crash.lock().insert(node, boundary);
     }
 
     /// Fault injection: stalls `node`'s predicate thread (no predicate
@@ -977,6 +1006,16 @@ impl<F: Fabric> Cluster<F> {
         &self.view
     }
 
+    /// Every view this in-process cluster has installed, oldest first
+    /// (the initial view included). Unlike [`Cluster::view`], this also
+    /// exposes the *intermediate* epoch of a chained takeover transition
+    /// — a verbatim-adopted proposal installs a view that still carries
+    /// the dead leader, and the residual eviction installs the next one
+    /// within the same `remove_node` call.
+    pub fn epoch_views(&self) -> &[Arc<View>] {
+        &self.epoch_views
+    }
+
     /// The underlying fabric of the current epoch (write counters are
     /// useful in tests).
     pub fn fabric(&self) -> &F {
@@ -1068,11 +1107,29 @@ impl<F: Fabric> Cluster<F> {
                 return Err(e);
             }
         };
-        // In-process, the validated `gone` set is authoritative for the
-        // next view (it may contain subgroup-less zombies the planned
-        // proposal does not name); the proposal carries the agreed cuts.
-        let next_view =
-            Arc::new(reconfig::removal_view(&old_view, &gone).expect("validated removal view"));
+        // In-process, the next view removes the validated `gone` set
+        // (it may contain subgroup-less zombies the planned proposal
+        // does not name) *plus* every row the agreed proposal evicts: a
+        // fresh takeover trim after a mid-transition leader crash names
+        // the crashed leader too, which was still participating when
+        // `gone` was collected. (A proposal adopted *verbatim* may name
+        // fewer rows than actually died — the residual sweep below
+        // catches those.)
+        let mut gone_all = gone.clone();
+        for m in old_view.members() {
+            if proposal.failed & (1 << m.0) != 0 {
+                gone_all.insert(m.0);
+            }
+        }
+        let next_view = match reconfig::removal_view(&old_view, &gone_all) {
+            Ok(v) => Arc::new(v),
+            Err(e) => {
+                for n in &self.nodes {
+                    n.shared.wedged.store(false, Ordering::Release);
+                }
+                return Err(e.into());
+            }
+        };
 
         // 4. Install the new view: fresh layout, fresh fabric (§2.3:
         // memory is registered per view), fresh protocol state. Only the
@@ -1084,11 +1141,33 @@ impl<F: Fabric> Cluster<F> {
         // 5. Unwedge and resend the recovered messages in the new epoch.
         let resent = self.unwedge_and_resend(resend);
         self.vc_durations.push(started.elapsed());
-        Ok(ViewChangeReport {
+        let report = ViewChangeReport {
             epoch: proposal.vid,
             cuts: proposal.cuts,
             resent,
-        })
+        };
+        // A proposal adopted *verbatim* after a mid-transition crash may
+        // keep a dead row as a member (the takeover rule never edits an
+        // acked trim). Its residual suspicion drives one more transition
+        // immediately — the in-process analogue of a distributed
+        // survivor reseeding its trigger from leftover suspicion bits.
+        let residual: Vec<usize> = self
+            .view
+            .members()
+            .iter()
+            .map(|m| m.0)
+            .filter(|&m| {
+                !self.view.subgroups_of(NodeId(m)).is_empty()
+                    && self.alive(m)
+                    && !self.participating(m)
+            })
+            .collect();
+        if let Some(&r) = residual.first() {
+            if let Ok(follow_up) = self.remove_node(r) {
+                return Ok(follow_up);
+            }
+        }
+        Ok(report)
     }
 
     /// Raises the suspicion on a distributed cluster's lowest live local
@@ -1315,24 +1394,33 @@ impl<F: Fabric> Cluster<F> {
             .map(|&row| {
                 let cols = self.nodes[row].shared.inner.lock().reconfig.clone();
                 let bits = if row == trigger_row { trigger_bits } else { 0 };
-                (
-                    row,
-                    ViewChangeEngine::new(Arc::clone(&view), cols, row, bits),
-                    VcStep::Pending,
-                )
+                let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols, row, bits);
+                if let Some(b) = self.vc_crash.lock().remove(&row) {
+                    engine.arm_crash(b);
+                }
+                (row, engine, VcStep::Pending)
             })
             .collect();
         let deadline = Instant::now() + VC_DEADLINE;
         let mut proposal: Option<Proposal> = None;
         let mut drained = false;
         let mut resend = Vec::new();
+        // Rows that hit an armed crash boundary mid-transition. The
+        // driver plays detector for them — each iteration feeds the bits
+        // to every live engine, the way distributed survivors learn of a
+        // mid-transition death from their heartbeat detectors.
+        let mut crashed_bits: u64 = 0;
         loop {
             let mut all_finished = true;
             for (row, engine, state) in &mut engines {
-                if matches!(state, VcStep::Install(_) | VcStep::Evicted) {
+                if matches!(
+                    state,
+                    VcStep::Install(_) | VcStep::Evicted | VcStep::Crashed
+                ) {
                     continue;
                 }
-                let (sst, fabric, frontiers) = {
+                engine.suspect(crashed_bits);
+                let (sst, fabric, frontiers, rc) = {
                     let inner = self.nodes[*row].shared.inner.lock();
                     if !inner.alive || self.nodes[*row].shared.killed.load(Ordering::Acquire) {
                         // Crashed mid-transition: it stops participating;
@@ -1355,6 +1443,7 @@ impl<F: Fabric> Cluster<F> {
                         inner.sst.clone(),
                         inner.fabric.clone().expect("live node has a fabric"),
                         frontiers,
+                        inner.reconfig.clone(),
                     )
                 };
                 let peers: Vec<usize> = view
@@ -1375,17 +1464,44 @@ impl<F: Fabric> Cluster<F> {
                         *state = VcStep::Deliver(p);
                         all_finished = false;
                     }
-                    s @ (VcStep::Install(_) | VcStep::Evicted) => *state = s,
+                    VcStep::Crashed => {
+                        // The armed boundary fired: from here the node is
+                        // a silent corpse — no heartbeats, no engine
+                        // steps; the survivors take over.
+                        crashed_bits |= 1 << *row;
+                        self.nodes[*row]
+                            .shared
+                            .killed
+                            .store(true, Ordering::Release);
+                        *state = VcStep::Crashed;
+                    }
+                    s @ VcStep::Install(_) => {
+                        // Mirror the install barrier's first push: once
+                        // this engine stops stepping, its `installed`
+                        // flag is what lets a late takeover leader close
+                        // its quorum (exact-tag acks alone would wait on
+                        // this row forever).
+                        if let VcStep::Install(p) = &s {
+                            sst.set_counter(rc.installed, p.vid as i64);
+                            post(sst.layout().abs_range(*row, rc.installed.word_range()));
+                        }
+                        *state = s;
+                    }
+                    VcStep::Evicted => *state = VcStep::Evicted,
                 }
             }
             // Once every engine holds the proposal (or is out), run the
             // cluster-wide drain exactly once, then release the acks.
             if !drained {
-                let ready = engines
-                    .iter()
-                    .all(|(_, _, s)| matches!(s, VcStep::Deliver(_) | VcStep::Evicted));
+                let ready = engines.iter().all(|(_, _, s)| {
+                    matches!(s, VcStep::Deliver(_) | VcStep::Evicted | VcStep::Crashed)
+                });
                 if ready {
-                    let p = proposal.as_ref().expect("a survivor adopted the proposal");
+                    let Some(p) = proposal.as_ref() else {
+                        // Every engine crashed or was evicted before any
+                        // adopted a proposal: no quorum remains.
+                        return Err(ViewChangeError::Stalled);
+                    };
                     let survivors: Vec<NodeId> = view
                         .members()
                         .iter()
@@ -1652,6 +1768,7 @@ impl<F: Fabric> Cluster<F> {
             inner.hb_peers = hb_peers(&next_view, row);
             n.shared.epoch.store(new_epoch, Ordering::Release);
         }
+        self.epoch_views.push(Arc::clone(&next_view));
         self.view = next_view;
         self.fabric = fabric;
         self.epoch = new_epoch;
@@ -1895,7 +2012,12 @@ fn predicate_thread<F: Fabric>(
                 let now = Instant::now();
                 if epoch != hb_epoch {
                     hb_epoch = epoch;
-                    hb_value = 0;
+                    // Resume from whatever this row last posted in the new
+                    // epoch (the install barrier heartbeats too): `observe`
+                    // treats a regressed counter as silence, so restarting
+                    // from zero would read as death at every peer whose
+                    // mirror already saw the higher value.
+                    hb_value = sst.counter(inner.heartbeat_col, row);
                     last_beat = now;
                     hb_state = Some(HeartbeatState::new(inner.hb_peers.clone(), dc, now));
                 }
@@ -2040,7 +2162,7 @@ fn predicate_thread<F: Fabric>(
             let _ = shared.deliveries.send(d);
         }
         if vc_bits != 0 {
-            distributed_view_change(row, &shared, vc_bits, &cfg, &persist, &stop);
+            distributed_view_change(row, &shared, vc_bits, &cfg, &det, &persist, &stop);
             idle_spins = 0;
             continue;
         }
@@ -2124,6 +2246,21 @@ fn drain_node_through<F: Fabric>(
     resend
 }
 
+/// Crash-injection boundary for multi-process acceptance tests: when
+/// `SPINDLE_VC_CRASH_AT` names a [`VcBoundary`] (`wedge`, `propose`,
+/// `ack`, `install`), the first view change this process drives aborts
+/// at that boundary — *after* its writes are posted, so the survivors
+/// inherit exactly the mid-transition state the takeover protocol must
+/// recover from. Read once; an unparsable value is ignored.
+fn vc_crash_boundary() -> Option<VcBoundary> {
+    static BOUNDARY: std::sync::OnceLock<Option<VcBoundary>> = std::sync::OnceLock::new();
+    *BOUNDARY.get_or_init(|| {
+        std::env::var("SPINDLE_VC_CRASH_AT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    })
+}
+
 /// The predicate-thread view-change driver of a distributed cluster: one
 /// node's half of the multi-process epoch transition. Wedges the node,
 /// runs its [`ViewChangeEngine`] against the live transport until the
@@ -2137,14 +2274,20 @@ fn distributed_view_change<F: Fabric>(
     shared: &Arc<NodeShared<F>>,
     initial_bits: u64,
     cfg: &SpindleConfig,
+    det: &Option<DetectorConfig>,
     persist: &Option<PersistConfig>,
     stop: &Arc<AtomicBool>,
 ) {
     let started = Instant::now();
     shared.wedged.store(true, Ordering::Release);
-    let (view, cols) = {
+    let (view, cols, hb_col, mut hb_value) = {
         let inner = shared.inner.lock();
-        (Arc::clone(&inner.view), inner.reconfig.clone())
+        (
+            Arc::clone(&inner.view),
+            inner.reconfig.clone(),
+            inner.heartbeat_col,
+            inner.sst.counter(inner.heartbeat_col, row),
+        )
     };
     let active: Vec<usize> = view
         .members()
@@ -2153,11 +2296,26 @@ fn distributed_view_change<F: Fabric>(
         .filter(|&m| !view.subgroups_of(NodeId(m)).is_empty())
         .collect();
     let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols.clone(), row, initial_bits);
+    if let Some(b) = vc_crash_boundary() {
+        engine.arm_crash(b);
+    }
     // A sponsored join travels in this node's proposal if it turns out
     // to be the leader (admit only triggers the leader's host).
     if let Some(join) = shared.join_intent.lock().take() {
         engine.set_join_intent(join);
     }
+    // The predicate loop's detector is parked while we run, but a peer
+    // can die *mid-transition* — the exact hole the takeover protocol
+    // closes. Keep heartbeating and observing inside the engine loop so
+    // a crashed proposer is convicted here and the suspicion feeds the
+    // engine directly. Own-value continuity matters: `observe` treats
+    // a regressed counter as silence, so the bump continues from the
+    // predicate loop's last value.
+    let vc_hb_peers: Vec<usize> = active.iter().copied().filter(|&r| r != row).collect();
+    let mut hb_state = det
+        .as_ref()
+        .map(|dc| HeartbeatState::new(vc_hb_peers.clone(), dc, Instant::now()));
+    let mut last_beat = Instant::now();
     let deadline = Instant::now() + VC_DEADLINE;
     let mut resend: Vec<(SubgroupId, Vec<u8>)> = Vec::new();
     let mut last_report = Instant::now();
@@ -2221,6 +2379,31 @@ fn distributed_view_change<F: Fabric>(
                 }
             }
         };
+        if let (Some(dc), Some(hb)) = (det.as_ref(), hb_state.as_mut()) {
+            let now = Instant::now();
+            if now.duration_since(last_beat) >= dc.heartbeat_interval {
+                hb_value += 1;
+                last_beat = now;
+                post(sst.set_counter(hb_col, hb_value));
+            }
+            for &peer in &vc_hb_peers {
+                let v = sst.counter(hb_col, peer);
+                if let Some(suspect) = hb.observe(peer, v, now) {
+                    let _ = shared.suspicion_tx.send(Suspicion {
+                        reporter: row,
+                        suspect,
+                    });
+                    if suspect <= reconfig::MAX_BITMAP_ROW {
+                        eprintln!(
+                            "spindle: n{row} suspects n{suspect} (heartbeat \
+                             silence mid-transition) in epoch {}",
+                            engine.vid()
+                        );
+                        engine.suspect(1 << suspect);
+                    }
+                }
+            }
+        }
         match engine.step(&sst, &frontiers, &mut post) {
             VcStep::Pending | VcStep::Done => {
                 std::thread::sleep(Duration::from_micros(200));
@@ -2238,8 +2421,30 @@ fn distributed_view_change<F: Fabric>(
                 inner.alive = false;
                 return;
             }
+            VcStep::Crashed => {
+                // Fault injection (SPINDLE_VC_CRASH_AT): die at the armed
+                // boundary, mid-transition, with no cleanup — the point
+                // is to leave the survivors a corpse to take over from.
+                eprintln!(
+                    "spindle: n{row} crash injected at view-change boundary \
+                     (epoch {})",
+                    engine.vid()
+                );
+                std::process::abort();
+            }
         }
     };
+    // A proposal adopted *verbatim* from a dead proposer may keep a
+    // crashed row in the view (the takeover rule never edits an acked
+    // trim). Reseed its suspicion so the predicate loop drives one more
+    // transition right after this install completes.
+    let residual = engine.suspicions()
+        & !proposal.failed
+        & reconfig::bits_of(active.iter().copied())
+        & !(1 << row);
+    if residual != 0 {
+        shared.vc_trigger.fetch_or(residual, Ordering::AcqRel);
+    }
 
     // Install the agreed view: every survivor derives the identical next
     // view from the proposal's failed set (and join word, for a grow
@@ -2332,10 +2537,49 @@ fn distributed_view_change<F: Fabric>(
             }
         }
     };
+    // The barrier must not wait forever on a corpse: a row a verbatim
+    // takeover proposal kept in the view is a barrier party that will
+    // never install. Heartbeat in the new epoch (continuing the
+    // monotonic value — a regressed counter reads as silence at peers)
+    // and convict parties on a 3× detector leash: generous enough for a
+    // slow drainer or a joiner's catch-up, bounded enough to beat the
+    // VC deadline. A convicted party is dropped from the barrier and
+    // its suspicion reseeds the next transition.
+    let barrier_det = det.as_ref().map(|dc| DetectorConfig {
+        heartbeat_interval: dc.heartbeat_interval,
+        timeout: dc.timeout * 3,
+    });
+    let mut barrier_hb = barrier_det.as_ref().map(|dc| {
+        let parties: Vec<usize> = survivors.iter().copied().filter(|&r| r != row).collect();
+        HeartbeatState::new(parties, dc, Instant::now())
+    });
     let mut last_report = Instant::now();
     while !barrier.step(&sst, &mut post) {
         if stop.load(Ordering::Relaxed) || shared.killed.load(Ordering::Acquire) {
             return;
+        }
+        if let (Some(dc), Some(hb)) = (barrier_det.as_ref(), barrier_hb.as_mut()) {
+            let now = Instant::now();
+            if now.duration_since(last_beat) >= dc.heartbeat_interval {
+                hb_value += 1;
+                last_beat = now;
+                post(sst.set_counter(plan.heartbeat, hb_value));
+            }
+            let parties: Vec<usize> = hb.monitored().collect();
+            for peer in parties {
+                let v = sst.counter(plan.heartbeat, peer);
+                if let Some(dead) = hb.observe(peer, v, now) {
+                    eprintln!(
+                        "spindle: n{row} drops n{dead} from the epoch {} \
+                         install barrier (no heartbeat in the new epoch)",
+                        proposal.vid
+                    );
+                    barrier.remove_party(dead);
+                    if dead <= reconfig::MAX_BITMAP_ROW {
+                        shared.vc_trigger.fetch_or(1 << dead, Ordering::AcqRel);
+                    }
+                }
+            }
         }
         if last_report.elapsed() > Duration::from_secs(2) {
             // A healthy barrier converges in milliseconds; a node stuck
@@ -2622,6 +2866,62 @@ mod tests {
             cluster.node(2).send(SubgroupId(0), b"x"),
             Err(SendError::Closed)
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn leader_crash_mid_transition_fresh_takeover() {
+        // The proposing leader (row 0) dies right after posting its
+        // proposal, before anyone acked: the takeover leader's fresh
+        // trim evicts both corpses in one transition.
+        let mut cluster = Cluster::start(view(4, 4, 8, 64), SpindleConfig::optimized());
+        for i in 0..6u32 {
+            cluster
+                .node(1)
+                .send(SubgroupId(0), &i.to_le_bytes())
+                .unwrap();
+        }
+        cluster.arm_vc_crash(0, VcBoundary::Propose);
+        let report = cluster.remove_node(3).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(cluster.view().subgroups_of(NodeId(0)).is_empty());
+        assert!(cluster.view().subgroups_of(NodeId(3)).is_empty());
+        // Survivors still multicast in the new epoch.
+        cluster.node(1).send(SubgroupId(0), b"after").unwrap();
+        let mut saw_after = false;
+        while let Some(d) = cluster.node(2).recv_timeout(Duration::from_secs(5)) {
+            if d.data == b"after" {
+                assert_eq!(d.epoch, 1);
+                saw_after = true;
+                break;
+            }
+        }
+        assert!(saw_after, "new-epoch message not delivered");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn leader_crash_after_ack_evicted_by_residual_transition() {
+        // The leader dies *after* its ack tag landed: the takeover
+        // adopts its trim verbatim (the dead leader stays a member for
+        // one epoch), and the residual suspicion drives an immediate
+        // follow-up transition that evicts it — the caller sees the
+        // final state.
+        let mut cluster = Cluster::start(view(4, 4, 8, 64), SpindleConfig::optimized());
+        cluster.arm_vc_crash(0, VcBoundary::Ack);
+        let report = cluster.remove_node(3).unwrap();
+        assert_eq!(report.epoch, 2, "verbatim install, then residual eviction");
+        assert!(cluster.view().subgroups_of(NodeId(0)).is_empty());
+        assert!(cluster.view().subgroups_of(NodeId(3)).is_empty());
+        cluster.node(1).send(SubgroupId(0), b"after").unwrap();
+        let mut saw_after = false;
+        while let Some(d) = cluster.node(2).recv_timeout(Duration::from_secs(5)) {
+            if d.data == b"after" {
+                saw_after = true;
+                break;
+            }
+        }
+        assert!(saw_after, "post-handoff message not delivered");
         cluster.shutdown();
     }
 

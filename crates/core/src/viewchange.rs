@@ -16,18 +16,26 @@
 //!    failures and re-dials, where individually posted words could arrive
 //!    torn.
 //! 3. **Proposal** — the deterministic leader (lowest unsuspected row,
-//!    [`reconfig::leader`]) waits until every survivor shows `wedged`,
+//!    [`reconfig::leader`]) waits until every unsuspected survivor shows
+//!    `wedged` *and* a suspicion word covering the leader's own union,
 //!    computes the ragged trim per subgroup as the minimum frozen
-//!    frontier over surviving members, and publishes a
-//!    [`Proposal`] through the guarded proposal list.
-//! 4. **Trim acks** — every survivor adopts the proposal verbatim
-//!    (deriving the survivor set from the proposal's failed bitmap, never
-//!    from local suspicion state), delivers exactly through the cut, and
-//!    raises `acked`.
-//! 5. **Install** — once every survivor's ack is visible, the runtime
-//!    installs the next view (fresh layout, fresh fabric/epoch); the
-//!    [`InstallBarrier`] then holds application traffic until every
-//!    survivor has published `installed` in the *new* epoch's SST, so no
+//!    frontier over surviving members, and publishes a [`Proposal`]
+//!    carrying its *ballot* — `(turn, proposer)`, packed by
+//!    [`reconfig::pack_ballot`] — through the guarded proposal list.
+//! 4. **Trim acks** — every survivor adopts the highest *eligible*
+//!    ballot visible (same vid, proposer unsuspected and equal to the
+//!    leader under the adopter's union), echoes the proposal into its
+//!    own guarded list, publishes the packed
+//!    [`ack tag`](reconfig::pack_ack_tag) naming exactly that ballot,
+//!    delivers through the cut, and raises `acked`. Deriving the
+//!    survivor set from the proposal's failed bitmap — never from local
+//!    suspicion state — keeps all survivors in agreement.
+//! 5. **Install** — a survivor installs once every active row is either
+//!    named failed, in its own suspicion union, already installed, or
+//!    acked *under the same tag it adopted itself*; the runtime then
+//!    builds the next view (fresh layout, fresh fabric/epoch), and the
+//!    [`InstallBarrier`] holds application traffic until every survivor
+//!    has published `installed` in the *new* epoch's SST, so no
 //!    new-epoch protocol write can race a peer still draining the old
 //!    one.
 //!
@@ -42,19 +50,50 @@
 //! node's predicate thread, where the same state machine runs genuinely
 //! concurrently across processes.
 //!
-//! # Known limitation: competing leaders
+//! # Leader handoff under mid-transition failure
 //!
-//! The leader rule is deterministic *per suspicion union*, and
-//! [`scan_proposals`](ViewChangeEngine) adopts the lowest-row proposal
-//! visible — but if the true leader is itself falsely suspected by some
-//! survivor whose mirror also never receives the leader's proposal
-//! frames, two same-vid proposals can coexist and the one-word `acked`
-//! column cannot distinguish which one a peer acked. Resolving this
-//! (next-lowest-survivor takeover with proposer-tagged acks, the
-//! classic virtual-synchrony leader handoff) is tracked in ROADMAP.md;
-//! it requires the conjunction of a false suspicion of a live,
-//! connected leader *and* sustained message loss toward the same node,
-//! which the SST's continuous re-pushes make a vanishing window.
+//! If the proposing leader itself joins the suspicion union after the
+//! survivors wedge — it died mid-transition, or a partition falsely
+//! convicts it — the next-lowest unsuspected survivor takes over (the
+//! classic virtual-synchrony leader handoff):
+//!
+//! * **Supersession is structural.** An adopter only ever accepts a
+//!   ballot whose proposer equals the leader under its *own* union, so
+//!   the moment a proposer's suspicion bit spreads, its unacked
+//!   proposals stop collecting acks everywhere — no revocation message
+//!   exists or is needed. Install counting is exact-match on the ack
+//!   tag, so a stale same-vid ballot can never satisfy a successor's
+//!   quorum either.
+//! * **The successor sees every prior adoption.** The propose gate
+//!   requires each unsuspected survivor's published suspicion word to
+//!   cover the successor's union. A row adopts only ballots whose
+//!   proposer is outside its union, and it echoes the adopted content
+//!   into its own guarded list *before* publishing the tag — so by
+//!   per-destination FIFO, a suspicion word covering the dead proposer
+//!   arrives after both the tag and the content it names.
+//! * **Tagged ballots are adopted verbatim.** If any visible tag names
+//!   a same-vid ballot, the successor re-proposes the highest tagged
+//!   ballot's content unchanged — vid, failed set, join word and cuts
+//!   ([`reconfig::takeover_adoption`]) — because a tagged trim may
+//!   already have been delivered somewhere and must never be
+//!   contradicted. (The dead proposer may well stay a member of the
+//!   installed view; evicting it is the *next* transition's job, seeded
+//!   from the residual suspicions.) With no tag anywhere, the successor
+//!   computes a fresh trim — and salvages any join intent visible in a
+//!   dead sponsor's proposal, so a mid-join leader failure never drops
+//!   the joiner.
+//! * **Survivors re-tag forward.** A row holding a tag for a ballot
+//!   whose proposer has since entered its union re-tags to the eligible
+//!   content-equal successor ballot once visible; the packed tag is
+//!   lexicographic in `(vid, turn, proposer)`, so the monotonic column
+//!   carries the whole handoff chain without regressing.
+//!
+//! The remaining assumption is Derecho's primary-partition model: if
+//! two survivors durably suspect *each other*, each can consider itself
+//! leader for disjoint unions. The deployment-level detector (mutual
+//! heartbeats over the same links the SST writes traverse) makes that
+//! conjunction a partition, not a crash, and partitioned minorities
+//! stay wedged at the VC deadline rather than install.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -80,8 +119,48 @@ pub enum VcStep {
     /// The cluster evicted *this* node (its bit is in the adopted
     /// proposal's failed bitmap): close it without installing.
     Evicted,
+    /// The armed [`VcBoundary`] was reached: the runtime must treat this
+    /// node as crashed (stop stepping it; a real process aborts).
+    Crashed,
     /// The transition completed earlier; the engine is inert.
     Done,
+}
+
+/// A protocol point at which a fault-injected engine halts, emulating a
+/// process that crashes *immediately after the boundary's writes are
+/// posted* — the hardest instant for the survivors, because the state
+/// is half-spread. The harness arms these to kill the leader at every
+/// stage of a transition; distributed runs arm them through the
+/// `SPINDLE_VC_CRASH_AT` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcBoundary {
+    /// After wedging (frozen frontiers and the wedge flag posted).
+    Wedge,
+    /// After publishing a proposal (list data and guard posted).
+    Propose,
+    /// After first publishing `acked = vid` for the adopted ballot.
+    Ack,
+    /// At the install point: the engine halts instead of returning
+    /// [`VcStep::Install`], so every peer's install quorum must close
+    /// without this node.
+    Install,
+}
+
+impl std::str::FromStr for VcBoundary {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "wedge" => Ok(VcBoundary::Wedge),
+            "propose" => Ok(VcBoundary::Propose),
+            "ack" => Ok(VcBoundary::Ack),
+            "install" => Ok(VcBoundary::Install),
+            other => Err(format!(
+                "unknown view-change crash boundary {other:?} \
+                 (expected wedge|propose|ack|install)"
+            )),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +174,7 @@ enum Phase {
     AwaitAcks,
     Done,
     Evicted,
+    Crashed,
 }
 
 /// One node's view-change state machine (see the [module docs](self)).
@@ -115,8 +195,14 @@ pub struct ViewChangeEngine {
     /// when no join is sponsored here.
     join_intent: Option<reconfig::JoinEndpoint>,
     wedged: bool,
-    proposal: Option<Proposal>,
-    published: bool,
+    /// The ballot this node currently acknowledges: the proposal it
+    /// adopted (and whose tag it published). Replaced in place — same
+    /// content, higher ballot — when the proposer is superseded.
+    adopted: Option<Proposal>,
+    /// The turn of this node's own published proposal, once it proposed.
+    my_turn: Option<u64>,
+    /// Armed crash boundary (fault injection); `None` in production.
+    crash_at: Option<VcBoundary>,
     phase: Phase,
 }
 
@@ -142,10 +228,17 @@ impl ViewChangeEngine {
             suspected: initial_suspicions & (active_mask | PLANNED_BIT),
             join_intent: None,
             wedged: false,
-            proposal: None,
-            published: false,
+            adopted: None,
+            my_turn: None,
+            crash_at: None,
             phase: Phase::Gather,
         }
+    }
+
+    /// Arms a crash fault: the engine halts — [`VcStep::Crashed`] from
+    /// then on — immediately after the writes of `boundary` are posted.
+    pub fn arm_crash(&mut self, boundary: VcBoundary) {
+        self.crash_at = Some(boundary);
     }
 
     /// Registers a join intent (the joiner's
@@ -156,18 +249,20 @@ impl ViewChangeEngine {
     /// simply never published (the sponsor must be the leader — see
     /// `Cluster::admit`). Ignored once a proposal was adopted.
     pub fn set_join_intent(&mut self, join: reconfig::JoinEndpoint) {
-        if self.proposal.is_none() {
+        if self.adopted.is_none() {
             self.join_intent = Some(join);
         }
     }
 
     /// Adds suspicion bits (e.g. a detector verdict arriving after the
-    /// engine started). Ignored once a proposal was adopted — the
-    /// proposal's failed bitmap is authoritative from then on.
+    /// engine started). Accepted in *every* phase: a takeover needs
+    /// suspicions that arrive after a proposal was adopted — the death
+    /// of the proposer itself is exactly such a suspicion. The adopted
+    /// proposal's failed bitmap stays authoritative for the installed
+    /// view; later bits only affect supersession, install counting (a
+    /// suspected row is never waited on) and the follow-up transition.
     pub fn suspect(&mut self, bits: u64) {
-        if self.proposal.is_none() {
-            self.suspected |= bits & (self.active_mask | PLANNED_BIT);
-        }
+        self.suspected |= bits & (self.active_mask | PLANNED_BIT);
     }
 
     /// The proposed next view id.
@@ -177,7 +272,14 @@ impl ViewChangeEngine {
 
     /// The adopted proposal, once one exists.
     pub fn proposal(&self) -> Option<&Proposal> {
-        self.proposal.as_ref()
+        self.adopted.as_ref()
+    }
+
+    /// This node's current suspicion union (diagnostics and the
+    /// residual-suspicion carry-over: union bits that survive an
+    /// install seed the next transition).
+    pub fn suspicions(&self) -> u64 {
+        self.suspected
     }
 
     /// The current phase, for stall diagnostics.
@@ -188,6 +290,7 @@ impl ViewChangeEngine {
             Phase::AwaitAcks => "await-acks",
             Phase::Done => "done",
             Phase::Evicted => "evicted",
+            Phase::Crashed => "crashed",
         }
     }
 
@@ -213,18 +316,17 @@ impl ViewChangeEngine {
         match self.phase {
             Phase::Done => return VcStep::Done,
             Phase::Evicted => return VcStep::Evicted,
+            Phase::Crashed => return VcStep::Crashed,
             _ => {}
         }
         // 1. Suspicion propagation: OR every active peer's bitmap into
         // our own (masked to active rows — stale bits about removed rows
-        // must not resurrect). Frozen once a proposal exists.
-        if self.proposal.is_none() {
-            let mut union = self.suspected;
-            for &r in &self.active {
-                union |=
-                    (sst.counter(self.cols.suspected, r) as u64) & (self.active_mask | PLANNED_BIT);
-            }
-            self.suspected = union;
+        // must not resurrect). Never frozen: a takeover needs the
+        // suspicion that arrives *after* adoption — the proposer's own
+        // death.
+        let mask = self.active_mask | PLANNED_BIT;
+        for &r in &self.active {
+            self.suspected |= (sst.counter(self.cols.suspected, r) as u64) & mask;
         }
         if self.suspected == 0 {
             return VcStep::Pending;
@@ -232,7 +334,8 @@ impl ViewChangeEngine {
         // 2. Wedge: freeze the receive frontiers, then raise the flag.
         // Both live in the same scalar block, so every push carries them
         // together.
-        if !self.wedged {
+        let newly_wedged = !self.wedged;
+        if newly_wedged {
             for (g, &col) in self.cols.frozen.iter().enumerate() {
                 if self
                     .view
@@ -247,54 +350,81 @@ impl ViewChangeEngine {
             self.wedged = true;
         }
         sst.set_counter(self.cols.suspected, self.suspected as i64);
+        let mut first_ack = false;
         if self.phase == Phase::AwaitAcks {
             // Re-assert the ack so a lost frame cannot stall the quorum.
+            first_ack = sst.counter(self.cols.acked, self.row) < self.vid() as i64;
             sst.set_counter(self.cols.acked, self.vid() as i64);
         }
         // Re-publish the whole block every step: monotonic, idempotent,
         // and self-healing across dead links.
         post(self.block_range(sst));
+        if newly_wedged && self.crash_at == Some(VcBoundary::Wedge) {
+            self.phase = Phase::Crashed;
+            return VcStep::Crashed;
+        }
+        if first_ack && self.crash_at == Some(VcBoundary::Ack) {
+            self.phase = Phase::Crashed;
+            return VcStep::Crashed;
+        }
 
-        // 3. The deterministic leader proposes once every survivor (by
-        // its own union) shows the wedge flag.
-        if self.proposal.is_none()
-            && reconfig::leader(&self.active, self.suspected) == Some(self.row)
+        // 3. The leader under our union proposes (or takes over) once
+        // the gate holds; once published, keep re-publishing — our own
+        // ballot stays eligible for as long as we lead, and the union
+        // only grows, so leadership never moves away from us.
+        if reconfig::leader(&self.active, self.suspected) == Some(self.row)
+            && self.my_turn.is_none()
         {
-            self.try_propose(sst, post);
-        } else if self.published {
+            if self.try_propose(sst, post) && self.crash_at == Some(VcBoundary::Propose) {
+                self.phase = Phase::Crashed;
+                return VcStep::Crashed;
+            }
+        } else if self.my_turn.is_some() {
             self.republish(sst, post);
         }
 
-        // 4. Adopt the lowest-row proposal visible in the mirror.
-        if self.proposal.is_none() {
-            if let Some(p) = self.scan_proposals(sst) {
+        // 4. Adopt the highest eligible ballot visible; once adopted,
+        // watch for supersession of our ballot's proposer instead.
+        if self.adopted.is_none() {
+            if let Some(p) = self.scan_eligible(sst) {
                 if p.failed & (1 << self.row) != 0 {
                     self.phase = Phase::Evicted;
                     return VcStep::Evicted;
                 }
-                self.proposal = Some(p.clone());
+                self.adopt(sst, post, p.clone());
                 self.phase = Phase::Draining;
                 return VcStep::Deliver(p);
             }
+        } else {
+            self.retag_if_superseded(sst, post);
         }
 
-        // 5. Install once every survivor's ack is visible. A survivor
-        // that already *installed* the next epoch implies its ack (it
-        // stops re-publishing old-epoch columns once installed, but its
-        // install barrier keeps pushing `installed`, which lands at the
-        // same offset in our still-old mirror).
+        // 5. Install once the quorum closes: every active row is named
+        // failed, in our own union (dead or partitioned mid-transition —
+        // never waited on; the residual suspicion seeds the *next*
+        // transition), already installed, or acked **under the tag we
+        // adopted ourselves** — exact-match tag counting is what makes a
+        // superseded same-vid ballot unable to satisfy anyone's quorum.
+        // A survivor that already installed the next epoch implies its
+        // ack (it stops re-publishing old-epoch columns once installed,
+        // but its install barrier keeps pushing `installed`, which lands
+        // at the same offset in our still-old mirror).
         if self.phase == Phase::AwaitAcks {
-            let p = self.proposal.clone().expect("acking a proposal");
+            let p = self.adopted.clone().expect("acking a proposal");
             let vid = p.vid as i64;
-            let all_acked = self
-                .active
-                .iter()
-                .filter(|&&r| p.failed & (1 << r) == 0)
-                .all(|&r| {
-                    sst.counter(self.cols.acked, r) >= vid
-                        || sst.counter(self.cols.installed, r) >= vid
-                });
-            if all_acked {
+            let tag = p.ack_tag();
+            let quorum = self.active.iter().all(|&r| {
+                p.failed & (1 << r) != 0
+                    || self.suspected & (1 << r) != 0
+                    || sst.counter(self.cols.installed, r) >= vid
+                    || (sst.counter(self.cols.ack_tag, r) == tag
+                        && sst.counter(self.cols.acked, r) >= vid)
+            });
+            if quorum {
+                if self.crash_at == Some(VcBoundary::Install) {
+                    self.phase = Phase::Crashed;
+                    return VcStep::Crashed;
+                }
                 self.phase = Phase::Done;
                 return VcStep::Install(p);
             }
@@ -307,9 +437,17 @@ impl ViewChangeEngine {
             .abs_range(self.row, self.cols.scalar_block.clone())
     }
 
-    /// Leader only: if every survivor has wedged, compute the ragged trim
-    /// from the frozen columns and publish the proposal.
-    fn try_propose(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) {
+    /// Leader only: publish a proposal once the gate holds. Returns
+    /// whether a ballot was published this step.
+    ///
+    /// The gate — every unsuspected survivor wedged *and* publishing a
+    /// suspicion word that covers our whole union — is what makes
+    /// takeover sound: a row only adopts ballots whose proposer is
+    /// outside its union and echoes the content before the tag, so by
+    /// per-destination FIFO, once its suspicion word covers a dead
+    /// proposer, any adoption it made of that proposer's ballot (tag
+    /// *and* content) is already visible in our mirror.
+    fn try_propose(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) -> bool {
         let failed = self.suspected;
         let survivors: Vec<usize> = self
             .active
@@ -318,39 +456,107 @@ impl ViewChangeEngine {
             .filter(|&r| failed & (1 << r) == 0)
             .collect();
         if survivors.len() < 2 {
-            return; // no quorum to reconfigure; stay wedged
+            return false; // no quorum to reconfigure; stay wedged
         }
-        if !survivors
-            .iter()
-            .all(|&r| sst.counter(self.cols.wedged, r) >= 1)
-        {
-            return;
-        }
-        // The frozen frontiers are valid wherever the wedge flag is: they
-        // travel in the same write range.
-        let mut cuts = Vec::with_capacity(self.view.subgroups().len());
-        for (g, sg) in self.view.subgroups().iter().enumerate() {
-            let frozen: Vec<SeqNum> = sg
-                .members
-                .iter()
-                .filter(|m| failed & (1 << m.0) == 0)
-                .map(|m| sst.counter(self.cols.frozen[g], m.0))
-                .collect();
-            if frozen.is_empty() {
-                return; // removal would empty this subgroup: not proposable
+        for &r in &survivors {
+            if r == self.row {
+                continue;
             }
-            cuts.push(reconfig::trim_from_frontiers(&frozen));
+            if sst.counter(self.cols.wedged, r) < 1 {
+                return false;
+            }
+            let seen = sst.counter(self.cols.suspected, r) as u64;
+            if seen & self.suspected != self.suspected {
+                return false; // its union lags ours: adoptions may be in flight
+            }
         }
-        let p = Proposal {
-            vid: self.vid(),
-            failed,
-            join: self.join_intent.clone(),
-            cuts,
+        // Takeover evidence: every visible ack tag and same-vid ballot.
+        let vid = self.vid();
+        let tags: Vec<i64> = self
+            .active
+            .iter()
+            .map(|&r| sst.counter(self.cols.ack_tag, r))
+            .collect();
+        let visible: Vec<Proposal> = self
+            .active
+            .iter()
+            .filter_map(|&r| {
+                let (v, items) = read_list(sst, self.cols.proposal, r).ok()?;
+                if v == 0 {
+                    return None;
+                }
+                Proposal::decode(&items, self.view.subgroups().len()).filter(|p| p.vid == vid)
+            })
+            .collect();
+        // Our ballot supersedes everything seen: one turn past the
+        // highest turn any visible list or tag carries.
+        let turn = visible
+            .iter()
+            .map(|p| p.turn)
+            .chain(
+                tags.iter()
+                    .filter_map(|&t| reconfig::unpack_ack_tag(t))
+                    .filter(|&(v, _, _)| v == vid)
+                    .map(|(_, t, _)| t),
+            )
+            .max()
+            .map_or(0, |t| t + 1);
+        let any_tagged = tags
+            .iter()
+            .filter_map(|&t| reconfig::unpack_ack_tag(t))
+            .any(|(v, _, _)| v == vid);
+        let p = match reconfig::takeover_adoption(vid, &tags, &visible) {
+            Some(acked) => Proposal {
+                proposer: self.row,
+                turn,
+                ..acked.clone()
+            },
+            None if any_tagged => {
+                // A tag exists but its content is not readable yet (a
+                // torn echo): proposing fresh could contradict a
+                // delivered trim — wait a step for the echo to land.
+                return false;
+            }
+            None => {
+                // No ack anywhere for this vid: fresh trim. The frozen
+                // frontiers are valid wherever the wedge flag is — they
+                // travel in the same write range.
+                let mut cuts = Vec::with_capacity(self.view.subgroups().len());
+                for (g, sg) in self.view.subgroups().iter().enumerate() {
+                    let frozen: Vec<SeqNum> = sg
+                        .members
+                        .iter()
+                        .filter(|m| failed & (1 << m.0) == 0)
+                        .map(|m| sst.counter(self.cols.frozen[g], m.0))
+                        .collect();
+                    if frozen.is_empty() {
+                        return false; // removal would empty this subgroup
+                    }
+                    cuts.push(reconfig::trim_from_frontiers(&frozen));
+                }
+                // A join intent orphaned by a dead sponsor travels only
+                // in the sponsor's (now superseded) proposal: salvage it
+                // from any visible same-vid list so the joiner is still
+                // admitted by the takeover leader.
+                let join = self
+                    .join_intent
+                    .clone()
+                    .or_else(|| visible.iter().find_map(|p| p.join.clone()));
+                Proposal {
+                    vid,
+                    proposer: self.row,
+                    turn,
+                    failed,
+                    join,
+                    cuts,
+                }
+            }
         };
         let (data, guard) = write_list(sst, self.cols.proposal, &p.encode());
         post(data);
         post(guard);
-        self.published = true;
+        self.my_turn = Some(turn);
+        true
     }
 
     /// Re-publishes the previously computed proposal (identical content;
@@ -366,10 +572,17 @@ impl ViewChangeEngine {
         }
     }
 
-    /// The lowest-row well-formed proposal for the next epoch, from any
-    /// active row's list column.
-    fn scan_proposals(&self, sst: &Sst) -> Option<Proposal> {
+    /// The highest *eligible* ballot for the next epoch visible in any
+    /// active row's list column: same vid, and its proposer is exactly
+    /// the leader under this node's union. That single predicate is the
+    /// supersession rule — the moment a proposer's suspicion bit reaches
+    /// a row, every ballot it published stops being adoptable there, so
+    /// a stale same-vid proposal can never collect late acks (not even
+    /// after an unwedge-and-retry).
+    fn scan_eligible(&self, sst: &Sst) -> Option<Proposal> {
         let vid = self.vid();
+        let leader = reconfig::leader(&self.active, self.suspected)?;
+        let mut best: Option<Proposal> = None;
         for &r in &self.active {
             let Ok((v, items)) = read_list(sst, self.cols.proposal, r) else {
                 continue; // torn: the writer is mid-publish, retry next step
@@ -380,11 +593,78 @@ impl ViewChangeEngine {
             let Some(p) = Proposal::decode(&items, self.view.subgroups().len()) else {
                 continue;
             };
-            if p.vid == vid {
-                return Some(p);
+            if p.vid != vid || p.proposer != leader {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| p.ballot() > b.ballot()) {
+                best = Some(p);
             }
         }
-        None
+        best
+    }
+
+    /// Adopts `p`: echo the content into our own guarded list *first*,
+    /// then publish the ack tag. Per-destination FIFO turns that order
+    /// into the takeover invariant — any peer that sees our tag can also
+    /// read the ballot's content from our list, so a successor leader
+    /// can always honor a tagged trim verbatim.
+    fn adopt(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>), p: Proposal) {
+        if p.proposer != self.row {
+            let (data, guard) = write_list(sst, self.cols.proposal, &p.encode());
+            post(data);
+            post(guard);
+        }
+        let tag = p.ack_tag();
+        debug_assert!(
+            sst.counter(self.cols.ack_tag, self.row) <= tag,
+            "ack tag would regress"
+        );
+        sst.set_counter(self.cols.ack_tag, tag);
+        post(self.block_range(sst));
+        self.adopted = Some(p);
+    }
+
+    /// Our ballot's proposer entered the union after we adopted: re-tag
+    /// to the eligible successor ballot once one is visible. Content
+    /// equality is guaranteed by the takeover rule (our own tag forces
+    /// the successor to adopt verbatim), so no re-delivery happens — the
+    /// trim already delivered under the old ballot *is* the new one's.
+    fn retag_if_superseded(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) {
+        let cur = self.adopted.as_ref().expect("re-tag requires an adoption");
+        if self.suspected & (1 << cur.proposer) == 0 {
+            return;
+        }
+        let Some(next) = self.scan_eligible(sst) else {
+            return;
+        };
+        if next.ack_tag() <= cur.ack_tag() {
+            return;
+        }
+        if !next.same_content(cur) {
+            // Unreachable along a gated handoff chain; never re-tag to
+            // different content — the quorum would mix two trims.
+            debug_assert!(false, "takeover ballot diverged from the tagged content");
+            return;
+        }
+        self.adopt(sst, post, next);
+    }
+
+    /// Tears down this node's own unacknowledged proposal after a failed
+    /// agreement attempt (the runtime unwedges and will retry): the list
+    /// is overwritten with zeros — undecodable — so the stale same-vid
+    /// ballot can never be adopted (and acked) by a peer after the
+    /// unwedge. A node that *adopted* a ballot keeps its echo and tag:
+    /// that content must stay readable for a later attempt's leader to
+    /// honor the tag verbatim.
+    pub fn abort(&mut self, sst: &Sst, post: &mut dyn FnMut(Range<usize>)) {
+        if self.adopted.is_some() || self.my_turn.is_none() {
+            return;
+        }
+        let zeros = vec![0i64; self.cols.proposal.capacity()];
+        let (data, guard) = write_list(sst, self.cols.proposal, &zeros);
+        post(data);
+        post(guard);
+        self.my_turn = None;
     }
 }
 
@@ -425,6 +705,21 @@ impl InstallBarrier {
             row,
             confirming: false,
         }
+    }
+
+    /// Drops a party that died (or was convicted by the detector) while
+    /// the barrier was waiting on it — e.g. a takeover leader that
+    /// crashed between installing and confirming. Without this, a death
+    /// inside the barrier window would hold every survivor's resume
+    /// forever (the barrier predates the next epoch's detector).
+    pub fn remove_party(&mut self, row: usize) {
+        self.survivors.retain(|&r| r != row);
+    }
+
+    /// The rows this barrier still waits on (diagnostics / detector
+    /// plumbing).
+    pub fn parties(&self) -> &[usize] {
+        &self.survivors
     }
 
     /// Publishes this node's current phase flag and reports whether every
@@ -514,6 +809,10 @@ mod tests {
         let n = s.view.members().len();
         let mut out: Vec<Option<Proposal>> = vec![None; n];
         let mut finished = vec![false; n];
+        // Rows that hit an armed crash boundary: the harness plays
+        // detector, feeding the bits to every live engine each round —
+        // exactly what the runtime drivers do.
+        let mut crashed_bits: u64 = 0;
         for r in dead {
             finished[*r] = true;
         }
@@ -525,6 +824,7 @@ mod tests {
                 if finished[row] {
                     continue;
                 }
+                s.engines[row].suspect(crashed_bits);
                 let sst = s.ssts[row].clone();
                 let fabric = s.fabric.clone();
                 let peers: Vec<usize> = (0..n).filter(|&p| p != row).collect();
@@ -537,10 +837,21 @@ mod tests {
                     VcStep::Pending | VcStep::Done => {}
                     VcStep::Deliver(_) => s.engines[row].mark_delivered(),
                     VcStep::Install(p) => {
+                        // Mirror the install barrier's first push: once a
+                        // row stops stepping its engine, its `installed`
+                        // flag (same word offset in the new epoch) is what
+                        // lets a late takeover leader close its quorum.
+                        let cols = Plan::build(&s.view, true).reconfig;
+                        sst.set_counter(cols.installed, p.vid as i64);
+                        post(sst.layout().abs_range(row, cols.installed.word_range()));
                         out[row] = Some(p);
                         finished[row] = true;
                     }
                     VcStep::Evicted => finished[row] = true,
+                    VcStep::Crashed => {
+                        crashed_bits |= 1 << row;
+                        finished[row] = true;
+                    }
                 }
             }
         }
@@ -669,6 +980,157 @@ mod tests {
             }
         }
         assert_eq!(done, (true, true), "two live survivors must converge");
+    }
+
+    /// Converges a 4-node cluster (row 3 silently dead, row 0 the
+    /// proposing leader armed to crash at `boundary`) and returns the
+    /// surviving rows' installed proposals.
+    fn handoff(boundary: VcBoundary) -> (Sim, Vec<Option<Proposal>>) {
+        let mut s = sim(all_senders(4), 1, reconfig::bits_of([3]));
+        s.engines[0].arm_crash(boundary);
+        let frontiers = vec![vec![7], vec![5], vec![6], vec![9]];
+        let installed = converge(&mut s, &frontiers, &[3]);
+        (s, installed)
+    }
+
+    #[test]
+    fn leader_crash_at_wedge_hands_off_with_fresh_trim() {
+        // Row 0 dies before ever proposing: the takeover leader (row 1)
+        // computes a fresh trim that evicts both corpses, with the cut
+        // over the remaining survivors only.
+        let (_, installed) = handoff(VcBoundary::Wedge);
+        assert!(installed[0].is_none(), "crashed leader installed");
+        for row in [1, 2] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.vid, 1);
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([0, 3]));
+            assert_eq!(p.cuts, vec![5], "min over survivors {{1, 2}}");
+            assert_eq!(p.proposer, 1, "next-lowest survivor re-proposed");
+        }
+    }
+
+    #[test]
+    fn leader_crash_after_propose_hands_off_with_fresh_trim() {
+        // Row 0 dies right after posting its proposal, before anyone
+        // acked it: the proposal is superseded (no tags name it), and
+        // the takeover trim evicts the dead leader too.
+        let (_, installed) = handoff(VcBoundary::Propose);
+        assert!(installed[0].is_none());
+        for row in [1, 2] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([0, 3]));
+            assert_eq!(p.cuts, vec![5]);
+            assert_eq!(p.proposer, 1);
+        }
+    }
+
+    #[test]
+    fn leader_crash_after_ack_is_adopted_verbatim() {
+        // Row 0 dies after its ack tag landed: the partially-acked trim
+        // must never be contradicted, so the takeover leader re-proposes
+        // it verbatim — the dead leader's failed set ({3} only; row 0
+        // itself stays a member until the *next* transition) and the
+        // dead leader's cut (min over {0, 1, 2} = 5).
+        let (s, installed) = handoff(VcBoundary::Ack);
+        assert!(installed[0].is_none());
+        for row in [1, 2] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(
+                p.failed_rows(),
+                std::collections::BTreeSet::from([3]),
+                "verbatim adoption keeps the dead leader in the view"
+            );
+            assert_eq!(p.cuts, vec![5]);
+        }
+        // Both survivors carry the residual suspicion of row 0 that the
+        // drivers reseed into the next transition.
+        for row in [1, 2] {
+            assert_ne!(s.engines[row].suspicions() & 1, 0);
+        }
+    }
+
+    #[test]
+    fn leader_crash_at_install_still_installs_everywhere() {
+        // Row 0 dies at the install boundary: every survivor already
+        // acked, so the quorum (tagged acks + suspicion skips) is intact
+        // and the survivors install without a new proposal.
+        let (_, installed) = handoff(VcBoundary::Install);
+        assert!(installed[0].is_none());
+        for row in [1, 2] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([3]));
+            assert_eq!(p.cuts, vec![5]);
+            assert_eq!(p.proposer, 0, "the dead leader's own proposal stands");
+        }
+    }
+
+    #[test]
+    fn cascaded_leader_crashes_hand_off_twice() {
+        // Two handoffs in one transition: row 0 dies after proposing
+        // (superseded), row 1 dies after acking its own takeover
+        // proposal (adopted verbatim by row 2). Rows 2 and 3 agree.
+        let mut s = sim(all_senders(5), 2, reconfig::bits_of([4]));
+        s.engines[0].arm_crash(VcBoundary::Propose);
+        s.engines[1].arm_crash(VcBoundary::Ack);
+        let frontiers = vec![vec![3], vec![4], vec![6], vec![8], vec![9]];
+        let installed = converge(&mut s, &frontiers, &[4]);
+        assert!(installed[0].is_none());
+        assert!(installed[1].is_none());
+        for row in [2, 3] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.vid, 1);
+            // Row 1's fresh takeover trim named {0, 4}; its acked ballot
+            // is re-proposed verbatim, so row 1 itself stays a member.
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([0, 4]));
+            assert_eq!(p.cuts, vec![4], "row 1's trim: min over {{1, 2, 3}}");
+        }
+    }
+
+    #[test]
+    fn takeover_salvages_pending_join() {
+        // A sponsored join armed on a leader that dies mid-join must not
+        // be dropped: the join word is already in the dead leader's
+        // guarded proposal, and the takeover leader's fresh trim adopts
+        // it.
+        let mut s = sim(all_senders(3), 1, PLANNED_BIT);
+        let join = reconfig::JoinEndpoint::parse("10.0.0.9:7100", true).unwrap();
+        s.engines[0].set_join_intent(join.clone());
+        s.engines[0].arm_crash(VcBoundary::Propose);
+        let frontiers = vec![vec![5], vec![5], vec![5]];
+        let installed = converge(&mut s, &frontiers, &[]);
+        assert!(installed[0].is_none());
+        for row in [1, 2] {
+            let p = installed[row].as_ref().expect("survivor installed");
+            assert_eq!(p.join_endpoint(), Some(&join), "join word salvaged");
+            assert_eq!(p.failed_rows(), std::collections::BTreeSet::from([0]));
+            assert_eq!(p.proposer, 1);
+        }
+    }
+
+    #[test]
+    fn superseded_proposal_collects_no_late_acks() {
+        // Explicit supersession: after the handoff, every surviving
+        // row's published ack tag names the *takeover* ballot — the dead
+        // leader's same-vid proposal is still sitting in its guarded
+        // list, but no tag names it, so it can never reach quorum even
+        // if a laggard unwedges with it in sight.
+        let (s, installed) = handoff(VcBoundary::Propose);
+        let plan = Plan::build(&s.view, true);
+        let winner = installed[1].as_ref().unwrap().ballot();
+        for row in [1, 2] {
+            let tag = s.ssts[row].counter(plan.reconfig.ack_tag, row);
+            let (vid, turn, proposer) = reconfig::unpack_ack_tag(tag).expect("tagged");
+            assert_eq!(vid, 1);
+            assert_eq!(reconfig::pack_ballot(turn, proposer), winner);
+            assert_eq!(proposer, 1, "no ack names the superseded proposer");
+        }
+        // The dead leader's proposal is still decodable in its list —
+        // supersession is by ballot, not by erasure.
+        let (v, items) = read_list(&s.ssts[1], plan.reconfig.proposal, 0).unwrap();
+        assert_ne!(v, 0, "the superseded proposal survives in the list");
+        let stale = Proposal::decode(&items, 1).expect("decodable");
+        assert_eq!(stale.vid, 1);
+        assert!(stale.ballot() < winner);
     }
 
     proptest! {

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use spindle_core::{SimFault, SimFaultKind, SpindleConfig};
+use spindle_core::{SimFault, SimFaultKind, SpindleConfig, VcBoundary};
 
 use crate::scenario::{
     crash_at, fast_detector, random_scenario, ClusterSpec, Event, Scenario, ScenarioKind, SgSpec,
@@ -117,6 +117,36 @@ fn join_catchup_events() -> Vec<Event> {
         burst(2, 6),
         Event::Settle { millis: 250 },
     ]
+}
+
+/// The shared leader-kill schedule run on *both* transports (scenarios
+/// 20-27, one pair per view-change boundary): settled traffic from the
+/// leader and others, then the leader's engine is armed to die at
+/// `boundary` and a planned removal triggers the transition. The
+/// next-lowest unsuspected survivor takes over (§2.1 handoff: it
+/// adopts the dead leader's proposal verbatim if any proposer-tagged
+/// ack exists, else re-proposes a fresh trim), both the victim and the
+/// leader leave the view — through a residual eviction epoch when the
+/// adoption was verbatim — and the survivors' post-handoff traffic
+/// must still satisfy every oracle.
+fn leader_kill_events(boundary: VcBoundary) -> Vec<Event> {
+    vec![
+        burst(0, 8),
+        burst(1, 8),
+        burst(3, 6),
+        Event::Settle { millis: 150 },
+        Event::KillLeaderAt {
+            boundary,
+            victim: 4,
+        },
+        burst(1, 8),
+        burst(2, 8),
+        Event::Settle { millis: 250 },
+    ]
+}
+
+fn leader_kill_spec() -> ClusterSpec {
+    ClusterSpec::all_senders(5, 16, 64)
 }
 
 /// The full corpus for `seed`.
@@ -467,6 +497,33 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
         ClusterSpec::all_senders(3, 16, 64),
         join_catchup_events(),
     ));
+
+    // 20-27. The leader-kill twins: the leader dies at each view-change
+    // boundary (wedge / propose / ack / install) mid-transition, and the
+    // next-lowest survivor's takeover must leave an oracle-clean stream
+    // — once per transport and per boundary. The equivalence test
+    // additionally pins that both transports produce the identical epoch
+    // history and verdicts (a verbatim adoption yields the same
+    // intermediate epoch on both).
+    for (tag, boundary) in [
+        ("wedge", VcBoundary::Wedge),
+        ("propose", VcBoundary::Propose),
+        ("ack", VcBoundary::Ack),
+        ("install", VcBoundary::Install),
+    ] {
+        out.push(threaded(
+            &format!("leader-kill-{tag}"),
+            seed,
+            leader_kill_spec(),
+            leader_kill_events(boundary),
+        ));
+        out.push(threaded_tcp(
+            &format!("loopback-tcp-leader-kill-{tag}"),
+            seed,
+            leader_kill_spec(),
+            leader_kill_events(boundary),
+        ));
+    }
 
     out
 }

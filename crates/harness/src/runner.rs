@@ -124,6 +124,15 @@ struct ThreadedRun {
 }
 
 impl ThreadedRun {
+    /// Records every epoch the cluster has installed so far — a chained
+    /// takeover transition installs an intermediate epoch inside one
+    /// `remove_node` call, and the membership-scope oracle needs it.
+    fn record_epochs<F: Fabric>(&mut self, cluster: &Cluster<F>) {
+        for v in cluster.epoch_views() {
+            record_epoch(&mut self.epochs, v);
+        }
+    }
+
     /// Executes one event. `on_isolate` is the transport-specific half of
     /// a partition (the loopback-TCP runner severs the node's live
     /// connections; the shared-memory runner needs nothing extra).
@@ -171,17 +180,37 @@ impl ThreadedRun {
             Event::Remove { node } => match cluster.remove_node(*node) {
                 Ok(_) => {
                     self.live.remove(node);
-                    record_epoch(&mut self.epochs, cluster.view());
+                    self.record_epochs(cluster);
                 }
                 Err(e) => self.errors.push(format!("remove {node}: {e}")),
             },
+            Event::KillLeaderAt { boundary, victim } => {
+                let Some(leader) = cluster.leader_row() else {
+                    self.errors.push("kill-leader: no live leader row".into());
+                    return;
+                };
+                cluster.arm_vc_crash(leader, *boundary);
+                match cluster.remove_node(*victim) {
+                    Ok(_) => {
+                        // Both corpses are out once remove_node returns —
+                        // in one transition (fresh takeover trim) or two
+                        // (verbatim adoption, then residual eviction).
+                        self.live.remove(victim);
+                        self.live.remove(&leader);
+                        self.record_epochs(cluster);
+                    }
+                    Err(e) => self
+                        .errors
+                        .push(format!("kill-leader({boundary:?}) remove {victim}: {e}")),
+                }
+            }
             Event::Join { joins } => {
                 let j: Vec<(SubgroupId, bool)> =
                     joins.iter().map(|&(g, s)| (SubgroupId(g), s)).collect();
                 match cluster.admit(AdmitRequest::in_process(&j)) {
                     Ok((id, _)) => {
                         self.live.insert(id);
-                        record_epoch(&mut self.epochs, cluster.view());
+                        self.record_epochs(cluster);
                     }
                     Err(e) => self.errors.push(format!("join: {e}")),
                 }
@@ -203,7 +232,7 @@ impl ThreadedRun {
                 match cluster.remove_node(*suspect) {
                     Ok(_) => {
                         self.live.remove(suspect);
-                        record_epoch(&mut self.epochs, cluster.view());
+                        self.record_epochs(cluster);
                     }
                     Err(e) => self.errors.push(format!("detector removal {suspect}: {e}")),
                 }

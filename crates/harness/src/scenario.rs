@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use spindle_core::{DetectorConfig, SimFault, SimFaultKind, SpindleConfig};
+use spindle_core::{DetectorConfig, SimFault, SimFaultKind, SpindleConfig, VcBoundary};
 
 /// One subgroup of the scenario's cluster.
 #[derive(Debug, Clone)]
@@ -137,6 +137,18 @@ pub enum Event {
     Join {
         /// Subgroup memberships of the joiner.
         joins: Vec<(usize, bool)>,
+    },
+    /// Arm a crash of the *current leader* at a view-change boundary,
+    /// then remove `victim`: the leader dies mid-transition and the
+    /// next-lowest unsuspected survivor takes over (the §2.1 handoff
+    /// protocol — proposer-tagged acks, verbatim adoption of a
+    /// partially-acked trim, residual eviction of a verbatim-kept
+    /// corpse). Both the victim and the leader end up out of the view.
+    KillLeaderAt {
+        /// The protocol boundary the leader's engine dies at.
+        boundary: VcBoundary,
+        /// The node whose removal triggers the transition.
+        victim: usize,
     },
     /// Wait for the failure detector to suspect exactly `suspect`, then
     /// remove it (the detector-driven view change). Requires a detector.

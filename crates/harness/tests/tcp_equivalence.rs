@@ -107,3 +107,51 @@ fn crash_failover_twins_are_bit_identical_across_transports() {
         on_mem.trace
     );
 }
+
+/// The leader-kill twin, fresh-trim path: the leader dies at the wedge
+/// boundary before any proposer-tagged ack exists, so the next-lowest
+/// survivor re-proposes a fresh trim naming both corpses. One epoch,
+/// bit-identical across the transports.
+#[test]
+fn leader_kill_wedge_twins_are_bit_identical_across_transports() {
+    let (on_mem, on_tcp) = run_twins("leader-kill-wedge", "loopback-tcp-leader-kill-wedge");
+    assert_eq!(
+        deterministic_tail(&on_mem),
+        deterministic_tail(&on_tcp),
+        "epoch history or verdicts diverged between transports:\n--- mem ---\n{}\n--- tcp ---\n{}",
+        on_mem.trace,
+        on_tcp.trace
+    );
+    // The takeover's fresh trim evicted the dead leader (0) and the
+    // removal victim (4) in a single transition.
+    assert!(
+        deterministic_tail(&on_mem).contains("1: g0=[1, 2, 3]"),
+        "takeover epoch missing from the history:\n{}",
+        on_mem.trace
+    );
+}
+
+/// The leader-kill twin, verbatim-adoption path: the leader dies *after*
+/// its proposer-tagged ack landed, so the takeover adopts its trim
+/// verbatim — the dead leader stays a member for one intermediate epoch
+/// — and the residual eviction installs the final view. Both epochs of
+/// the chain must be bit-identical across the transports.
+#[test]
+fn leader_kill_ack_twins_are_bit_identical_across_transports() {
+    let (on_mem, on_tcp) = run_twins("leader-kill-ack", "loopback-tcp-leader-kill-ack");
+    assert_eq!(
+        deterministic_tail(&on_mem),
+        deterministic_tail(&on_tcp),
+        "epoch history or verdicts diverged between transports:\n--- mem ---\n{}\n--- tcp ---\n{}",
+        on_mem.trace,
+        on_tcp.trace
+    );
+    // Epoch 1 is the verbatim install (dead leader 0 still a member,
+    // victim 4 gone); epoch 2 is the residual eviction of the corpse.
+    let tail = deterministic_tail(&on_mem);
+    assert!(
+        tail.contains("1: g0=[0, 1, 2, 3]") && tail.contains("2: g0=[1, 2, 3]"),
+        "verbatim + residual epoch chain missing from the history:\n{}",
+        on_mem.trace
+    );
+}

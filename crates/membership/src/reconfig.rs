@@ -39,6 +39,76 @@ pub const PLANNED_BIT: u64 = 1 << 62;
 /// Highest row id representable in a suspicion bitmap.
 pub const MAX_BITMAP_ROW: usize = 61;
 
+/// Bits of the proposer field in a packed ballot: holds `row + 1`, so a
+/// zero word is never a valid ballot and `MAX_BITMAP_ROW + 1 = 62` fits
+/// with room to spare.
+const BALLOT_PROPOSER_BITS: u32 = 8;
+/// Bits of the turn field in a packed ballot. Turns count re-proposals
+/// within one view id — one per leader takeover — so 12 bits outlast any
+/// reachable cascade (the bitmap caps membership at 62 rows).
+const BALLOT_TURN_BITS: u32 = 12;
+/// Highest turn a ballot can carry.
+pub const MAX_TURN: u64 = (1 << BALLOT_TURN_BITS) - 1;
+/// Total packed-ballot width; the ack tag shifts the view id above it.
+const BALLOT_BITS: u32 = BALLOT_PROPOSER_BITS + BALLOT_TURN_BITS;
+
+/// Packs `(turn, proposer)` into one ballot word. Ballots order the
+/// proposals of a single view id: a takeover leader always picks a turn
+/// greater than any it has seen, so the packed word grows monotonically
+/// along the handoff chain and a monotonic SST counter can carry it.
+///
+/// # Panics
+///
+/// Panics if `turn` exceeds [`MAX_TURN`] or `proposer` exceeds
+/// [`MAX_BITMAP_ROW`].
+pub fn pack_ballot(turn: u64, proposer: usize) -> u64 {
+    assert!(turn <= MAX_TURN, "ballot turn {turn} exceeds {MAX_TURN}");
+    assert!(
+        proposer <= MAX_BITMAP_ROW,
+        "proposer row {proposer} exceeds the bitmap"
+    );
+    (turn << BALLOT_PROPOSER_BITS) | (proposer as u64 + 1)
+}
+
+/// Unpacks a ballot word to `(turn, proposer)`; `None` for anything that
+/// is not a canonical [`pack_ballot`] image (zero proposer field, a row
+/// past the bitmap, or stray high bits).
+pub fn unpack_ballot(word: u64) -> Option<(u64, usize)> {
+    if word >> BALLOT_BITS != 0 {
+        return None;
+    }
+    let proposer_plus_one = word & ((1 << BALLOT_PROPOSER_BITS) - 1);
+    if proposer_plus_one == 0 || proposer_plus_one > MAX_BITMAP_ROW as u64 + 1 {
+        return None;
+    }
+    Some((word >> BALLOT_PROPOSER_BITS, proposer_plus_one as usize - 1))
+}
+
+/// Packs an ack tag: the `(vid, turn, proposer)` a row acknowledges,
+/// ordered lexicographically so the tag fits a *monotonic* SST counter
+/// column — a row re-tagging from a superseded ballot to its takeover
+/// successor only ever moves the word forward. Zero (the column's
+/// initial value) means "nothing acknowledged".
+///
+/// # Panics
+///
+/// Panics if any field exceeds its packed width (`vid` has 43 bits).
+pub fn pack_ack_tag(vid: u64, turn: u64, proposer: usize) -> i64 {
+    assert!(vid < 1 << (63 - BALLOT_BITS), "vid {vid} exceeds the tag");
+    ((vid << BALLOT_BITS) | pack_ballot(turn, proposer)) as i64
+}
+
+/// Unpacks an ack tag to `(vid, turn, proposer)`; `None` for zero (no
+/// ack yet) or a malformed ballot field.
+pub fn unpack_ack_tag(tag: i64) -> Option<(u64, u64, usize)> {
+    if tag <= 0 {
+        return None;
+    }
+    let word = tag as u64;
+    let (turn, proposer) = unpack_ballot(word & ((1 << BALLOT_BITS) - 1))?;
+    Some((word >> BALLOT_BITS, turn, proposer))
+}
+
 /// Longest joiner host a proposal can carry: covers every IPv6 literal
 /// (at most 45 bytes) and any practical DNS name; the bound is what
 /// makes the guarded-list join block fixed-width, so proposals keep
@@ -380,6 +450,14 @@ pub fn join_view(
 pub struct Proposal {
     /// The proposed next view id (always the old epoch + 1).
     pub vid: u64,
+    /// The row that published this proposal. Together with `turn` it
+    /// forms the proposal's *ballot* — what an ack names, so a superseded
+    /// proposal can never collect acks meant for its successor.
+    pub proposer: usize,
+    /// Re-proposal counter within this view id: 0 for the original
+    /// leader's proposal, bumped past every ballot a takeover leader has
+    /// seen when it re-proposes.
+    pub turn: u64,
     /// Bitmap of rows leaving the view (plus [`PLANNED_BIT`] for planned
     /// reconfigurations). The survivor set — and therefore who must ack
     /// and install — is derived from this word, never from local
@@ -406,12 +484,37 @@ impl Proposal {
         self.join.as_ref()
     }
 
-    /// Encodes onto the SST guarded-list items: `[vid, failed,
+    /// The packed ballot word (`pack_ballot(turn, proposer)`): the value
+    /// an ack tag names for this proposal, and the order along a handoff
+    /// chain.
+    pub fn ballot(&self) -> u64 {
+        pack_ballot(self.turn, self.proposer)
+    }
+
+    /// The ack-tag word a survivor publishes when it adopts this
+    /// proposal.
+    pub fn ack_tag(&self) -> i64 {
+        pack_ack_tag(self.vid, self.turn, self.proposer)
+    }
+
+    /// Whether `other` carries the identical next-view content — same
+    /// vid, failed set, join and cuts — differing at most in its ballot.
+    /// Along a correct handoff chain every ballot of one vid is
+    /// content-equal; the engine asserts this when re-tagging.
+    pub fn same_content(&self, other: &Proposal) -> bool {
+        self.vid == other.vid
+            && self.failed == other.failed
+            && self.join == other.join
+            && self.cuts == other.cuts
+    }
+
+    /// Encodes onto the SST guarded-list items: `[vid, ballot, failed,
     /// join-block…, cuts…]` (the join block is fixed-width — see
     /// [`JoinEndpoint`] — so the arity stays exact).
     pub fn encode(&self) -> Vec<i64> {
         let mut items = Vec::with_capacity(Proposal::list_capacity(self.cuts.len()));
         items.push(self.vid as i64);
+        items.push(self.ballot() as i64);
         items.push(self.failed as i64);
         encode_join_block(self.join.as_ref(), &mut items);
         items.extend_from_slice(&self.cuts);
@@ -419,24 +522,53 @@ impl Proposal {
     }
 
     /// Decodes a guarded-list read; `None` for anything but a well-formed
-    /// proposal with exactly `num_subgroups` cuts and a valid join block.
+    /// proposal with exactly `num_subgroups` cuts, a canonical ballot
+    /// word and a valid join block.
     pub fn decode(items: &[i64], num_subgroups: usize) -> Option<Proposal> {
         if items.len() != Proposal::list_capacity(num_subgroups) {
             return None;
         }
-        let join = decode_join_block(&items[2..3 + JOIN_HOST_WORDS])?;
+        let (turn, proposer) = unpack_ballot(items[1] as u64)?;
+        let join = decode_join_block(&items[3..4 + JOIN_HOST_WORDS])?;
         Some(Proposal {
             vid: items[0] as u64,
-            failed: items[1] as u64,
+            proposer,
+            turn,
+            failed: items[2] as u64,
             join,
-            cuts: items[3 + JOIN_HOST_WORDS..].to_vec(),
+            cuts: items[4 + JOIN_HOST_WORDS..].to_vec(),
         })
     }
 
     /// The list capacity a view's proposal column needs.
     pub fn list_capacity(num_subgroups: usize) -> usize {
-        2 + 1 + JOIN_HOST_WORDS + num_subgroups
+        3 + 1 + JOIN_HOST_WORDS + num_subgroups
     }
+}
+
+/// The takeover adoption rule, as a pure function of what a successor
+/// leader can read from its mirror: the ack tags of the active rows and
+/// every well-formed same-vid proposal visible in their guarded lists
+/// (each adopter echoes the proposal it acknowledged into its own list,
+/// so a tag is never visible without its content). If *any* row has
+/// tagged an ack at `vid`, the successor must re-propose the content of
+/// the highest tagged ballot verbatim — a partially-acked trim may
+/// already have been delivered somewhere and is never contradicted.
+/// `None` means no ack exists and the successor computes a fresh trim.
+pub fn takeover_adoption<'a>(
+    vid: u64,
+    tags: &[i64],
+    proposals: &'a [Proposal],
+) -> Option<&'a Proposal> {
+    let best = tags
+        .iter()
+        .filter_map(|&t| unpack_ack_tag(t))
+        .filter(|&(v, _, _)| v == vid)
+        .map(|(_, turn, proposer)| pack_ballot(turn, proposer))
+        .max()?;
+    proposals
+        .iter()
+        .find(|p| p.vid == vid && p.ballot() == best)
 }
 
 /// The decentralized ragged trim for one subgroup: the minimum frozen
@@ -532,6 +664,8 @@ mod tests {
     fn proposal_roundtrip() {
         let p = Proposal {
             vid: 7,
+            proposer: 3,
+            turn: 2,
             failed: bits_of([1, 4]) | PLANNED_BIT,
             join: None,
             cuts: vec![-1, 42, 0],
@@ -544,6 +678,60 @@ mod tests {
         // Wrong arity is rejected, never misparsed.
         assert_eq!(Proposal::decode(&items, 2), None);
         assert_eq!(Proposal::decode(&[], 0), None);
+        // A corrupt ballot word is rejected, never misparsed.
+        let mut bad = items.clone();
+        bad[1] = 0;
+        assert_eq!(Proposal::decode(&bad, 3), None);
+        let mut bad = items.clone();
+        bad[1] |= 1 << 30; // stray bits above the packed ballot
+        assert_eq!(Proposal::decode(&bad, 3), None);
+    }
+
+    #[test]
+    fn ballot_and_ack_tag_pack() {
+        assert_eq!(unpack_ballot(pack_ballot(0, 0)), Some((0, 0)));
+        assert_eq!(
+            unpack_ballot(pack_ballot(MAX_TURN, MAX_BITMAP_ROW)),
+            Some((MAX_TURN, MAX_BITMAP_ROW))
+        );
+        // Zero is "no ballot", not ballot (0, 0).
+        assert_eq!(unpack_ballot(0), None);
+        assert_eq!(unpack_ack_tag(0), None);
+        assert_eq!(unpack_ack_tag(pack_ack_tag(9, 1, 2)), Some((9, 1, 2)));
+        // A proposer field past the bitmap is malformed.
+        assert_eq!(unpack_ballot(MAX_BITMAP_ROW as u64 + 2), None);
+    }
+
+    #[test]
+    fn takeover_adopts_highest_tagged_ballot() {
+        let original = Proposal {
+            vid: 3,
+            proposer: 0,
+            turn: 0,
+            failed: bits_of([4]),
+            join: None,
+            cuts: vec![17, -1],
+        };
+        let reproposal = Proposal {
+            turn: 1,
+            proposer: 1,
+            ..original.clone()
+        };
+        let visible = vec![original.clone(), reproposal.clone()];
+        // No tags: fresh trim.
+        assert_eq!(takeover_adoption(3, &[0, 0, 0], &visible), None);
+        // One ack of the original: adopt it.
+        let t0 = original.ack_tag();
+        assert_eq!(takeover_adoption(3, &[0, t0, 0], &visible), Some(&original));
+        // Acks of both ballots: the highest wins.
+        let t1 = reproposal.ack_tag();
+        assert_eq!(
+            takeover_adoption(3, &[t0, t1, 0], &visible),
+            Some(&reproposal)
+        );
+        // A stale tag from an earlier vid never forces adoption.
+        let stale = pack_ack_tag(2, 5, 1);
+        assert_eq!(takeover_adoption(3, &[stale], &visible), None);
     }
 
     #[test]
@@ -689,6 +877,8 @@ mod tests {
         #[test]
         fn proposal_encoding_roundtrip(
             vid in 1u64..1000,
+            proposer in 0usize..=MAX_BITMAP_ROW,
+            turn in 0u64..=MAX_TURN,
             failed_rows in prop::collection::vec(0usize..=MAX_BITMAP_ROW, 0..8),
             cuts in prop::collection::vec(-1i64..10_000, 0..6),
             planned in 0u8..2,
@@ -704,13 +894,89 @@ mod tests {
                 port: join_port,
                 as_sender: join_sender,
             });
-            let p = Proposal { vid, failed, join, cuts };
+            let p = Proposal { vid, proposer, turn, failed, join, cuts };
             let items = p.encode();
             prop_assert_eq!(items.len(), Proposal::list_capacity(p.cuts.len()));
             // Guarded-list items must stay non-negative i64 counters.
-            prop_assert!(items[2..3 + JOIN_HOST_WORDS].iter().all(|&w| w >= 0));
+            prop_assert!(items[3..4 + JOIN_HOST_WORDS].iter().all(|&w| w >= 0));
             let back = Proposal::decode(&items, p.cuts.len());
             prop_assert_eq!(back.as_ref(), Some(&p));
+        }
+
+        /// The ack-tag codec: any in-range `(vid, turn, proposer)` packs
+        /// into a positive word and unpacks bit for bit.
+        #[test]
+        fn ack_tag_roundtrip(
+            vid in 0u64..1 << 40,
+            turn in 0u64..=MAX_TURN,
+            proposer in 0usize..=MAX_BITMAP_ROW,
+        ) {
+            let tag = pack_ack_tag(vid, turn, proposer);
+            prop_assert!(tag > 0, "a real ack tag is never the column's zero");
+            prop_assert_eq!(unpack_ack_tag(tag), Some((vid, turn, proposer)));
+        }
+
+        /// Ack tags are monotone in the handoff order: a row that re-tags
+        /// from one ballot to a later one (higher vid, or same vid and a
+        /// higher turn, or same turn and a higher-ranked proposer) always
+        /// moves the packed word strictly forward, so the monotonic SST
+        /// counter column can carry the tag without ever regressing.
+        #[test]
+        fn ack_tag_monotone_in_ballot_order(
+            a in (0u64..1 << 40, 0u64..=MAX_TURN, 0usize..=MAX_BITMAP_ROW),
+            b in (0u64..1 << 40, 0u64..=MAX_TURN, 0usize..=MAX_BITMAP_ROW),
+        ) {
+            let ta = pack_ack_tag(a.0, a.1, a.2);
+            let tb = pack_ack_tag(b.0, b.1, b.2);
+            prop_assert_eq!(a < b, ta < tb);
+            prop_assert_eq!(a == b, ta == tb);
+        }
+
+        /// Takeover equivalence on random SST states: whenever *any* row
+        /// holds an ack tag for the dead leader's proposal, the
+        /// successor's adopted trim is the dead leader's trim, verbatim.
+        /// With no ack anywhere the successor computes a fresh trim from
+        /// the frozen frontiers — and that fresh minimum can only be
+        /// what the dead leader would itself have proposed over the same
+        /// frontier snapshot.
+        #[test]
+        fn takeover_trim_equals_dead_leaders(
+            vid in 1u64..1000,
+            cuts in prop::collection::vec(-1i64..10_000, 1..6),
+            frontiers in prop::collection::vec(-1i64..10_000, 1..6),
+            ack_mask in 0u64..16,
+            rows in 3usize..8,
+        ) {
+            let dead = Proposal {
+                vid,
+                proposer: 0,
+                turn: 0,
+                failed: bits_of([rows - 1]),
+                join: None,
+                cuts: cuts.clone(),
+            };
+            // Random SST state: rows 1..rows-1 each either tagged the dead
+            // leader's ballot or never acked (tag 0).
+            let tags: Vec<i64> = (0..rows)
+                .map(|r| if r > 0 && ack_mask & (1 << r) != 0 { dead.ack_tag() } else { 0 })
+                .collect();
+            let visible = vec![dead.clone()];
+            match takeover_adoption(vid, &tags, &visible) {
+                Some(adopted) => {
+                    prop_assert!(tags.iter().any(|&t| t != 0));
+                    prop_assert_eq!(&adopted.cuts, &dead.cuts);
+                    prop_assert_eq!(adopted, &dead);
+                }
+                None => {
+                    prop_assert!(tags.iter().all(|&t| t == 0));
+                    // Fresh trim over the same frozen frontiers is the
+                    // same minimum the dead leader would have computed.
+                    prop_assert_eq!(
+                        trim_from_frontiers(&frontiers),
+                        *frontiers.iter().min().unwrap()
+                    );
+                }
+            }
         }
 
         /// The dialable `addr()` form re-parses to the identical endpoint
