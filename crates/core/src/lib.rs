@@ -38,9 +38,10 @@ pub mod viewchange;
 pub use config::{DeliveryTiming, SenderActivity, SpindleConfig, Workload};
 pub use cost::CostModel;
 pub use detector::{DetectorConfig, HeartbeatState};
-pub use metrics::{NodeMetrics, RunReport};
+pub use metrics::{epoch_stats_for_node, EpochStats, NodeMetrics, RunReport};
 pub use plan::{Plan, ReconfigCols, SubgroupCols};
 pub use proto::{Delivery, SubgroupProto};
 pub use sim::{SimCluster, SimFault, SimFaultKind};
+pub use spindle_obs::ObsPlane;
 pub use threaded::{AdmitRequest, Cluster, PersistConfig, Suspicion};
 pub use viewchange::{InstallBarrier, VcBoundary, VcStep, ViewChangeEngine};

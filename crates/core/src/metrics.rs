@@ -1,8 +1,95 @@
 //! Run metrics: everything the paper's evaluation section reports.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Duration;
 
+use spindle_obs::{names, HistogramSnapshot, Registry, SeriesValue};
 use spindle_sim::stats::{Decimator, Histogram, Summary};
+
+/// Delivery statistics for one epoch of one node (or, after
+/// [`RunReport::per_epoch_stats`], merged across nodes): how much the
+/// view delivered and the latency shape while it was installed. Folded
+/// out of the live observability registry at shutdown, so it reflects
+/// exactly what a mid-run `/metrics` scrape would have shown.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// The epoch (view id) these counters belong to.
+    pub epoch: u64,
+    /// Ordered messages delivered while this epoch was installed.
+    pub delivered_msgs: u64,
+    /// Payload bytes delivered while this epoch was installed.
+    pub delivered_bytes: u64,
+    /// Send→delivery latency of own sends delivered under this epoch,
+    /// recorded in nanoseconds.
+    pub latency: HistogramSnapshot,
+}
+
+impl EpochStats {
+    /// Zeroed stats for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        EpochStats {
+            epoch,
+            delivered_msgs: 0,
+            delivered_bytes: 0,
+            latency: HistogramSnapshot::default(),
+        }
+    }
+
+    /// Latency percentile in milliseconds (`q` in `(0, 1]`); 0 when no
+    /// own sends were delivered under this epoch.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        self.latency.percentile(q) as f64 / 1e6
+    }
+}
+
+/// Folds one node's per-epoch delivery series out of a live metrics
+/// registry (the `spindle_delivered_total` / `spindle_delivered_bytes_total`
+/// / `spindle_delivery_latency_seconds` families, filtered to
+/// `node="<node>"`), sorted by epoch. This is how a threaded/distributed
+/// run turns its observability plane into [`NodeMetrics::epoch_stats`]
+/// at shutdown.
+pub fn epoch_stats_for_node(registry: &Registry, node: usize) -> Vec<EpochStats> {
+    let node_label = node.to_string();
+    let mut by_epoch: BTreeMap<u64, EpochStats> = BTreeMap::new();
+    for fam in registry.collect() {
+        if fam.name != names::DELIVERED
+            && fam.name != names::DELIVERED_BYTES
+            && fam.name != names::DELIVERY_LATENCY
+        {
+            continue;
+        }
+        for (labels, value) in fam.series {
+            let mut epoch = None;
+            let mut ours = false;
+            for (k, v) in &labels {
+                match k.as_str() {
+                    "epoch" => epoch = v.parse::<u64>().ok(),
+                    "node" => ours = *v == node_label,
+                    _ => {}
+                }
+            }
+            let Some(epoch) = epoch else { continue };
+            if !ours {
+                continue;
+            }
+            let entry = by_epoch
+                .entry(epoch)
+                .or_insert_with(|| EpochStats::new(epoch));
+            match (fam.name.as_str(), value) {
+                (x, SeriesValue::Scalar(v)) if x == names::DELIVERED => entry.delivered_msgs += v,
+                (x, SeriesValue::Scalar(v)) if x == names::DELIVERED_BYTES => {
+                    entry.delivered_bytes += v
+                }
+                (x, SeriesValue::Histogram(h)) if x == names::DELIVERY_LATENCY => {
+                    entry.latency.merge(&h)
+                }
+                _ => {}
+            }
+        }
+    }
+    by_epoch.into_values().collect()
+}
 
 /// Per-node counters collected during a run.
 ///
@@ -75,6 +162,11 @@ pub struct NodeMetrics {
     pub latency: Summary,
     /// Bounded latency sample for percentile reporting.
     pub latency_samples: Decimator,
+    /// Per-epoch delivery stats folded out of the observability
+    /// registry at shutdown (see [`epoch_stats_for_node`]); empty when
+    /// the run predates epoch-labeled instrumentation or delivered
+    /// nothing.
+    pub epoch_stats: Vec<EpochStats>,
 }
 
 impl NodeMetrics {
@@ -106,6 +198,7 @@ impl NodeMetrics {
             sender_wait: Duration::ZERO,
             latency: Summary::new(),
             latency_samples: Decimator::new(2048),
+            epoch_stats: Vec::new(),
         }
     }
 }
@@ -262,6 +355,59 @@ impl RunReport {
         (s, r, d)
     }
 
+    /// Per-epoch delivery stats merged across all nodes, sorted by
+    /// epoch: how many messages/bytes each view delivered while it was
+    /// installed, and the p50/p99/p999 send→delivery latency under it.
+    /// Empty unless nodes folded their observability registry into
+    /// [`NodeMetrics::epoch_stats`] at shutdown.
+    pub fn per_epoch_stats(&self) -> Vec<EpochStats> {
+        let mut by_epoch: BTreeMap<u64, EpochStats> = BTreeMap::new();
+        for n in &self.nodes {
+            for es in &n.epoch_stats {
+                let entry = by_epoch
+                    .entry(es.epoch)
+                    .or_insert_with(|| EpochStats::new(es.epoch));
+                entry.delivered_msgs += es.delivered_msgs;
+                entry.delivered_bytes += es.delivered_bytes;
+                entry.latency.merge(&es.latency);
+            }
+        }
+        by_epoch.into_values().collect()
+    }
+
+    /// [`per_epoch_stats`](RunReport::per_epoch_stats) as a printable
+    /// table (one row per epoch; latency columns in milliseconds, `-`
+    /// when the epoch saw no own-send deliveries to time).
+    pub fn render_epoch_table(&self) -> String {
+        let stats = self.per_epoch_stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>14} {:>10} {:>10} {:>10}",
+            "epoch", "delivered", "bytes", "p50(ms)", "p99(ms)", "p999(ms)"
+        );
+        for es in &stats {
+            let lat = |q: f64| {
+                if es.latency.count == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.3}", es.latency_percentile_ms(q))
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12} {:>14} {:>10} {:>10} {:>10}",
+                es.epoch,
+                es.delivered_msgs,
+                es.delivered_bytes,
+                lat(0.50),
+                lat(0.99),
+                lat(0.999)
+            );
+        }
+        out
+    }
+
     /// Share of predicate-thread busy time spent on active subgroups,
     /// averaged over nodes (§4.1.3's metric).
     pub fn active_sg_share(&self) -> f64 {
@@ -361,6 +507,79 @@ mod tests {
     fn active_share_handles_zero_busy() {
         let r = report_with(0, 0, 1);
         assert_eq!(r.active_sg_share(), 0.0);
+    }
+
+    #[test]
+    fn per_epoch_stats_merge_across_nodes() {
+        let mut e0a = EpochStats::new(0);
+        e0a.delivered_msgs = 10;
+        e0a.delivered_bytes = 100;
+        e0a.latency.merge(&{
+            let h = spindle_obs::LogHistogram::default();
+            h.record(1_000_000); // 1 ms in nanos
+            h.snapshot()
+        });
+        let mut e0b = EpochStats::new(0);
+        e0b.delivered_msgs = 5;
+        e0b.delivered_bytes = 50;
+        let mut e2 = EpochStats::new(2);
+        e2.delivered_msgs = 7;
+        let mut a = NodeMetrics::new();
+        a.epoch_stats = vec![e0a, e2];
+        let mut b = NodeMetrics::new();
+        b.epoch_stats = vec![e0b];
+        let r = RunReport {
+            nodes: vec![a, b],
+            makespan: Duration::from_secs(1),
+            completed: true,
+            delivery_trace: Vec::new(),
+        };
+        let stats = r.per_epoch_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].epoch, 0);
+        assert_eq!(stats[0].delivered_msgs, 15);
+        assert_eq!(stats[0].delivered_bytes, 150);
+        assert_eq!(stats[0].latency.count, 1);
+        // 1ms sample lands in bucket [2^19, 2^20); the estimate is the
+        // inclusive upper bound, within 2x of the true value.
+        let p50 = stats[0].latency_percentile_ms(0.5);
+        assert!((1.0..=2.1).contains(&p50), "p50 {p50}");
+        assert_eq!(stats[1].epoch, 2);
+        assert_eq!(stats[1].delivered_msgs, 7);
+        let table = r.render_epoch_table();
+        assert!(table.contains("epoch"));
+        assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn epoch_stats_fold_from_registry() {
+        use spindle_obs::names;
+        let reg = Registry::new();
+        reg.counter(names::DELIVERED, "msgs", &[("node", "0"), ("epoch", "0")])
+            .add(4);
+        reg.counter(names::DELIVERED, "msgs", &[("node", "1"), ("epoch", "0")])
+            .add(9); // other node: must be excluded
+        reg.counter(
+            names::DELIVERED_BYTES,
+            "bytes",
+            &[("node", "0"), ("epoch", "1")],
+        )
+        .add(256);
+        reg.histogram(
+            names::DELIVERY_LATENCY,
+            "lat",
+            1e-9,
+            &[("node", "0"), ("epoch", "1")],
+        )
+        .record(2_000_000);
+        let stats = epoch_stats_for_node(&reg, 0);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].epoch, 0);
+        assert_eq!(stats[0].delivered_msgs, 4);
+        assert_eq!(stats[1].epoch, 1);
+        assert_eq!(stats[1].delivered_bytes, 256);
+        assert_eq!(stats[1].latency.count, 1);
+        assert!(epoch_stats_for_node(&reg, 7).is_empty());
     }
 
     #[test]

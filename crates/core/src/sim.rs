@@ -799,6 +799,17 @@ impl SimWorld {
                 let lat = upcall_time.saturating_since(sent_at);
                 self.nodes[node].m.latency.record(lat.as_secs_f64());
                 self.nodes[node].m.latency_samples.record(lat.as_secs_f64());
+                // The simulator never reconfigures, so all per-epoch
+                // stats land in epoch 0 — same fold shape as the
+                // threaded runtime's registry at shutdown.
+                let nm = &mut self.nodes[node].m;
+                if nm.epoch_stats.is_empty() {
+                    nm.epoch_stats.push(crate::metrics::EpochStats::new(0));
+                }
+                let es = &mut nm.epoch_stats[0];
+                es.delivered_msgs += 1;
+                es.delivered_bytes += len as u64;
+                es.latency.record((lat.as_secs_f64() * 1e9) as u64);
                 self.record_delivery(node, sg, rank, app_index);
                 self.count_delivery(upcall_time, node, len as u64);
             }

@@ -55,6 +55,7 @@ use parking_lot::Mutex;
 use spindle_fabric::{EpochTransition, Fabric, FaultPlan, MemFabric, NodeId, Region, WriteOp};
 use spindle_membership::reconfig::{self, Proposal, ReconfigError, PLANNED_BIT};
 use spindle_membership::{SeqNum, Subgroup, SubgroupId, View, ViewBuilder};
+use spindle_obs::{flightrec::phase as obs_phase, FlightEvent, Level, ObsPlane};
 use spindle_sst::Sst;
 
 use crate::config::{DeliveryTiming, SpindleConfig};
@@ -359,6 +360,15 @@ struct NodeShared<F: Fabric> {
     /// cluster was started persistent). Shared between the predicate
     /// thread and the view-change drain.
     plogs: Mutex<std::collections::HashMap<usize, spindle_persist::DurableLog>>,
+    /// The process-wide observability plane (adopted from the fabric or
+    /// created by the cluster): the predicate thread and the view-change
+    /// driver publish counters, latency samples and flight events here.
+    obs: ObsPlane,
+    /// Send timestamps awaiting their own delivery, keyed
+    /// `(subgroup, app_index)` and carrying the sender rank for
+    /// disambiguation — resolved by the predicate thread into the
+    /// per-epoch delivery-latency histogram.
+    send_stamps: Mutex<std::collections::HashMap<(usize, u64), (usize, Instant)>>,
 }
 
 /// Handle to one in-process node.
@@ -449,7 +459,18 @@ impl<F: Fabric> NodeHandle<F> {
             return Err(SendError::NotASender);
         }
         match p.try_queue_app(&sst, payload.len() as u32, Some(payload)) {
-            QueueOutcome::Queued { .. } => Ok(true),
+            QueueOutcome::Queued { app_index, .. } => {
+                // Stamp the send for the delivery-latency histogram; the
+                // predicate thread resolves it when the matching ordered
+                // delivery (same subgroup, app index and sender rank)
+                // comes back around.
+                let rank = p.my_sender_rank.expect("sender checked above");
+                self.shared
+                    .send_stamps
+                    .lock()
+                    .insert((sg.0, app_index), (rank, Instant::now()));
+                Ok(true)
+            }
             QueueOutcome::WindowFull => Ok(false),
         }
     }
@@ -584,6 +605,10 @@ pub struct Cluster<F: Fabric = MemFabric> {
     /// two installs inside one `remove_node` call; harnesses need the
     /// intermediate epoch's membership too.
     epoch_views: Vec<Arc<View>>,
+    /// The observability plane every local node publishes into —
+    /// adopted from the fabric when the transport owns one
+    /// ([`Fabric::obs`]), created fresh otherwise.
+    obs: ObsPlane,
 }
 
 /// Builds a fabric for one epoch: `(nodes, region_words, faults)`.
@@ -759,6 +784,7 @@ impl<F: Fabric> Cluster<F> {
         let epoch = view.id();
         let (suspicion_tx, suspicion_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
+        let obs = fabric.obs().unwrap_or_default();
         let mut cluster = Cluster {
             nodes: Vec::new(),
             threads: Vec::new(),
@@ -779,6 +805,7 @@ impl<F: Fabric> Cluster<F> {
             vc_durations: Vec::new(),
             vc_crash: Mutex::new(std::collections::HashMap::new()),
             epoch_views: vec![Arc::clone(&view)],
+            obs,
         };
         for row in 0..view.members().len() {
             if cluster.local_rows.contains(&row) {
@@ -789,11 +816,13 @@ impl<F: Fabric> Cluster<F> {
                     &cluster.fabric,
                     plan,
                     &cluster.suspicion_tx,
+                    &cluster.obs,
                 );
+                epoch_gauge(&cluster.obs, row).set(epoch);
                 cluster.spawn_node(row, shared, rx);
             } else {
                 let (shared, rx) =
-                    build_remote_stub(&view, epoch, row, plan, &cluster.suspicion_tx);
+                    build_remote_stub(&view, epoch, row, plan, &cluster.suspicion_tx, &cluster.obs);
                 cluster.push_handle(row, shared, rx);
             }
         }
@@ -1004,6 +1033,15 @@ impl<F: Fabric> Cluster<F> {
     /// The current view.
     pub fn view(&self) -> &View {
         &self.view
+    }
+
+    /// The live observability plane every local row publishes into:
+    /// per-epoch delivery counters and latency histograms, view-change
+    /// phase durations, and the flight-recorder ring. Adopted from the
+    /// transport when it owns one ([`Fabric::obs`]), created fresh
+    /// otherwise.
+    pub fn obs(&self) -> &ObsPlane {
+        &self.obs
     }
 
     /// Every view this in-process cluster has installed, oldest first
@@ -1343,8 +1381,14 @@ impl<F: Fabric> Cluster<F> {
         // The joiner runs remotely; keep row indexing uniform with a
         // closed stub handle, exactly as start_distributed does.
         let plan = Plan::build(&self.view, true);
-        let (shared, rx) =
-            build_remote_stub(&self.view, self.epoch, new_row, &plan, &self.suspicion_tx);
+        let (shared, rx) = build_remote_stub(
+            &self.view,
+            self.epoch,
+            new_row,
+            &plan,
+            &self.suspicion_tx,
+            &self.obs,
+        );
         self.push_handle(new_row, shared, rx);
         Ok((new_row, report))
     }
@@ -1395,6 +1439,7 @@ impl<F: Fabric> Cluster<F> {
                 let cols = self.nodes[row].shared.inner.lock().reconfig.clone();
                 let bits = if row == trigger_row { trigger_bits } else { 0 };
                 let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols, row, bits);
+                engine.set_obs(self.obs.clone());
                 if let Some(b) = self.vc_crash.lock().remove(&row) {
                     engine.arm_crash(b);
                 }
@@ -1616,6 +1661,7 @@ impl<F: Fabric> Cluster<F> {
             &self.fabric,
             &Plan::build(&next_view, true),
             &self.suspicion_tx,
+            &self.obs,
         );
         self.spawn_node(new_row, shared, rx);
         let resent = self.unwedge_and_resend(resend);
@@ -1767,6 +1813,17 @@ impl<F: Fabric> Cluster<F> {
             inner.reconfig = plan.reconfig.clone();
             inner.hb_peers = hb_peers(&next_view, row);
             n.shared.epoch.store(new_epoch, Ordering::Release);
+            if self.local_rows.contains(&row) {
+                epoch_gauge(&self.obs, row).set(new_epoch);
+                self.obs.event(
+                    Level::Info,
+                    row,
+                    FlightEvent::Install {
+                        epoch: new_epoch,
+                        members: next_view.members().len() as u32,
+                    },
+                );
+            }
         }
         self.epoch_views.push(Arc::clone(&next_view));
         self.view = next_view;
@@ -1840,6 +1897,87 @@ fn hb_peers(view: &View, row: usize) -> Vec<usize> {
         .collect()
 }
 
+/// The `spindle_epoch` gauge series of one row.
+fn epoch_gauge(obs: &ObsPlane, row: usize) -> spindle_obs::Gauge {
+    let node = row.to_string();
+    obs.registry().gauge(
+        spindle_obs::names::EPOCH,
+        "Currently installed epoch (view id)",
+        &[("node", &node)],
+    )
+}
+
+/// Cached per-epoch registry handles for the delivery path: resolved
+/// against the registry once per `(node, epoch)`, after which every
+/// delivery costs two relaxed atomic adds (plus one histogram record
+/// when the delivery completes one of this node's own sends).
+struct EpochObsCache {
+    epoch: u64,
+    delivered: spindle_obs::Counter,
+    bytes: spindle_obs::Counter,
+    latency: spindle_obs::LogHistogram,
+}
+
+fn epoch_obs<'a>(
+    obs: &ObsPlane,
+    row: usize,
+    epoch: u64,
+    cache: &'a mut Option<EpochObsCache>,
+) -> &'a EpochObsCache {
+    if cache.as_ref().is_none_or(|c| c.epoch != epoch) {
+        let node = row.to_string();
+        let ep = epoch.to_string();
+        let labels = [("node", node.as_str()), ("epoch", ep.as_str())];
+        let reg = obs.registry();
+        *cache = Some(EpochObsCache {
+            epoch,
+            delivered: reg.counter(
+                spindle_obs::names::DELIVERED,
+                "Ordered messages delivered, by node and epoch",
+                &labels,
+            ),
+            bytes: reg.counter(
+                spindle_obs::names::DELIVERED_BYTES,
+                "Payload bytes delivered, by node and epoch",
+                &labels,
+            ),
+            latency: reg.histogram(
+                spindle_obs::names::DELIVERY_LATENCY,
+                "Send-to-delivery latency of this node's own sends",
+                1e-9,
+                &labels,
+            ),
+        });
+    }
+    cache.as_ref().expect("cache just filled")
+}
+
+/// Publishes one delivery into the live registry: per-epoch message and
+/// byte counters, plus the delivery-latency sample when `d` completes a
+/// send stamped by this node's [`NodeHandle::try_send`]. Every
+/// [`NodeShared::deliveries`] send is paired with exactly one call, so
+/// the counter equals the drained stream length by construction (the
+/// harness counter-consistency oracle pins this).
+fn obs_on_delivery<F: Fabric>(
+    shared: &NodeShared<F>,
+    row: usize,
+    d: &Delivered,
+    cache: &mut Option<EpochObsCache>,
+) {
+    let h = epoch_obs(&shared.obs, row, d.epoch, cache);
+    h.delivered.inc();
+    h.bytes.add(d.data.len() as u64);
+    let key = (d.subgroup.0, d.app_index);
+    let mut stamps = shared.send_stamps.lock();
+    if let Some(&(rank, t0)) = stamps.get(&key) {
+        if rank == d.sender_rank {
+            stamps.remove(&key);
+            drop(stamps);
+            h.latency.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// Builds the shared state of one node against an existing fabric/plan.
 fn build_node_shared<F: Fabric>(
     view: &Arc<View>,
@@ -1848,6 +1986,7 @@ fn build_node_shared<F: Fabric>(
     fabric: &F,
     plan: &Plan,
     suspicion_tx: &Sender<Suspicion>,
+    obs: &ObsPlane,
 ) -> SharedAndRx<F> {
     let sst = Sst::new(plan.layout.clone(), fabric.region_arc(NodeId(row)), row);
     sst.init();
@@ -1883,6 +2022,8 @@ fn build_node_shared<F: Fabric>(
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
         plogs: Mutex::new(std::collections::HashMap::new()),
+        obs: obs.clone(),
+        send_stamps: Mutex::new(std::collections::HashMap::new()),
     });
     (shared, rx)
 }
@@ -1898,6 +2039,7 @@ fn build_remote_stub<F: Fabric>(
     row: usize,
     plan: &Plan,
     suspicion_tx: &Sender<Suspicion>,
+    obs: &ObsPlane,
 ) -> SharedAndRx<F> {
     let region = Arc::new(Region::new(plan.layout.region_words()));
     let sst = Sst::new(plan.layout.clone(), region, row);
@@ -1927,6 +2069,8 @@ fn build_remote_stub<F: Fabric>(
         vc_count: AtomicU64::new(0),
         vc_micros: AtomicU64::new(0),
         plogs: Mutex::new(std::collections::HashMap::new()),
+        obs: obs.clone(),
+        send_stamps: Mutex::new(std::collections::HashMap::new()),
     });
     (shared, rx)
 }
@@ -1950,6 +2094,7 @@ fn predicate_thread<F: Fabric>(
     vc_enabled: bool,
 ) {
     let mut idle_spins = 0u32;
+    let mut obs_cache: Option<EpochObsCache> = None;
     // Heartbeat state (only used when a detector is configured). Rebuilt on
     // every epoch change because the SST (and its counters) start fresh.
     let mut hb_epoch = u64::MAX;
@@ -2040,9 +2185,14 @@ fn predicate_thread<F: Fabric>(
                             // Distributed clusters act on their own
                             // verdicts: the suspicion seeds the engine.
                             if vc_enabled && suspect <= reconfig::MAX_BITMAP_ROW {
-                                eprintln!(
-                                    "spindle: n{row} suspects n{suspect} \
-                                     (heartbeat silence) in epoch {epoch}"
+                                shared.obs.event(
+                                    Level::Info,
+                                    row,
+                                    FlightEvent::Suspicion {
+                                        target: suspect as u32,
+                                        epoch,
+                                        mid_transition: false,
+                                    },
                                 );
                                 vc_bits |= 1 << suspect;
                             }
@@ -2158,6 +2308,7 @@ fn predicate_thread<F: Fabric>(
             }
         }
         for d in delivered {
+            obs_on_delivery(&shared, row, &d, &mut obs_cache);
             // Receiver may have hung up (handle dropped); that's fine.
             let _ = shared.deliveries.send(d);
         }
@@ -2198,6 +2349,7 @@ fn drain_node_through<F: Fabric>(
     let epoch = shared.epoch.load(Ordering::Acquire);
     let row = sst.own_row();
     let mut persisted: Vec<Delivered> = Vec::new();
+    let mut obs_cache: Option<EpochObsCache> = None;
     for (g, &cut) in cuts.iter().enumerate() {
         let Some(p) = inner.protos.iter_mut().find(|p| p.sg.0 == g) else {
             continue;
@@ -2222,6 +2374,7 @@ fn drain_node_through<F: Fabric>(
                 if persist.is_some() {
                     persisted.push(d.clone());
                 }
+                obs_on_delivery(shared, row, &d, &mut obs_cache);
                 let _ = shared.deliveries.send(d);
             }
         }
@@ -2296,6 +2449,7 @@ fn distributed_view_change<F: Fabric>(
         .filter(|&m| !view.subgroups_of(NodeId(m)).is_empty())
         .collect();
     let mut engine = ViewChangeEngine::new(Arc::clone(&view), cols.clone(), row, initial_bits);
+    engine.set_obs(shared.obs.clone());
     if let Some(b) = vc_crash_boundary() {
         engine.arm_crash(b);
     }
@@ -2324,25 +2478,39 @@ fn distributed_view_change<F: Fabric>(
             return; // shutdown/crash mid-transition: vanish wedged
         }
         if last_report.elapsed() > Duration::from_secs(2) {
-            let inner = shared.inner.lock();
-            let seen: Vec<(usize, i64, i64, i64)> = active
-                .iter()
-                .map(|&r| {
-                    (
-                        r,
-                        inner.sst.counter(cols.suspected, r),
-                        inner.sst.counter(cols.wedged, r),
-                        inner.sst.counter(cols.acked, r),
-                    )
-                })
-                .collect();
-            eprintln!(
-                "spindle: n{row} view change to epoch {} still {} after {:?}; \
-                 (row, suspected, wedged, acked) = {seen:?}",
-                engine.vid(),
-                engine.phase_name(),
-                started.elapsed()
+            shared.obs.event(
+                Level::Error,
+                row,
+                FlightEvent::Stalled {
+                    epoch: engine.vid(),
+                    phase: obs_phase::AGREE,
+                    millis: started.elapsed().as_millis() as u64,
+                },
             );
+            // A stuck agreement is diagnostic gold for a distributed
+            // deployment: at debug level, also narrate what the mirror
+            // shows for every active row.
+            if shared.obs.level() >= Level::Debug {
+                let inner = shared.inner.lock();
+                let seen: Vec<(usize, i64, i64, i64)> = active
+                    .iter()
+                    .map(|&r| {
+                        (
+                            r,
+                            inner.sst.counter(cols.suspected, r),
+                            inner.sst.counter(cols.wedged, r),
+                            inner.sst.counter(cols.acked, r),
+                        )
+                    })
+                    .collect();
+                eprintln!(
+                    "spindle: n{row} view change to epoch {} still {} after {:?}; \
+                     (row, suspected, wedged, acked) = {seen:?}",
+                    engine.vid(),
+                    engine.phase_name(),
+                    started.elapsed()
+                );
+            }
             last_report = Instant::now();
         }
         if Instant::now() > deadline {
@@ -2394,10 +2562,14 @@ fn distributed_view_change<F: Fabric>(
                         suspect,
                     });
                     if suspect <= reconfig::MAX_BITMAP_ROW {
-                        eprintln!(
-                            "spindle: n{row} suspects n{suspect} (heartbeat \
-                             silence mid-transition) in epoch {}",
-                            engine.vid()
+                        shared.obs.event(
+                            Level::Info,
+                            row,
+                            FlightEvent::Suspicion {
+                                target: suspect as u32,
+                                epoch: engine.vid(),
+                                mid_transition: true,
+                            },
                         );
                         engine.suspect(1 << suspect);
                     }
@@ -2425,15 +2597,18 @@ fn distributed_view_change<F: Fabric>(
                 // Fault injection (SPINDLE_VC_CRASH_AT): die at the armed
                 // boundary, mid-transition, with no cleanup — the point
                 // is to leave the survivors a corpse to take over from.
-                eprintln!(
-                    "spindle: n{row} crash injected at view-change boundary \
-                     (epoch {})",
-                    engine.vid()
+                shared.obs.event(
+                    Level::Error,
+                    row,
+                    FlightEvent::CrashBoundary {
+                        epoch: engine.vid(),
+                    },
                 );
                 std::process::abort();
             }
         }
     };
+    let agreed_at = Instant::now();
     // A proposal adopted *verbatim* from a dead proposer may keep a
     // crashed row in the view (the takeover rule never edits an acked
     // trim). Reseed its suspicion so the predicate loop drives one more
@@ -2510,6 +2685,15 @@ fn distributed_view_change<F: Fabric>(
         inner.hb_peers = hb_peers(&next_view, row);
         shared.epoch.store(proposal.vid, Ordering::Release);
     }
+    epoch_gauge(&shared.obs, row).set(proposal.vid);
+    shared.obs.event(
+        Level::Info,
+        row,
+        FlightEvent::Install {
+            epoch: proposal.vid,
+            members: next_view.members().len() as u32,
+        },
+    );
 
     // A grow transition's report must be visible *now*, not after the
     // barrier: the sponsor's admit waits on it to send the joiner
@@ -2569,10 +2753,13 @@ fn distributed_view_change<F: Fabric>(
             for peer in parties {
                 let v = sst.counter(plan.heartbeat, peer);
                 if let Some(dead) = hb.observe(peer, v, now) {
-                    eprintln!(
-                        "spindle: n{row} drops n{dead} from the epoch {} \
-                         install barrier (no heartbeat in the new epoch)",
-                        proposal.vid
+                    shared.obs.event(
+                        Level::Error,
+                        row,
+                        FlightEvent::BarrierDrop {
+                            target: dead as u32,
+                            epoch: proposal.vid,
+                        },
                     );
                     barrier.remove_party(dead);
                     if dead <= reconfig::MAX_BITMAP_ROW {
@@ -2582,28 +2769,73 @@ fn distributed_view_change<F: Fabric>(
             }
         }
         if last_report.elapsed() > Duration::from_secs(2) {
+            shared.obs.event(
+                Level::Error,
+                row,
+                FlightEvent::Stalled {
+                    epoch: proposal.vid,
+                    phase: obs_phase::BARRIER,
+                    millis: started.elapsed().as_millis() as u64,
+                },
+            );
             // A healthy barrier converges in milliseconds; a node stuck
             // here is diagnostic gold for a distributed deployment, so
-            // narrate what the mirror shows.
-            let flags: Vec<(usize, i64, i64)> = survivors
-                .iter()
-                .map(|&r| {
-                    (
-                        r,
-                        sst.counter(plan.reconfig.installed, r),
-                        sst.counter(plan.reconfig.acked, r),
-                    )
-                })
-                .collect();
-            eprintln!(
-                "spindle: n{row} stuck at install barrier of epoch {} for {:?}; \
-                 (row, installed, confirmed) = {flags:?}",
-                proposal.vid,
-                started.elapsed()
-            );
+            // at debug level also narrate what the mirror shows.
+            if shared.obs.level() >= Level::Debug {
+                let flags: Vec<(usize, i64, i64)> = survivors
+                    .iter()
+                    .map(|&r| {
+                        (
+                            r,
+                            sst.counter(plan.reconfig.installed, r),
+                            sst.counter(plan.reconfig.acked, r),
+                        )
+                    })
+                    .collect();
+                eprintln!(
+                    "spindle: n{row} stuck at install barrier of epoch {} for {:?}; \
+                     (row, installed, confirmed) = {flags:?}",
+                    proposal.vid,
+                    started.elapsed()
+                );
+            }
             last_report = Instant::now();
         }
         std::thread::sleep(Duration::from_micros(300));
+    }
+    shared.obs.event(
+        Level::Info,
+        row,
+        FlightEvent::BarrierConfirm {
+            epoch: proposal.vid,
+        },
+    );
+    {
+        let node = row.to_string();
+        let reg = shared.obs.registry();
+        let help = "View-change phase durations (agree: wedge to install, \
+                    barrier: install to barrier confirm)";
+        let labels = |phase| [("node", node.as_str()), ("phase", phase)];
+        reg.histogram(
+            spindle_obs::names::VIEW_CHANGE_PHASE,
+            help,
+            1e-9,
+            &labels("agree"),
+        )
+        .record(agreed_at.duration_since(started).as_nanos() as u64);
+        reg.histogram(
+            spindle_obs::names::VIEW_CHANGE_PHASE,
+            help,
+            1e-9,
+            &labels("barrier"),
+        )
+        .record(agreed_at.elapsed().as_nanos() as u64);
+        reg.counter(
+            spindle_obs::names::VIEW_CHANGES,
+            "View changes installed, by node",
+            &[("node", node.as_str())],
+        )
+        .inc();
     }
 
     // Requeue the recovered messages in the new epoch (the fresh window

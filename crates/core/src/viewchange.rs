@@ -100,6 +100,7 @@ use std::sync::Arc;
 
 use spindle_membership::reconfig::{self, Proposal, PLANNED_BIT};
 use spindle_membership::{SeqNum, View};
+use spindle_obs::{FlightEvent, Level, ObsPlane};
 use spindle_sst::{read_list, write_list, Sst};
 
 use crate::plan::ReconfigCols;
@@ -204,6 +205,10 @@ pub struct ViewChangeEngine {
     /// Armed crash boundary (fault injection); `None` in production.
     crash_at: Option<VcBoundary>,
     phase: Phase,
+    /// Flight recorder for the §2.1 handoff timeline (wedge, proposal
+    /// tagged, ack, takeover adoption); `None` when the runtime did not
+    /// attach a plane.
+    obs: Option<ObsPlane>,
 }
 
 impl ViewChangeEngine {
@@ -232,6 +237,20 @@ impl ViewChangeEngine {
             my_turn: None,
             crash_at: None,
             phase: Phase::Gather,
+            obs: None,
+        }
+    }
+
+    /// Attaches the observability plane: from here on the engine
+    /// records the handoff timeline (wedge, proposal tagged, ack,
+    /// takeover adoption) into its flight recorder.
+    pub fn set_obs(&mut self, obs: ObsPlane) {
+        self.obs = Some(obs);
+    }
+
+    fn obs_event(&self, level: Level, event: FlightEvent) {
+        if let Some(obs) = &self.obs {
+            obs.event(level, self.row, event);
         }
     }
 
@@ -348,6 +367,7 @@ impl ViewChangeEngine {
             }
             sst.set_counter(self.cols.wedged, 1);
             self.wedged = true;
+            self.obs_event(Level::Info, FlightEvent::Wedged { epoch: self.vid() });
         }
         sst.set_counter(self.cols.suspected, self.suspected as i64);
         let mut first_ack = false;
@@ -355,6 +375,17 @@ impl ViewChangeEngine {
             // Re-assert the ack so a lost frame cannot stall the quorum.
             first_ack = sst.counter(self.cols.acked, self.row) < self.vid() as i64;
             sst.set_counter(self.cols.acked, self.vid() as i64);
+            if first_ack {
+                if let Some(p) = &self.adopted {
+                    self.obs_event(
+                        Level::Debug,
+                        FlightEvent::Ack {
+                            proposer: p.proposer as u32,
+                            epoch: p.vid,
+                        },
+                    );
+                }
+            }
         }
         // Re-publish the whole block every step: monotonic, idempotent,
         // and self-healing across dead links.
@@ -556,6 +587,14 @@ impl ViewChangeEngine {
         post(data);
         post(guard);
         self.my_turn = Some(turn);
+        self.obs_event(
+            Level::Debug,
+            FlightEvent::Proposal {
+                proposer: p.proposer as u32,
+                epoch: p.vid,
+                failed: p.failed,
+            },
+        );
         true
     }
 
@@ -646,6 +685,13 @@ impl ViewChangeEngine {
             debug_assert!(false, "takeover ballot diverged from the tagged content");
             return;
         }
+        self.obs_event(
+            Level::Info,
+            FlightEvent::Takeover {
+                proposer: next.proposer as u32,
+                epoch: next.vid,
+            },
+        );
         self.adopt(sst, post, next);
     }
 

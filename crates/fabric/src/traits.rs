@@ -136,6 +136,15 @@ pub trait Fabric: Clone + Send + Sync + 'static {
 
     /// Total wire bytes posted across all nodes (including dropped ones).
     fn bytes_posted(&self) -> u64;
+
+    /// The observability plane this transport publishes into, if it
+    /// owns one. A distributed fabric creates the plane at the process
+    /// boundary (so wire handshake events recorded during bootstrap are
+    /// kept) and the cluster runtime adopts it here; in-process fabrics
+    /// return `None` and the runtime creates its own plane.
+    fn obs(&self) -> Option<spindle_obs::ObsPlane> {
+        None
+    }
 }
 
 impl Fabric for MemFabric {

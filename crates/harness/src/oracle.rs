@@ -119,6 +119,87 @@ pub fn check_threaded(
     checks
 }
 
+/// Counter-consistency oracle: the live observability plane must agree
+/// with the ground truth the other oracles already trust. Per node, the
+/// registry's `spindle_delivered_total` / `spindle_delivered_bytes_total`
+/// fold (summed over epochs, passed in as `delivered: node -> (msgs,
+/// bytes)`) must equal the drained delivery stream's length and payload
+/// volume; cluster-wide, a wire transport can never have received more
+/// `WRITE` frames than were posted (`wire: (posted, received)`, `None`
+/// for shared memory). A PASS carries no detail text, so the verdict
+/// line is bit-identical across transports (the deterministic-trace
+/// contract).
+pub fn counter_consistency(
+    streams: &BTreeMap<usize, Vec<Delivered>>,
+    delivered: &BTreeMap<usize, (u64, u64)>,
+    wire: Option<(u64, u64)>,
+) -> OracleCheck {
+    OracleCheck::from(
+        "counter-consistency",
+        counter_violation(streams, delivered, wire),
+    )
+}
+
+fn counter_violation(
+    streams: &BTreeMap<usize, Vec<Delivered>>,
+    delivered: &BTreeMap<usize, (u64, u64)>,
+    wire: Option<(u64, u64)>,
+) -> Option<String> {
+    for (&node, stream) in streams {
+        let (msgs, bytes) = delivered.get(&node).copied().unwrap_or((0, 0));
+        let want_msgs = stream.len() as u64;
+        let want_bytes: u64 = stream.iter().map(|d| d.data.len() as u64).sum();
+        if msgs != want_msgs {
+            return Some(format!(
+                "node {node}: registry counted {msgs} deliveries, stream has {want_msgs}"
+            ));
+        }
+        if bytes != want_bytes {
+            return Some(format!(
+                "node {node}: registry counted {bytes} delivered bytes, stream has {want_bytes}"
+            ));
+        }
+    }
+    if let Some((posted, received)) = wire {
+        if received > posted {
+            return Some(format!(
+                "wire: {received} frames received exceed {posted} posted"
+            ));
+        }
+    }
+    None
+}
+
+/// The sim runtime's counter-consistency oracle: every node's
+/// [`NodeMetrics`] delivery counters — and their per-epoch fold — must
+/// equal its delivery-trace length.
+pub fn counter_consistency_sim(
+    trace: &[Vec<(usize, usize, u64)>],
+    nodes: &[spindle_core::NodeMetrics],
+) -> OracleCheck {
+    let mut violation = None;
+    for (i, t) in trace.iter().enumerate() {
+        let want = t.len() as u64;
+        let msgs = nodes.get(i).map_or(0, |n| n.delivered_msgs);
+        let folded: u64 = nodes
+            .get(i)
+            .map_or(0, |n| n.epoch_stats.iter().map(|e| e.delivered_msgs).sum());
+        if msgs != want {
+            violation = Some(format!(
+                "node {i}: delivered_msgs {msgs} != trace length {want}"
+            ));
+            break;
+        }
+        if folded != want {
+            violation = Some(format!(
+                "node {i}: per-epoch fold {folded} != trace length {want}"
+            ));
+            break;
+        }
+    }
+    OracleCheck::from("counter-consistency", violation)
+}
+
 /// Per (epoch, subgroup, sender): app indices must be exactly `0, 1, 2, …`
 /// — FIFO and gap-free.
 fn fifo(per_scope: &ScopedSeqs) -> Option<String> {

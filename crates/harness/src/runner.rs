@@ -253,7 +253,7 @@ fn run_threaded(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
         t.spec.detector.clone(),
         persist_dir.clone().map(PersistConfig::new),
     );
-    drive_threaded(s, t, cluster, persist_dir, &|_| {})
+    drive_threaded(s, t, cluster, persist_dir, &|_| {}, &|| None)
 }
 
 /// The loopback-TCP runner: the identical schedule over a
@@ -284,12 +284,21 @@ fn run_threaded_tcp(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
             },
         )
     };
-    let on_isolate = move |node: usize| {
-        if let Some(g) = slot.lock().expect("group slot").as_ref() {
-            g.sever(NodeId(node));
+    let on_isolate = {
+        let slot = std::sync::Arc::clone(&slot);
+        move |node: usize| {
+            if let Some(g) = slot.lock().expect("group slot").as_ref() {
+                g.sever(NodeId(node));
+            }
         }
     };
-    drive_threaded(s, t, cluster, persist_dir, &on_isolate)
+    let wire_totals = move || {
+        slot.lock().expect("group slot").as_ref().map(|g| {
+            let t = g.wire_stats_total();
+            (t.frames_posted, t.frames_received)
+        })
+    };
+    drive_threaded(s, t, cluster, persist_dir, &on_isolate, &wire_totals)
 }
 
 fn drive_threaded<F: Fabric>(
@@ -298,6 +307,7 @@ fn drive_threaded<F: Fabric>(
     mut cluster: Cluster<F>,
     persist_dir: Option<PathBuf>,
     on_isolate: &dyn Fn(usize),
+    wire_totals: &dyn Fn() -> Option<(u64, u64)>,
 ) -> ScenarioOutcome {
     let mut run = ThreadedRun {
         live: (0..t.spec.nodes).collect(),
@@ -329,6 +339,40 @@ fn drive_threaded<F: Fabric>(
         streams.insert(node, v);
     }
 
+    // Reconcile the live metrics registry with the drained streams: the
+    // predicate threads may still be trickling deliveries into an
+    // already-drained node's channel while later nodes drain, so re-drain
+    // and re-fold until the registry's per-node delivery counters match
+    // the stream lengths (or a deadline passes — then the oracle reports
+    // the real mismatch).
+    let mut delivered_counts: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    let reconcile_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut grew = false;
+        for node in 0..cluster.len() {
+            let v = streams.entry(node).or_default();
+            while let Some(d) = cluster.node(node).recv_timeout(Duration::ZERO) {
+                v.push(d);
+                grew = true;
+            }
+        }
+        delivered_counts.clear();
+        for node in 0..cluster.len() {
+            let stats = spindle_core::epoch_stats_for_node(cluster.obs().registry(), node);
+            let msgs: u64 = stats.iter().map(|e| e.delivered_msgs).sum();
+            let bytes: u64 = stats.iter().map(|e| e.delivered_bytes).sum();
+            delivered_counts.insert(node, (msgs, bytes));
+        }
+        let consistent = (0..cluster.len()).all(|node| {
+            let (msgs, _) = delivered_counts.get(&node).copied().unwrap_or((0, 0));
+            msgs == streams.get(&node).map_or(0, Vec::len) as u64
+        });
+        if (consistent && !grew) || Instant::now() > reconcile_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
     let expect_complete = t.expect_complete && run.errors.is_empty();
     let mut checks = oracle::check_threaded(
         &streams,
@@ -337,6 +381,25 @@ fn drive_threaded<F: Fabric>(
         &run.acked,
         expect_complete,
     );
+    checks.push(oracle::counter_consistency(
+        &streams,
+        &delivered_counts,
+        wire_totals(),
+    ));
+    // A failing run dumps the flight recorder to stderr for debugging —
+    // never into the deterministic trace. With `SPINDLE_FLIGHTREC_DIR`
+    // set (CI soak runs), the dump also lands in a file the workflow can
+    // upload as an artifact.
+    if !checks.iter().all(|c| c.passed) || !run.errors.is_empty() {
+        let dump = cluster.obs().recorder().render();
+        eprintln!("[{}] flight recorder at failure:\n{dump}", s.name);
+        if let Ok(dir) = std::env::var("SPINDLE_FLIGHTREC_DIR") {
+            let path = Path::new(&dir).join(format!("{}-{}.flightrec.txt", s.name, s.seed));
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let _ = std::fs::write(&path, &dump);
+            }
+        }
+    }
     let num_sgs = t.spec.subgroups.len();
     cluster.shutdown();
     if let Some(dir) = &persist_dir {
@@ -440,11 +503,15 @@ fn run_sim(s: &Scenario, sim: &SimScenario) -> ScenarioOutcome {
     .with_delivery_trace()
     .run();
 
-    let checks = oracle::check_sim(
+    let mut checks = oracle::check_sim(
         &report.delivery_trace,
         report.completed,
         sim.expect_complete,
     );
+    checks.push(oracle::counter_consistency_sim(
+        &report.delivery_trace,
+        &report.nodes,
+    ));
     // The sim is virtual-time deterministic, so the delivery counts and a
     // fingerprint of the full trace belong in the replay trace.
     let mut sim_facts = String::from("sim:\n");

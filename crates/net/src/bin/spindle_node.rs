@@ -21,14 +21,15 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use spindle_core::threaded::{Cluster, Delivered};
-use spindle_core::{NodeMetrics, RunReport, SpindleConfig};
+use spindle_core::{epoch_stats_for_node, NodeMetrics, RunReport, SpindleConfig};
 use spindle_membership::SubgroupId;
-use spindle_net::{join, ClusterConfig, TcpFabric, TcpFabricConfig};
+use spindle_net::{join, wire_thread_count, ClusterConfig, TcpFabric, TcpFabricConfig};
 
 const USAGE: &str = "usage: spindle-node --config <cluster.toml> (--node <id> | \
 --join <seed-addr>[,<seed-addr>...] [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
 [--trace-out PATH] [--deadline-secs T] [--linger-ms L] [--min-epoch E] \
-[--quiesce-ms Q] [--crash-after-delivered N]";
+[--quiesce-ms Q] [--crash-after-delivered N] [--metrics-addr ADDR] \
+[--log-level off|error|info|debug]";
 
 struct Args {
     config: String,
@@ -50,6 +51,11 @@ struct Args {
     /// Fault injection for the failover test: abort the process (no
     /// cleanup, sockets die mid-stream) after this many deliveries.
     crash_after: usize,
+    /// Serve `GET /metrics` / `GET /flightrec` on this address (from
+    /// the existing poller thread — no thread is added).
+    metrics_addr: Option<String>,
+    /// Stderr echo level for structured events (overrides `SPINDLE_LOG`).
+    log_level: Option<spindle_obs::Level>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
     let mut min_epoch = 0u64;
     let mut quiesce = Duration::from_millis(800);
     let mut crash_after = 0usize;
+    let mut metrics_addr = None;
+    let mut log_level = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -90,6 +98,14 @@ fn parse_args() -> Result<Args, String> {
             "--crash-after-delivered" => {
                 crash_after = parse_num(&next("--crash-after-delivered")?)? as usize
             }
+            "--metrics-addr" => metrics_addr = Some(next("--metrics-addr")?),
+            "--log-level" => {
+                let s = next("--log-level")?;
+                log_level = Some(
+                    spindle_obs::Level::parse(&s)
+                        .ok_or_else(|| format!("bad --log-level {s}\n{USAGE}"))?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -113,11 +129,28 @@ fn parse_args() -> Result<Args, String> {
         min_epoch,
         quiesce,
         crash_after,
+        metrics_addr,
+        log_level,
     })
 }
 
 fn parse_num(s: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("not a number: {s}\n{USAGE}"))
+}
+
+/// Applies the observability flags: echo level, then the exposition
+/// endpoint (served by the fabric's existing poller thread).
+fn start_obs(args: &Args, fabric: &TcpFabric, row: usize) -> Result<(), String> {
+    if let Some(level) = args.log_level {
+        fabric.obs_plane().set_level(level);
+    }
+    if let Some(addr) = &args.metrics_addr {
+        let bound = fabric
+            .serve_metrics(addr.as_str())
+            .map_err(|e| format!("cannot bind --metrics-addr {addr}: {e}"))?;
+        eprintln!("spindle-node: n{row} serving /metrics and /flightrec on http://{bound}");
+    }
+    Ok(())
 }
 
 /// The deterministic workload payload: `(sender, counter)` header plus
@@ -187,6 +220,7 @@ fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
     let mut net = TcpFabricConfig::new(node, cfg.addrs.clone(), region_words);
     net.epoch = view.id();
     let fabric = TcpFabric::bootstrap(net).map_err(|e| format!("bootstrap: {e}"))?;
+    start_obs(args, &fabric, node)?;
     eprintln!(
         "spindle-node: n{node} listening on {}, awaiting {} peers",
         fabric.local_addr(),
@@ -259,6 +293,7 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
         joined.snapshot.frontiers,
     );
     let row = joined.row;
+    start_obs(args, &joined.fabric, row)?;
     let min_epoch = args.min_epoch.max(joined.epoch);
     let catchup = joined.catchup_bytes;
     workload(
@@ -372,6 +407,7 @@ fn workload(
     let stats = fabric.wire_stats();
     let (vc_count, vc_time) = cluster.node(row).view_change_stats();
     let mut node_metrics = NodeMetrics::new();
+    node_metrics.epoch_stats = epoch_stats_for_node(cluster.obs().registry(), row);
     node_metrics.delivered_msgs = got.len() as u64;
     node_metrics.delivered_bytes = got.iter().map(|d| d.data.len() as u64).sum();
     node_metrics.app_sent = sent as u64;
@@ -393,6 +429,7 @@ fn workload(
             .collect()],
     };
     println!("n{row} wire-threads: {}", wire_thread_count());
+    print!("n{row} per-epoch stats:\n{}", report.render_epoch_table());
     println!(
         "n{row} delivered {} msgs (epoch {}) in {:.3}s | wire: {} frames posted, {} received, {} B sent, {} B received, {} drops, {} connects | view-changes: {} in {} us | catch-up: {} B | {:.3} Mmsg/s",
         got.len(),
@@ -420,22 +457,4 @@ fn workload(
 fn fabric_bytes(fabric: &TcpFabric) -> u64 {
     use spindle_fabric::Fabric as _;
     fabric.bytes_posted()
-}
-
-/// How many wire service threads this *process* runs, counted from the
-/// kernel's thread list (`/proc/self/task/*/comm`) rather than any
-/// fabric-internal bookkeeping — the acceptance tests assert the O(1)
-/// single-poller contract against this. `comm` truncates names to 15
-/// bytes, so the match is on the `spindle-net` prefix.
-fn wire_thread_count() -> usize {
-    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
-        return 0;
-    };
-    tasks
-        .flatten()
-        .filter(|t| {
-            std::fs::read_to_string(t.path().join("comm"))
-                .is_ok_and(|comm| comm.trim_end().starts_with("spindle-net"))
-        })
-        .count()
 }

@@ -437,6 +437,14 @@ pub fn serve_join(
             let mut buf = Vec::new();
             encode_join_commit(&commit, &mut buf);
             stream.write_all(&buf)?;
+            cluster.obs().event(
+                spindle_obs::Level::Info,
+                local_row,
+                spindle_obs::FlightEvent::JoinAdmitted {
+                    row: row as u32,
+                    epoch: view.id(),
+                },
+            );
             Ok(ServeOutcome::Admitted {
                 row,
                 epoch: view.id(),

@@ -59,5 +59,5 @@ pub use bootstrap::{ClusterConfig, ConfigError};
 pub use group::TcpFabricGroup;
 pub use join::{join_cluster, serve_join, JoinConfig, JoinError, Joined, ServeOutcome};
 pub use metrics::{WireMetrics, WireStats};
-pub use tcp::{JoinRequest, TcpFabric, TcpFabricConfig};
+pub use tcp::{wire_thread_count, JoinRequest, TcpFabric, TcpFabricConfig};
 pub use wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame};

@@ -84,6 +84,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netpoll::{connect_nonblocking, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use spindle_fabric::{Disposition, EpochTransition, Fabric, FaultPlan, NodeId, Region, WriteOp};
+use spindle_obs::{FlightEvent, Level, ObsPlane};
 
 use crate::metrics::{WireMetrics, WireStats};
 use crate::wire::{
@@ -128,6 +129,12 @@ pub struct TcpFabricConfig {
     pub connect_patience: Duration,
     /// Frames queued to one unreachable peer before posts start shedding.
     pub outbound_queue_cap: usize,
+    /// The process's observability plane: the fabric publishes wire
+    /// events into it, serves its registry and flight-recorder ring at
+    /// `/metrics` / `/flightrec` ([`TcpFabric::serve_metrics`]), and
+    /// hands it to the hosting runtime through [`Fabric::obs`] so the
+    /// protocol layer publishes into the same plane.
+    pub obs: ObsPlane,
 }
 
 impl TcpFabricConfig {
@@ -142,6 +149,7 @@ impl TcpFabricConfig {
             faults: FaultPlan::new(),
             connect_patience: Duration::from_secs(10),
             outbound_queue_cap: OUTBOUND_QUEUE_CAP,
+            obs: ObsPlane::new(),
         }
     }
 }
@@ -227,6 +235,11 @@ struct Shared {
     mesh_gen: AtomicU64,
     faults: FaultPlan,
     metrics: WireMetrics,
+    obs: ObsPlane,
+    /// An exposition listener handed over by [`TcpFabric::serve_metrics`],
+    /// waiting for the poller to adopt it into its readiness set (no new
+    /// thread: `/metrics` is served from the existing event loop).
+    http_listener: Mutex<Option<TcpListener>>,
     writes_posted: AtomicU64,
     bytes_posted: AtomicU64,
     stop: AtomicBool,
@@ -464,6 +477,8 @@ impl TcpFabric {
             mesh_gen: AtomicU64::new(0),
             faults: cfg.faults,
             metrics: WireMetrics::new(),
+            obs: cfg.obs,
+            http_listener: Mutex::new(None),
             writes_posted: AtomicU64::new(0),
             bytes_posted: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -615,6 +630,37 @@ impl TcpFabric {
     /// The endpoint's wire counters.
     pub fn wire_stats(&self) -> WireStats {
         self.inner.shared.metrics.snapshot()
+    }
+
+    /// The endpoint's observability plane (same plane [`Fabric::obs`]
+    /// hands to the hosting cluster).
+    pub fn obs_plane(&self) -> ObsPlane {
+        self.inner.shared.obs.clone()
+    }
+
+    /// Starts serving Prometheus-text exposition on `addr`: `GET
+    /// /metrics` renders the live registry plus this endpoint's wire
+    /// counter families, `GET /flightrec` dumps the flight-recorder
+    /// ring. The nonblocking listener is owned by the *existing* poller
+    /// event loop — no additional thread is started (the O(1)-threads
+    /// contract covers exposition too). Returns the bound address
+    /// (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_metrics<A: ToSocketAddrs>(&self, addr: A) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        *self
+            .inner
+            .shared
+            .http_listener
+            .lock()
+            .expect("http listener lock") = Some(listener);
+        self.inner.shared.waker.wake();
+        Ok(local)
     }
 }
 
@@ -784,6 +830,10 @@ impl Fabric for TcpFabric {
     fn bytes_posted(&self) -> u64 {
         self.inner.shared.bytes_posted.load(Ordering::Relaxed)
     }
+
+    fn obs(&self) -> Option<ObsPlane> {
+        Some(self.inner.shared.obs.clone())
+    }
 }
 
 fn resolve(addr: &str) -> io::Result<SocketAddr> {
@@ -944,16 +994,25 @@ fn accept_hello(shared: &Shared, ic: &InboundConn, hello: &Hello) -> bool {
             || (src < shared.nodes()
                 && hello.nodes as usize == shared.nodes()
                 && hello.region_words as usize == shared.region_words()));
-    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
-        eprintln!(
-            "spindle-net: n{} {} HELLO from n{src} at epoch {} (own epoch {})",
+    if valid {
+        shared.obs.event(
+            Level::Info,
             shared.me,
-            if valid { "accepted" } else { "REJECTED" },
-            hello.epoch,
-            epoch_at_hello
+            FlightEvent::HelloAccepted {
+                peer: hello.src,
+                epoch: hello.epoch,
+            },
         );
-    }
-    if !valid {
+    } else {
+        shared.obs.event(
+            Level::Info,
+            shared.me,
+            FlightEvent::HelloRejected {
+                peer: hello.src,
+                epoch: hello.epoch,
+                expected: epoch_at_hello,
+            },
+        );
         return false;
     }
     shared.ensure_inbound_slot(src);
@@ -993,10 +1052,186 @@ fn compact_inbound(shared: &Shared, inbound: &mut Vec<InboundConn>) {
     }
 }
 
+/// One in-flight exposition request, owned by the poller alongside the
+/// fabric connections. HTTP/1.0, `Connection: close`: read until the
+/// header terminator, write one response, shut down.
+struct HttpConn {
+    stream: TcpStream,
+    req: Vec<u8>,
+    resp: Vec<u8>,
+    written: usize,
+    dead: bool,
+}
+
+/// A request header larger than this is hostile, not a scrape.
+const HTTP_REQ_CAP: usize = 8 * 1024;
+
+/// Advances one exposition connection as far as the socket allows:
+/// accumulate the request until the blank line, render the response,
+/// drain it, close. Everything is nonblocking; a `WouldBlock` leaves the
+/// connection for the next readiness pass.
+fn service_http(shared: &Shared, c: &mut HttpConn) {
+    if c.resp.is_empty() {
+        let mut buf = [0u8; 1024];
+        loop {
+            match (&c.stream).read(&mut buf) {
+                Ok(0) => {
+                    c.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    c.req.extend_from_slice(&buf[..n]);
+                    if c.req.len() > HTTP_REQ_CAP {
+                        c.dead = true;
+                        return;
+                    }
+                    if c.req.windows(4).any(|w| w == b"\r\n\r\n") {
+                        c.resp = http_response(shared, &c.req);
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    c.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+    while c.written < c.resp.len() {
+        match (&c.stream).write(&c.resp[c.written..]) {
+            Ok(0) => {
+                c.dead = true;
+                return;
+            }
+            Ok(n) => c.written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+    let _ = c.stream.shutdown(Shutdown::Both);
+    c.dead = true;
+}
+
+/// Routes one parsed request. `GET /metrics` → Prometheus text v0.0.4,
+/// `GET /flightrec` → the rendered flight-recorder ring.
+fn http_response(shared: &Shared, req: &[u8]) -> Vec<u8> {
+    let line = req.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "GET only\n".to_string())
+    } else {
+        match path {
+            "/metrics" => ("200 OK", render_metrics_page(shared)),
+            "/flightrec" => ("200 OK", shared.obs.recorder().render()),
+            _ => ("404 Not Found", "try /metrics or /flightrec\n".to_string()),
+        }
+    };
+    let mut resp = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+         charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    resp.extend_from_slice(body.as_bytes());
+    resp
+}
+
+/// The full `/metrics` page: the live registry (protocol families,
+/// published by the hosting cluster through the shared plane) plus this
+/// endpoint's wire counter families and the single-poller thread gauge.
+fn render_metrics_page(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut out = shared.obs.registry().render_prometheus();
+    let s = shared.metrics.snapshot();
+    let me = shared.me;
+    let mut fam = |name: &str, help: &str, kind: &str, v: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name}{{node=\"{me}\"}} {v}");
+    };
+    fam(
+        "spindle_wire_bytes_sent_total",
+        "Payload + framing bytes written to peer sockets.",
+        "counter",
+        s.bytes_sent,
+    );
+    fam(
+        "spindle_wire_bytes_received_total",
+        "Bytes read from peer sockets.",
+        "counter",
+        s.bytes_received,
+    );
+    fam(
+        "spindle_wire_frames_posted_total",
+        "WRITE frames posted by the local node.",
+        "counter",
+        s.frames_posted,
+    );
+    fam(
+        "spindle_wire_frames_received_total",
+        "WRITE frames received and placed into the local mirror.",
+        "counter",
+        s.frames_received,
+    );
+    fam(
+        "spindle_wire_frames_dropped_total",
+        "Frames shed on severed links or full outbound queues.",
+        "counter",
+        s.frames_dropped,
+    );
+    fam(
+        "spindle_wire_flushes_total",
+        "Vectored socket writes (writev batches).",
+        "counter",
+        s.flushes,
+    );
+    fam(
+        "spindle_wire_reconnects_total",
+        "Successful outbound connection establishments.",
+        "counter",
+        s.reconnects,
+    );
+    fam(
+        "spindle_wire_threads",
+        "Wire service threads in this process (single-poller contract).",
+        "gauge",
+        wire_thread_count() as u64,
+    );
+    out
+}
+
+/// How many wire service threads this *process* runs, counted from the
+/// kernel's thread list (`/proc/self/task/*/comm`) rather than any
+/// fabric-internal bookkeeping — the single-poller acceptance tests
+/// assert the O(1) contract against this. `comm` truncates names to 15
+/// bytes, so the match is on the `spindle-net` prefix.
+pub fn wire_thread_count() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|t| {
+            std::fs::read_to_string(t.path().join("comm"))
+                .is_ok_and(|comm| comm.trim_end().starts_with("spindle-net"))
+        })
+        .count()
+}
+
 /// The single poller thread: one readiness loop owning the listener,
-/// every inbound stream, dial completions and outbound backlog drains.
-/// This is the only wire service thread an endpoint runs, whatever the
-/// cluster size.
+/// every inbound stream, dial completions, outbound backlog drains —
+/// and, once [`TcpFabric::serve_metrics`] hands one over, the metrics
+/// exposition listener and its request streams. This is the only wire
+/// service thread an endpoint runs, whatever the cluster size.
 fn poller_loop(listener: TcpListener, shared: Arc<Shared>) {
     let patience_deadline = Instant::now() + shared.connect_patience;
     let mut inbound: Vec<InboundConn> = Vec::new();
@@ -1010,6 +1245,11 @@ fn poller_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut peers: Vec<Arc<PeerState>> = Vec::new();
     let mut expected: BTreeSet<usize> = BTreeSet::new();
     let mut cached_gen = u64::MAX;
+    // Exposition state: adopted from `serve_metrics` on the next slow
+    // pass, then polled alongside the fabric fds. Scrapes ride the
+    // existing loop — no thread is ever added for them.
+    let mut http_listener: Option<TcpListener> = None;
+    let mut http_conns: Vec<HttpConn> = Vec::new();
     while !shared.stop.load(Ordering::Acquire) {
         // Hot fast path: while traffic is flowing, skip the fd rebuild
         // and the poll syscall entirely and greedily try nonblocking
@@ -1103,6 +1343,24 @@ fn poller_loop(listener: TcpListener, shared: Arc<Shared>) {
                 fds.push(PollFd::new(fd, POLLOUT));
             }
         }
+        // Exposition fds ride at the tail of the set so the fabric
+        // indices above stay fixed.
+        if http_listener.is_none() {
+            http_listener = shared
+                .http_listener
+                .lock()
+                .expect("http listener lock")
+                .take();
+        }
+        let http_base = fds.len();
+        if let Some(l) = &http_listener {
+            fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+        }
+        let n_http = http_conns.len();
+        for c in &http_conns {
+            let events = if c.resp.is_empty() { POLLIN } else { POLLOUT };
+            fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+        }
         // Adaptive cadence: the hot fast path above owns the traffic
         // case (this pass only runs with the window closed or spent),
         // so block at millisecond granularity while dials are pending
@@ -1171,17 +1429,54 @@ fn poller_loop(listener: TcpListener, shared: Arc<Shared>) {
                     let mut buf = out.queue.take_buf();
                     encode_hello(&hello, &mut buf);
                     out.queue.push_front(hello.epoch, buf);
-                    if std::env::var_os("SPINDLE_NET_DEBUG").is_some() {
-                        eprintln!(
-                            "spindle-net: n{} dialed n{row} (hello epoch {})",
-                            shared.me, hello.epoch
-                        );
-                    }
+                    shared.obs.event(
+                        Level::Debug,
+                        shared.me,
+                        FlightEvent::Dialed {
+                            peer: row as u32,
+                            epoch: hello.epoch,
+                        },
+                    );
                 }
             }
             drain_outbound(&shared, p, &mut out);
             activity = true;
         }
+        // Exposition service: accept scrapers, advance their request /
+        // response state machines. Scrapes never arm the hot window —
+        // they are rare and must not perturb the wire path's cadence.
+        let mut hi = http_base;
+        if let Some(l) = &http_listener {
+            if fds[hi].readable() {
+                loop {
+                    match l.accept() {
+                        Ok((s, _)) => {
+                            let _ = s.set_nonblocking(true);
+                            http_conns.push(HttpConn {
+                                stream: s,
+                                req: Vec::new(),
+                                resp: Vec::new(),
+                                written: 0,
+                                dead: false,
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+            hi += 1;
+        }
+        for (k, c) in http_conns.iter_mut().enumerate() {
+            // Conns past `n_http` were accepted this pass (no fd slot
+            // yet): service them eagerly — the scrape request is often
+            // already in the socket buffer, finishing the exchange in
+            // one shot.
+            if k >= n_http || fds[hi + k].readable() || fds[hi + k].writable() {
+                service_http(&shared, c);
+            }
+        }
+        http_conns.retain(|c| !c.dead);
         if activity {
             hot = HOT_SPINS;
         }
@@ -1241,6 +1536,64 @@ mod tests {
             std::thread::sleep(Duration::from_micros(200));
         }
         false
+    }
+
+    /// One blocking HTTP/1.0 GET against the exposition endpoint,
+    /// returning the response body.
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header terminator");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "bad status: {head}");
+        body.to_string()
+    }
+
+    #[test]
+    fn metrics_and_flightrec_served_from_the_poller_thread() {
+        let (a, b) = loopback_pair(8, FaultPlan::new());
+        let addr = a.serve_metrics("127.0.0.1:0").unwrap();
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 0..1));
+        assert!(eventually(|| b.wire_stats().frames_received == 1));
+        // No thread was added for exposition: still exactly one poller
+        // per endpoint (two endpoints share this test process).
+        assert_eq!(a.wire_threads(), 1);
+        assert_eq!(wire_thread_count(), 2);
+        let body = scrape(addr, "/metrics");
+        for fam in [
+            "spindle_wire_frames_posted_total{node=\"0\"} 1",
+            "spindle_wire_bytes_sent_total",
+            "spindle_wire_threads{node=\"0\"} 2",
+            "# TYPE spindle_wire_flushes_total counter",
+        ] {
+            assert!(body.contains(fam), "missing {fam:?} in:\n{body}");
+        }
+        // The handshake left structured events in the ring.
+        let fr = scrape(addr, "/flightrec");
+        assert!(fr.contains("hello-accepted peer=n1"), "flightrec:\n{fr}");
+        // Unknown paths are a clean 404, not a poller hiccup.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 404"));
+        // The wire path still works after scrapes.
+        a.post(NodeId(0), &WriteOp::new(NodeId(1), 0..1));
+        assert!(eventually(|| b.wire_stats().frames_received == 2));
+    }
+
+    #[test]
+    fn hello_events_replace_the_debug_env_path() {
+        let (a, _b) = loopback_pair(8, FaultPlan::new());
+        let (recs, _) = a.obs_plane().recorder().dump();
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r.event, FlightEvent::HelloAccepted { peer: 1, .. })));
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r.event, FlightEvent::Dialed { peer: 1, .. })));
     }
 
     #[test]

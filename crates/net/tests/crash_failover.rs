@@ -81,8 +81,54 @@ struct NodeProc {
     trace_path: PathBuf,
 }
 
-fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
-    let ports = free_loopback_ports(NODES);
+/// One blocking HTTP/1.0 GET against the exposition endpoint; returns the
+/// body on a 200, `None` when the endpoint is not (yet) reachable.
+fn scrape(addr: &str, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).ok()?;
+    if !resp.starts_with("HTTP/1.0 200") {
+        return None;
+    }
+    let (_, body) = resp.split_once("\r\n\r\n")?;
+    Some(body.to_string())
+}
+
+/// Watches survivor 0's `/metrics` until the failover shows up in the
+/// per-epoch families: a `spindle_delivered_total` series labeled
+/// `epoch="1"` and a non-zero `spindle_view_changes_total`. Returns
+/// `None` on success.
+fn check_failover_metrics(metrics_port: u16) -> Option<String> {
+    let addr = format!("127.0.0.1:{metrics_port}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        if let Some(body) = scrape(&addr, "/metrics") {
+            let epoch1 = body
+                .lines()
+                .any(|l| l.starts_with("spindle_delivered_total{") && l.contains("epoch=\"1\""));
+            let vc = body
+                .lines()
+                .any(|l| l.starts_with("spindle_view_changes_total") && !l.ends_with(" 0"));
+            if epoch1 && vc {
+                return None;
+            }
+            last = body;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Some(format!(
+        "no epoch-1 delivery series / view-change count appeared in /metrics; last scrape:\n{last}"
+    ))
+}
+
+fn spawn_cluster(dir: &std::path::Path) -> (Vec<NodeProc>, u16) {
+    let mut ports = free_loopback_ports(NODES + 1);
+    let metrics_port = ports.pop().expect("metrics port");
     let addrs: Vec<String> = ports.iter().map(|p| format!("\"127.0.0.1:{p}\"")).collect();
     // Heartbeats on: every process runs the SST detector and drives the
     // view-change engine itself.
@@ -94,10 +140,15 @@ fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
     let config_path = dir.join("cluster.toml");
     std::fs::write(&config_path, config).expect("write config");
 
-    (0..NODES)
+    let procs = (0..NODES)
         .map(|node| {
             let trace_path = dir.join(format!("trace-n{node}.txt"));
             let mut cmd = Command::new(env!("CARGO_BIN_EXE_spindle-node"));
+            if node == 0 {
+                // Survivor 0 serves the live observability plane; the
+                // test watches the failover arrive in its /metrics.
+                cmd.args(["--metrics-addr", &format!("127.0.0.1:{metrics_port}")]);
+            }
             cmd.arg("--config")
                 .arg(&config_path)
                 .args(["--node", &node.to_string()])
@@ -123,7 +174,8 @@ fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
                 .expect("spawn spindle-node");
             NodeProc { child, trace_path }
         })
-        .collect()
+        .collect();
+    (procs, metrics_port)
 }
 
 fn wait_all(procs: &mut [NodeProc], deadline: Duration) -> Vec<(bool, String, String)> {
@@ -203,19 +255,26 @@ fn survivors_reconfigure_after_killing_one_process() {
     // The bind-then-release port handoff can collide; retry once.
     let mut last_failure = String::new();
     for attempt in 0..2 {
-        let mut procs = spawn_cluster(&dir);
+        let (mut procs, metrics_port) = spawn_cluster(&dir);
+        // Watch the failover arrive in the live per-epoch families while
+        // the survivors reconfigure.
+        let metrics_violation = check_failover_metrics(metrics_port);
         let results = wait_all(&mut procs, Duration::from_secs(120));
         let survivors_ok = results
             .iter()
             .enumerate()
             .all(|(n, (ok, _, _))| n == VICTIM || *ok);
         let victim_died = !results[VICTIM].0;
-        if survivors_ok && victim_died {
+        if survivors_ok && victim_died && metrics_violation.is_none() {
             check_run(&procs, &results);
             let _ = std::fs::remove_dir_all(&dir);
             return;
         }
-        last_failure = format!("attempt {attempt}:\n{}", render_failure(&results, &procs));
+        last_failure = format!(
+            "attempt {attempt}: failover-metrics: {}\n{}",
+            metrics_violation.as_deref().unwrap_or("ok"),
+            render_failure(&results, &procs)
+        );
         eprintln!("{last_failure}");
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -86,8 +86,34 @@ struct NodeProc {
     trace_path: PathBuf,
 }
 
-fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
-    let ports = free_loopback_ports(FOUNDERS + 1);
+/// One blocking HTTP/1.0 GET against the exposition endpoint; returns the
+/// body on a 200, `None` when the endpoint is not (yet) reachable.
+fn scrape(addr: &str, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).ok()?;
+    if !resp.starts_with("HTTP/1.0 200") {
+        return None;
+    }
+    let (_, body) = resp.split_once("\r\n\r\n")?;
+    Some(body.to_string())
+}
+
+/// Sum of every `spindle_delivered_total{...}` series in a scrape.
+fn delivered_total(body: &str) -> u64 {
+    body.lines()
+        .filter(|l| l.starts_with("spindle_delivered_total{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+fn spawn_cluster(dir: &std::path::Path) -> (Vec<NodeProc>, u16) {
+    let mut ports = free_loopback_ports(FOUNDERS + 2);
+    let metrics_port = ports.pop().expect("metrics port");
     let addrs: Vec<String> = ports[..FOUNDERS]
         .iter()
         .map(|p| format!("\"127.0.0.1:{p}\""))
@@ -102,7 +128,13 @@ fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
     let mut procs: Vec<NodeProc> = (0..FOUNDERS)
         .map(|node| {
             let trace_path = dir.join(format!("trace-n{node}.txt"));
-            let child = Command::new(env!("CARGO_BIN_EXE_spindle-node"))
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_spindle-node"));
+            if node == 0 {
+                // Founder 0 additionally serves the live observability
+                // plane — scraped mid-run by the test body.
+                cmd.args(["--metrics-addr", &format!("127.0.0.1:{metrics_port}")]);
+            }
+            let child = cmd
                 .arg("--config")
                 .arg(&config_path)
                 .args(["--node", &node.to_string()])
@@ -151,7 +183,52 @@ fn spawn_cluster(dir: &std::path::Path) -> Vec<NodeProc> {
         child: joiner,
         trace_path: joiner_trace,
     });
-    procs
+    (procs, metrics_port)
+}
+
+/// Scrapes founder 0's `/metrics` twice mid-run and checks the live
+/// exposition contract: valid Prometheus text, per-epoch delivery
+/// counters and latency quantiles, the wire families, a one-thread wire
+/// gauge, and monotone counters between scrapes. Returns `None` on
+/// success, or the violation (the caller folds it into the retry loop —
+/// the run itself may have failed too, which is the more useful error).
+fn check_live_metrics(metrics_port: u16) -> Option<String> {
+    let addr = format!("127.0.0.1:{metrics_port}");
+    // Wait for traffic: the plane serves from bootstrap, but delivery
+    // counters only move once the mesh connects and sends flow.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let first = loop {
+        if let Some(body) = scrape(&addr, "/metrics") {
+            if delivered_total(&body) > 0 {
+                break body;
+            }
+        }
+        if Instant::now() > deadline {
+            return Some("no /metrics scrape showed deliveries within 30s".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    for want in [
+        "# TYPE spindle_delivered_total counter",
+        "epoch=\"0\"",
+        "spindle_delivery_latency_seconds{",
+        "quantile=\"0.99\"",
+        "# TYPE spindle_wire_frames_posted_total counter",
+        "spindle_wire_threads{node=\"0\"} 1",
+    ] {
+        if !first.contains(want) {
+            return Some(format!("scrape is missing {want:?}:\n{first}"));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let Some(second) = scrape(&addr, "/metrics") else {
+        return Some("second /metrics scrape failed".into());
+    };
+    let (a, b) = (delivered_total(&first), delivered_total(&second));
+    if b < a {
+        return Some(format!("delivered counter went backwards: {a} -> {b}"));
+    }
+    None
 }
 
 fn wait_all(procs: &mut [NodeProc], deadline: Duration) -> Vec<(bool, String, String)> {
@@ -235,14 +312,20 @@ fn live_cluster_accepts_a_fourth_process_mid_stream() {
     // The bind-then-release port handoff can collide; retry once.
     let mut last_failure = String::new();
     for attempt in 0..2 {
-        let mut procs = spawn_cluster(&dir);
+        let (mut procs, metrics_port) = spawn_cluster(&dir);
+        // Live scrape while the cluster is running the join transition.
+        let metrics_violation = check_live_metrics(metrics_port);
         let results = wait_all(&mut procs, Duration::from_secs(120));
-        if results.iter().all(|(ok, _, _)| *ok) {
+        if results.iter().all(|(ok, _, _)| *ok) && metrics_violation.is_none() {
             check_run(&procs, &results);
             let _ = std::fs::remove_dir_all(&dir);
             return;
         }
-        last_failure = format!("attempt {attempt}:\n{}", render_failure(&results, &procs));
+        last_failure = format!(
+            "attempt {attempt}: live-metrics: {}\n{}",
+            metrics_violation.as_deref().unwrap_or("ok"),
+            render_failure(&results, &procs)
+        );
         eprintln!("{last_failure}");
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,588 @@
+//! The view-change flight recorder: a bounded ring of structured,
+//! monotonically-timestamped protocol events with a compact codec.
+//!
+//! Every event that used to be an ad-hoc `eprintln!` (or a
+//! `SPINDLE_NET_DEBUG`-gated print) is one [`FlightEvent`] variant: the
+//! §2.1 handoff timeline (suspicion → wedge → proposal tagged → ack →
+//! takeover adoption → install → barrier confirm) plus the wire-level
+//! handshake events. Records land in a per-process ring
+//! ([`FlightRecorder`]) regardless of log level — the ring is the
+//! post-mortem record, dumped by the harness when a scenario fails and
+//! served live at `/flightrec` — while the [`Level`] only gates the
+//! human-readable stderr echo.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Stderr verbosity for structured events (`SPINDLE_LOG` /
+/// `--log-level`): events at or below the configured level are echoed
+/// to stderr; the flight-recorder ring records regardless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No stderr echo at all.
+    Off = 0,
+    /// Only stall warnings and other genuinely alarming events.
+    Error = 1,
+    /// Membership and handshake milestones.
+    Info = 2,
+    /// Per-step protocol chatter (proposals, acks).
+    Debug = 3,
+}
+
+impl Level {
+    /// Parse `off|error|info|debug` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Inverse of [`Level::parse`] for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            0 => Some(Level::Off),
+            1 => Some(Level::Error),
+            2 => Some(Level::Info),
+            3 => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// View-change stall phases named by [`FlightEvent::Stalled`].
+pub mod phase {
+    /// Stuck in the wedge/propose/ack agreement loop.
+    pub const AGREE: u8 = 0;
+    /// Stuck at the install barrier of the new epoch.
+    pub const BARRIER: u8 = 1;
+}
+
+/// One structured protocol event. Field meanings follow the §2.1
+/// handoff: `epoch` is the view id the event concerns, node indices
+/// are SST rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A failure detector convicted `target` (heartbeat silence).
+    Suspicion {
+        /// Suspected row.
+        target: u32,
+        /// Epoch the suspicion was raised in.
+        epoch: u64,
+        /// True when the conviction happened mid-transition.
+        mid_transition: bool,
+    },
+    /// This node wedged: frontiers frozen, wedge flag posted.
+    Wedged {
+        /// Target view id of the transition being entered.
+        epoch: u64,
+    },
+    /// A proposal was tagged (published with its ballot) by `proposer`.
+    Proposal {
+        /// Proposing row.
+        proposer: u32,
+        /// Proposed view id.
+        epoch: u64,
+        /// Failed-row bitmap carried by the proposal.
+        failed: u64,
+    },
+    /// This node published its ack for the adopted ballot.
+    Ack {
+        /// Proposer of the acked ballot.
+        proposer: u32,
+        /// Acked view id.
+        epoch: u64,
+    },
+    /// Takeover adoption: the acked ballot was re-tagged to a
+    /// successor proposer after the original died.
+    Takeover {
+        /// The new (surviving) proposer.
+        proposer: u32,
+        /// View id of the re-tagged ballot.
+        epoch: u64,
+    },
+    /// The new view was installed locally.
+    Install {
+        /// Installed view id.
+        epoch: u64,
+        /// Member count of the installed view.
+        members: u32,
+    },
+    /// The install barrier of the new epoch confirmed.
+    BarrierConfirm {
+        /// Confirmed view id.
+        epoch: u64,
+    },
+    /// The install barrier dropped a party that never heartbeat in the
+    /// new epoch.
+    BarrierDrop {
+        /// The dropped row.
+        target: u32,
+        /// View id whose barrier dropped it.
+        epoch: u64,
+    },
+    /// A view change has been stuck in one phase past the warning
+    /// threshold.
+    Stalled {
+        /// Target view id of the stuck transition.
+        epoch: u64,
+        /// [`phase::AGREE`] or [`phase::BARRIER`].
+        phase: u8,
+        /// How long the transition has been running, in milliseconds.
+        millis: u64,
+    },
+    /// Fault injection: crash at an armed view-change boundary.
+    CrashBoundary {
+        /// View id at the moment of the injected crash.
+        epoch: u64,
+    },
+    /// Wire: HELLO from `peer` accepted.
+    HelloAccepted {
+        /// Peer row.
+        peer: u32,
+        /// Epoch carried by the HELLO.
+        epoch: u64,
+    },
+    /// Wire: HELLO from `peer` rejected (stale epoch or shape mismatch).
+    HelloRejected {
+        /// Peer row.
+        peer: u32,
+        /// Epoch carried by the HELLO.
+        epoch: u64,
+        /// This node's own epoch at the time.
+        expected: u64,
+    },
+    /// Wire: outbound dial to `peer` completed and HELLO was queued.
+    Dialed {
+        /// Peer row.
+        peer: u32,
+        /// Epoch carried in our HELLO.
+        epoch: u64,
+    },
+    /// A joiner was admitted into the view as `row`.
+    JoinAdmitted {
+        /// The joiner's new row.
+        row: u32,
+        /// The epoch it joins in.
+        epoch: u64,
+    },
+}
+
+impl FlightEvent {
+    fn tag(&self) -> u8 {
+        match self {
+            FlightEvent::Suspicion { .. } => 1,
+            FlightEvent::Wedged { .. } => 2,
+            FlightEvent::Proposal { .. } => 3,
+            FlightEvent::Ack { .. } => 4,
+            FlightEvent::Takeover { .. } => 5,
+            FlightEvent::Install { .. } => 6,
+            FlightEvent::BarrierConfirm { .. } => 7,
+            FlightEvent::BarrierDrop { .. } => 8,
+            FlightEvent::Stalled { .. } => 9,
+            FlightEvent::CrashBoundary { .. } => 10,
+            FlightEvent::HelloAccepted { .. } => 11,
+            FlightEvent::HelloRejected { .. } => 12,
+            FlightEvent::Dialed { .. } => 13,
+            FlightEvent::JoinAdmitted { .. } => 14,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match *self {
+            FlightEvent::Suspicion {
+                target,
+                epoch,
+                mid_transition,
+            } => {
+                put_uvarint(out, target as u64);
+                put_uvarint(out, epoch);
+                out.push(mid_transition as u8);
+            }
+            FlightEvent::Wedged { epoch } | FlightEvent::BarrierConfirm { epoch } => {
+                put_uvarint(out, epoch);
+            }
+            FlightEvent::Proposal {
+                proposer,
+                epoch,
+                failed,
+            } => {
+                put_uvarint(out, proposer as u64);
+                put_uvarint(out, epoch);
+                put_uvarint(out, failed);
+            }
+            FlightEvent::Ack { proposer, epoch } | FlightEvent::Takeover { proposer, epoch } => {
+                put_uvarint(out, proposer as u64);
+                put_uvarint(out, epoch);
+            }
+            FlightEvent::Install { epoch, members } => {
+                put_uvarint(out, epoch);
+                put_uvarint(out, members as u64);
+            }
+            FlightEvent::BarrierDrop { target, epoch } => {
+                put_uvarint(out, target as u64);
+                put_uvarint(out, epoch);
+            }
+            FlightEvent::Stalled {
+                epoch,
+                phase,
+                millis,
+            } => {
+                put_uvarint(out, epoch);
+                out.push(phase);
+                put_uvarint(out, millis);
+            }
+            FlightEvent::CrashBoundary { epoch } => {
+                put_uvarint(out, epoch);
+            }
+            FlightEvent::HelloAccepted { peer, epoch } | FlightEvent::Dialed { peer, epoch } => {
+                put_uvarint(out, peer as u64);
+                put_uvarint(out, epoch);
+            }
+            FlightEvent::HelloRejected {
+                peer,
+                epoch,
+                expected,
+            } => {
+                put_uvarint(out, peer as u64);
+                put_uvarint(out, epoch);
+                put_uvarint(out, expected);
+            }
+            FlightEvent::JoinAdmitted { row, epoch } => {
+                put_uvarint(out, row as u64);
+                put_uvarint(out, epoch);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<FlightEvent> {
+        let tag = take_u8(buf)?;
+        Some(match tag {
+            1 => FlightEvent::Suspicion {
+                target: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+                mid_transition: take_u8(buf)? != 0,
+            },
+            2 => FlightEvent::Wedged {
+                epoch: get_uvarint(buf)?,
+            },
+            3 => FlightEvent::Proposal {
+                proposer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+                failed: get_uvarint(buf)?,
+            },
+            4 => FlightEvent::Ack {
+                proposer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            5 => FlightEvent::Takeover {
+                proposer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            6 => FlightEvent::Install {
+                epoch: get_uvarint(buf)?,
+                members: get_uvarint(buf)? as u32,
+            },
+            7 => FlightEvent::BarrierConfirm {
+                epoch: get_uvarint(buf)?,
+            },
+            8 => FlightEvent::BarrierDrop {
+                target: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            9 => FlightEvent::Stalled {
+                epoch: get_uvarint(buf)?,
+                phase: take_u8(buf)?,
+                millis: get_uvarint(buf)?,
+            },
+            10 => FlightEvent::CrashBoundary {
+                epoch: get_uvarint(buf)?,
+            },
+            11 => FlightEvent::HelloAccepted {
+                peer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            12 => FlightEvent::HelloRejected {
+                peer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+                expected: get_uvarint(buf)?,
+            },
+            13 => FlightEvent::Dialed {
+                peer: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            14 => FlightEvent::JoinAdmitted {
+                row: get_uvarint(buf)? as u32,
+                epoch: get_uvarint(buf)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FlightEvent::Suspicion {
+                target,
+                epoch,
+                mid_transition,
+            } => write!(
+                f,
+                "suspicion target=n{target} epoch={epoch}{}",
+                if mid_transition {
+                    " mid-transition"
+                } else {
+                    ""
+                }
+            ),
+            FlightEvent::Wedged { epoch } => write!(f, "wedged epoch={epoch}"),
+            FlightEvent::Proposal {
+                proposer,
+                epoch,
+                failed,
+            } => write!(
+                f,
+                "proposal-tagged proposer=n{proposer} epoch={epoch} failed={failed:#x}"
+            ),
+            FlightEvent::Ack { proposer, epoch } => {
+                write!(f, "ack proposer=n{proposer} epoch={epoch}")
+            }
+            FlightEvent::Takeover { proposer, epoch } => {
+                write!(f, "takeover-adoption proposer=n{proposer} epoch={epoch}")
+            }
+            FlightEvent::Install { epoch, members } => {
+                write!(f, "install epoch={epoch} members={members}")
+            }
+            FlightEvent::BarrierConfirm { epoch } => write!(f, "barrier-confirm epoch={epoch}"),
+            FlightEvent::BarrierDrop { target, epoch } => {
+                write!(f, "barrier-drop target=n{target} epoch={epoch}")
+            }
+            FlightEvent::Stalled {
+                epoch,
+                phase,
+                millis,
+            } => write!(
+                f,
+                "stalled epoch={epoch} phase={} for={millis}ms",
+                if phase == phase::BARRIER {
+                    "barrier"
+                } else {
+                    "agree"
+                }
+            ),
+            FlightEvent::CrashBoundary { epoch } => write!(f, "crash-boundary epoch={epoch}"),
+            FlightEvent::HelloAccepted { peer, epoch } => {
+                write!(f, "hello-accepted peer=n{peer} epoch={epoch}")
+            }
+            FlightEvent::HelloRejected {
+                peer,
+                epoch,
+                expected,
+            } => write!(
+                f,
+                "hello-rejected peer=n{peer} epoch={epoch} own-epoch={expected}"
+            ),
+            FlightEvent::Dialed { peer, epoch } => write!(f, "dialed peer=n{peer} epoch={epoch}"),
+            FlightEvent::JoinAdmitted { row, epoch } => {
+                write!(f, "join-admitted row=n{row} epoch={epoch}")
+            }
+        }
+    }
+}
+
+/// One timestamped record in the ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Microseconds since the owning plane's start (monotonic).
+    pub t_micros: u64,
+    /// SST row of the node the event concerns.
+    pub node: u32,
+    /// Severity the event was recorded at.
+    pub level: Level,
+    /// The event itself.
+    pub event: FlightEvent,
+}
+
+impl fmt::Display for FlightRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{:>10}us n{} {:<5} {}",
+            self.t_micros,
+            self.node,
+            self.level.as_str(),
+            self.event
+        )
+    }
+}
+
+struct Ring {
+    buf: VecDeque<FlightRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded ring of [`FlightRecord`]s. Push is a short mutex hold off
+/// the message hot path (events fire on membership transitions and
+/// handshakes, not per message).
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+/// Magic + version prefix of the compact dump encoding.
+const CODEC_MAGIC: &[u8; 4] = b"SPF1";
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` records.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(cap.min(1024)),
+                cap: cap.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&self, rec: FlightRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(rec);
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted so far due to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// The retained timeline in chronological order, plus the evicted
+    /// count.
+    pub fn dump(&self) -> (Vec<FlightRecord>, u64) {
+        let ring = self.ring.lock().unwrap();
+        (ring.buf.iter().cloned().collect(), ring.dropped)
+    }
+
+    /// Human-readable timeline (one record per line, oldest first).
+    pub fn render(&self) -> String {
+        let (recs, dropped) = self.dump();
+        let mut out = String::new();
+        if dropped > 0 {
+            out.push_str(&format!("... {dropped} earlier records evicted ...\n"));
+        }
+        for r in &recs {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compact binary dump: magic, record count, then varint-packed
+    /// records. Decodable by [`FlightRecorder::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let (recs, _) = self.dump();
+        let mut out = Vec::with_capacity(16 + recs.len() * 8);
+        out.extend_from_slice(CODEC_MAGIC);
+        put_uvarint(&mut out, recs.len() as u64);
+        for r in &recs {
+            put_uvarint(&mut out, r.t_micros);
+            put_uvarint(&mut out, r.node as u64);
+            out.push(r.level as u8);
+            r.event.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode a dump produced by [`FlightRecorder::encode`]. Returns
+    /// `None` on any malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<Vec<FlightRecord>> {
+        if buf.len() < 4 || &buf[..4] != CODEC_MAGIC {
+            return None;
+        }
+        buf = &buf[4..];
+        let n = get_uvarint(&mut buf)?;
+        let mut recs = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            let t_micros = get_uvarint(&mut buf)?;
+            let node = get_uvarint(&mut buf)? as u32;
+            let level = Level::from_u8(take_u8(&mut buf)?)?;
+            let event = FlightEvent::decode(&mut buf)?;
+            recs.push(FlightRecord {
+                t_micros,
+                node,
+                level,
+                event,
+            });
+        }
+        if buf.is_empty() {
+            Some(recs)
+        } else {
+            None
+        }
+    }
+}
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn get_uvarint(buf: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = take_u8(buf)?;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(b)
+}
