@@ -1,0 +1,203 @@
+//! Relay fan-out benchmark: the edge tier's encode-once, event-loop
+//! fan-out against the old thread-per-connection design, both at 1000
+//! live loopback subscribers.
+//!
+//! One iteration is a sustained fan-out round: publish a burst of
+//! [`BURST`] samples and read all of them back on every one of the
+//! thousand client sockets — fan-out *throughput*, which is what a
+//! relay under load delivers. The burst is where the designs separate:
+//! the `fanout_evloop_1k` path is the shipped [`EdgeServer`] (single
+//! poller, one encode per sample, and one vectored write per client
+//! readiness that coalesces the whole burst), while
+//! `fanout_threaded_1k` recreates the pre-edge-tier relay inside the
+//! bench — one writer thread and one channel per client, one buffer
+//! clone, one wakeup, and one write syscall per client *per sample*.
+//! The committed baseline measures both designs on the same host so the
+//! CI gate can hold their ratio (see `BENCH_relay.json` and the
+//! `bench_gate --ratio` step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use spindle_net::edge::{
+    encode_publish, encode_sample, encode_subscribe, EdgeAssembler, EdgeConfig, EdgeFrame,
+};
+use spindle_net::EdgeServer;
+use spindle_obs::ObsPlane;
+
+const CLIENTS: usize = 1000;
+const PAYLOAD: usize = 256;
+const TOPIC: u8 = 7;
+/// Samples fanned out per iteration. Mirrors a loaded relay: deliveries
+/// arrive faster than any single socket flush, so the outbound path
+/// always has a batch to coalesce.
+const BURST: usize = 16;
+
+/// A bench-side subscriber: blocking socket plus reassembly state.
+struct Sub {
+    stream: TcpStream,
+    asm: EdgeAssembler,
+}
+
+impl Sub {
+    /// Blocks until `n` full `Sample` frames have arrived.
+    fn read_samples(&mut self, n: usize, buf: &mut [u8]) {
+        let mut got = 0;
+        while got < n {
+            match self.asm.next_frame().expect("valid stream") {
+                Some(EdgeFrame::Sample { .. }) => {
+                    got += 1;
+                    continue;
+                }
+                Some(_) => continue, // e.g. a warm-up pub-ack
+                None => {}
+            }
+            let r = self.stream.read(buf).expect("read");
+            assert!(r > 0, "relay closed mid-bench");
+            self.asm.feed(&buf[..r]);
+        }
+    }
+}
+
+/// Connects `CLIENTS` subscribers to `addr` and subscribes each.
+fn connect_subs(addr: std::net::SocketAddr) -> Vec<Sub> {
+    (0..CLIENTS)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut f = Vec::new();
+            encode_subscribe(TOPIC, &mut f);
+            stream.write_all(&f).expect("subscribe");
+            Sub {
+                stream,
+                asm: EdgeAssembler::new(),
+            }
+        })
+        .collect()
+}
+
+fn bench_relay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relay");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+
+    // ---- event-loop edge tier ----------------------------------------
+    {
+        let obs = ObsPlane::new();
+        let server = EdgeServer::bind(
+            "127.0.0.1:0".parse().expect("addr"),
+            EdgeConfig::new("bench"),
+            &obs,
+        )
+        .expect("bind");
+        let mut subs = connect_subs(server.local_addr());
+        // Subscription registration is asynchronous (the poller applies
+        // it); each client pipelines a publish behind its subscribe, so
+        // once all publish requests surfaced, every subscribe before
+        // them has been applied.
+        for s in &mut subs {
+            let mut f = Vec::new();
+            encode_publish(TOPIC, b"warm", &mut f);
+            s.stream.write_all(&f).expect("warm publish");
+        }
+        for _ in 0..CLIENTS {
+            let req = server
+                .requests()
+                .recv_timeout(Duration::from_secs(30))
+                .expect("warm publish request");
+            server.pub_ack(req.client, req.topic, 0);
+        }
+
+        let payload = vec![0xEE_u8; PAYLOAD];
+        let mut index = 0u64;
+        let mut buf = vec![0u8; 64 * 1024];
+        g.bench_function("fanout_evloop_1k", |b| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    index += 1;
+                    let n = server.fanout(TOPIC, 0, index, 0, &payload);
+                    assert_eq!(n, CLIENTS, "a subscriber went missing");
+                }
+                for s in subs.iter_mut() {
+                    s.read_samples(BURST, &mut buf);
+                }
+            })
+        });
+        // Sockets and the poller go down here, freeing the fds for the
+        // baseline half.
+    }
+
+    // ---- thread-per-connection baseline ------------------------------
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            // Accept one socket + writer thread per client — the old
+            // relay's shape. Each writer owns its connection and writes
+            // whatever its channel hands it.
+            let mut txs = Vec::with_capacity(CLIENTS);
+            let mut writers = Vec::with_capacity(CLIENTS);
+            for _ in 0..CLIENTS {
+                let (sock, _) = listener.accept().expect("accept");
+                sock.set_nodelay(true).expect("nodelay");
+                let (tx, rx) = mpsc::channel::<Vec<u8>>();
+                txs.push(tx);
+                writers.push(std::thread::spawn(move || {
+                    let mut sock = sock;
+                    while let Ok(frame) = rx.recv() {
+                        if sock.write_all(&frame).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            (txs, writers)
+        });
+        let mut subs: Vec<Sub> = (0..CLIENTS)
+            .map(|_| {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                Sub {
+                    stream,
+                    asm: EdgeAssembler::new(),
+                }
+            })
+            .collect();
+        let (txs, writers) = handle.join().expect("accept thread");
+
+        let payload = vec![0xEE_u8; PAYLOAD];
+        let mut index = 0u64;
+        let mut buf = vec![0u8; 64 * 1024];
+        g.bench_function("fanout_threaded_1k", |b| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    index += 1;
+                    let mut frame = Vec::with_capacity(PAYLOAD + 32);
+                    encode_sample(TOPIC, 0, index, 0, &payload, &mut frame);
+                    for tx in &txs {
+                        // One clone per client per sample: the old relay
+                        // serialized (or copied) per connection; the
+                        // channel hop stands in for its per-client
+                        // wakeup.
+                        tx.send(frame.clone()).expect("writer alive");
+                    }
+                }
+                for s in subs.iter_mut() {
+                    s.read_samples(BURST, &mut buf);
+                }
+            })
+        });
+        drop(txs);
+        for w in writers {
+            let _ = w.join();
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_relay);
+criterion_main!(benches);

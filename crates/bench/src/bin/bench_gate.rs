@@ -3,6 +3,18 @@
 //!
 //! Usage: `bench_gate <baseline.json> <current.json> [prefix]`
 //!
+//! A second mode holds a *ratio* between two keys of one summary:
+//!
+//! `bench_gate --ratio <summary.json> <slow-key> <fast-key> <min-ratio>`
+//!
+//! exits nonzero unless `summary[slow-key] / summary[fast-key] >=
+//! min-ratio`. This is how CI pins the edge relay's headline claim —
+//! the committed `BENCH_relay.json` must show the thread-per-connection
+//! fan-out at least 5× slower than the event-loop fan-out — as a
+//! deterministic check on the committed numbers, immune to runner
+//! jitter (the regression half of the gate separately keeps those
+//! committed numbers honest against fresh runs).
+//!
 //! Both files are the flat `{"group/bench": mean_ns}` summaries the
 //! criterion harness writes when `SPINDLE_BENCH_JSON` is set. The gate
 //! compares every baseline key (optionally restricted to a `prefix`,
@@ -70,13 +82,54 @@ fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The `--ratio` mode: `summary[slow] / summary[fast] >= min`.
+fn ratio_gate(path: &str, slow: &str, fast: &str, min: &str) -> ExitCode {
+    let min: f64 = match min.parse() {
+        Ok(m) => m,
+        Err(_) => {
+            eprintln!("bench_gate: min-ratio {min:?} is not a number");
+            return ExitCode::from(2);
+        }
+    };
+    let summary = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let find = |key: &str| summary.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    let (Some(slow_ns), Some(fast_ns)) = (find(slow), find(fast)) else {
+        eprintln!("bench_gate: {path} is missing {slow:?} or {fast:?}");
+        return ExitCode::from(2);
+    };
+    let ratio = slow_ns / fast_ns;
+    if !ratio.is_finite() || ratio < min {
+        eprintln!(
+            "FAIL  {slow} / {fast} = {ratio:.2}x, below the required {min:.2}x \
+             ({slow_ns:.0} ns vs {fast_ns:.0} ns)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("ok    {slow} / {fast} = {ratio:.2}x (>= {min:.2}x required)");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, path, slow, fast, min] = args.as_slice() {
+        if flag == "--ratio" {
+            return ratio_gate(path, slow, fast, min);
+        }
+    }
     let (baseline_path, current_path, prefix) = match args.as_slice() {
         [b, c] => (b.as_str(), c.as_str(), ""),
         [b, c, p] => (b.as_str(), c.as_str(), p.as_str()),
         _ => {
-            eprintln!("usage: bench_gate <baseline.json> <current.json> [prefix]");
+            eprintln!(
+                "usage: bench_gate <baseline.json> <current.json> [prefix]\n\
+                 \x20      bench_gate --ratio <summary.json> <slow-key> <fast-key> <min-ratio>"
+            );
             return ExitCode::from(2);
         }
     };

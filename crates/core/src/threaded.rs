@@ -1676,27 +1676,6 @@ impl<F: Fabric> Cluster<F> {
         ))
     }
 
-    /// Thin alias for [`Cluster::admit`] with
-    /// [`AdmitRequest::in_process`], kept for source compatibility.
-    #[deprecated(note = "use Cluster::admit(AdmitRequest::in_process(joins))")]
-    pub fn add_node(
-        &mut self,
-        joins: &[(SubgroupId, bool)],
-    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
-        self.admit(AdmitRequest::in_process(joins))
-    }
-
-    /// Thin alias for [`Cluster::admit`] with [`AdmitRequest::remote`],
-    /// kept for source compatibility.
-    #[deprecated(note = "use Cluster::admit(AdmitRequest::remote(addr, as_sender))")]
-    pub fn admit_node(
-        &mut self,
-        addr: &str,
-        as_sender: bool,
-    ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
-        self.admit(AdmitRequest::remote(addr, as_sender))
-    }
-
     /// The *joiner's* half of the install/catch-up barrier: a process
     /// that entered a distributed cluster at its current epoch (the
     /// `--join` bootstrap) publishes its `installed`/`acked` flags in the

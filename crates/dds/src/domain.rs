@@ -21,6 +21,9 @@ pub struct Sample {
     pub publisher: usize,
     /// Per-publisher sequence number.
     pub index: u64,
+    /// Epoch (view id) the sample was delivered in — what lets an
+    /// external subscriber attribute its stream to membership epochs.
+    pub epoch: u64,
     /// Payload bytes.
     pub data: Vec<u8>,
 }
@@ -272,7 +275,7 @@ pub(crate) struct DomainCore {
 /// A running DDS domain.
 pub struct DdsDomain {
     pub(crate) core: Arc<DomainCore>,
-    relays: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    relays: Mutex<Vec<crate::external::RelayHandle>>,
 }
 
 impl Drop for DdsDomain {
@@ -280,9 +283,7 @@ impl Drop for DdsDomain {
         self.core
             .stop
             .store(true, std::sync::atomic::Ordering::SeqCst);
-        for th in self.relays.lock().drain(..) {
-            let _ = th.join();
-        }
+        self.stop_external();
     }
 }
 
@@ -309,8 +310,30 @@ impl DdsDomain {
         &self.core.log_dir
     }
 
-    pub(crate) fn register_relay(&self, th: std::thread::JoinHandle<()>) {
-        self.relays.lock().push(th);
+    /// The domain's observability plane (shared with the underlying
+    /// cluster). Relay endpoints register their
+    /// `spindle_relay_clients` / `spindle_relay_fanout_*` /
+    /// `spindle_relay_shed_total` / delivery-latency families here, so
+    /// an embedder can scrape everything through one registry.
+    pub fn obs(&self) -> &spindle_obs::ObsPlane {
+        self.core.cluster.obs()
+    }
+
+    pub(crate) fn register_relay(&self, handle: crate::external::RelayHandle) {
+        self.relays.lock().push(handle);
+    }
+
+    /// Stops every external-relay endpoint started with
+    /// [`DdsDomain::serve_external`] /
+    /// [`DdsDomain::serve_external_on`](crate::external): signals the
+    /// driver threads, joins them, and closes the listener and every
+    /// client socket. The domain itself keeps running — a fresh relay
+    /// can be served afterwards (a relay restart).
+    pub fn stop_external(&self) {
+        let handles: Vec<_> = self.relays.lock().drain(..).collect();
+        for mut h in handles {
+            h.stop();
+        }
     }
 }
 
@@ -327,6 +350,21 @@ impl DomainCore {
     pub(crate) fn is_member(&self, node: usize, topic: TopicId) -> bool {
         self.topic_def(topic)
             .is_some_and(|t| t.subscribers.contains(&node) || t.publishers.contains(&node))
+    }
+
+    /// `(topic, qos)` of every declared topic (the relay derives each
+    /// topic's overflow policy from this).
+    pub(crate) fn topic_qos(&self) -> Vec<(TopicId, QosLevel)> {
+        self.topics.iter().map(|t| (t.id, t.qos)).collect()
+    }
+
+    /// Topics `node` is a member of (the relay taps each of these).
+    pub(crate) fn member_topics(&self, node: usize) -> Vec<TopicId> {
+        self.topics
+            .iter()
+            .filter(|t| t.publishers.contains(&node) || t.subscribers.contains(&node))
+            .map(|t| t.id)
+            .collect()
     }
 
     fn sg_topic(&self, sg: SubgroupId) -> TopicId {
@@ -381,6 +419,7 @@ impl DomainCore {
                 topic,
                 publisher: d.sender_rank,
                 index: d.app_index,
+                epoch: d.epoch,
                 data: d.data,
             };
             let mut st = state.lock();

@@ -3,41 +3,43 @@
 //!
 //! The paper notes that "the actual Spindle DDS also supports 'external
 //! clients' that connect to the DDS via TCP or RDMA, requiring an extra
-//! relaying step". This module implements that mode: a domain member serves
-//! a TCP endpoint ([`DdsDomain::serve_external`]); an [`ExternalClient`]
-//! connects to it, publishes samples (which the relay re-publishes into the
-//! topic's subgroup, so they inherit the full failure-atomic total order),
-//! and subscribes to topics (the relay forwards every sample it delivers).
+//! relaying step". This module implements that mode as a scale-out edge
+//! tier: a domain member serves a TCP endpoint
+//! ([`DdsDomain::serve_external`] / [`DdsDomain::serve_external_on`]); an
+//! [`ExternalClient`] connects to it, publishes samples (which the relay
+//! re-publishes into the topic's subgroup, so they inherit the full
+//! failure-atomic total order), and subscribes to topics (the relay
+//! forwards every sample it delivers).
 //!
-//! ## Wire protocol (little-endian, length-prefixed)
+//! The endpoint is an [`EdgeServer`]: **one** poller thread owns the
+//! listener and every client socket (thread count flat in client count),
+//! a delivered sample is encoded once and vector-written to every
+//! subscriber, and backpressure follows each topic's QoS —
+//! [`QosLevel::overflow_policy`](crate::qos::QosLevel::overflow_policy)
+//! picks shed-oldest for unordered topics and disconnect for ordered
+//! ones, with relay-level admission shedding past the aggregate
+//! high-water mark. One additional *driver* thread per relay bridges the
+//! edge tier to the cluster: it re-publishes client samples, pumps the
+//! relay member's deliveries, and fans tapped samples back out. Two
+//! threads total, whether ten clients are connected or ten thousand.
 //!
-//! Client → relay:
-//!
-//! * `0x01 topic:u8 len:u32 data` — publish
-//! * `0x02 topic:u8` — subscribe
-//!
-//! Relay → client:
-//!
-//! * `0x01 topic:u8 publisher:u32 index:u64 len:u32 data` — sample
-//! * `0x03 topic:u8 status:u8` — publish acknowledgment
-//!   (0 = accepted, 1 = relay is not a publisher on the topic, 2 = the
-//!   multicast send failed)
+//! The wire protocol is the length-prefixed edge framing of
+//! [`spindle_net::edge`] (`EDGE_PUBLISH` / `EDGE_SUBSCRIBE` client →
+//! relay, `EDGE_SAMPLE` / `EDGE_PUB_ACK` relay → client).
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
+use spindle_net::edge::{
+    encode_publish, encode_subscribe, EdgeAssembler, EdgeConfig, EdgeFrame, EdgeRequest, EdgeServer,
+};
 
 use crate::domain::{DdsDomain, DomainCore, Sample};
 use crate::qos::TopicId;
-
-const OP_PUBLISH: u8 = 0x01;
-const OP_SUBSCRIBE: u8 = 0x02;
-const OP_SAMPLE: u8 = 0x01;
-const OP_PUB_ACK: u8 = 0x03;
 
 /// Publish acknowledgment status sent by the relay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,13 +62,36 @@ impl PublishStatus {
     }
 }
 
+/// One running relay endpoint: the driver thread plus its edge server.
+/// Held by the domain; [`RelayHandle::stop`] is the clean shutdown path
+/// (used by [`DdsDomain::stop_external`] and on domain drop).
+pub(crate) struct RelayHandle {
+    stop: Arc<AtomicBool>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RelayHandle {
+    /// Signals the driver and joins it. The driver owns the
+    /// [`EdgeServer`], so joining it also stops the poller and closes
+    /// the listener and every client socket.
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(th) = self.driver.take() {
+            let _ = th.join();
+        }
+    }
+}
+
+impl Drop for RelayHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 impl DdsDomain {
     /// Starts serving external clients through participant `relay` on an
     /// ephemeral localhost TCP port; returns the address clients connect
-    /// to. The relay republishes client samples into the topic's subgroup
-    /// (the paper's "extra relaying step"), so external publishes carry the
-    /// same ordering and atomicity guarantees as member publishes. The
-    /// service stops when the domain is dropped.
+    /// to. See [`DdsDomain::serve_external_on`].
     ///
     /// # Errors
     ///
@@ -76,177 +101,93 @@ impl DdsDomain {
     ///
     /// Panics if `relay` is out of range.
     pub fn serve_external(&self, relay: usize) -> io::Result<SocketAddr> {
+        self.serve_external_on(relay, "127.0.0.1:0".parse().expect("literal addr"))
+    }
+
+    /// Starts serving external clients through participant `relay` on
+    /// `addr` (any bindable address — a fixed port on a routable
+    /// interface for multi-process edge deployments, or port 0 for an
+    /// ephemeral one); returns the bound address. The relay republishes
+    /// client samples into the topic's subgroup (the paper's "extra
+    /// relaying step"), so external publishes carry the same ordering
+    /// and atomicity guarantees as member publishes. The service stops
+    /// when the domain is dropped, or earlier via
+    /// [`DdsDomain::stop_external`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay` is out of range.
+    pub fn serve_external_on(&self, relay: usize, addr: SocketAddr) -> io::Result<SocketAddr> {
         assert!(relay < self.participants(), "relay out of range");
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
         let core = Arc::clone(&self.core);
-        let th = std::thread::Builder::new()
-            .name(format!("spindle-dds-relay-{relay}"))
-            .spawn(move || accept_loop(listener, core, relay))
-            .expect("spawn relay listener");
-        self.register_relay(th);
-        Ok(addr)
+        let mut cfg = EdgeConfig::new(format!("dds{relay}"));
+        for (topic, qos) in core.topic_qos() {
+            cfg = cfg.topic_policy(topic.0, qos.overflow_policy());
+        }
+        let server = EdgeServer::bind(addr, cfg, core.cluster.obs())?;
+        let bound = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let driver = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("spindle-dds-relay-{relay}"))
+                .spawn(move || relay_driver(&core, relay, server, &stop))
+                .expect("spawn relay driver")
+        };
+        self.register_relay(RelayHandle {
+            stop,
+            driver: Some(driver),
+        });
+        Ok(bound)
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<DomainCore>, relay: usize) {
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !core.stop.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let core = Arc::clone(&core);
-                conns.push(
-                    std::thread::Builder::new()
-                        .name(format!("spindle-dds-relay-conn-{relay}"))
-                        .spawn(move || {
-                            let _ = serve_connection(stream, core, relay);
-                        })
-                        .expect("spawn relay connection"),
-                );
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                // The relay's reader queues fill regardless of local takes;
-                // pumping here keeps taps flowing even on an idle endpoint.
-                let _ = core.pump(relay);
-                std::thread::sleep(Duration::from_micros(500));
-            }
-            Err(_) => break,
-        }
+/// The bridge between the edge tier and the cluster, one thread per
+/// relay regardless of client count: re-publishes client samples into
+/// the topic's subgroup (answering each with an ack), keeps the relay
+/// member pumped, and fans every tapped delivery out through the edge
+/// server's encode-once path.
+fn relay_driver(core: &Arc<DomainCore>, relay: usize, server: EdgeServer, stop: &AtomicBool) {
+    // One tap per member topic, all feeding one channel. The taps live
+    // in the participant's reader state for the life of the domain;
+    // after this driver exits the sends fail and the taps are pruned.
+    let (tap_tx, tap_rx) = unbounded::<Sample>();
+    for topic in core.member_topics(relay) {
+        core.add_tap(relay, topic, tap_tx.clone());
     }
-    for th in conns {
-        let _ = th.join();
-    }
-}
-
-/// Handles one client connection: a reader half (commands) and a writer
-/// half (samples + acks) sharing an outbound channel.
-fn serve_connection(stream: TcpStream, core: Arc<DomainCore>, relay: usize) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
-    stream.set_nodelay(true)?;
-    let mut reader = stream.try_clone()?;
-    let (out_tx, out_rx) = unbounded::<Vec<u8>>();
-
-    // Writer half.
-    let writer_core = Arc::clone(&core);
-    let mut writer = stream;
-    let writer_th = std::thread::spawn(move || {
-        while !writer_core.stop.load(Ordering::Relaxed) {
-            match out_rx.recv_timeout(Duration::from_millis(5)) {
-                Ok(frame) => {
-                    if writer.write_all(&frame).is_err() {
-                        return;
-                    }
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    // Keep the relay pumped so taps see fresh samples even
-                    // while the local application is not taking.
-                    let _ = writer_core.pump(relay);
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-            }
-        }
-    });
-
-    // Reader half: parse commands until EOF or shutdown.
-    let result = (|| -> io::Result<()> {
-        loop {
-            if core.stop.load(Ordering::Relaxed) {
-                return Ok(());
-            }
-            let mut op = [0u8; 1];
-            match reader.read_exact(&mut op) {
-                Ok(()) => {}
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-                Err(e) => return Err(e),
-            }
-            match op[0] {
-                OP_PUBLISH => {
-                    let mut hdr = [0u8; 5];
-                    read_fully(&mut reader, &mut hdr)?;
-                    let topic = TopicId(hdr[0]);
-                    let len = u32::from_le_bytes(hdr[1..5].try_into().unwrap()) as usize;
-                    let mut data = vec![0u8; len];
-                    read_fully(&mut reader, &mut data)?;
-                    let status = match core.publish_from(relay, topic, &data) {
-                        Ok(()) => 0u8,
-                        Err(crate::domain::DdsError::NotAPublisher(_)) => 1,
-                        Err(_) => 2,
-                    };
-                    let _ = out_tx.send(vec![OP_PUB_ACK, topic.0, status]);
-                }
-                OP_SUBSCRIBE => {
-                    let mut t = [0u8; 1];
-                    read_fully(&mut reader, &mut t)?;
-                    let topic = TopicId(t[0]);
-                    let (tap_tx, tap_rx) = unbounded::<Sample>();
-                    core.add_tap(relay, topic, tap_tx);
-                    // Forwarder: tap -> outbound frames.
-                    let fwd_out = out_tx.clone();
-                    let fwd_core = Arc::clone(&core);
-                    std::thread::spawn(move || forward_tap(tap_rx, fwd_out, fwd_core));
-                }
-                _ => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "unknown relay opcode",
-                    ))
-                }
-            }
-        }
-    })();
-    drop(out_tx);
-    let _ = writer_th.join();
-    result
-}
-
-fn forward_tap(tap_rx: Receiver<Sample>, out: Sender<Vec<u8>>, core: Arc<DomainCore>) {
-    while !core.stop.load(Ordering::Relaxed) {
-        match tap_rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(s) => {
-                let mut frame = Vec::with_capacity(18 + s.data.len());
-                frame.push(OP_SAMPLE);
-                frame.push(s.topic.0);
-                frame.extend_from_slice(&(s.publisher as u32).to_le_bytes());
-                frame.extend_from_slice(&s.index.to_le_bytes());
-                frame.extend_from_slice(&(s.data.len() as u32).to_le_bytes());
-                frame.extend_from_slice(&s.data);
-                if out.send(frame).is_err() {
-                    return;
+    drop(tap_tx);
+    let handle = |req: EdgeRequest| {
+        let status = match core.publish_from(relay, TopicId(req.topic), &req.data) {
+            Ok(()) => 0,
+            Err(crate::domain::DdsError::NotAPublisher(_)) => 1,
+            Err(_) => 2,
+        };
+        server.pub_ack(req.client, req.topic, status);
+    };
+    while !core.stop.load(Ordering::Relaxed) && !stop.load(Ordering::SeqCst) {
+        // Block briefly on publish requests — this doubles as the pump
+        // cadence, matching the old relay's 500 µs idle pump.
+        match server.requests().recv_timeout(Duration::from_micros(500)) {
+            Ok(req) => {
+                handle(req);
+                while let Ok(req) = server.requests().try_recv() {
+                    handle(req);
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+        let _ = core.pump(relay);
+        while let Ok(s) = tap_rx.try_recv() {
+            server.fanout(s.topic.0, s.publisher as u32, s.index, s.epoch, &s.data);
         }
     }
-}
-
-/// Reads exactly `buf.len()` bytes, retrying across read timeouts (the
-/// relay sets a short read timeout so it can observe shutdown).
-fn read_fully(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
-    let mut done = 0;
-    while done < buf.len() {
-        match stream.read(&mut buf[done..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "peer closed mid-frame",
-                ))
-            }
-            Ok(n) => done += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
+    // `server` drops here: the poller is joined and every client socket
+    // closes (clients observe EOF), completing the clean shutdown.
 }
 
 /// A process outside the Derecho group, connected to a relay member over
@@ -277,6 +218,7 @@ fn read_fully(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
 #[derive(Debug)]
 pub struct ExternalClient {
     stream: TcpStream,
+    asm: EdgeAssembler,
     pending_samples: std::collections::VecDeque<Sample>,
     pending_acks: std::collections::VecDeque<(TopicId, PublishStatus)>,
 }
@@ -294,6 +236,7 @@ impl ExternalClient {
         stream.set_read_timeout(Some(Duration::from_millis(10)))?;
         Ok(ExternalClient {
             stream,
+            asm: EdgeAssembler::new(),
             pending_samples: std::collections::VecDeque::new(),
             pending_acks: std::collections::VecDeque::new(),
         })
@@ -308,10 +251,7 @@ impl ExternalClient {
     /// status is returned in the `Ok` value, not as an error.
     pub fn publish(&mut self, topic: TopicId, data: &[u8]) -> io::Result<PublishStatus> {
         let mut frame = Vec::with_capacity(6 + data.len());
-        frame.push(OP_PUBLISH);
-        frame.push(topic.0);
-        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        frame.extend_from_slice(data);
+        encode_publish(topic.0, data, &mut frame);
         self.stream.write_all(&frame)?;
         // Read frames until the ack arrives, buffering samples.
         let deadline = Instant::now() + Duration::from_secs(30);
@@ -326,7 +266,7 @@ impl ExternalClient {
                     "relay did not acknowledge publish",
                 ));
             }
-            self.read_frame()?;
+            self.read_frames()?;
         }
     }
 
@@ -337,7 +277,9 @@ impl ExternalClient {
     ///
     /// I/O errors from the socket.
     pub fn subscribe(&mut self, topic: TopicId) -> io::Result<()> {
-        self.stream.write_all(&[OP_SUBSCRIBE, topic.0])
+        let mut frame = Vec::with_capacity(10);
+        encode_subscribe(topic.0, &mut frame);
+        self.stream.write_all(&frame)
     }
 
     /// Takes the next forwarded sample, waiting up to `timeout`.
@@ -354,54 +296,59 @@ impl ExternalClient {
             if Instant::now() >= deadline {
                 return Ok(None);
             }
-            self.read_frame()?;
+            self.read_frames()?;
         }
     }
 
-    /// Reads at most one frame into the pending queues (returns quietly on
-    /// read timeout).
-    fn read_frame(&mut self) -> io::Result<()> {
-        let mut op = [0u8; 1];
-        match self.stream.read_exact(&mut op) {
-            Ok(()) => {}
+    /// Reads whatever the socket has into the pending queues (returns
+    /// quietly on read timeout).
+    fn read_frames(&mut self) -> io::Result<()> {
+        let mut buf = [0u8; 16 * 1024];
+        let n = match self.stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "relay closed the connection",
+                ))
+            }
+            Ok(n) => n,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 return Ok(());
             }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(()),
             Err(e) => return Err(e),
-        }
-        match op[0] {
-            OP_SAMPLE => {
-                let mut hdr = [0u8; 17];
-                read_fully(&mut self.stream, &mut hdr)?;
-                let topic = TopicId(hdr[0]);
-                let publisher = u32::from_le_bytes(hdr[1..5].try_into().unwrap()) as usize;
-                let index = u64::from_le_bytes(hdr[5..13].try_into().unwrap());
-                let len = u32::from_le_bytes(hdr[13..17].try_into().unwrap()) as usize;
-                let mut data = vec![0u8; len];
-                read_fully(&mut self.stream, &mut data)?;
-                self.pending_samples.push_back(Sample {
+        };
+        self.asm.feed(&buf[..n]);
+        loop {
+            match self.asm.next_frame() {
+                Ok(Some(EdgeFrame::Sample {
                     topic,
                     publisher,
                     index,
+                    epoch,
                     data,
-                });
-            }
-            OP_PUB_ACK => {
-                let mut b = [0u8; 2];
-                read_fully(&mut self.stream, &mut b)?;
-                self.pending_acks
-                    .push_back((TopicId(b[0]), PublishStatus::from_byte(b[1])));
-            }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown client opcode {other}"),
-                ))
+                })) => self.pending_samples.push_back(Sample {
+                    topic: TopicId(topic),
+                    publisher: publisher as usize,
+                    index,
+                    epoch,
+                    data,
+                }),
+                Ok(Some(EdgeFrame::PubAck { topic, status })) => self
+                    .pending_acks
+                    .push_back((TopicId(topic), PublishStatus::from_byte(status))),
+                Ok(Some(_)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "relay sent a client-side frame",
+                    ))
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             }
         }
-        Ok(())
     }
 }
 
@@ -569,5 +516,81 @@ mod tests {
                 Err(_) => break, // socket closed
             }
         }
+    }
+
+    #[test]
+    fn relay_restart_serves_fresh_clients_on_the_same_port() {
+        let (domain, addr) = domain_with_relay();
+        let mut client = ExternalClient::connect(addr).unwrap();
+        client.subscribe(TopicId(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            client.publish(TopicId(1), b"gen1").unwrap(),
+            PublishStatus::Accepted
+        );
+        assert_eq!(
+            client
+                .take_timeout(Duration::from_secs(5))
+                .unwrap()
+                .unwrap()
+                .data,
+            b"gen1"
+        );
+        // Stop the relay: the old client observes EOF, the port frees.
+        domain.stop_external();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while client.take_timeout(Duration::from_millis(20)).is_ok() {
+            assert!(Instant::now() < deadline, "old client never saw the close");
+        }
+        // Restart on the same address; a fresh client resumes service.
+        let addr2 = domain.serve_external_on(0, addr).unwrap();
+        assert_eq!(addr2, addr);
+        let mut client2 = ExternalClient::connect(addr2).unwrap();
+        client2.subscribe(TopicId(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            client2.publish(TopicId(1), b"gen2").unwrap(),
+            PublishStatus::Accepted
+        );
+        assert_eq!(
+            client2
+                .take_timeout(Duration::from_secs(5))
+                .unwrap()
+                .unwrap()
+                .data,
+            b"gen2"
+        );
+    }
+
+    #[test]
+    fn relay_threads_flat_and_cleaned_up() {
+        // The edge tier's thread budget is 2 per relay (poller +
+        // driver), whatever the client count — and both exit on
+        // stop_external.
+        let threads = || {
+            std::fs::read_dir("/proc/self/task")
+                .map(|d| d.count())
+                .unwrap_or(0)
+        };
+        let (domain, addr) = domain_with_relay();
+        let before = threads();
+        let mut clients: Vec<ExternalClient> = (0..20)
+            .map(|_| ExternalClient::connect(addr).unwrap())
+            .collect();
+        for c in &mut clients {
+            c.subscribe(TopicId(1)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let with_clients = threads();
+        assert_eq!(
+            with_clients, before,
+            "20 clients must not add a single thread"
+        );
+        drop(clients);
+        domain.stop_external();
+        // Poller and driver are joined by stop_external, so the count
+        // drops by exactly the relay's two threads.
+        let after = threads();
+        assert_eq!(after, before - 2, "relay threads leaked past shutdown");
     }
 }

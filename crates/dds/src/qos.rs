@@ -58,6 +58,20 @@ impl QosLevel {
     pub fn persists(self) -> bool {
         matches!(self, QosLevel::LoggedStorage)
     }
+
+    /// The edge-relay backpressure policy implied by this level (§4.6
+    /// external clients): an unordered topic may shed its oldest queued
+    /// samples when a client lags (freshest data wins), while every
+    /// ordered level promises each subscriber a prefix of the total
+    /// order — silently dropping frames would break that, so the slow
+    /// client is disconnected instead.
+    pub fn overflow_policy(self) -> spindle_net::edge::OverflowPolicy {
+        if self.is_ordered() {
+            spindle_net::edge::OverflowPolicy::Disconnect
+        } else {
+            spindle_net::edge::OverflowPolicy::ShedOldest
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +101,17 @@ mod tests {
     #[test]
     fn topic_display() {
         assert_eq!(TopicId(7).to_string(), "topic7");
+    }
+
+    #[test]
+    fn overflow_policy_follows_ordering() {
+        use spindle_net::edge::OverflowPolicy;
+        assert_eq!(
+            QosLevel::Unordered.overflow_policy(),
+            OverflowPolicy::ShedOldest
+        );
+        for l in QosLevel::ALL.into_iter().filter(|l| l.is_ordered()) {
+            assert_eq!(l.overflow_policy(), OverflowPolicy::Disconnect);
+        }
     }
 }

@@ -23,13 +23,15 @@ use std::time::{Duration, Instant};
 use spindle_core::threaded::{Cluster, Delivered};
 use spindle_core::{epoch_stats_for_node, NodeMetrics, RunReport, SpindleConfig};
 use spindle_membership::SubgroupId;
-use spindle_net::{join, wire_thread_count, ClusterConfig, TcpFabric, TcpFabricConfig};
+use spindle_net::{
+    join, wire_thread_count, ClusterConfig, EdgeConfig, EdgeServer, TcpFabric, TcpFabricConfig,
+};
 
 const USAGE: &str = "usage: spindle-node --config <cluster.toml> (--node <id> | \
 --join <seed-addr>[,<seed-addr>...] [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
 [--trace-out PATH] [--deadline-secs T] [--linger-ms L] [--min-epoch E] \
 [--quiesce-ms Q] [--crash-after-delivered N] [--metrics-addr ADDR] \
-[--log-level off|error|info|debug]";
+[--relay-addr ADDR] [--serve-secs T] [--log-level off|error|info|debug]";
 
 struct Args {
     config: String,
@@ -54,6 +56,16 @@ struct Args {
     /// Serve `GET /metrics` / `GET /flightrec` on this address (from
     /// the existing poller thread — no thread is added).
     metrics_addr: Option<String>,
+    /// Serve external edge clients (`spindle-loadgen`, DDS externals) on
+    /// this address: one poller thread multiplexes every client,
+    /// publishes are re-sent into the multicast, deliveries fan out
+    /// encode-once to all subscribers.
+    relay_addr: Option<String>,
+    /// Duty-cycle completion override: instead of a delivery target, run
+    /// sponsor/relay duties for this long and then exit cleanly (the
+    /// soak rounds drive traffic through the relay, so the node itself
+    /// has no workload total to wait for).
+    serve: Duration,
     /// Stderr echo level for structured events (overrides `SPINDLE_LOG`).
     log_level: Option<spindle_obs::Level>,
 }
@@ -73,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
     let mut quiesce = Duration::from_millis(800);
     let mut crash_after = 0usize;
     let mut metrics_addr = None;
+    let mut relay_addr = None;
+    let mut serve = Duration::ZERO;
     let mut log_level = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -99,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
                 crash_after = parse_num(&next("--crash-after-delivered")?)? as usize
             }
             "--metrics-addr" => metrics_addr = Some(next("--metrics-addr")?),
+            "--relay-addr" => relay_addr = Some(next("--relay-addr")?),
+            "--serve-secs" => serve = Duration::from_secs(parse_num(&next("--serve-secs")?)?),
             "--log-level" => {
                 let s = next("--log-level")?;
                 log_level = Some(
@@ -130,6 +146,8 @@ fn parse_args() -> Result<Args, String> {
         quiesce,
         crash_after,
         metrics_addr,
+        relay_addr,
+        serve,
         log_level,
     })
 }
@@ -242,6 +260,11 @@ fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
     );
     let i_send = senders.contains(&node);
     let expected = senders.len() as u64 * args.sends as u64;
+    let n_subgroups = cfg
+        .view()
+        .map_err(|e| format!("invalid cluster config: {e}"))?
+        .subgroups()
+        .len();
     workload(
         args,
         cluster,
@@ -252,6 +275,7 @@ fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
         started,
         args.min_epoch,
         0,
+        n_subgroups,
     )
 }
 
@@ -306,6 +330,9 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
         started,
         min_epoch,
         catchup,
+        // A joiner has no parsed topology: defer topic validation to the
+        // multicast send itself.
+        usize::MAX,
     )
 }
 
@@ -327,7 +354,27 @@ fn workload(
     started: Instant,
     min_epoch: u64,
     catchup_bytes: u64,
+    n_subgroups: usize,
 ) -> Result<(), String> {
+    // Edge duty: serve external clients through the single-poller relay
+    // tier. Subgroup = topic; all topics here are ordered multicast, so
+    // every queue runs the default disconnect overflow policy.
+    let relay = match &args.relay_addr {
+        Some(a) => {
+            let addr: std::net::SocketAddr = a
+                .parse()
+                .map_err(|e| format!("bad --relay-addr {a}: {e}"))?;
+            let server =
+                EdgeServer::bind(addr, EdgeConfig::new(format!("node{row}")), cluster.obs())
+                    .map_err(|e| format!("cannot bind --relay-addr {a}: {e}"))?;
+            eprintln!(
+                "spindle-node: n{row} relaying external clients on {}",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     let deadline = started + args.deadline;
     let mut sent = 0u32;
     let mut own_delivered = 0u64;
@@ -345,6 +392,24 @@ fn workload(
                 Err(e) => eprintln!("spindle-node: n{row} join control to {joiner} failed: {e}"),
             }
         }
+        // Relay duty: republish external client samples into the
+        // multicast (so they inherit the total order) and ack each.
+        if let Some(server) = &relay {
+            while let Ok(req) = server.requests().try_recv() {
+                let status = if (req.topic as usize) >= n_subgroups {
+                    1 // not a topic this cluster carries
+                } else {
+                    match cluster
+                        .node(row)
+                        .send(SubgroupId(req.topic as usize), &req.data)
+                    {
+                        Ok(()) => 0,
+                        Err(_) => 2,
+                    }
+                };
+                server.pub_ack(req.client, req.topic, status);
+            }
+        }
         if i_send && sent < args.sends {
             let p = payload(row, sent, args.payload, args.seed);
             match cluster.node(row).try_send(SubgroupId(0), &p) {
@@ -354,6 +419,15 @@ fn workload(
             }
         }
         if let Some(d) = cluster.node(row).recv_timeout(Duration::from_millis(5)) {
+            if let Some(server) = &relay {
+                server.fanout(
+                    d.subgroup.0 as u8,
+                    d.sender_rank as u32,
+                    d.app_index,
+                    d.epoch,
+                    &d.data,
+                );
+            }
             if d.data.len() >= 4
                 && u32::from_le_bytes(d.data[..4].try_into().expect("4-byte header")) == row as u32
             {
@@ -369,7 +443,9 @@ fn workload(
                 std::process::abort();
             }
         }
-        let done = if min_epoch > 0 {
+        let done = if args.serve > Duration::ZERO {
+            started.elapsed() >= args.serve
+        } else if min_epoch > 0 {
             (!i_send || sent == args.sends)
                 && cluster.node(row).epoch() >= min_epoch
                 && own_delivered >= u64::from(if i_send { args.sends } else { 0 })

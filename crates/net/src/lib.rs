@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bootstrap;
+pub mod edge;
 pub mod group;
 pub mod join;
 pub mod metrics;
@@ -56,6 +57,9 @@ pub mod tcp;
 pub mod wire;
 
 pub use bootstrap::{ClusterConfig, ConfigError};
+pub use edge::{
+    EdgeAssembler, EdgeConfig, EdgeFrame, EdgeQueue, EdgeRequest, EdgeServer, OverflowPolicy,
+};
 pub use group::TcpFabricGroup;
 pub use join::{join_cluster, serve_join, JoinConfig, JoinError, Joined, ServeOutcome};
 pub use metrics::{WireMetrics, WireStats};

@@ -1,0 +1,126 @@
+//! Edge-codec properties, mirroring the fabric wire-codec suite:
+//! arbitrary edge frames round-trip, survive any TCP chunking through
+//! the assembler, and truncated / garbage / cross-protocol inputs are
+//! rejected with a typed [`WireError`] — never a panic.
+
+use proptest::prelude::*;
+use spindle_net::edge::{
+    decode_edge_frame, encode_edge_frame, EdgeAssembler, EdgeFrame, MAX_EDGE_FRAME_LEN,
+};
+use spindle_net::wire::WireError;
+
+fn arb_data() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..4096)
+}
+
+fn arb_edge_frame() -> impl Strategy<Value = EdgeFrame> {
+    prop_oneof![
+        (any::<u8>(), arb_data()).prop_map(|(topic, data)| EdgeFrame::Publish { topic, data }),
+        any::<u8>().prop_map(|topic| EdgeFrame::Subscribe { topic }),
+        (
+            any::<u8>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_data()
+        )
+            .prop_map(|(topic, publisher, index, epoch, data)| EdgeFrame::Sample {
+                topic,
+                publisher,
+                index,
+                epoch,
+                data,
+            }),
+        (any::<u8>(), any::<u8>()).prop_map(|(topic, status)| EdgeFrame::PubAck { topic, status }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity and consumes exactly the encoded
+    /// bytes, for every frame kind the relay speaks.
+    #[test]
+    fn edge_frames_roundtrip(frame in arb_edge_frame()) {
+        let mut buf = Vec::new();
+        let n = encode_edge_frame(&frame, &mut buf);
+        prop_assert_eq!(n, buf.len());
+        let (back, used) = decode_edge_frame(&buf).expect("well-formed frame decodes");
+        prop_assert_eq!(used, n);
+        prop_assert_eq!(back, frame);
+    }
+
+    /// The assembler reconstructs a frame sequence identically no matter
+    /// how the byte stream is chunked — this is the property that makes
+    /// the relay immune to TCP segmentation, short reads, and clients
+    /// that dribble bytes.
+    #[test]
+    fn any_chunking_reassembles_identically(
+        frames in proptest::collection::vec(arb_edge_frame(), 1..12),
+        chunks in proptest::collection::vec(1usize..29, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_edge_frame(f, &mut stream);
+        }
+        let mut asm = EdgeAssembler::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut ci = 0;
+        while pos < stream.len() {
+            // Cycle the chunk sizes over the stream.
+            let take = chunks[ci % chunks.len()].min(stream.len() - pos);
+            ci += 1;
+            asm.feed(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(f) = asm.next_frame().expect("valid stream never errors") {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(asm.buffered(), 0);
+    }
+
+    /// Every strict prefix of a valid frame is either "wait for more
+    /// bytes" (assembler returns `None`) — never an error, never a
+    /// partial decode.
+    #[test]
+    fn every_truncation_waits_for_more(frame in arb_edge_frame(), cut_frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        let n = encode_edge_frame(&frame, &mut buf);
+        let cut = ((n as f64 * cut_frac) as usize).min(n - 1); // strict prefix
+        let mut asm = EdgeAssembler::new();
+        asm.feed(&buf[..cut]);
+        prop_assert_eq!(asm.next_frame().expect("prefix is not an error"), None);
+        prop_assert_eq!(asm.buffered(), cut);
+        // Feeding the remainder completes the frame exactly.
+        asm.feed(&buf[cut..]);
+        prop_assert_eq!(asm.next_frame().expect("completed"), Some(frame));
+    }
+
+    /// Arbitrary garbage never panics the decoder: it yields a typed
+    /// error or asks for more bytes, and declared lengths beyond the
+    /// cap are rejected as `Oversized` before any allocation.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match decode_edge_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(WireError::Oversized { len }) => {
+                prop_assert!(len > MAX_EDGE_FRAME_LEN);
+            }
+            Err(_) => {} // any other typed error is acceptable
+        }
+    }
+
+    /// A fabric frame kind fed to the edge decoder (a cross-wired
+    /// connection) fails fast as `BadKind` — the kind ranges are
+    /// disjoint by design.
+    #[test]
+    fn fabric_kinds_are_rejected(kind in 0x01u8..0x07, body in arb_data()) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+        buf.push(kind);
+        buf.extend_from_slice(&body);
+        prop_assert_eq!(decode_edge_frame(&buf), Err(WireError::BadKind(kind)));
+    }
+}

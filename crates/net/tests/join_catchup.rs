@@ -440,10 +440,8 @@ fn check_run(procs: &[NodeProc], results: &[(bool, String, String)]) {
 /// names the real requirement (a joiner endpoint) instead of claiming
 /// the fabric is static — with argument validation still first, exactly
 /// like `remove_node` — and an endpoint-carrying `admit` enforces the
-/// leader-sponsor rule and endpoint validation. The deprecated
-/// `add_node`/`admit_node` shims surface identical errors.
+/// leader-sponsor rule and endpoint validation.
 #[test]
-#[allow(deprecated)]
 fn distributed_join_error_surface() {
     let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
     let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -509,14 +507,17 @@ fn distributed_join_error_surface() {
             .unwrap_err(),
         ViewChangeError::NotLeader { leader: 0 }
     );
-    // The deprecated shims delegate to admit and surface the same
-    // errors, so pre-redesign callers keep compiling and behaving.
+    // Both admission flavors surface errors through the one admit()
+    // entry point: in-process joins are validated against the subgroup
+    // map, remote joins against the leader-sponsor rule.
     assert_eq!(
-        ca.add_node(&[(SubgroupId(9), true)]).unwrap_err(),
+        ca.admit(AdmitRequest::in_process(&[(SubgroupId(9), true)]))
+            .unwrap_err(),
         ViewChangeError::UnknownSubgroup(SubgroupId(9))
     );
     assert_eq!(
-        cb.admit_node("127.0.0.1:9999", true).unwrap_err(),
+        cb.admit(AdmitRequest::remote("127.0.0.1:9999", true))
+            .unwrap_err(),
         ViewChangeError::NotLeader { leader: 0 }
     );
     ca.shutdown();

@@ -51,6 +51,19 @@ pub mod names {
     /// Histogram `{node, phase=agree|barrier}`: view-change phase
     /// durations, recorded in nanoseconds, exposed in seconds.
     pub const VIEW_CHANGE_PHASE: &str = "spindle_view_change_seconds";
+    /// Gauge `{relay}`: external clients connected to an edge relay.
+    pub const RELAY_CLIENTS: &str = "spindle_relay_clients";
+    /// Counter `{relay}`: bytes enqueued for fan-out to external
+    /// clients (encode-once: one sample to N subscribers counts N×).
+    pub const RELAY_FANOUT_BYTES: &str = "spindle_relay_fanout_bytes_total";
+    /// Counter `{relay}`: sample frames enqueued for fan-out.
+    pub const RELAY_FANOUT_FRAMES: &str = "spindle_relay_fanout_frames_total";
+    /// Counter `{relay, reason=slow-consumer|disconnect|admission}`:
+    /// frames or clients shed by relay backpressure.
+    pub const RELAY_SHED: &str = "spindle_relay_shed_total";
+    /// Histogram `{relay}`: fan-out latency (enqueue → flushed to the
+    /// client socket), recorded in nanoseconds, exposed in seconds.
+    pub const RELAY_DELIVERY_LATENCY: &str = "spindle_relay_delivery_latency_seconds";
 }
 
 struct PlaneInner {
