@@ -1308,18 +1308,12 @@ fn durability(opts: &Opts) {
         ("off", None),
         (
             "log, no fsync",
-            Some(PersistConfig {
-                dir: dir("nofsync"),
-                fsync: false,
-            }),
+            Some(PersistConfig::with_options(
+                spindle_persist::PersistOptions::new(dir("nofsync"))
+                    .sync_policy(spindle_persist::SyncPolicy::Never),
+            )),
         ),
-        (
-            "log + fsync",
-            Some(PersistConfig {
-                dir: dir("fsync"),
-                fsync: true,
-            }),
-        ),
+        ("log + fsync", Some(PersistConfig::new(dir("fsync")))),
     ]
     .into_iter()
     .enumerate()

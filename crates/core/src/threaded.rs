@@ -269,25 +269,40 @@ pub struct ViewChangeReport {
 
 /// Durable-mode configuration (Derecho's persistent atomic multicast,
 /// paper footnote 2): every ordered delivery is appended to a per-node,
-/// per-subgroup [`spindle_persist::DurableLog`], and each node advertises
-/// its persistence frontier through the SST `persisted_num` counter (read
-/// it with [`NodeHandle::persistence_frontier`]).
+/// per-subgroup [`spindle_persist::DurableLog`] (segmented, named
+/// `node<row>-g<subgroup>`), and each node advertises its persistence
+/// frontier through the SST `persisted_num` counter (read it with
+/// [`NodeHandle::persistence_frontier`]).
+///
+/// The fsync cadence is governed by
+/// [`spindle_persist::PersistOptions::sync_policy`]: appends always land
+/// in the log (and the frontier advances with them), while the policy
+/// bounds how much of the newest tail an OS crash can lose. Epoch
+/// boundaries (view-change drains) and clean shutdown always fsync.
 #[derive(Debug, Clone)]
 pub struct PersistConfig {
-    /// Directory for the log files (`node<row>-g<subgroup>.log`).
-    pub dir: std::path::PathBuf,
-    /// Whether to fsync after each batch of appends. Turning this off
-    /// trades crash durability of the newest batch for throughput.
-    pub fsync: bool,
+    /// Storage options: directory, sync policy, segment capacity, and
+    /// the disk fault-injection handle.
+    pub options: spindle_persist::PersistOptions,
 }
 
 impl PersistConfig {
-    /// Durable logs under `dir`, fsync on every append batch.
+    /// Durable logs under `dir`, fsync on every append batch
+    /// ([`spindle_persist::SyncPolicy::Always`]).
     pub fn new(dir: impl Into<std::path::PathBuf>) -> PersistConfig {
         PersistConfig {
-            dir: dir.into(),
-            fsync: true,
+            options: spindle_persist::PersistOptions::new(dir),
         }
+    }
+
+    /// Durable logs with explicit [`spindle_persist::PersistOptions`].
+    pub fn with_options(options: spindle_persist::PersistOptions) -> PersistConfig {
+        PersistConfig { options }
+    }
+
+    /// The data directory holding this node's log segments.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.options.dir
     }
 }
 
@@ -357,9 +372,10 @@ struct NodeShared<F: Fabric> {
     /// Cumulative wedge→install time of those view changes, in µs.
     vc_micros: AtomicU64,
     /// Durable logs, one per subgroup, opened lazily (empty unless the
-    /// cluster was started persistent). Shared between the predicate
-    /// thread and the view-change drain.
-    plogs: Mutex<std::collections::HashMap<usize, spindle_persist::DurableLog>>,
+    /// cluster was started persistent), each paired with the sync
+    /// scheduler enforcing its fsync policy. Shared between the
+    /// predicate thread and the view-change drain.
+    plogs: Mutex<std::collections::HashMap<usize, PersistLog>>,
     /// The process-wide observability plane (adopted from the fabric or
     /// created by the cluster): the predicate thread and the view-change
     /// driver publish counters, latency samples and flight events here.
@@ -1334,6 +1350,26 @@ impl<F: Fabric> Cluster<F> {
         &mut self,
         join: reconfig::JoinEndpoint,
     ) -> Result<(usize, ViewChangeReport), ViewChangeError> {
+        // In a distributed deployment the predicate threads install
+        // detector-driven transitions autonomously, so the cluster-side
+        // view may be epochs behind by the time a join is sponsored.
+        // Re-adopt the live view first and drop any leftover report of
+        // such a transition: leadership, the new row id, and the
+        // report-freshness floor below must all be judged against the
+        // real current epoch, or a stale removal report is mistaken for
+        // this join's outcome and every retry livelocks on `Stalled`.
+        if self.factory.is_none() {
+            if let Some(&local) = self.local_rows.iter().next() {
+                let inner = self.nodes[local].shared.inner.lock();
+                self.view = Arc::clone(&inner.view);
+                self.epoch = inner.view.id();
+                drop(inner);
+                let mut slot = self.nodes[local].shared.vc_report.lock();
+                if slot.as_ref().is_some_and(|r| r.epoch <= self.epoch) {
+                    slot.take();
+                }
+            }
+        }
         let old_view = Arc::clone(&self.view);
         let old_epoch = self.epoch;
         let new_row = old_view.members().len();
@@ -1363,9 +1399,21 @@ impl<F: Fabric> Cluster<F> {
         let outcome = self.await_distributed_report(leader, old_epoch);
         // Whatever happened, the intent must not stay armed: a leftover
         // endpoint would ride the *next* unrelated transition's proposal
-        // and install a row whose process long gave up.
+        // and install a row whose process long gave up. The same goes
+        // for a still-pending planned trigger on the failure paths —
+        // left set, it would drive an empty planned transition after
+        // this admit already gave up.
         self.nodes[leader].shared.join_intent.lock().take();
-        let report = outcome?;
+        let report = match outcome {
+            Ok(report) => report,
+            Err(e) => {
+                self.nodes[leader]
+                    .shared
+                    .vc_trigger
+                    .fetch_and(!PLANNED_BIT, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
         // Adopt the installed view cluster-side.
         let inner = self.nodes[leader].shared.inner.lock();
         self.view = Arc::clone(&inner.view);
@@ -1375,7 +1423,12 @@ impl<F: Fabric> Cluster<F> {
             // A concurrent failure-driven transition won the epoch
             // without the join (e.g. the sponsor lost leadership to a
             // suspicion mid-flight). Nothing was corrupted; the caller
-            // may retry against the new view.
+            // may retry against the new view — but our own trigger must
+            // not stay pending, or it fires an epoch that admits nobody.
+            self.nodes[leader]
+                .shared
+                .vc_trigger
+                .fetch_and(!PLANNED_BIT, Ordering::AcqRel);
             return Err(ViewChangeError::Stalled);
         }
         // The joiner runs remotely; keep row indexing uniform with a
@@ -2074,6 +2127,7 @@ fn predicate_thread<F: Fabric>(
 ) {
     let mut idle_spins = 0u32;
     let mut obs_cache: Option<EpochObsCache> = None;
+    let mut persist_cache: Option<PersistObsCache> = None;
     // Heartbeat state (only used when a detector is configured). Rebuilt on
     // every epoch change because the SST (and its counters) start fresh.
     let mut hb_epoch = u64::MAX;
@@ -2263,18 +2317,31 @@ fn predicate_thread<F: Fabric>(
             }
             drop(inner);
             // Durable mode: append this iteration's ordered deliveries to
-            // the per-subgroup log, fsync, then advertise the new frontier.
-            // This happens outside the lock — log I/O must never stall the
-            // application threads (the same reasoning as §3.4).
+            // the per-subgroup log, fsync when the policy says so, then
+            // advertise the new frontier. This happens outside the lock —
+            // log I/O must never stall the application threads (the same
+            // reasoning as §3.4).
             if let Some(pc) = &persist {
+                let pobs = persist_obs(&shared.obs, row, &mut persist_cache);
+                let now_ms = persist_now_ms();
                 let mut plogs = shared.plogs.lock();
                 for (sg, pers_col, members, hi) in persist_work.drain(..) {
-                    let log = open_log(&mut plogs, pc, row, sg);
+                    let entry = open_log(&mut plogs, pc, row, sg, pobs);
+                    let before = entry.log.byte_len();
+                    let mut appended = 0u64;
                     for d in delivered.iter().filter(|d| d.subgroup == sg) {
-                        append_delivery(log, d);
+                        append_delivery(&mut entry.log, d);
+                        entry.sched.record_append(now_ms);
+                        appended += 1;
                     }
-                    if pc.fsync {
-                        log.sync().expect("sync durable log");
+                    pobs.appended.add(appended);
+                    pobs.appended_bytes.add(entry.log.byte_len() - before);
+                    if entry.sched.due(now_ms) {
+                        let t0 = Instant::now();
+                        entry.log.sync().expect("sync durable log");
+                        pobs.fsyncs.inc();
+                        pobs.fsync_latency.record(t0.elapsed().as_nanos() as u64);
+                        entry.sched.synced(now_ms);
                     }
                     let range = sst.set_counter(pers_col, hi);
                     push_to(&mut posts, &members, row, range);
@@ -2307,6 +2374,15 @@ fn predicate_thread<F: Fabric>(
             } else {
                 std::hint::spin_loop();
             }
+        }
+    }
+    // Clean shutdown: whatever the sync policy deferred becomes durable
+    // now. (A simulated crash — `killed` — returns above without this,
+    // deliberately: that is the policy's loss window under test.)
+    if persist.is_some() {
+        let mut plogs = shared.plogs.lock();
+        for entry in plogs.values_mut() {
+            let _ = entry.log.sync();
         }
     }
 }
@@ -2366,13 +2442,28 @@ fn drain_node_through<F: Fabric>(
     // like any others (the predicate thread is parked or is running this
     // drain itself, so we append on its behalf).
     if let Some(pc) = persist {
+        let mut persist_cache: Option<PersistObsCache> = None;
+        let pobs = persist_obs(&shared.obs, row, &mut persist_cache);
+        let now_ms = persist_now_ms();
         let mut plogs = shared.plogs.lock();
+        let mut appended_bytes = 0u64;
         for d in &persisted {
-            let log = open_log(&mut plogs, pc, row, d.subgroup);
-            append_delivery(log, d);
+            let entry = open_log(&mut plogs, pc, row, d.subgroup, pobs);
+            let before = entry.log.byte_len();
+            append_delivery(&mut entry.log, d);
+            entry.sched.record_append(now_ms);
+            appended_bytes += entry.log.byte_len() - before;
         }
-        for log in plogs.values_mut() {
-            log.sync().expect("sync durable log");
+        pobs.appended.add(persisted.len() as u64);
+        pobs.appended_bytes.add(appended_bytes);
+        // Epoch boundaries fsync regardless of policy: the cut the new
+        // view was agreed on must survive a crash.
+        for entry in plogs.values_mut() {
+            let t0 = Instant::now();
+            entry.log.sync().expect("sync durable log");
+            pobs.fsyncs.inc();
+            pobs.fsync_latency.record(t0.elapsed().as_nanos() as u64);
+            entry.sched.synced(now_ms);
         }
     }
     resend
@@ -2845,19 +2936,88 @@ fn distributed_view_change<F: Fabric>(
     shared.wedged.store(false, Ordering::Release);
 }
 
+/// One subgroup's durable log plus the scheduler enforcing its
+/// [`spindle_persist::SyncPolicy`].
+struct PersistLog {
+    log: spindle_persist::DurableLog,
+    sched: spindle_persist::SyncScheduler,
+}
+
+/// Milliseconds since this process first touched the persist path — the
+/// monotonic clock the [`spindle_persist::SyncScheduler`]s run on.
+fn persist_now_ms() -> u64 {
+    static T0: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    T0.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Cached registry handles for the `spindle_persist_*` metric families,
+/// resolved once per node (one label set, no per-epoch churn).
+struct PersistObsCache {
+    appended: spindle_obs::Counter,
+    appended_bytes: spindle_obs::Counter,
+    fsyncs: spindle_obs::Counter,
+    fsync_latency: spindle_obs::LogHistogram,
+    replayed: spindle_obs::Counter,
+}
+
+fn persist_obs<'a>(
+    obs: &ObsPlane,
+    row: usize,
+    cache: &'a mut Option<PersistObsCache>,
+) -> &'a PersistObsCache {
+    if cache.is_none() {
+        let node = row.to_string();
+        let labels = [("node", node.as_str())];
+        let reg = obs.registry();
+        *cache = Some(PersistObsCache {
+            appended: reg.counter(
+                spindle_obs::names::PERSIST_APPENDED,
+                "Deliveries appended to the durable log, by node",
+                &labels,
+            ),
+            appended_bytes: reg.counter(
+                spindle_obs::names::PERSIST_APPENDED_BYTES,
+                "Bytes appended to the durable log (frames included), by node",
+                &labels,
+            ),
+            fsyncs: reg.counter(
+                spindle_obs::names::PERSIST_FSYNCS,
+                "Durable-log fsyncs, by node",
+                &labels,
+            ),
+            fsync_latency: reg.histogram(
+                spindle_obs::names::PERSIST_FSYNC_LATENCY,
+                "Durable-log fsync latency",
+                1e-9,
+                &labels,
+            ),
+            replayed: reg.counter(
+                spindle_obs::names::PERSIST_REPLAYED,
+                "Records recovered from the durable log at open, by node",
+                &labels,
+            ),
+        });
+    }
+    cache.as_ref().expect("cache just filled")
+}
+
 /// Lazily opens (recovering) the durable log of `(row, sg)`.
 fn open_log<'a>(
-    plogs: &'a mut std::collections::HashMap<usize, spindle_persist::DurableLog>,
+    plogs: &'a mut std::collections::HashMap<usize, PersistLog>,
     pc: &PersistConfig,
     row: usize,
     sg: SubgroupId,
-) -> &'a mut spindle_persist::DurableLog {
+    pobs: &PersistObsCache,
+) -> &'a mut PersistLog {
     plogs.entry(sg.0).or_insert_with(|| {
-        std::fs::create_dir_all(&pc.dir).expect("create persist dir");
-        let path = pc.dir.join(format!("node{row}-g{}.log", sg.0));
-        spindle_persist::DurableLog::open(path)
-            .expect("open durable log")
-            .0
+        let name = format!("node{row}-g{}", sg.0);
+        let (log, recovered) =
+            spindle_persist::DurableLog::open_with(&pc.options, &name).expect("open durable log");
+        pobs.replayed.add(recovered.len() as u64);
+        PersistLog {
+            log,
+            sched: pc.options.scheduler(),
+        }
     })
 }
 

@@ -427,8 +427,9 @@ impl DomainCore {
                 let log = match st.logs.entry(topic) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        let path = self.log_dir.join(format!("{topic}-node{node}.log"));
-                        e.insert(spindle_persist::DurableLog::open(path)?.0)
+                        let opts = spindle_persist::PersistOptions::new(&self.log_dir);
+                        let name = format!("{topic}-node{node}");
+                        e.insert(spindle_persist::DurableLog::open_with(&opts, &name)?.0)
                     }
                 };
                 log.append(&spindle_persist::LogRecord {
@@ -540,11 +541,8 @@ impl ParticipantRef<'_> {
                 log.sync()?;
             }
         }
-        let path = self
-            .domain
-            .log_dir
-            .join(format!("{topic}-node{}.log", self.node));
-        Ok(spindle_persist::read_records(path)?)
+        let name = format!("{topic}-node{}", self.node);
+        Ok(spindle_persist::read_log(&self.domain.log_dir, &name)?)
     }
 
     /// The in-memory history of a `VolatileStorage`/`LoggedStorage` topic
@@ -682,8 +680,7 @@ mod tests {
             assert_eq!(r.subgroup, 0);
         }
         // ...and cold, via the persist crate (checksummed format).
-        let cold =
-            spindle_persist::read_records(domain.log_dir().join("topic9-node1.log")).unwrap();
+        let cold = spindle_persist::read_log(domain.log_dir(), "topic9-node1").unwrap();
         assert_eq!(cold, records);
         let _ = std::fs::remove_dir_all(domain.log_dir());
     }

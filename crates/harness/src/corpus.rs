@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use spindle_core::{SimFault, SimFaultKind, SpindleConfig, VcBoundary};
+use spindle_persist::SyncPolicy;
 
 use crate::scenario::{
     crash_at, fast_detector, random_scenario, ClusterSpec, Event, Scenario, ScenarioKind, SgSpec,
@@ -313,6 +314,8 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
             config: SpindleConfig::optimized(),
             detector: None,
             persist: false,
+            sync_policy: None,
+            segment_cap: None,
         },
         vec![
             Event::Burst {
@@ -525,7 +528,113 @@ pub fn corpus(seed: u64) -> Vec<Scenario> {
         ));
     }
 
+    // 28/29. The restart-replay twins: a durable cluster loses a member
+    // to a silent crash mid-stream (detector-driven removal), and the
+    // survivors stream on. Beyond the usual oracles, the replay-prefix
+    // oracle pins the restart contract: what the killed node would
+    // replay from its data directory is bit-identical to the survivors'
+    // delivery stream — exactly the state a `spindle-node --join`
+    // restart carries back into the cluster.
+    out.push(threaded(
+        "restart-replay-under-traffic",
+        seed,
+        restart_replay_spec(),
+        restart_replay_events(),
+    ));
+    out.push(threaded_tcp(
+        "loopback-tcp-restart-replay",
+        seed,
+        restart_replay_spec(),
+        restart_replay_events(),
+    ));
+
+    // 30. Slow disk under traffic: every fsync takes an extra 500 us
+    // (injected at the DurableLog layer through the shared fault
+    // handle), under a batched sync policy. Ordering and the replay
+    // contract must hold regardless of fsync latency.
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.persist = true;
+    spec.sync_policy = Some(SyncPolicy::EveryN(4));
+    out.push(threaded(
+        "slow-fsync-under-traffic",
+        seed,
+        spec,
+        vec![
+            burst(0, 8),
+            Event::PersistSyncDelay { micros: 500 },
+            burst(1, 10),
+            burst(2, 10),
+            Event::PersistSyncDelay { micros: 0 },
+            burst(0, 6),
+            Event::Settle { millis: 150 },
+        ],
+    ));
+
+    // 31. Disk stall and recovery: fsyncs hang outright for 150 ms
+    // mid-stream (no detector — a hung disk must not look like a dead
+    // node), then the stall clears and traffic resumes. The cluster
+    // must recover without a view change and stay oracle-clean.
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.persist = true;
+    out.push(threaded(
+        "disk-stall-recovery",
+        seed,
+        spec,
+        vec![
+            burst(0, 6),
+            burst(1, 6),
+            Event::PersistStall { millis: 150 },
+            burst(1, 8),
+            burst(2, 8),
+            Event::Settle { millis: 150 },
+        ],
+    ));
+
+    // 32. Segment rotation: a 256-byte segment cap rolls the durable log
+    // over every few records, so shutdown replay (and the replay-prefix
+    // oracle after the removal) reads across many segment files.
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.persist = true;
+    spec.segment_cap = Some(256);
+    out.push(threaded(
+        "segmented-log-rotation",
+        seed,
+        spec,
+        vec![
+            burst(0, 12),
+            burst(1, 12),
+            Event::Settle { millis: 60 },
+            Event::Remove { node: 2 },
+            burst(0, 8),
+            Event::Settle { millis: 120 },
+        ],
+    ));
+
     out
+}
+
+/// The restart-replay schedule (scenarios 28/29): durable traffic, a
+/// silent crash, detector-driven removal, then survivor traffic across
+/// the epoch boundary.
+fn restart_replay_events() -> Vec<Event> {
+    vec![
+        Event::Settle { millis: 30 },
+        burst(0, 10),
+        burst(1, 10),
+        burst(2, 6),
+        Event::Crash { node: 2 },
+        Event::AwaitSuspicion { suspect: 2 },
+        burst(0, 8),
+        burst(1, 8),
+        Event::Settle { millis: 250 },
+    ]
+}
+
+fn restart_replay_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::all_senders(3, 16, 64);
+    spec.detector = Some(fast_detector());
+    spec.persist = true;
+    spec
 }
 
 #[cfg(test)]

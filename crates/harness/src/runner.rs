@@ -21,6 +21,7 @@ use spindle_core::{PersistConfig, SimCluster, Workload};
 use spindle_fabric::{Fabric, NodeId};
 use spindle_membership::{SubgroupId, View, ViewBuilder};
 use spindle_net::TcpFabricGroup;
+use spindle_persist::{PersistFaults, PersistOptions};
 
 use crate::oracle::{self, EpochMembers, OracleCheck};
 use crate::scenario::{ClusterSpec, Event, Scenario, ScenarioKind, SimScenario, ThreadedScenario};
@@ -121,6 +122,9 @@ struct ThreadedRun {
     acked: BTreeMap<(usize, usize), Vec<Vec<u8>>>,
     epochs: EpochMembers,
     errors: Vec<String>,
+    /// The durable logs' fault-injection handle (shared with every log
+    /// the cluster opens), so the timeline can slow or hang the disk.
+    faults: PersistFaults,
 }
 
 impl ThreadedRun {
@@ -239,21 +243,45 @@ impl ThreadedRun {
                 // Every survivor reports independently; drain the rest.
                 while cluster.suspicions().try_recv().is_ok() {}
             }
+            Event::PersistSyncDelay { micros } => {
+                self.faults.set_sync_delay(Duration::from_micros(*micros));
+            }
+            Event::PersistStall { millis } => {
+                self.faults.set_stalled(true);
+                std::thread::sleep(Duration::from_millis(*millis));
+                self.faults.set_stalled(false);
+            }
             Event::Settle { millis } => std::thread::sleep(Duration::from_millis(*millis)),
         }
     }
 }
 
+/// Lowers the scenario's persistence knobs into open options around the
+/// run's shared fault handle.
+fn persist_config(spec: &ClusterSpec, dir: PathBuf, faults: &PersistFaults) -> PersistConfig {
+    let mut opts = PersistOptions::new(dir).faults(faults.clone());
+    if let Some(policy) = spec.sync_policy {
+        opts = opts.sync_policy(policy);
+    }
+    if let Some(cap) = spec.segment_cap {
+        opts = opts.segment_cap(cap);
+    }
+    PersistConfig::with_options(opts)
+}
+
 fn run_threaded(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
     let view = build_view(&t.spec);
     let persist_dir = t.spec.persist.then(|| fresh_persist_dir(&s.name, s.seed));
+    let faults = PersistFaults::new();
     let cluster = Cluster::start_configured(
         view,
         t.spec.config.clone(),
         t.spec.detector.clone(),
-        persist_dir.clone().map(PersistConfig::new),
+        persist_dir
+            .clone()
+            .map(|d| persist_config(&t.spec, d, &faults)),
     );
-    drive_threaded(s, t, cluster, persist_dir, &|_| {}, &|| None)
+    drive_threaded(s, t, cluster, persist_dir, faults, &|_| {}, &|| None)
 }
 
 /// The loopback-TCP runner: the identical schedule over a
@@ -265,6 +293,7 @@ fn run_threaded(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
 fn run_threaded_tcp(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
     let view = build_view(&t.spec);
     let persist_dir = t.spec.persist.then(|| fresh_persist_dir(&s.name, s.seed));
+    let faults = PersistFaults::new();
     // The current epoch's group, stashed by the factory so fault events
     // can reach the sockets.
     let slot: std::sync::Arc<std::sync::Mutex<Option<TcpFabricGroup>>> =
@@ -275,10 +304,12 @@ fn run_threaded_tcp(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
             view,
             t.spec.config.clone(),
             t.spec.detector.clone(),
-            persist_dir.clone().map(PersistConfig::new),
-            move |n, words, faults| {
-                let g =
-                    TcpFabricGroup::loopback(n, words, faults).expect("loopback TCP fabric group");
+            persist_dir
+                .clone()
+                .map(|d| persist_config(&t.spec, d, &faults)),
+            move |n, words, wire_faults| {
+                let g = TcpFabricGroup::loopback(n, words, wire_faults)
+                    .expect("loopback TCP fabric group");
                 *slot.lock().expect("group slot") = Some(g.clone());
                 g
             },
@@ -298,14 +329,24 @@ fn run_threaded_tcp(s: &Scenario, t: &ThreadedScenario) -> ScenarioOutcome {
             (t.frames_posted, t.frames_received)
         })
     };
-    drive_threaded(s, t, cluster, persist_dir, &on_isolate, &wire_totals)
+    drive_threaded(
+        s,
+        t,
+        cluster,
+        persist_dir,
+        faults,
+        &on_isolate,
+        &wire_totals,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive_threaded<F: Fabric>(
     s: &Scenario,
     t: &ThreadedScenario,
     mut cluster: Cluster<F>,
     persist_dir: Option<PathBuf>,
+    faults: PersistFaults,
     on_isolate: &dyn Fn(usize),
     wire_totals: &dyn Fn() -> Option<(u64, u64)>,
 ) -> ScenarioOutcome {
@@ -315,6 +356,7 @@ fn drive_threaded<F: Fabric>(
         acked: BTreeMap::new(),
         epochs: EpochMembers::new(),
         errors: Vec::new(),
+        faults,
     };
     record_epoch(&mut run.epochs, cluster.view());
     for ev in &t.events {
@@ -403,7 +445,8 @@ fn drive_threaded<F: Fabric>(
     let num_sgs = t.spec.subgroups.len();
     cluster.shutdown();
     if let Some(dir) = &persist_dir {
-        checks.push(check_persist_replay(dir, &streams, num_sgs));
+        checks.push(check_persist_replay(dir, &streams, &run.live, num_sgs));
+        checks.push(check_replay_prefix(dir, &streams, &run.live, num_sgs));
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -428,13 +471,17 @@ fn fresh_persist_dir(name: &str, seed: u64) -> PathBuf {
 
 /// Durable-mode oracle: reopening every per-node log (which replays and
 /// checksums it) must reproduce exactly the delivery stream the node's
-/// channel carried — the restart-replay contract.
+/// channel carried — the restart-replay contract. A *crashed* node is
+/// held to prefix semantics instead: the kill can land between a
+/// delivery's channel push and its append, so its log may legitimately
+/// stop short of its channel stream, but never diverge from it.
 fn check_persist_replay(
     dir: &Path,
     streams: &BTreeMap<usize, Vec<Delivered>>,
+    live: &BTreeSet<usize>,
     num_sgs: usize,
 ) -> OracleCheck {
-    let violation = persist_violation(dir, streams, num_sgs);
+    let violation = persist_violation(dir, streams, live, num_sgs);
     OracleCheck {
         name: "persist-replay",
         passed: violation.is_none(),
@@ -442,42 +489,119 @@ fn check_persist_replay(
     }
 }
 
+fn record_matches(r: &spindle_persist::LogRecord, d: &Delivered) -> bool {
+    r.epoch == d.epoch
+        && r.subgroup as usize == d.subgroup.0
+        && r.seq == d.seq
+        && r.sender_rank as usize == d.sender_rank
+        && r.app_index == d.app_index
+        && r.data == d.data
+}
+
 fn persist_violation(
     dir: &Path,
     streams: &BTreeMap<usize, Vec<Delivered>>,
+    live: &BTreeSet<usize>,
     num_sgs: usize,
 ) -> Option<String> {
     for (&node, stream) in streams {
         for g in 0..num_sgs {
             let expected: Vec<&Delivered> = stream.iter().filter(|d| d.subgroup.0 == g).collect();
-            let path = dir.join(format!("node{node}-g{g}.log"));
-            if !path.exists() {
-                if expected.is_empty() {
-                    continue;
-                }
-                return Some(format!("node {node} g{g}: log missing"));
-            }
-            let records = match spindle_persist::read_records(&path) {
+            let records = match spindle_persist::read_log(dir, &format!("node{node}-g{g}")) {
                 Ok(r) => r,
                 Err(e) => return Some(format!("node {node} g{g}: log unreadable: {e}")),
             };
-            if records.len() != expected.len() {
+            let crashed = !live.contains(&node);
+            if records.is_empty() && !expected.is_empty() && !crashed {
+                return Some(format!("node {node} g{g}: log missing or empty"));
+            }
+            if records.len() != expected.len() && !crashed {
                 return Some(format!(
                     "node {node} g{g}: log has {} records, channel delivered {}",
                     records.len(),
                     expected.len()
                 ));
             }
+            if crashed && records.len() > expected.len() {
+                return Some(format!(
+                    "node {node} g{g}: crashed node's log has {} records, beyond its {} \
+                     channel deliveries",
+                    records.len(),
+                    expected.len()
+                ));
+            }
             for (i, (r, d)) in records.iter().zip(&expected).enumerate() {
-                let matches = r.epoch == d.epoch
-                    && r.subgroup as usize == d.subgroup.0
-                    && r.seq == d.seq
-                    && r.sender_rank as usize == d.sender_rank
-                    && r.app_index == d.app_index
-                    && r.data == d.data;
-                if !matches {
+                if !record_matches(r, d) {
                     return Some(format!(
                         "node {node} g{g}: record {i} diverges from the delivery stream"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Restart-replay oracle: what a killed node would replay from its data
+/// directory on restart must be **bit-identical to the survivors'
+/// delivery stream** — a prefix of the agreed total order, not merely
+/// self-consistent. This is the contract the `spindle-node` restart path
+/// relies on: replayed history equals the prefix the cluster remembers.
+fn check_replay_prefix(
+    dir: &Path,
+    streams: &BTreeMap<usize, Vec<Delivered>>,
+    live: &BTreeSet<usize>,
+    num_sgs: usize,
+) -> OracleCheck {
+    let violation = replay_prefix_violation(dir, streams, live, num_sgs);
+    OracleCheck {
+        name: "replay-prefix-identical",
+        passed: violation.is_none(),
+        detail: violation.unwrap_or_default(),
+    }
+}
+
+fn replay_prefix_violation(
+    dir: &Path,
+    streams: &BTreeMap<usize, Vec<Delivered>>,
+    live: &BTreeSet<usize>,
+    num_sgs: usize,
+) -> Option<String> {
+    for &node in streams.keys() {
+        if live.contains(&node) {
+            continue;
+        }
+        for g in 0..num_sgs {
+            let records = match spindle_persist::read_log(dir, &format!("node{node}-g{g}")) {
+                Ok(r) => r,
+                Err(e) => return Some(format!("node {node} g{g}: log unreadable: {e}")),
+            };
+            // Compare against a survivor that is a member of the same
+            // subgroup (it delivered at least as much of g's order).
+            let Some((survivor, reference)) = live
+                .iter()
+                .filter_map(|&n| streams.get(&n).map(|st| (n, st)))
+                .map(|(n, st)| {
+                    let f: Vec<&Delivered> = st.iter().filter(|d| d.subgroup.0 == g).collect();
+                    (n, f)
+                })
+                .max_by_key(|(_, f)| f.len())
+            else {
+                continue;
+            };
+            if records.len() > reference.len() {
+                return Some(format!(
+                    "node {node} g{g}: replayed {} records, but survivor {survivor} \
+                     delivered only {}",
+                    records.len(),
+                    reference.len()
+                ));
+            }
+            for (i, (r, d)) in records.iter().zip(&reference).enumerate() {
+                if !record_matches(r, d) {
+                    return Some(format!(
+                        "node {node} g{g}: replayed record {i} differs from survivor \
+                         {survivor}'s delivery stream"
                     ));
                 }
             }

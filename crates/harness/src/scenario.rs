@@ -13,6 +13,7 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spindle_core::{DetectorConfig, SimFault, SimFaultKind, SpindleConfig, VcBoundary};
+use spindle_persist::SyncPolicy;
 
 /// One subgroup of the scenario's cluster.
 #[derive(Debug, Clone)]
@@ -42,6 +43,13 @@ pub struct ClusterSpec {
     /// Run in durable mode and check log replay against the delivery
     /// streams at the end.
     pub persist: bool,
+    /// Durable-log fsync cadence (durable mode only; `None` keeps the
+    /// default [`SyncPolicy::Always`]).
+    pub sync_policy: Option<SyncPolicy>,
+    /// Durable-log segment rollover in bytes (durable mode only; `None`
+    /// keeps the default cap). Tiny caps force rotation under scenario
+    /// traffic, so replay is exercised across segment boundaries.
+    pub segment_cap: Option<u64>,
 }
 
 impl ClusterSpec {
@@ -59,6 +67,8 @@ impl ClusterSpec {
             config: SpindleConfig::optimized(),
             detector: None,
             persist: false,
+            sync_policy: None,
+            segment_cap: None,
         }
     }
 }
@@ -155,6 +165,22 @@ pub enum Event {
     AwaitSuspicion {
         /// The node that must be suspected.
         suspect: usize,
+    },
+    /// Slow disk: every durable-log fsync takes at least `micros` extra
+    /// (0 removes the fault). Injected at the `DurableLog` layer through
+    /// the run's shared [`spindle_persist::PersistFaults`] handle;
+    /// durable mode only.
+    PersistSyncDelay {
+        /// Added per-fsync stall in microseconds.
+        micros: u64,
+    },
+    /// Hung disk: durable-log fsyncs block outright for `millis`, then
+    /// the stall clears and the cluster must recover. The driver thread
+    /// waits out the window, so no other event runs while the disk
+    /// hangs; durable mode only.
+    PersistStall {
+        /// Stall window in milliseconds.
+        millis: u64,
     },
     /// Let the cluster run undisturbed for the given wall-clock time.
     Settle {

@@ -15,8 +15,22 @@
 //! view. Founding members sponsor joins automatically: any `JOIN` that
 //! lands on their listener is served from the main loop (the leader
 //! commits it; everyone else redirects).
+//!
+//! With persistence configured (`--data-dir`, or a `data_dir` key in the
+//! cluster file) every delivery is appended to a per-subgroup durable
+//! log before rejoining counts it done. A killed process restarted over
+//! the same `--data-dir` **replays** that log first — torn tails
+//! truncated, CRCs checked — prints the recovered record stream summary
+//! (and writes it to `--replay-out` in the trace format), then rejoins
+//! with `--join`, continuing its history where the crash cut it.
+//!
+//! Every flag and file key is lowered through the typed
+//! [`NodeConfig`] builder (CLI > cluster file > default), so the binary,
+//! the acceptance tests and the harness all construct nodes by one set
+//! of precedence and validation rules.
 
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -24,145 +38,30 @@ use spindle_core::threaded::{Cluster, Delivered};
 use spindle_core::{epoch_stats_for_node, NodeMetrics, RunReport, SpindleConfig};
 use spindle_membership::SubgroupId;
 use spindle_net::{
-    join, wire_thread_count, ClusterConfig, EdgeConfig, EdgeServer, TcpFabric, TcpFabricConfig,
+    join, wire_thread_count, EdgeConfig, EdgeServer, NodeConfig, NodeRole, TcpFabric,
+    TcpFabricConfig,
 };
+use spindle_persist::LogRecord;
 
 const USAGE: &str = "usage: spindle-node --config <cluster.toml> (--node <id> | \
 --join <seed-addr>[,<seed-addr>...] [--listen ADDR]) [--sends N] [--payload BYTES] [--seed S] \
+[--data-dir DIR] [--sync-policy always|every-n=<N>|interval-ms=<T>|never] \
+[--segment-cap BYTES] [--replay-out PATH] \
 [--trace-out PATH] [--deadline-secs T] [--linger-ms L] [--min-epoch E] \
 [--quiesce-ms Q] [--crash-after-delivered N] [--metrics-addr ADDR] \
 [--relay-addr ADDR] [--serve-secs T] [--log-level off|error|info|debug]";
 
-struct Args {
-    config: String,
-    node: Option<usize>,
-    join: Option<String>,
-    listen: String,
-    sends: u32,
-    payload: usize,
-    seed: u64,
-    trace_out: Option<String>,
-    deadline: Duration,
-    linger: Duration,
-    /// Failover mode: instead of a fixed delivery total, finish once the
-    /// epoch reached this value, all own sends were delivered back, and
-    /// the stream stayed quiet for `quiesce` (survivors cannot know how
-    /// much of a crashed peer's tail survives the cut).
-    min_epoch: u64,
-    quiesce: Duration,
-    /// Fault injection for the failover test: abort the process (no
-    /// cleanup, sockets die mid-stream) after this many deliveries.
-    crash_after: usize,
-    /// Serve `GET /metrics` / `GET /flightrec` on this address (from
-    /// the existing poller thread — no thread is added).
-    metrics_addr: Option<String>,
-    /// Serve external edge clients (`spindle-loadgen`, DDS externals) on
-    /// this address: one poller thread multiplexes every client,
-    /// publishes are re-sent into the multicast, deliveries fan out
-    /// encode-once to all subscribers.
-    relay_addr: Option<String>,
-    /// Duty-cycle completion override: instead of a delivery target, run
-    /// sponsor/relay duties for this long and then exit cleanly (the
-    /// soak rounds drive traffic through the relay, so the node itself
-    /// has no workload total to wait for).
-    serve: Duration,
-    /// Stderr echo level for structured events (overrides `SPINDLE_LOG`).
-    log_level: Option<spindle_obs::Level>,
-}
+/// Byte budget of the durable-log tail a sponsor ships in its
+/// state-transfer snapshot (the newest records that fit).
+const JOIN_TAIL_BUDGET: usize = 256 * 1024;
 
-fn parse_args() -> Result<Args, String> {
-    let mut config = None;
-    let mut node = None;
-    let mut join = None;
-    let mut listen = "127.0.0.1:0".to_string();
-    let mut sends = 20u32;
-    let mut payload = 24usize;
-    let mut seed = 42u64;
-    let mut trace_out = None;
-    let mut deadline = Duration::from_secs(60);
-    let mut linger = Duration::from_millis(1500);
-    let mut min_epoch = 0u64;
-    let mut quiesce = Duration::from_millis(800);
-    let mut crash_after = 0usize;
-    let mut metrics_addr = None;
-    let mut relay_addr = None;
-    let mut serve = Duration::ZERO;
-    let mut log_level = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut next = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}\n{USAGE}"))
-        };
-        match a.as_str() {
-            "--config" => config = Some(next("--config")?),
-            "--node" => node = Some(parse_num(&next("--node")?)?),
-            "--join" => join = Some(next("--join")?),
-            "--listen" => listen = next("--listen")?,
-            "--sends" => sends = parse_num(&next("--sends")?)? as u32,
-            "--payload" => payload = parse_num(&next("--payload")?)? as usize,
-            "--seed" => seed = parse_num(&next("--seed")?)?,
-            "--trace-out" => trace_out = Some(next("--trace-out")?),
-            "--deadline-secs" => {
-                deadline = Duration::from_secs(parse_num(&next("--deadline-secs")?)?)
-            }
-            "--linger-ms" => linger = Duration::from_millis(parse_num(&next("--linger-ms")?)?),
-            "--min-epoch" => min_epoch = parse_num(&next("--min-epoch")?)?,
-            "--quiesce-ms" => quiesce = Duration::from_millis(parse_num(&next("--quiesce-ms")?)?),
-            "--crash-after-delivered" => {
-                crash_after = parse_num(&next("--crash-after-delivered")?)? as usize
-            }
-            "--metrics-addr" => metrics_addr = Some(next("--metrics-addr")?),
-            "--relay-addr" => relay_addr = Some(next("--relay-addr")?),
-            "--serve-secs" => serve = Duration::from_secs(parse_num(&next("--serve-secs")?)?),
-            "--log-level" => {
-                let s = next("--log-level")?;
-                log_level = Some(
-                    spindle_obs::Level::parse(&s)
-                        .ok_or_else(|| format!("bad --log-level {s}\n{USAGE}"))?,
-                );
-            }
-            "--help" | "-h" => return Err(USAGE.to_string()),
-            other => return Err(format!("unknown flag {other}\n{USAGE}")),
-        }
-    }
-    if node.is_none() == join.is_none() {
-        return Err(format!(
-            "exactly one of --node / --join is required\n{USAGE}"
-        ));
-    }
-    Ok(Args {
-        config: config.ok_or_else(|| format!("--config is required\n{USAGE}"))?,
-        node: node.map(|n| n as usize),
-        join,
-        listen,
-        sends,
-        payload,
-        seed,
-        trace_out,
-        deadline,
-        linger,
-        min_epoch,
-        quiesce,
-        crash_after,
-        metrics_addr,
-        relay_addr,
-        serve,
-        log_level,
-    })
-}
-
-fn parse_num(s: &str) -> Result<u64, String> {
-    s.parse().map_err(|_| format!("not a number: {s}\n{USAGE}"))
-}
-
-/// Applies the observability flags: echo level, then the exposition
+/// Applies the observability settings: echo level, then the exposition
 /// endpoint (served by the fabric's existing poller thread).
-fn start_obs(args: &Args, fabric: &TcpFabric, row: usize) -> Result<(), String> {
-    if let Some(level) = args.log_level {
+fn start_obs(cfg: &NodeConfig, fabric: &TcpFabric, row: usize) -> Result<(), String> {
+    if let Some(level) = cfg.obs.log_level {
         fabric.obs_plane().set_level(level);
     }
-    if let Some(addr) = &args.metrics_addr {
+    if let Some(addr) = &cfg.obs.metrics_addr {
         let bound = fabric
             .serve_metrics(addr.as_str())
             .map_err(|e| format!("cannot bind --metrics-addr {addr}: {e}"))?;
@@ -197,6 +96,17 @@ fn trace_line(d: &Delivered) -> String {
     )
 }
 
+/// One replayed durable-log record in exactly the delivery-trace line
+/// format, so a restarted node's replayed history is directly comparable
+/// to the survivors' delivery traces.
+fn replay_line(r: &LogRecord) -> String {
+    let hex: String = r.data.iter().map(|b| format!("{b:02x}")).collect();
+    format!(
+        "{} {} {} {} {} {hex}",
+        r.epoch, r.subgroup, r.sender_rank, r.app_index, r.seq
+    )
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -208,94 +118,119 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let text = std::fs::read_to_string(&args.config)
-        .map_err(|e| format!("cannot read {}: {e}", args.config))?;
-    let cfg = ClusterConfig::parse(&text).map_err(|e| e.to_string())?;
-    if let Some(seed) = args.join.clone() {
-        run_joiner(&args, &cfg, seed)
-    } else {
-        run_member(&args, &cfg)
+    let builder = NodeConfig::builder().apply_cli(std::env::args().skip(1));
+    if builder.wants_help() {
+        return Err(USAGE.to_string());
+    }
+    let cfg = builder.build().map_err(|e| format!("{e}\n{USAGE}"))?;
+    match cfg.role.clone() {
+        NodeRole::Member { node } => run_member(&cfg, node),
+        NodeRole::Joiner { seeds, listen } => run_joiner(&cfg, seeds, &listen),
     }
 }
 
 /// A founding member: bootstrap the full-mesh handshake at epoch 0 and
 /// host the configured row.
-fn run_member(args: &Args, cfg: &ClusterConfig) -> Result<(), String> {
-    let node = args.node.expect("member mode has --node");
-    if node >= cfg.nodes() {
-        return Err(format!(
-            "--node {node} out of range (cluster has {} nodes)",
-            cfg.nodes()
-        ));
-    }
-    let view = cfg
+fn run_member(cfg: &NodeConfig, node: usize) -> Result<(), String> {
+    let cluster_cfg = &cfg.cluster;
+    let view = cluster_cfg
         .view()
         .map_err(|e| format!("invalid cluster config: {e}"))?;
-    let region_words = cfg.region_words();
-    let senders = cfg.sender_ids();
+    let region_words = cluster_cfg.region_words();
+    let senders = cluster_cfg.sender_ids();
 
-    let mut net = TcpFabricConfig::new(node, cfg.addrs.clone(), region_words);
+    let mut net = TcpFabricConfig::new(node, cluster_cfg.addrs.clone(), region_words);
     net.epoch = view.id();
     let fabric = TcpFabric::bootstrap(net).map_err(|e| format!("bootstrap: {e}"))?;
-    start_obs(args, &fabric, node)?;
+    start_obs(cfg, &fabric, node)?;
     eprintln!(
         "spindle-node: n{node} listening on {}, awaiting {} peers",
         fabric.local_addr(),
-        cfg.nodes() - 1
+        cluster_cfg.nodes() - 1
     );
     fabric
         .wait_connected(Duration::from_secs(30))
         .map_err(|e| format!("handshake: {e}"))?;
     eprintln!("spindle-node: n{node} mesh up");
 
+    let persist = cfg.persist.as_ref();
+    if let Some(p) = persist {
+        eprintln!(
+            "spindle-node: n{node} persisting to {} ({}, segments of {} B)",
+            p.data_dir.display(),
+            p.sync_policy,
+            p.segment_cap
+        );
+    }
     let started = Instant::now();
     let cluster = Cluster::start_distributed(
         view,
         SpindleConfig::optimized(),
-        cfg.detector(),
-        None,
+        cluster_cfg.detector(),
+        persist.map(|p| p.to_persist_config()),
         &[node],
         fabric.clone(),
     );
     let i_send = senders.contains(&node);
-    let expected = senders.len() as u64 * args.sends as u64;
-    let n_subgroups = cfg
+    let expected = senders.len() as u64 * cfg.run.sends as u64;
+    let n_subgroups = cluster_cfg
         .view()
         .map_err(|e| format!("invalid cluster config: {e}"))?
         .subgroups()
         .len();
     workload(
-        args,
+        cfg,
         cluster,
         fabric,
         node,
         i_send,
         expected,
         started,
-        args.min_epoch,
+        cfg.run.min_epoch,
         0,
         n_subgroups,
     )
 }
 
-/// A joiner: run the admission handshake against the seeds (dialed
-/// round-robin until one admits us), then host the assigned row of the
-/// grown view from its join epoch onward.
-fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), String> {
+/// A joiner: replay any durable history under the data directory, run
+/// the admission handshake against the seeds (dialed round-robin until
+/// one admits us), then host the assigned row of the grown view from its
+/// join epoch onward — appending new deliveries after the replayed tail.
+fn run_joiner(cfg: &NodeConfig, seeds: Vec<String>, listen: &str) -> Result<(), String> {
     let started = Instant::now();
-    let listener = std::net::TcpListener::bind(&args.listen)
-        .map_err(|e| format!("cannot bind --listen {}: {e}", args.listen))?;
+
+    // Restart replay: recover the durable history *before* dialing, so a
+    // crash-restarted node knows exactly what it already delivered. Torn
+    // tails and CRC damage were truncated by the log layer; what is left
+    // is the bit-exact prefix of this node's pre-crash delivery stream.
+    let mut replayed_records = 0u64;
+    let mut replayed_bytes = 0u64;
+    if let Some(p) = &cfg.persist {
+        let records = spindle_persist::all_records_sorted(&p.data_dir)
+            .map_err(|e| format!("cannot replay {}: {e}", p.data_dir.display()))?;
+        replayed_records = records.len() as u64;
+        replayed_bytes = records.iter().map(|r| r.encoded_len() as u64).sum();
+        eprintln!(
+            "spindle-node: replayed {replayed_records} durable-log records \
+             ({replayed_bytes} B) from {}",
+            p.data_dir.display()
+        );
+        if let Some(path) = &cfg.run.replay_out {
+            let mut out = String::with_capacity(records.len() * 48);
+            for r in &records {
+                out.push_str(&replay_line(r));
+                out.push('\n');
+            }
+            std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot bind --listen {listen}: {e}"))?;
     let advertise = listener
         .local_addr()
         .map_err(|e| format!("listen addr: {e}"))?
         .to_string();
-    let seeds: Vec<String> = seed
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(String::from)
-        .collect();
     eprintln!("spindle-node: joiner listening on {advertise}, dialing seeds {seeds:?}");
     let joined = spindle_net::join_cluster(join::JoinConfig {
         seeds,
@@ -303,8 +238,9 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
         advertise,
         as_sender: true,
         config: SpindleConfig::optimized(),
-        detector: cfg.detector(),
-        deadline: args.deadline,
+        detector: cfg.cluster.detector(),
+        deadline: cfg.run.deadline,
+        persist: cfg.persist.as_ref().map(|p| p.to_persist_config()),
     })
     .map_err(|e| e.to_string())?;
     eprintln!(
@@ -317,11 +253,32 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
         joined.snapshot.frontiers,
     );
     let row = joined.row;
-    start_obs(args, &joined.fabric, row)?;
-    let min_epoch = args.min_epoch.max(joined.epoch);
+    start_obs(cfg, &joined.fabric, row)?;
+    // Publish the replay progress through the metrics registry now that
+    // the process has its observability plane.
+    if cfg.persist.is_some() {
+        let obs = joined.fabric.obs_plane();
+        let node = row.to_string();
+        let labels = [("node", node.as_str())];
+        obs.registry()
+            .gauge(
+                spindle_obs::names::PERSIST_REPLAY_RECORDS,
+                "Records replayed from the data directory before rejoining",
+                &labels,
+            )
+            .set(replayed_records);
+        obs.registry()
+            .gauge(
+                spindle_obs::names::PERSIST_REPLAY_BYTES,
+                "Bytes replayed from the data directory before rejoining",
+                &labels,
+            )
+            .set(replayed_bytes);
+    }
+    let min_epoch = cfg.run.min_epoch.max(joined.epoch);
     let catchup = joined.catchup_bytes;
     workload(
-        args,
+        cfg,
         joined.cluster,
         joined.fabric,
         row,
@@ -336,6 +293,29 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
     )
 }
 
+/// The durable-log tail this process would ship to a joiner right now:
+/// the newest records across all its logs that fit the snapshot budget.
+/// Read-only (a fresh scan per join request — joins are rare), so the
+/// predicate thread's appends are never blocked; a torn in-flight tail
+/// parses as a shorter valid prefix.
+fn sponsor_tail(persist_dir: Option<&PathBuf>) -> Vec<LogRecord> {
+    let Some(dir) = persist_dir else {
+        return Vec::new();
+    };
+    let records = spindle_persist::all_records_sorted(dir).unwrap_or_default();
+    let tail = join::tail_within(&records, JOIN_TAIL_BUDGET);
+    let skipped = records.len() - tail.len();
+    if skipped > 0 {
+        eprintln!(
+            "spindle-node: join snapshot tail capped at {} of {} records ({} B budget)",
+            tail.len(),
+            records.len(),
+            JOIN_TAIL_BUDGET
+        );
+    }
+    tail.to_vec()
+}
+
 /// The shared workload loop: send this node's share (if it is a sender)
 /// while collecting deliveries and sponsoring any `JOIN` that lands on
 /// the listener. Completion: the full expected total in the steady-state
@@ -345,7 +325,7 @@ fn run_joiner(args: &Args, cfg: &ClusterConfig, seed: String) -> Result<(), Stri
 /// and joins change the total, so an exact count is not predictable).
 #[allow(clippy::too_many_arguments)]
 fn workload(
-    args: &Args,
+    cfg: &NodeConfig,
     mut cluster: Cluster<TcpFabric>,
     fabric: TcpFabric,
     row: usize,
@@ -356,17 +336,20 @@ fn workload(
     catchup_bytes: u64,
     n_subgroups: usize,
 ) -> Result<(), String> {
+    let run = &cfg.run;
+    let persist_dir = cfg.persist.as_ref().map(|p| p.data_dir.clone());
     // Edge duty: serve external clients through the single-poller relay
     // tier. Subgroup = topic; all topics here are ordered multicast, so
     // every queue runs the default disconnect overflow policy.
-    let relay = match &args.relay_addr {
-        Some(a) => {
-            let addr: std::net::SocketAddr = a
+    let relay = match &cfg.relay {
+        Some(r) => {
+            let addr: std::net::SocketAddr = r
+                .addr
                 .parse()
-                .map_err(|e| format!("bad --relay-addr {a}: {e}"))?;
+                .map_err(|e| format!("bad --relay-addr {}: {e}", r.addr))?;
             let server =
                 EdgeServer::bind(addr, EdgeConfig::new(format!("node{row}")), cluster.obs())
-                    .map_err(|e| format!("cannot bind --relay-addr {a}: {e}"))?;
+                    .map_err(|e| format!("cannot bind --relay-addr {}: {e}", r.addr))?;
             eprintln!(
                 "spindle-node: n{row} relaying external clients on {}",
                 server.local_addr()
@@ -375,7 +358,7 @@ fn workload(
         }
         None => None,
     };
-    let deadline = started + args.deadline;
+    let deadline = started + run.deadline;
     let mut sent = 0u32;
     let mut own_delivered = 0u64;
     let mut last_delivery = Instant::now();
@@ -384,10 +367,12 @@ fn workload(
         // Sponsor duty: serve joiners that dialed our listener. The
         // leader commits them (blocking this loop through the epoch
         // transition — the predicate thread does the protocol work);
-        // everyone else redirects.
+        // everyone else redirects. A persistent sponsor ships its
+        // durable-log tail as the state-transfer snapshot.
         while let Ok(req) = fabric.join_requests().try_recv() {
             let joiner = req.addr.clone();
-            match join::serve_join(req, &mut cluster, row, &[]) {
+            let tail = sponsor_tail(persist_dir.as_ref());
+            match join::serve_join(req, &mut cluster, row, &tail) {
                 Ok(out) => eprintln!("spindle-node: n{row} served join of {joiner}: {out:?}"),
                 Err(e) => eprintln!("spindle-node: n{row} join control to {joiner} failed: {e}"),
             }
@@ -410,8 +395,8 @@ fn workload(
                 server.pub_ack(req.client, req.topic, status);
             }
         }
-        if i_send && sent < args.sends {
-            let p = payload(row, sent, args.payload, args.seed);
+        if i_send && sent < run.sends {
+            let p = payload(row, sent, run.payload, run.seed);
             match cluster.node(row).try_send(SubgroupId(0), &p) {
                 Ok(true) => sent += 1,
                 Ok(false) => {}
@@ -435,7 +420,7 @@ fn workload(
             }
             got.push(d);
             last_delivery = Instant::now();
-            if args.crash_after > 0 && got.len() >= args.crash_after {
+            if run.crash_after > 0 && got.len() >= run.crash_after {
                 eprintln!(
                     "spindle-node: n{row} aborting after {} deliveries (--crash-after-delivered)",
                     got.len()
@@ -443,13 +428,13 @@ fn workload(
                 std::process::abort();
             }
         }
-        let done = if args.serve > Duration::ZERO {
-            started.elapsed() >= args.serve
+        let done = if run.serve > Duration::ZERO {
+            started.elapsed() >= run.serve
         } else if min_epoch > 0 {
-            (!i_send || sent == args.sends)
+            (!i_send || sent == run.sends)
                 && cluster.node(row).epoch() >= min_epoch
-                && own_delivered >= u64::from(if i_send { args.sends } else { 0 })
-                && last_delivery.elapsed() >= args.quiesce
+                && own_delivered >= u64::from(if i_send { run.sends } else { 0 })
+                && last_delivery.elapsed() >= run.quiesce
         } else {
             got.len() as u64 >= expected
         };
@@ -464,13 +449,13 @@ fn workload(
                 "n{row}: delivered only {}/{expected} (epoch {}) within {:?} (trace above)",
                 got.len(),
                 cluster.node(row).epoch(),
-                args.deadline
+                run.deadline
             ));
         }
     }
     let makespan = started.elapsed();
 
-    if let Some(path) = &args.trace_out {
+    if let Some(path) = &run.trace_out {
         let mut out = String::with_capacity(got.len() * 48);
         for d in &got {
             out.push_str(&trace_line(d));
@@ -525,7 +510,7 @@ fn workload(
     let _ = std::io::stdout().flush();
 
     // Keep serving acks while the peers finish, then shut down.
-    std::thread::sleep(args.linger);
+    std::thread::sleep(run.linger);
     cluster.shutdown();
     Ok(())
 }

@@ -12,6 +12,9 @@
 //! senders = [0, 1, 2]    # optional; default: every node sends
 //! heartbeat_ms = 5       # optional; enables SST failure detection
 //! suspect_ms   = 500     # optional; suspicion timeout (default 100x beat)
+//! data_dir     = "/var/lib/spindle"   # optional; durable logs under <data_dir>/n<id>
+//! sync_policy  = "every-n=8"          # optional; always | every-n=<N> | interval-ms=<T> | never
+//! segment_cap  = 67108864             # optional; durable-log segment rollover (bytes)
 //! ```
 //!
 //! With `heartbeat_ms` set, every `spindle-node` process runs the SST
@@ -46,6 +49,14 @@ pub struct ClusterConfig {
     pub heartbeat_ms: Option<u64>,
     /// Suspicion timeout in milliseconds (defaults to 100 heartbeats).
     pub suspect_ms: Option<u64>,
+    /// Base data directory for durable logs; each member resolves its
+    /// own subdirectory (`<data_dir>/n<id>`). `None` runs non-persistent.
+    pub data_dir: Option<String>,
+    /// Durable-log fsync cadence (`always`, `every-n=<N>`,
+    /// `interval-ms=<T>`, `never`); defaults to `always` when persistent.
+    pub sync_policy: Option<spindle_persist::SyncPolicy>,
+    /// Durable-log segment rollover size in bytes.
+    pub segment_cap: Option<u64>,
 }
 
 /// Config-file rejection, with the offending line where applicable.
@@ -165,6 +176,9 @@ impl ClusterConfig {
         let mut senders: Option<Vec<usize>> = None;
         let mut heartbeat_ms: Option<u64> = None;
         let mut suspect_ms: Option<u64> = None;
+        let mut data_dir: Option<String> = None;
+        let mut sync_policy: Option<spindle_persist::SyncPolicy> = None;
+        let mut segment_cap: Option<u64> = None;
         for (i, raw_line) in text.lines().enumerate() {
             let line_no = i + 1;
             let line = strip_comment(raw_line).trim();
@@ -186,6 +200,18 @@ impl ClusterConfig {
                 "senders" => senders = Some(expect_int_array("senders", value)?),
                 "heartbeat_ms" => heartbeat_ms = Some(expect_int("heartbeat_ms", value)?),
                 "suspect_ms" => suspect_ms = Some(expect_int("suspect_ms", value)?),
+                "data_dir" => data_dir = Some(expect_str("data_dir", value)?),
+                "sync_policy" => {
+                    let raw = expect_str("sync_policy", value)?;
+                    sync_policy =
+                        Some(spindle_persist::SyncPolicy::parse(&raw).map_err(|msg| {
+                            ConfigError::Invalid {
+                                key: "sync_policy",
+                                msg,
+                            }
+                        })?);
+                }
+                "segment_cap" => segment_cap = Some(expect_int("segment_cap", value)?),
                 other => {
                     return Err(ConfigError::Syntax {
                         line: line_no,
@@ -221,6 +247,18 @@ impl ClusterConfig {
                 msg: "heartbeat_ms and suspect_ms must be positive".into(),
             });
         }
+        if data_dir.as_deref() == Some("") {
+            return Err(ConfigError::Invalid {
+                key: "data_dir",
+                msg: "data_dir must not be empty".into(),
+            });
+        }
+        if segment_cap == Some(0) {
+            return Err(ConfigError::Invalid {
+                key: "segment_cap",
+                msg: "segment_cap must be positive".into(),
+            });
+        }
         Ok(ClusterConfig {
             addrs,
             window,
@@ -228,6 +266,9 @@ impl ClusterConfig {
             senders,
             heartbeat_ms,
             suspect_ms,
+            data_dir,
+            sync_policy,
+            segment_cap,
         })
     }
 
@@ -288,6 +329,16 @@ fn expect_int(key: &'static str, v: Value) -> Result<u64, ConfigError> {
         other => Err(ConfigError::Invalid {
             key,
             msg: format!("expected an integer, got {other:?}"),
+        }),
+    }
+}
+
+fn expect_str(key: &'static str, v: Value) -> Result<String, ConfigError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(ConfigError::Invalid {
+            key,
+            msg: format!("expected a quoted string, got {other:?}"),
         }),
     }
 }

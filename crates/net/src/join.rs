@@ -104,6 +104,10 @@ pub struct JoinConfig {
     pub detector: Option<DetectorConfig>,
     /// Overall deadline for the admission handshake and catch-up barrier.
     pub deadline: Duration,
+    /// Durable-log persistence for the hosted row. A *re*joiner passes
+    /// the directory of its previous incarnation so post-join
+    /// deliveries continue appending after the replayed history.
+    pub persist: Option<spindle_core::threaded::PersistConfig>,
 }
 
 /// A joined process: the hosted cluster row plus the state-transfer
@@ -315,7 +319,7 @@ pub fn join_cluster(cfg: JoinConfig) -> Result<Joined, JoinError> {
         view,
         cfg.config.clone(),
         cfg.detector.clone(),
-        None,
+        cfg.persist.clone(),
         &[row],
         fabric.clone(),
     );
@@ -334,6 +338,25 @@ pub fn join_cluster(cfg: JoinConfig) -> Result<Joined, JoinError> {
         catchup_bytes,
         snapshot,
     })
+}
+
+/// The newest suffix of `records` whose encoded size fits in `budget`
+/// bytes — what a sponsor ships as the state-transfer snapshot. The
+/// *tail* is what a joiner can actually use (the most recent history up
+/// to the cut); bounding its bytes keeps the `JOIN_STATE` frame from
+/// growing with the sponsor's full log.
+pub fn tail_within(records: &[LogRecord], budget: usize) -> &[LogRecord] {
+    let mut size = 0usize;
+    let mut start = records.len();
+    while start > 0 {
+        let next = size + records[start - 1].encoded_len();
+        if next > budget {
+            break;
+        }
+        size = next;
+        start -= 1;
+    }
+    &records[start..]
 }
 
 /// What [`serve_join`] did with a request.

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bootstrap;
+pub mod config;
 pub mod edge;
 pub mod group;
 pub mod join;
@@ -57,11 +58,17 @@ pub mod tcp;
 pub mod wire;
 
 pub use bootstrap::{ClusterConfig, ConfigError};
+pub use config::{
+    NodeConfig, NodeConfigBuilder, NodeConfigError, NodeConfigErrors, NodeRole, ObsSettings,
+    PersistSettings, RelaySettings, RunControl,
+};
 pub use edge::{
     EdgeAssembler, EdgeConfig, EdgeFrame, EdgeQueue, EdgeRequest, EdgeServer, OverflowPolicy,
 };
 pub use group::TcpFabricGroup;
-pub use join::{join_cluster, serve_join, JoinConfig, JoinError, Joined, ServeOutcome};
+pub use join::{
+    join_cluster, serve_join, tail_within, JoinConfig, JoinError, Joined, ServeOutcome,
+};
 pub use metrics::{WireMetrics, WireStats};
 pub use tcp::{wire_thread_count, JoinRequest, TcpFabric, TcpFabricConfig};
 pub use wire::{decode_frame, encode_frame, Frame, Hello, WireError, WriteFrame};

@@ -557,6 +557,7 @@ fn joiner_retries_seeds_after_mid_join_sponsor_death() {
         config: SpindleConfig::optimized(),
         detector: None,
         deadline: Duration::from_millis(1200),
+        persist: None,
     })
     .map(|j| j.row)
     .unwrap_err();
@@ -620,6 +621,7 @@ fn joiner_falls_through_dead_sponsor_to_live_seed() {
             config: SpindleConfig::optimized(),
             detector: None,
             deadline: Duration::from_secs(60),
+            persist: None,
         })
     });
 

@@ -64,6 +64,25 @@ pub mod names {
     /// Histogram `{relay}`: fan-out latency (enqueue → flushed to the
     /// client socket), recorded in nanoseconds, exposed in seconds.
     pub const RELAY_DELIVERY_LATENCY: &str = "spindle_relay_delivery_latency_seconds";
+    /// Counter `{node}`: deliveries appended to the durable log.
+    pub const PERSIST_APPENDED: &str = "spindle_persist_appended_total";
+    /// Counter `{node}`: durable-log bytes appended (record frames
+    /// included).
+    pub const PERSIST_APPENDED_BYTES: &str = "spindle_persist_appended_bytes_total";
+    /// Counter `{node}`: durable-log fsyncs performed.
+    pub const PERSIST_FSYNCS: &str = "spindle_persist_fsyncs_total";
+    /// Histogram `{node}`: durable-log fsync latency, recorded in
+    /// nanoseconds, exposed in seconds.
+    pub const PERSIST_FSYNC_LATENCY: &str = "spindle_persist_fsync_seconds";
+    /// Counter `{node}`: records recovered from the durable log when a
+    /// subgroup's log was (re)opened.
+    pub const PERSIST_REPLAYED: &str = "spindle_persist_replayed_total";
+    /// Gauge `{node}`: records replayed from the data directory before
+    /// this process rejoined (restart replay progress).
+    pub const PERSIST_REPLAY_RECORDS: &str = "spindle_persist_replay_records";
+    /// Gauge `{node}`: bytes replayed from the data directory before
+    /// this process rejoined.
+    pub const PERSIST_REPLAY_BYTES: &str = "spindle_persist_replay_bytes";
 }
 
 struct PlaneInner {

@@ -7,24 +7,31 @@
 //! on stable storage, each replica advertises its *persistence frontier*
 //! through an SST counter, and a message is globally durable once every
 //! member's frontier has passed it. This crate supplies the storage half:
-//! a checksummed, append-only, crash-recoverable log.
+//! a checksummed, append-only, segmented, crash-recoverable log.
 //!
 //! Format: each record is `[magic][body_len][crc32][body]`, little-endian,
 //! where the body carries `(epoch, subgroup, seq, sender_rank, app_index,
-//! payload)`. [`DurableLog::open`] replays the file, validates every
-//! checksum, and truncates a torn tail (a partial record from a crash
-//! mid-append), so the log is always a clean prefix of what was appended.
+//! payload)`. A log is a sequence of segment files
+//! (`<name>.seg000000.log`, `<name>.seg000001.log`, ...) that roll over at
+//! [`PersistOptions::segment_cap`] bytes. [`DurableLog::open_with`]
+//! replays the segments in order, validates every checksum, and truncates
+//! a torn tail (a partial record from a crash mid-append), so the log is
+//! always a clean prefix of what was appended.
+//!
+//! Policy knobs — fsync cadence ([`SyncPolicy`] / [`SyncScheduler`]),
+//! segment capacity, and disk fault injection ([`PersistFaults`]) — ride
+//! in through [`PersistOptions`].
 //!
 //! # Examples
 //!
 //! ```
-//! use spindle_persist::{DurableLog, LogRecord};
+//! use spindle_persist::{read_log, DurableLog, LogRecord, PersistOptions};
 //!
 //! let dir = std::env::temp_dir().join(format!("spindle-doc-{}", std::process::id()));
-//! std::fs::create_dir_all(&dir)?;
-//! let path = dir.join("g0.log");
+//! let opts = PersistOptions::new(&dir);
 //!
-//! let mut log = DurableLog::create(&path)?;
+//! let (mut log, recovered) = DurableLog::open_with(&opts, "node0-g0")?;
+//! assert!(recovered.is_empty());
 //! log.append(&LogRecord {
 //!     epoch: 0,
 //!     subgroup: 0,
@@ -36,10 +43,9 @@
 //! log.sync()?;
 //! drop(log);
 //!
-//! let (log, records) = DurableLog::open(&path)?;
+//! let records = read_log(&dir, "node0-g0")?;
 //! assert_eq!(records.len(), 1);
 //! assert_eq!(records[0].data, b"hello");
-//! drop(log);
 //! # std::fs::remove_dir_all(&dir)?;
 //! # Ok::<(), std::io::Error>(())
 //! ```
@@ -47,6 +53,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+mod policy;
+
+pub use policy::{PersistFaults, PersistOptions, SyncPolicy, SyncScheduler, DEFAULT_SEGMENT_CAP};
 
 /// Record magic: "SPIN" little-endian.
 const MAGIC: u32 = 0x4E49_5053;
@@ -88,6 +98,12 @@ impl LogRecord {
         LogRecord::decode_body(body)
     }
 
+    /// Byte size of [`LogRecord::encode`]'s output (the on-disk body,
+    /// without the per-frame magic/length/CRC header).
+    pub fn encoded_len(&self) -> usize {
+        BODY_HEADER + self.data.len()
+    }
+
     fn encode_body(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(BODY_HEADER + self.data.len());
         b.extend_from_slice(&self.epoch.to_le_bytes());
@@ -111,7 +127,7 @@ impl LogRecord {
         let sender_rank = u32::from_le_bytes(take(20..24)?.try_into().ok()?);
         let app_index = u64::from_le_bytes(take(24..32)?.try_into().ok()?);
         let data_len = u32::from_le_bytes(take(32..36)?.try_into().ok()?) as usize;
-        if body.len() != BODY_HEADER + data_len {
+        if body.len() != BODY_HEADER.checked_add(data_len)? {
             return None;
         }
         Some(LogRecord {
@@ -176,11 +192,29 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// An append-only, checksummed, crash-recoverable message log.
+///
+/// Opened through [`DurableLog::open_with`] the log is *segmented*:
+/// appends roll over to a fresh `<name>.seg<NNNNNN>.log` file once the
+/// active segment passes [`PersistOptions::segment_cap`] bytes, so a
+/// long-lived node never owns one unbounded file.
 pub struct DurableLog {
     writer: BufWriter<File>,
     path: PathBuf,
     records: u64,
+    /// Valid bytes across all segments.
     bytes: u64,
+    /// Valid bytes in the active segment.
+    seg_bytes: u64,
+    seg_index: u32,
+    rotation: Option<Rotation>,
+    faults: PersistFaults,
+}
+
+#[derive(Clone)]
+struct Rotation {
+    dir: PathBuf,
+    name: String,
+    cap: u64,
 }
 
 impl std::fmt::Debug for DurableLog {
@@ -189,13 +223,53 @@ impl std::fmt::Debug for DurableLog {
             .field("path", &self.path)
             .field("records", &self.records)
             .field("bytes", &self.bytes)
+            .field("segment", &self.seg_index)
             .finish()
     }
+}
+
+/// `<dir>/<name>.seg<idx:06>.log`.
+fn segment_path(dir: &Path, name: &str, idx: u32) -> PathBuf {
+    dir.join(format!("{name}.seg{idx:06}.log"))
+}
+
+/// Parses `file_name` as a segment of some log, yielding
+/// `(log name, segment index)`.
+fn parse_segment_name(file_name: &str) -> Option<(&str, u32)> {
+    let stem = file_name.strip_suffix(".log")?;
+    let (name, idx) = stem.rsplit_once(".seg")?;
+    if idx.len() != 6 || !idx.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((name, idx.parse().ok()?))
+}
+
+/// Sorted segment indices present for `name` under `dir`.
+fn segment_indices(dir: &Path, name: &str) -> io::Result<Vec<u32>> {
+    let mut indices = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(indices),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some((n, idx)) = entry.file_name().to_str().and_then(parse_segment_name) {
+            if n == name {
+                indices.push(idx);
+            }
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
 }
 
 /// Parses the valid record prefix of `path` **read-only**: no recovery
 /// truncation, safe to call while another handle is appending (the torn
 /// tail, if any, is simply not returned).
+///
+/// This reads one *file*; for a segmented log opened with
+/// [`DurableLog::open_with`], use [`read_log`].
 ///
 /// # Errors
 ///
@@ -217,6 +291,83 @@ pub fn read_records(path: impl AsRef<Path>) -> io::Result<Vec<LogRecord>> {
     Ok(parse_prefix(&raw).0)
 }
 
+/// Reads the full record stream of log `name` under `dir` **read-only**,
+/// concatenating its segments in order. Corruption inside a segment cuts
+/// the stream there (later segments are unreachable past a hole, exactly
+/// as [`DurableLog::open_with`] would recover). Falls back to a plain
+/// `<name>.log` single file — the pre-segmentation layout — when no
+/// segments exist.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing log reads as empty.
+pub fn read_log(dir: impl AsRef<Path>, name: &str) -> io::Result<Vec<LogRecord>> {
+    let dir = dir.as_ref();
+    let indices = segment_indices(dir, name)?;
+    if indices.is_empty() {
+        return read_records(dir.join(format!("{name}.log")));
+    }
+    let mut records = Vec::new();
+    for idx in indices {
+        let raw = std::fs::read(segment_path(dir, name, idx))?;
+        let (mut recs, good) = parse_prefix(&raw);
+        records.append(&mut recs);
+        if good < raw.len() {
+            break; // the stream ends at the first hole
+        }
+    }
+    Ok(records)
+}
+
+/// Reads every log under `dir` **read-only**: `(name, records)` pairs
+/// sorted by name. Both segmented logs and plain `<name>.log` files are
+/// found (segments win when a name has both).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing directory reads as empty.
+pub fn scan_dir(dir: impl AsRef<Path>) -> io::Result<Vec<(String, Vec<LogRecord>)>> {
+    let dir = dir.as_ref();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut names = std::collections::BTreeSet::new();
+    for entry in entries {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some((name, _)) = parse_segment_name(file_name) {
+            names.insert(name.to_string());
+        } else if let Some(stem) = file_name.strip_suffix(".log") {
+            names.insert(stem.to_string());
+        }
+    }
+    names
+        .into_iter()
+        .map(|name| read_log(dir, &name).map(|records| (name, records)))
+        .collect()
+}
+
+/// Every record under `dir`, flattened across logs and sorted into
+/// delivery order: by `(subgroup, epoch, seq)`. This is the restart
+/// replay stream of a node's data directory.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing directory reads as empty.
+pub fn all_records_sorted(dir: impl AsRef<Path>) -> io::Result<Vec<LogRecord>> {
+    let mut all: Vec<LogRecord> = scan_dir(dir)?
+        .into_iter()
+        .flat_map(|(_, records)| records)
+        .collect();
+    all.sort_by_key(|r| (r.subgroup, r.epoch, r.seq));
+    Ok(all)
+}
+
 /// Parses the longest valid record prefix; returns the records and the
 /// byte length of that prefix.
 fn parse_prefix(raw: &[u8]) -> (Vec<LogRecord>, usize) {
@@ -231,7 +382,12 @@ fn parse_prefix(raw: &[u8]) -> (Vec<LogRecord>, usize) {
         let body_len = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(raw[off + 8..off + 12].try_into().unwrap());
         let body_start = off + FRAME_HEADER;
-        let Some(body) = raw.get(body_start..body_start + body_len) else {
+        // Checked: an adversarial body_len near usize::MAX must read as a
+        // torn tail, not wrap around and panic the open.
+        let Some(body_end) = body_start.checked_add(body_len) else {
+            break;
+        };
+        let Some(body) = raw.get(body_start..body_end) else {
             break; // partial tail
         };
         if crc32(body) != crc {
@@ -241,14 +397,16 @@ fn parse_prefix(raw: &[u8]) -> (Vec<LogRecord>, usize) {
             break;
         };
         records.push(rec);
-        off = body_start + body_len;
+        off = body_end;
         good = off;
     }
     (records, good)
 }
 
 impl DurableLog {
-    /// Creates a fresh log at `path`, truncating any existing file.
+    /// Creates a fresh single-file log at `path`, truncating any
+    /// existing file. Low-level: no segmentation, no fault injection —
+    /// prefer [`DurableLog::open_with`] for anything long-lived.
     ///
     /// # Errors
     ///
@@ -265,18 +423,109 @@ impl DurableLog {
             path,
             records: 0,
             bytes: 0,
+            seg_bytes: 0,
+            seg_index: 0,
+            rotation: None,
+            faults: PersistFaults::default(),
         })
     }
 
-    /// Opens an existing log (or creates an empty one), replaying and
-    /// validating every record. A torn or corrupt tail — from a crash
-    /// mid-append — is truncated away; everything before it is returned.
+    /// Opens (or creates) the segmented log `name` under `opts.dir`,
+    /// replaying and validating every record across segments. A torn or
+    /// corrupt tail — from a crash mid-append — is truncated away, and
+    /// any segments past a mid-history hole are discarded (they are
+    /// unreachable once the order has a gap); everything before is
+    /// returned. Appends resume at the recovered end and roll over to a
+    /// new segment at `opts.segment_cap` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (including directory creation); corruption
+    /// is *not* an error — the valid prefix is recovered.
+    pub fn open_with(
+        opts: &PersistOptions,
+        name: &str,
+    ) -> io::Result<(DurableLog, Vec<LogRecord>)> {
+        std::fs::create_dir_all(&opts.dir)?;
+        let mut indices = segment_indices(&opts.dir, name)?;
+        if indices.is_empty() {
+            indices.push(0);
+        }
+        let mut records = Vec::new();
+        let mut bytes = 0u64;
+        let mut active: Option<(File, u32, u64)> = None;
+        let mut drop_after: Option<usize> = None;
+        for (i, &idx) in indices.iter().enumerate() {
+            let path = segment_path(&opts.dir, name, idx);
+            let mut file = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .read(true)
+                .write(true)
+                .open(&path)?;
+            let mut raw = Vec::new();
+            file.read_to_end(&mut raw)?;
+            let (mut recs, good) = parse_prefix(&raw);
+            records.append(&mut recs);
+            bytes += good as u64;
+            let corrupt = good < raw.len();
+            if corrupt {
+                file.set_len(good as u64)?;
+            }
+            if corrupt || i + 1 == indices.len() {
+                file.seek(SeekFrom::Start(good as u64))?;
+                active = Some((file, idx, good as u64));
+                drop_after = Some(i);
+                break;
+            }
+        }
+        // Segments past a recovered hole hold unreachable suffix state.
+        if let Some(last) = drop_after {
+            for &idx in &indices[last + 1..] {
+                std::fs::remove_file(segment_path(&opts.dir, name, idx))?;
+            }
+        }
+        let (file, seg_index, seg_bytes) = active.expect("at least one segment is always opened");
+        Ok((
+            DurableLog {
+                writer: BufWriter::new(file),
+                path: segment_path(&opts.dir, name, seg_index),
+                records: records.len() as u64,
+                bytes,
+                seg_bytes,
+                seg_index,
+                rotation: Some(Rotation {
+                    dir: opts.dir.clone(),
+                    name: name.to_string(),
+                    cap: opts.segment_cap.max(1),
+                }),
+                faults: opts.faults.clone(),
+            },
+            records,
+        ))
+    }
+
+    /// Opens an existing single-file log (or creates an empty one),
+    /// replaying and validating every record. A torn or corrupt tail —
+    /// from a crash mid-append — is truncated away; everything before it
+    /// is returned.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; corruption is *not* an error (the valid
     /// prefix is recovered).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DurableLog::open_with(&PersistOptions::new(dir), name)` — \
+                segmented, policy-aware, fault-injectable"
+    )]
     pub fn open(path: impl AsRef<Path>) -> io::Result<(DurableLog, Vec<LogRecord>)> {
+        DurableLog::open_file(path)
+    }
+
+    /// Single-file open (the pre-[`PersistOptions`] layout): shared by
+    /// the deprecated [`DurableLog::open`] shim and unit tests.
+    fn open_file(path: impl AsRef<Path>) -> io::Result<(DurableLog, Vec<LogRecord>)> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .create(true)
@@ -298,35 +547,70 @@ impl DurableLog {
                 path,
                 records: records.len() as u64,
                 bytes: good as u64,
+                seg_bytes: good as u64,
+                seg_index: 0,
+                rotation: None,
+                faults: PersistFaults::default(),
             },
             records,
         ))
     }
 
     /// Appends one record (buffered; call [`DurableLog::sync`] to make it
-    /// durable).
+    /// durable). A segmented log rolls over to a fresh segment first if
+    /// this record would push the active segment past its capacity.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the underlying writes.
+    /// Propagates I/O errors from the underlying writes (and, on
+    /// rollover, the sync of the finished segment).
     pub fn append(&mut self, rec: &LogRecord) -> io::Result<()> {
         let body = rec.encode_body();
+        let frame = (FRAME_HEADER + body.len()) as u64;
+        let over_cap = self
+            .rotation
+            .as_ref()
+            .is_some_and(|rot| self.seg_bytes > 0 && self.seg_bytes + frame > rot.cap);
+        if over_cap {
+            let rot = self.rotation.clone().expect("over_cap implies rotation");
+            self.rotate(&rot)?;
+        }
         self.writer.write_all(&MAGIC.to_le_bytes())?;
         self.writer.write_all(&(body.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32(&body).to_le_bytes())?;
         self.writer.write_all(&body)?;
         self.records += 1;
-        self.bytes += (FRAME_HEADER + body.len()) as u64;
+        self.bytes += frame;
+        self.seg_bytes += frame;
         Ok(())
     }
 
-    /// Flushes buffers and fsyncs the file.
+    /// Seals the active segment (flush + fsync) and starts the next one.
+    fn rotate(&mut self, rot: &Rotation) -> io::Result<()> {
+        self.sync()?;
+        self.seg_index += 1;
+        let path = segment_path(&rot.dir, &rot.name, self.seg_index);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        self.writer = BufWriter::new(file);
+        self.path = path;
+        self.seg_bytes = 0;
+        Ok(())
+    }
+
+    /// Flushes buffers and fsyncs the active segment. Injected disk
+    /// faults ([`PersistFaults`], `SPINDLE_PERSIST_FSYNC_DELAY_MS`)
+    /// take effect here.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from flush or fsync.
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush()?;
+        self.faults.apply();
         self.writer.get_ref().sync_data()
     }
 
@@ -340,14 +624,19 @@ impl DurableLog {
         self.records == 0
     }
 
-    /// Bytes occupied by valid records.
+    /// Bytes occupied by valid records, across all segments.
     pub fn byte_len(&self) -> u64 {
         self.bytes
     }
 
-    /// The log's file path.
+    /// The active segment's file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Index of the active segment (0 for a single-file log).
+    pub fn segment_index(&self) -> u32 {
+        self.seg_index
     }
 }
 
@@ -355,13 +644,18 @@ impl DurableLog {
 mod tests {
     use super::*;
 
-    fn tmp(name: &str) -> PathBuf {
+    fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "spindle-persist-test-{}-{name}",
             std::process::id()
         ));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join("test.log")
+        dir
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        tmp_dir(name).join("test.log")
     }
 
     fn rec(seq: i64, data: &[u8]) -> LogRecord {
@@ -400,7 +694,7 @@ mod tests {
         }
         log.sync().unwrap();
         drop(log);
-        let (log, records) = DurableLog::open(&path).unwrap();
+        let (log, records) = DurableLog::open_file(&path).unwrap();
         assert_eq!(log.len(), 100);
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.seq, i as i64);
@@ -415,7 +709,7 @@ mod tests {
         log.append(&rec(0, b"")).unwrap();
         log.sync().unwrap();
         drop(log);
-        let (_, records) = DurableLog::open(&path).unwrap();
+        let (_, records) = DurableLog::open_file(&path).unwrap();
         assert_eq!(records.len(), 1);
         assert!(records[0].data.is_empty());
     }
@@ -434,10 +728,74 @@ mod tests {
         f.write_all(&MAGIC.to_le_bytes()).unwrap();
         f.write_all(&100u32.to_le_bytes()).unwrap();
         drop(f);
-        let (log, records) = DurableLog::open(&path).unwrap();
+        let (log, records) = DurableLog::open_file(&path).unwrap();
         assert_eq!(records.len(), 10, "torn tail must not hide valid prefix");
         // The file was truncated back to the valid prefix.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), log.byte_len());
+    }
+
+    /// The ISSUE-10 negative matrix: tear or corrupt *each field* of a
+    /// trailing record and check the read-only path recovers the valid
+    /// prefix rather than erroring the whole open.
+    #[test]
+    fn torn_final_record_each_field_truncates_to_valid_prefix() {
+        let base = {
+            let path = tmp("fields-base");
+            let mut log = DurableLog::create(&path).unwrap();
+            for i in 0..6 {
+                log.append(&rec(i, b"stable-prefix")).unwrap();
+            }
+            log.sync().unwrap();
+            drop(log);
+            std::fs::read(&path).unwrap()
+        };
+        let frame = base.len() / 6;
+        let last = 5 * frame;
+        type Corruptor = Box<dyn Fn(&mut Vec<u8>)>;
+        let cases: Vec<(&str, Corruptor)> = vec![
+            ("magic", Box::new(move |raw| raw[last] ^= 0xFF)),
+            (
+                "body_len-oversized",
+                Box::new(move |raw: &mut Vec<u8>| {
+                    raw[last + 4..last + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+                }),
+            ),
+            ("crc", Box::new(move |raw| raw[last + 8] ^= 0x01)),
+            (
+                "body-data_len",
+                Box::new(move |raw| raw[last + FRAME_HEADER + 32] ^= 0x01),
+            ),
+            (
+                "payload-byte",
+                Box::new(move |raw| raw[last + frame - 1] ^= 0x80),
+            ),
+            (
+                "torn-mid-body",
+                Box::new(move |raw: &mut Vec<u8>| raw.truncate(last + FRAME_HEADER + 3)),
+            ),
+            (
+                "torn-mid-header",
+                Box::new(move |raw: &mut Vec<u8>| raw.truncate(last + 5)),
+            ),
+        ];
+        for (what, corrupt) in cases {
+            let path = tmp(&format!("fields-{what}"));
+            let mut raw = base.clone();
+            corrupt(&mut raw);
+            std::fs::write(&path, &raw).unwrap();
+            let records = read_records(&path)
+                .unwrap_or_else(|e| panic!("{what}: read_records must not error: {e}"));
+            assert_eq!(records.len(), 5, "{what}: the 5 intact records survive");
+            assert_eq!(records.last().unwrap().seq, 4, "{what}");
+            // And the recovery path agrees byte for byte.
+            let (log, recovered) = DurableLog::open_file(&path).unwrap();
+            assert_eq!(recovered, records, "{what}: open recovers the same prefix");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                log.byte_len(),
+                "{what}: file truncated to the valid prefix"
+            );
+        }
     }
 
     #[test]
@@ -455,7 +813,7 @@ mod tests {
         let victim = (3 * record_bytes + FRAME_HEADER as u64 + 2) as usize;
         raw[victim] ^= 0xFF;
         std::fs::write(&path, &raw).unwrap();
-        let (_, records) = DurableLog::open(&path).unwrap();
+        let (_, records) = DurableLog::open_file(&path).unwrap();
         assert_eq!(records.len(), 3, "corruption cuts the log at record 3");
         assert_eq!(records.last().unwrap().seq, 2);
     }
@@ -469,14 +827,14 @@ mod tests {
         }
         log.sync().unwrap();
         drop(log);
-        let (mut log, recovered) = DurableLog::open(&path).unwrap();
+        let (mut log, recovered) = DurableLog::open_file(&path).unwrap();
         assert_eq!(recovered.len(), 4);
         for i in 4..8 {
             log.append(&rec(i, b"y")).unwrap();
         }
         log.sync().unwrap();
         drop(log);
-        let (_, all) = DurableLog::open(&path).unwrap();
+        let (_, all) = DurableLog::open_file(&path).unwrap();
         assert_eq!(all.len(), 8);
         assert_eq!(all[7].seq, 7);
     }
@@ -484,7 +842,7 @@ mod tests {
     #[test]
     fn open_on_missing_file_creates_empty() {
         let path = tmp("fresh");
-        let (log, records) = DurableLog::open(&path).unwrap();
+        let (log, records) = DurableLog::open_file(&path).unwrap();
         assert!(log.is_empty());
         assert!(records.is_empty());
     }
@@ -493,10 +851,26 @@ mod tests {
     fn garbage_file_recovers_to_empty() {
         let path = tmp("garbage");
         std::fs::write(&path, b"this is not a spindle log at all").unwrap();
-        let (log, records) = DurableLog::open(&path).unwrap();
+        let (log, records) = DurableLog::open_file(&path).unwrap();
         assert!(records.is_empty());
         assert_eq!(log.byte_len(), 0);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    /// Pins the one-release deprecation shim: `DurableLog::open` still
+    /// works exactly as the single-file open always did.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_open_shim_still_recovers() {
+        let path = tmp("shim");
+        let mut log = DurableLog::create(&path).unwrap();
+        log.append(&rec(0, b"legacy")).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (log, records) = DurableLog::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].data, b"legacy");
+        assert_eq!(log.segment_index(), 0);
     }
 
     #[test]
@@ -524,7 +898,112 @@ mod tests {
         log.append(&r).unwrap();
         log.sync().unwrap();
         drop(log);
-        let (_, records) = DurableLog::open(&path).unwrap();
+        let (_, records) = DurableLog::open_file(&path).unwrap();
         assert_eq!(records, vec![r]);
+    }
+
+    #[test]
+    fn open_with_rolls_segments_at_cap_and_replays_across_them() {
+        let dir = tmp_dir("segments");
+        let opts = PersistOptions::new(&dir).segment_cap(128);
+        let (mut log, recovered) = DurableLog::open_with(&opts, "node0-g0").unwrap();
+        assert!(recovered.is_empty());
+        for i in 0..20 {
+            log.append(&rec(i, b"0123456789abcdef")).unwrap();
+        }
+        log.sync().unwrap();
+        assert!(log.segment_index() >= 2, "128-byte cap must have rolled");
+        let total = log.byte_len();
+        drop(log);
+        // Reopen: all records replay across segments, appends continue.
+        let (mut log, recovered) = DurableLog::open_with(&opts, "node0-g0").unwrap();
+        assert_eq!(recovered.len(), 20);
+        assert_eq!(log.byte_len(), total);
+        log.append(&rec(20, b"after-restart")).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let records = read_log(&dir, "node0-g0").unwrap();
+        assert_eq!(records.len(), 21);
+        assert_eq!(records.last().unwrap().seq, 20);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as i64);
+        }
+    }
+
+    #[test]
+    fn mid_history_corruption_drops_later_segments() {
+        let dir = tmp_dir("hole");
+        let opts = PersistOptions::new(&dir).segment_cap(96);
+        let (mut log, _) = DurableLog::open_with(&opts, "n").unwrap();
+        for i in 0..12 {
+            log.append(&rec(i, b"0123456789abcdef")).unwrap();
+        }
+        log.sync().unwrap();
+        assert!(log.segment_index() >= 2);
+        drop(log);
+        // Corrupt segment 1's first record body.
+        let seg1 = segment_path(&dir, "n", 1);
+        let mut raw = std::fs::read(&seg1).unwrap();
+        raw[FRAME_HEADER + 1] ^= 0xFF;
+        std::fs::write(&seg1, &raw).unwrap();
+        let seg0_records = read_records(segment_path(&dir, "n", 0)).unwrap().len();
+        let (log, recovered) = DurableLog::open_with(&opts, "n").unwrap();
+        assert_eq!(
+            recovered.len(),
+            seg0_records,
+            "the hole in segment 1 cuts everything after segment 0"
+        );
+        assert_eq!(log.segment_index(), 1, "segment 1 becomes the active tail");
+        assert!(
+            !segment_path(&dir, "n", 2).exists(),
+            "unreachable later segments are discarded"
+        );
+        // The read-only view agrees with recovery.
+        assert_eq!(read_log(&dir, "n").unwrap().len(), seg0_records);
+    }
+
+    #[test]
+    fn scan_dir_finds_segmented_and_plain_logs() {
+        let dir = tmp_dir("scan");
+        let opts = PersistOptions::new(&dir);
+        let (mut a, _) = DurableLog::open_with(&opts, "node0-g0").unwrap();
+        a.append(&rec(0, b"seg")).unwrap();
+        a.sync().unwrap();
+        drop(a);
+        let mut b = DurableLog::create(dir.join("legacy.log")).unwrap();
+        b.append(&rec(1, b"plain")).unwrap();
+        b.sync().unwrap();
+        drop(b);
+        let logs = scan_dir(&dir).unwrap();
+        let names: Vec<&str> = logs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["legacy", "node0-g0"]);
+        assert!(logs.iter().all(|(_, r)| r.len() == 1));
+        // Missing directory reads as empty, like read_records.
+        assert!(scan_dir(dir.join("nope")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_records_sorted_orders_by_subgroup_epoch_seq() {
+        let dir = tmp_dir("sorted");
+        let opts = PersistOptions::new(&dir);
+        let mk = |epoch, subgroup, seq| LogRecord {
+            epoch,
+            subgroup,
+            seq,
+            sender_rank: 0,
+            app_index: 0,
+            data: vec![],
+        };
+        let (mut g1, _) = DurableLog::open_with(&opts, "node0-g1").unwrap();
+        g1.append(&mk(0, 1, 0)).unwrap();
+        g1.sync().unwrap();
+        let (mut g0, _) = DurableLog::open_with(&opts, "node0-g0").unwrap();
+        for r in [mk(0, 0, 0), mk(0, 0, 1), mk(1, 0, 0)] {
+            g0.append(&r).unwrap();
+        }
+        g0.sync().unwrap();
+        let all = all_records_sorted(&dir).unwrap();
+        let keys: Vec<(u32, u64, i64)> = all.iter().map(|r| (r.subgroup, r.epoch, r.seq)).collect();
+        assert_eq!(keys, vec![(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, 0)]);
     }
 }

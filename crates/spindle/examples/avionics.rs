@@ -118,11 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let log_path = domain.log_dir().join(format!("{MAINT_LOG}-node4.log"));
-    let log_bytes = std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0);
+    let log_name = format!("{MAINT_LOG}-node4");
+    let log_bytes: u64 = spindle::persist::read_log(domain.log_dir(), &log_name)
+        .map(|rs| rs.iter().map(|r| r.data.len() as u64).sum())
+        .unwrap_or(0);
     println!(
-        "maintenance log on disk: {log_bytes} bytes at {}",
-        log_path.display()
+        "maintenance log on disk: {log_bytes} payload bytes under {}",
+        domain.log_dir().display()
     );
 
     println!("\nok: four QoS levels served by one Derecho group, one subgroup per topic");

@@ -72,9 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nmaintenance record delivered: {}",
         String::from_utf8_lossy(&m.data)
     );
-    let log = domain.log_dir().join("topic3-node1.log");
-    let bytes = std::fs::read(&log)?;
-    println!("on-disk log {} holds {} bytes", log.display(), bytes.len());
+    let records = spindle::persist::read_log(domain.log_dir(), "topic3-node1")?;
+    println!(
+        "on-disk log topic3-node1 holds {} records under {}",
+        records.len(),
+        domain.log_dir().display()
+    );
     let _ = std::fs::remove_dir_all(domain.log_dir());
 
     println!("\nok: three topics, three QoS levels, one domain");

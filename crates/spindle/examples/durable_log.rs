@@ -12,7 +12,6 @@
 
 use std::time::{Duration, Instant};
 
-use spindle::persist::DurableLog;
 use spindle::{Cluster, PersistConfig, SpindleConfig, SubgroupId, ViewBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrecovering logs from {}:", dir.display());
     let mut reference: Option<Vec<(i64, Vec<u8>)>> = None;
     for n in 0..3 {
-        let (_, records) = DurableLog::open(dir.join(format!("node{n}-g0.log")))?;
+        let records = spindle::persist::read_log(&dir, &format!("node{n}-g0"))?;
         println!(
             "  node {n}: {} records, last = {:?}",
             records.len(),
